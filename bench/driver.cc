@@ -1,0 +1,290 @@
+#include "bench/driver.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+namespace bigtiny::bench
+{
+
+std::string
+RunSpec::key() const
+{
+    std::ostringstream os;
+    os << "v" << modelVersion << "|" << app << "|" << config << "|n="
+       << params.n << "|g=" << params.grain << "|s=" << params.seed
+       << "|" << (serial ? "serial" : "parallel");
+    return os.str();
+}
+
+RunResult
+runOne(const RunSpec &spec)
+{
+    sim::SystemConfig cfg = sim::configByName(spec.config);
+    sim::System sys(cfg);
+    auto app = apps::makeApp(spec.app, spec.params);
+    app->setup(sys);
+
+    RunResult r;
+    if (spec.serial) {
+        sys.attachGuest(0,
+                        [&](sim::Core &c) { app->runSerial(c); });
+        sys.run();
+    } else {
+        rt::Runtime runtime(sys);
+        runtime.run([&](rt::Worker &w) { app->runParallel(w); });
+        r.work = runtime.profiler.work();
+        r.span = runtime.profiler.span();
+        r.tasks = runtime.profiler.numTasks();
+        auto rs = runtime.totalStats();
+        r.steals = rs.tasksStolen;
+        r.stealAttempts = rs.stealAttempts;
+    }
+    r.cycles = sys.elapsed();
+
+    bool tiny_only = false;
+    for (auto k : cfg.cores) {
+        if (k == sim::CoreKind::Tiny)
+            tiny_only = true; // aggregate over tiny cores if any
+    }
+    auto cache = sys.aggregateCacheStats(tiny_only);
+    r.l1Accesses = cache.accesses();
+    r.l1Misses = cache.misses();
+    r.invLines = cache.invLines;
+    r.flushLines = cache.flushLines;
+    auto cores = sys.aggregateCoreStats(tiny_only);
+    r.tinyTime = cores.timeByCat;
+    r.nocBytes = sys.mem().noc().stats().bytes;
+    r.uliReqs = sys.uliNet().stats.reqs;
+    r.uliNacks = sys.uliNet().stats.nacks;
+
+    sys.mem().drainAll();
+    r.valid = app->validate(sys);
+    if (!r.valid)
+        warn("run %s FAILED VALIDATION", spec.key().c_str());
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+serialize(const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.valid << ' ' << r.cycles << ' ' << r.work << ' ' << r.span
+       << ' ' << r.tasks << ' ' << r.steals << ' ' << r.stealAttempts
+       << ' ' << r.l1Accesses << ' ' << r.l1Misses << ' '
+       << r.invLines << ' ' << r.flushLines << ' ' << r.uliReqs << ' '
+       << r.uliNacks;
+    for (auto t : r.tinyTime)
+        os << ' ' << t;
+    for (auto b : r.nocBytes)
+        os << ' ' << b;
+    return os.str();
+}
+
+bool
+deserialize(const std::string &line, RunResult &r)
+{
+    std::istringstream is(line);
+    if (!(is >> r.valid >> r.cycles >> r.work >> r.span >> r.tasks >>
+          r.steals >> r.stealAttempts >> r.l1Accesses >> r.l1Misses >>
+          r.invLines >> r.flushLines >> r.uliReqs >> r.uliNacks))
+        return false;
+    for (auto &t : r.tinyTime)
+        if (!(is >> t))
+            return false;
+    for (auto &b : r.nocBytes)
+        if (!(is >> b))
+            return false;
+    return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string path, bool enabled)
+    : path(std::move(path)), enabled(enabled)
+{
+    if (this->enabled)
+        load();
+}
+
+void
+ResultCache::load()
+{
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        auto tab = line.find('\t');
+        if (tab == std::string::npos)
+            continue;
+        RunResult r;
+        if (deserialize(line.substr(tab + 1), r))
+            entries[line.substr(0, tab)] = r;
+    }
+}
+
+void
+ResultCache::append(const std::string &key, const RunResult &r)
+{
+    entries[key] = r;
+    std::ofstream out(path, std::ios::app);
+    out << key << '\t' << serialize(r) << '\n';
+}
+
+RunResult
+ResultCache::run(const RunSpec &spec)
+{
+    std::string key = spec.key();
+    if (enabled) {
+        auto it = entries.find(key);
+        if (it != entries.end())
+            return it->second;
+    }
+    std::fprintf(stderr, "[bench] simulating %s ...\n", key.c_str());
+    RunResult r = runOne(spec);
+    if (enabled)
+        append(key, r);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Parameters and helpers
+// ---------------------------------------------------------------------
+
+apps::AppParams
+benchParams(const std::string &app, double scale,
+            int64_t grain_override)
+{
+    apps::AppParams p;
+    auto scaled = [&](int64_t base) {
+        return static_cast<int64_t>(
+            std::llround(static_cast<double>(base) * scale));
+    };
+    auto pow2 = [&](int64_t base) {
+        // keep power-of-two constraints (lu/mm sizes, rMAT vertices)
+        int64_t want = scaled(base);
+        int64_t v = 1;
+        while (v * 2 <= want)
+            v *= 2;
+        return std::max<int64_t>(v, 16);
+    };
+    if (app == "cilk5-cs") {
+        p.n = scaled(50000);
+        p.grain = 256;
+    } else if (app == "cilk5-lu") {
+        p.n = pow2(128);
+        p.grain = 8; // recursion base block
+    } else if (app == "cilk5-mm") {
+        p.n = pow2(256);
+        p.grain = 16;
+    } else if (app == "cilk5-mt") {
+        p.n = pow2(512);
+        p.grain = 256;
+    } else if (app == "cilk5-nq") {
+        p.n = scale >= 2.0 ? 11 : 10;
+        p.grain = 3;
+    } else if (app == "ligra-bc") {
+        p.n = pow2(16384);
+        p.grain = 32;
+    } else if (app == "ligra-bf") {
+        p.n = pow2(16384);
+        p.grain = 32;
+    } else if (app == "ligra-bfs") {
+        p.n = pow2(32768);
+        p.grain = 32;
+    } else if (app == "ligra-bfsbv") {
+        p.n = pow2(32768);
+        p.grain = 32;
+    } else if (app == "ligra-cc") {
+        p.n = pow2(16384);
+        p.grain = 32;
+    } else if (app == "ligra-mis") {
+        p.n = pow2(8192);
+        p.grain = 32;
+    } else if (app == "ligra-radii") {
+        p.n = pow2(8192);
+        p.grain = 32;
+    } else if (app == "ligra-tc") {
+        p.n = pow2(8192);
+        p.grain = 8;
+    } else {
+        fatal("benchParams: unknown app '%s'", app.c_str());
+    }
+    if (grain_override > 0)
+        p.grain = grain_override;
+    return p;
+}
+
+Flags::Flags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            warn("ignoring argument '%s'", arg.c_str());
+            continue;
+        }
+        auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            kv[arg.substr(2)] = "1";
+        else
+            kv[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+}
+
+std::string
+Flags::get(const std::string &key, const std::string &def) const
+{
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+}
+
+double
+Flags::getDouble(const std::string &key, double def) const
+{
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::stod(it->second);
+}
+
+bool
+Flags::has(const std::string &key) const
+{
+    return kv.count(key) != 0;
+}
+
+std::vector<std::string>
+Flags::appList() const
+{
+    std::string csv = get("apps");
+    if (csv.empty())
+        return apps::appNames();
+    std::vector<std::string> out;
+    std::istringstream is(csv);
+    std::string tok;
+    while (std::getline(is, tok, ','))
+        out.push_back(tok);
+    return out;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace bigtiny::bench

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared experiment driver for the paper-reproduction benches.
+ *
+ * Each bench binary (one per paper table/figure) expresses its runs as
+ * RunSpecs; the driver simulates them and memoizes results in a
+ * text-format cache file (bench_results.cache in the working
+ * directory). The simulator is fully deterministic, so cached results
+ * are exact; Table III and Figures 5-8 are different projections of
+ * the same 13-app x 10-config sweep and share one set of simulations.
+ */
+
+#ifndef BIGTINY_BENCH_DRIVER_HH
+#define BIGTINY_BENCH_DRIVER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "sim/stats.hh"
+
+namespace bigtiny::bench
+{
+
+/** Bump when the timing model changes to invalidate cached results. */
+constexpr int modelVersion = 5;
+
+struct RunSpec
+{
+    std::string app;
+    std::string config;  //!< sim::configByName name, e.g. "bt-mesi"
+    apps::AppParams params;
+    bool serial = false; //!< serial elision instead of the runtime
+
+    std::string key() const;
+};
+
+struct RunResult
+{
+    bool valid = false;
+    Cycle cycles = 0;
+
+    // Cilkview-analog profile (parallel runs only)
+    uint64_t work = 0;
+    uint64_t span = 0;
+    uint64_t tasks = 0;
+
+    // runtime
+    uint64_t steals = 0;
+    uint64_t stealAttempts = 0;
+
+    // tiny-core aggregate cache behaviour
+    uint64_t l1Accesses = 0;
+    uint64_t l1Misses = 0;
+    uint64_t invLines = 0;
+    uint64_t flushLines = 0;
+
+    // tiny-core time breakdown
+    std::array<uint64_t, sim::numTimeCats> tinyTime{};
+
+    // NoC traffic (bytes by class)
+    std::array<uint64_t, sim::numMsgClasses> nocBytes{};
+
+    // ULI (DTS only)
+    uint64_t uliReqs = 0;
+    uint64_t uliNacks = 0;
+
+    double
+    hitRate() const
+    {
+        return l1Accesses
+            ? 1.0 - static_cast<double>(l1Misses) / l1Accesses
+            : 1.0;
+    }
+
+    double
+    parallelism() const
+    {
+        return span ? static_cast<double>(work) / span : 0.0;
+    }
+
+    double
+    instsPerTask() const
+    {
+        return tasks ? static_cast<double>(work) / tasks : 0.0;
+    }
+
+    uint64_t
+    nocTotalBytes() const
+    {
+        uint64_t t = 0;
+        for (auto b : nocBytes)
+            t += b;
+        return t;
+    }
+};
+
+/** Execute one run (no caching). */
+RunResult runOne(const RunSpec &spec);
+
+/** File-backed result cache. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(std::string path = "bench_results.cache",
+                         bool enabled = true);
+
+    /** Run @p spec, consulting / updating the cache. */
+    RunResult run(const RunSpec &spec);
+
+  private:
+    void load();
+    void append(const std::string &key, const RunResult &r);
+
+    std::string path;
+    bool enabled;
+    std::map<std::string, RunResult> entries;
+};
+
+/**
+ * Paper-scaled default parameters for an app; @p scale multiplies the
+ * problem size (1.0 = the repository's default bench size).
+ */
+apps::AppParams benchParams(const std::string &app, double scale = 1.0,
+                            int64_t grain_override = 0);
+
+/** Tiny command-line helper: --key=value flags. */
+class Flags
+{
+  public:
+    Flags(int argc, char **argv);
+
+    std::string get(const std::string &key,
+                    const std::string &def = "") const;
+    double getDouble(const std::string &key, double def) const;
+    bool has(const std::string &key) const;
+
+    /** Comma-separated app list (default: all 13). */
+    std::vector<std::string> appList() const;
+
+  private:
+    std::map<std::string, std::string> kv;
+};
+
+/** Geometric mean of positive values (0 if empty). */
+double geomean(const std::vector<double> &xs);
+
+} // namespace bigtiny::bench
+
+#endif // BIGTINY_BENCH_DRIVER_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * First-order energy model.
+ *
+ * The paper's abstract claims big.TINY/HCC-DTS reaches "similar
+ * energy efficiency" to full-system hardware coherence; its proxy
+ * evidence is the Figure 8 network-traffic comparison plus core
+ * activity. This model makes that comparison explicit: per-event
+ * energies (rough 22nm-class numbers, in picojoules) applied to the
+ * counters every run already collects. Only *relative* energy between
+ * configurations on the same run matters; absolute numbers are not
+ * calibrated to silicon.
+ *
+ * Sources for the orders of magnitude: Horowitz, ISSCC'14 keynote
+ * ("Computing's energy problem"): ~1pJ/ALU op at 45nm, SRAM accesses
+ * a few pJ for KB-scale arrays, tens of pJ for MB-scale arrays,
+ * ~1-2nJ per DRAM access, interconnect ~0.1pJ/bit/mm.
+ */
+
+#ifndef BIGTINY_BENCH_ENERGY_MODEL_HH
+#define BIGTINY_BENCH_ENERGY_MODEL_HH
+
+#include "bench/driver.hh"
+
+namespace bigtiny::bench
+{
+
+struct EnergyParams
+{
+    // per event, picojoules
+    double l1Access = 2.0;    //!< 4KB SRAM read/write
+    double l2Access = 20.0;   //!< 512KB bank access
+    double dramByte = 20.0;   //!< ~1.3nJ per 64B line
+    double nocByte = 1.0;     //!< bytes x average hop distance folded in
+    double tinyActiveCycle = 8.0;
+    double tinyIdleCycle = 0.8;  //!< clock-gated spinning
+    double uliMsg = 2.0;
+};
+
+struct EnergyBreakdown
+{
+    double l1 = 0;
+    double l2 = 0;
+    double noc = 0;
+    double dram = 0;
+    double core = 0;
+    double uli = 0;
+
+    double
+    total() const
+    {
+        return l1 + l2 + noc + dram + core + uli;
+    }
+};
+
+/** Estimate energy for one run from its collected counters. */
+inline EnergyBreakdown
+estimateEnergy(const RunResult &r, const EnergyParams &p = {})
+{
+    EnergyBreakdown e;
+    e.l1 = p.l1Access * static_cast<double>(r.l1Accesses);
+    // Every L1 miss and every L2-side message implies a bank access;
+    // approximate L2 activity by misses plus write/sync traffic.
+    auto cls = [&](sim::MsgClass c) {
+        return static_cast<double>(
+            r.nocBytes[static_cast<size_t>(c)]);
+    };
+    e.l2 = p.l2Access * static_cast<double>(r.l1Misses) +
+           p.l2Access / 16.0 *
+               (cls(sim::MsgClass::WbReq) +
+                cls(sim::MsgClass::SyncReq));
+    e.noc = p.nocByte * static_cast<double>(r.nocTotalBytes());
+    e.dram = p.dramByte * (cls(sim::MsgClass::DramReq) +
+                           cls(sim::MsgClass::DramResp));
+    double active = 0, idle = 0;
+    for (size_t i = 0; i < sim::numTimeCats; ++i) {
+        auto v = static_cast<double>(r.tinyTime[i]);
+        if (static_cast<sim::TimeCat>(i) == sim::TimeCat::Idle)
+            idle += v;
+        else
+            active += v;
+    }
+    e.core = p.tinyActiveCycle * active + p.tinyIdleCycle * idle;
+    e.uli = p.uliMsg * static_cast<double>(r.uliReqs) * 2.0;
+    return e;
+}
+
+} // namespace bigtiny::bench
+
+#endif // BIGTINY_BENCH_ENERGY_MODEL_HH

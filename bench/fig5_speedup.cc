@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: per-application speedup of each HCC
+ * configuration relative to big.TINY/MESI (the bar chart is printed
+ * as one row per app x config series). Shares the Table III sweep via
+ * the result cache.
+ *
+ * Flags: --apps=...  --scale=...  --no-cache  --cache-file=PATH
+ */
+
+#include <cstdio>
+
+#include "bench/driver.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    double scale = flags.getDouble("scale", 1.0);
+    ResultCache cache(flags.get("cache-file", "bench_results.cache"),
+                      !flags.has("no-cache"));
+
+    const std::vector<std::string> cfgs = {
+        "bt-hcc-dnv",     "bt-hcc-gwt",     "bt-hcc-gwb",
+        "bt-hcc-dnv-dts", "bt-hcc-gwt-dts", "bt-hcc-gwb-dts",
+    };
+
+    std::printf("Figure 5: speedup over big.TINY/MESI "
+                "(scale=%.2f)\n", scale);
+    std::printf("%-12s", "App");
+    for (const auto &c : cfgs)
+        std::printf(" %14s", c.c_str() + 3); // strip "bt-"
+    std::printf("\n");
+
+    std::map<std::string, std::vector<double>> geo;
+    for (const auto &app : flags.appList()) {
+        auto params = benchParams(app, scale);
+        auto mesi =
+            cache.run(RunSpec{app, "bt-mesi", params, false});
+        std::printf("%-12s", app.c_str());
+        for (const auto &cfg : cfgs) {
+            auto r = cache.run(RunSpec{app, cfg, params, false});
+            double rel = static_cast<double>(mesi.cycles) /
+                         static_cast<double>(r.cycles);
+            std::printf(" %14.2f", rel);
+            geo[cfg].push_back(rel);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("%-12s", "geomean");
+    for (const auto &cfg : cfgs)
+        std::printf(" %14.2f", geomean(geo[cfg]));
+    std::printf("\n\nPaper geomeans: dnv 0.93, gwt 0.89, gwb 0.96, "
+                "dnv-dts 0.91, gwt-dts 1.00, gwb-dts 1.21\n");
+    return 0;
+}

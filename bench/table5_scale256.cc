@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces paper Table V: a 256-core big.TINY system (4 big + 252
+ * tiny, 8x32 mesh, 32 L2 banks, 32 memory controllers) running five
+ * kernels with larger inputs. Reports speedup of big.TINY/MESI over
+ * O3x1 and of HCC-gwb / HCC-DTS-gwb relative to big.TINY/MESI.
+ *
+ * Flags: --scale= (multiplies the enlarged inputs)  --no-cache
+ */
+
+#include <cstdio>
+
+#include "bench/driver.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::bench;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    // Table V scales inputs up relative to Table III (weak scaling).
+    double scale = flags.getDouble("scale", 1.0) * 4.0;
+    ResultCache cache(flags.get("cache-file", "bench_results.cache"),
+                      !flags.has("no-cache"));
+
+    const std::vector<std::string> apps5 = {
+        "cilk5-cs", "ligra-bc", "ligra-bfs", "ligra-cc", "ligra-tc",
+    };
+
+    std::printf("Table V: 256-core big.TINY (scale=%.2f)\n", scale);
+    std::printf("%-12s %10s | %12s | %10s %14s\n", "Name", "Input",
+                "bT/MESI/O3x1", "HCC-gwb", "HCC-DTS-gwb");
+
+    for (const auto &app : apps5) {
+        auto params = benchParams(app, scale);
+        auto o31 = cache.run(RunSpec{app, "o3x1", params, false});
+        auto mesi =
+            cache.run(RunSpec{app, "bt256-mesi", params, false});
+        auto gwb =
+            cache.run(RunSpec{app, "bt256-hcc-gwb", params, false});
+        auto dts = cache.run(
+            RunSpec{app, "bt256-hcc-gwb-dts", params, false});
+        std::printf("%-12s %10lld | %12.1f | %10.2f %14.2f\n",
+                    app.c_str(), (long long)params.n,
+                    static_cast<double>(o31.cycles) / mesi.cycles,
+                    static_cast<double>(mesi.cycles) / gwb.cycles,
+                    static_cast<double>(mesi.cycles) / dts.cycles);
+        std::fflush(stdout);
+    }
+    std::printf("\nPaper: bT/MESI 13.5-27.7x over O3x1; HCC-gwb "
+                "0.69-1.04x of bT/MESI; HCC-DTS-gwb 0.76-1.78x "
+                "(DTS benefit grows with core count).\n");
+    return 0;
+}

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * cilk5-cs: parallel mergesort (Cilk-5 "cilksort").
+ *
+ * Recursive spawn-and-sync sort of a 32-bit integer array: halves are
+ * sorted in parallel, merged with a parallel divide-and-conquer merge
+ * (split the larger run at its median, binary-search the split point
+ * in the other run), and leaf ranges below the task granularity fall
+ * back to a serial quicksort. Paper Table III: input 3,000,000 /
+ * GS 4096 / PM ss; scaled here (see DESIGN.md).
+ */
+
+#include <algorithm>
+
+#include "apps/registry.hh"
+#include "common/rng.hh"
+#include "graph/ligra.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using rt::Worker;
+using sim::Core;
+
+constexpr int64_t mergeGrainFactor = 2; // merge leaf = 2x sort grain
+
+int32_t
+ldElem(Core &c, Addr arr, int64_t i)
+{
+    return c.ld<int32_t>(arr + 4 * i);
+}
+
+void
+stElem(Core &c, Addr arr, int64_t i, int32_t v)
+{
+    c.st<int32_t>(arr + 4 * i, v);
+}
+
+/** Serial quicksort with insertion-sort base (guest code). */
+void
+serialQuickSort(Core &c, Addr arr, int64_t lo, int64_t hi)
+{
+    while (hi - lo > 16) {
+        // median-of-three pivot
+        int64_t mid = lo + (hi - lo) / 2;
+        int32_t a = ldElem(c, arr, lo);
+        int32_t b = ldElem(c, arr, mid);
+        int32_t d = ldElem(c, arr, hi - 1);
+        int32_t pivot = std::max(std::min(a, b),
+                                 std::min(std::max(a, b), d));
+        int64_t i = lo, j = hi - 1;
+        while (i <= j) {
+            int32_t vi;
+            while ((vi = ldElem(c, arr, i)) < pivot) {
+                ++i;
+                c.work(2);
+            }
+            int32_t vj;
+            while ((vj = ldElem(c, arr, j)) > pivot) {
+                --j;
+                c.work(2);
+            }
+            if (i <= j) {
+                stElem(c, arr, i, vj);
+                stElem(c, arr, j, vi);
+                ++i;
+                --j;
+            }
+            c.work(2);
+        }
+        // Recurse on the smaller side, iterate on the larger.
+        if (j - lo < hi - i) {
+            serialQuickSort(c, arr, lo, j + 1);
+            lo = i;
+        } else {
+            serialQuickSort(c, arr, i, hi);
+            hi = j + 1;
+        }
+    }
+    // insertion sort
+    for (int64_t i = lo + 1; i < hi; ++i) {
+        int32_t v = ldElem(c, arr, i);
+        int64_t j = i - 1;
+        while (j >= lo && ldElem(c, arr, j) > v) {
+            stElem(c, arr, j + 1, ldElem(c, arr, j));
+            --j;
+            c.work(2);
+        }
+        stElem(c, arr, j + 1, v);
+        c.work(2);
+    }
+}
+
+void
+serialMerge(Core &c, Addr arr, int64_t lo1, int64_t hi1, int64_t lo2,
+            int64_t hi2, Addr dst, int64_t dlo)
+{
+    int64_t i = lo1, j = lo2, k = dlo;
+    while (i < hi1 && j < hi2) {
+        int32_t a = ldElem(c, arr, i);
+        int32_t b = ldElem(c, arr, j);
+        if (a <= b) {
+            stElem(c, dst, k++, a);
+            ++i;
+        } else {
+            stElem(c, dst, k++, b);
+            ++j;
+        }
+        c.work(3);
+    }
+    while (i < hi1) {
+        stElem(c, dst, k++, ldElem(c, arr, i++));
+        c.work(2);
+    }
+    while (j < hi2) {
+        stElem(c, dst, k++, ldElem(c, arr, j++));
+        c.work(2);
+    }
+}
+
+/** First index in [lo,hi) with arr[idx] >= key (guest binary search). */
+int64_t
+lowerBound(Core &c, Addr arr, int64_t lo, int64_t hi, int32_t key)
+{
+    while (lo < hi) {
+        int64_t mid = lo + (hi - lo) / 2;
+        if (ldElem(c, arr, mid) < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+        c.work(3);
+    }
+    return lo;
+}
+
+struct CsCtx
+{
+    Addr arr;
+    Addr tmp;
+    int64_t grain;
+};
+
+void
+pMerge(Worker &w, const CsCtx &ctx, int64_t lo1, int64_t hi1,
+       int64_t lo2, int64_t hi2, int64_t dlo)
+{
+    int64_t n1 = hi1 - lo1, n2 = hi2 - lo2;
+    if (n1 + n2 <= ctx.grain * mergeGrainFactor) {
+        serialMerge(w.core, ctx.arr, lo1, hi1, lo2, hi2, ctx.tmp, dlo);
+        return;
+    }
+    if (n1 < n2) { // split the larger run
+        std::swap(lo1, lo2);
+        std::swap(hi1, hi2);
+        std::swap(n1, n2);
+    }
+    int64_t m1 = lo1 + n1 / 2;
+    int32_t key = ldElem(w.core, ctx.arr, m1);
+    int64_t m2 = lowerBound(w.core, ctx.arr, lo2, hi2, key);
+    int64_t dmid = dlo + (m1 - lo1) + (m2 - lo2);
+    w.parallelInvoke(
+        [&](Worker &wa) { pMerge(wa, ctx, lo1, m1, lo2, m2, dlo); },
+        [&](Worker &wb) {
+            pMerge(wb, ctx, m1, hi1, m2, hi2, dmid);
+        });
+}
+
+void
+pSort(Worker &w, const CsCtx &ctx, int64_t lo, int64_t hi)
+{
+    if (hi - lo <= ctx.grain) {
+        serialQuickSort(w.core, ctx.arr, lo, hi);
+        return;
+    }
+    int64_t mid = lo + (hi - lo) / 2;
+    w.parallelInvoke(
+        [&](Worker &wa) { pSort(wa, ctx, lo, mid); },
+        [&](Worker &wb) { pSort(wb, ctx, mid, hi); });
+    pMerge(w, ctx, lo, mid, mid, hi, lo);
+    // copy back tmp -> arr in parallel
+    w.parallelFor(lo, hi, ctx.grain,
+                  [&](Worker &ww, int64_t l, int64_t h) {
+                      for (int64_t i = l; i < h; ++i)
+                          stElem(ww.core, ctx.arr, i,
+                                 ldElem(ww.core, ctx.tmp, i));
+                  });
+}
+
+class Cilk5Cs : public App
+{
+  public:
+    explicit Cilk5Cs(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 50000;
+        if (params.grain == 0)
+            params.grain = 2048;
+    }
+
+    const char *name() const override { return "cilk5-cs"; }
+    const char *parallelMethod() const override { return "ss"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        int64_t n = params.n;
+        arr = sys.arena().allocLines(n * 4);
+        tmp = sys.arena().allocLines(n * 4);
+        golden.resize(n);
+        Rng rng(params.seed);
+        for (int64_t i = 0; i < n; ++i)
+            golden[i] = static_cast<int32_t>(rng.next() & 0x7fffffff);
+        sys.mem().funcWrite(arr, golden.data(), n * 4);
+        std::sort(golden.begin(), golden.end());
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        CsCtx ctx{arr, tmp, params.grain};
+        pSort(w, ctx, 0, params.n);
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        // Serial elision of the parallel algorithm: same recursion,
+        // same merges and copy-backs, no tasks.
+        serialSortRec(c, 0, params.n);
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        std::vector<int32_t> out(params.n);
+        sys.mem().funcRead(arr, out.data(), params.n * 4);
+        return out == golden;
+    }
+
+  private:
+    void
+    serialSortRec(sim::Core &c, int64_t lo, int64_t hi)
+    {
+        if (hi - lo <= params.grain) {
+            serialQuickSort(c, arr, lo, hi);
+            return;
+        }
+        int64_t mid = lo + (hi - lo) / 2;
+        serialSortRec(c, lo, mid);
+        serialSortRec(c, mid, hi);
+        serialMerge(c, arr, lo, mid, mid, hi, tmp, lo);
+        for (int64_t i = lo; i < hi; ++i)
+            stElem(c, arr, i, ldElem(c, tmp, i));
+    }
+
+    Addr arr = 0;
+    Addr tmp = 0;
+    std::vector<int32_t> golden;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeCilk5Cs(AppParams p)
+{
+    return std::make_unique<Cilk5Cs>(p);
+}
+
+} // namespace bigtiny::apps

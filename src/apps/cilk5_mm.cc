@@ -1,0 +1,207 @@
+/**
+ * @file
+ * cilk5-mm: blocked matrix multiplication (Cilk-5 "matmul").
+ *
+ * C += A x B over int64 matrices via recursive quadrant decomposition:
+ * the four C quadrants that consume A's left half are computed as
+ * parallel tasks, joined, and then the four that consume A's right
+ * half (the classic 4+4 schedule that keeps C write-exclusive).
+ * Paper Table III: 256 / GS 32 / PM ss; scaled here.
+ */
+
+#include "apps/registry.hh"
+#include "common/rng.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using rt::Worker;
+using sim::Core;
+
+constexpr int64_t baseBlock = 16;
+
+struct Mat
+{
+    Addr base;       //!< element (0,0) of the submatrix
+    int64_t stride;  //!< row stride in elements (the full matrix n)
+
+    Addr
+    at(int64_t i, int64_t j) const
+    {
+        return base + (i * stride + j) * 8;
+    }
+
+    Mat
+    quad(int64_t qi, int64_t qj, int64_t half) const
+    {
+        return {at(qi * half, qj * half), stride};
+    }
+};
+
+/** Serial base case: C += A x B for a size x size block. */
+void
+serialMmAdd(Core &c, Mat cm, Mat am, Mat bm, int64_t size)
+{
+    for (int64_t i = 0; i < size; ++i) {
+        for (int64_t j = 0; j < size; ++j) {
+            int64_t acc = c.ld<int64_t>(cm.at(i, j));
+            for (int64_t k = 0; k < size; ++k) {
+                acc += c.ld<int64_t>(am.at(i, k)) *
+                       c.ld<int64_t>(bm.at(k, j));
+                c.work(2);
+            }
+            c.st<int64_t>(cm.at(i, j), acc);
+        }
+    }
+}
+
+void
+serialMm(Core &c, Mat cm, Mat am, Mat bm, int64_t size)
+{
+    if (size <= baseBlock) {
+        serialMmAdd(c, cm, am, bm, size);
+        return;
+    }
+    int64_t h = size / 2;
+    for (int64_t ij = 0; ij < 4; ++ij) {
+        int64_t i = ij >> 1, j = ij & 1;
+        serialMm(c, cm.quad(i, j, h), am.quad(i, 0, h),
+                 bm.quad(0, j, h), h);
+        serialMm(c, cm.quad(i, j, h), am.quad(i, 1, h),
+                 bm.quad(1, j, h), h);
+    }
+}
+
+struct MmTaskArgs
+{
+    // packed into task arg slots
+};
+
+void mmTask(Worker &w, Addr self);
+
+void
+spawnQuads(Worker &w, Mat cm, Mat am, Mat bm, int64_t half,
+           int64_t k, int64_t grain)
+{
+    Addr tasks[4];
+    for (int64_t ij = 0; ij < 4; ++ij) {
+        int64_t i = ij >> 1, j = ij & 1;
+        Mat cq = cm.quad(i, j, half);
+        Mat aq = am.quad(i, k, half);
+        Mat bq = bm.quad(k, j, half);
+        tasks[ij] = w.newTask(
+            mmTask,
+            {cq.base, aq.base, bq.base,
+             static_cast<uint64_t>(cm.stride),
+             static_cast<uint64_t>(half),
+             static_cast<uint64_t>(grain)});
+    }
+    w.setRefCount(4);
+    for (auto t : tasks)
+        w.spawn(t);
+    w.wait();
+}
+
+void
+pMm(Worker &w, Mat cm, Mat am, Mat bm, int64_t size, int64_t grain)
+{
+    if (size <= grain) {
+        serialMm(w.core, cm, am, bm, size);
+        return;
+    }
+    int64_t h = size / 2;
+    spawnQuads(w, cm, am, bm, h, 0, grain);
+    spawnQuads(w, cm, am, bm, h, 1, grain);
+}
+
+void
+mmTask(Worker &w, Addr self)
+{
+    Mat cm{w.arg(self, 0), static_cast<int64_t>(w.arg(self, 3))};
+    Mat am{w.arg(self, 1), cm.stride};
+    Mat bm{w.arg(self, 2), cm.stride};
+    auto size = static_cast<int64_t>(w.arg(self, 4));
+    auto grain = static_cast<int64_t>(w.arg(self, 5));
+    pMm(w, cm, am, bm, size, grain);
+}
+
+class Cilk5Mm : public App
+{
+  public:
+    explicit Cilk5Mm(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 128;
+        if (params.grain == 0)
+            params.grain = 32;
+        fatal_if(params.n & (params.n - 1),
+                 "cilk5-mm size must be a power of two");
+    }
+
+    const char *name() const override { return "cilk5-mm"; }
+    const char *parallelMethod() const override { return "ss"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        int64_t n = params.n;
+        a = sys.arena().allocLines(n * n * 8);
+        b = sys.arena().allocLines(n * n * 8);
+        cmat = sys.arena().allocLines(n * n * 8);
+        ha.resize(n * n);
+        hb.resize(n * n);
+        Rng rng(params.seed);
+        for (auto &v : ha)
+            v = static_cast<int64_t>(rng.nextBounded(100));
+        for (auto &v : hb)
+            v = static_cast<int64_t>(rng.nextBounded(100));
+        sys.mem().funcWrite(a, ha.data(), n * n * 8);
+        sys.mem().funcWrite(b, hb.data(), n * n * 8);
+        golden.assign(n * n, 0);
+        for (int64_t i = 0; i < n; ++i)
+            for (int64_t k = 0; k < n; ++k) {
+                int64_t av = ha[i * n + k];
+                for (int64_t j = 0; j < n; ++j)
+                    golden[i * n + j] += av * hb[k * n + j];
+            }
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        pMm(w, Mat{cmat, params.n}, Mat{a, params.n},
+            Mat{b, params.n}, params.n, params.grain);
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        serialMm(c, Mat{cmat, params.n}, Mat{a, params.n},
+                 Mat{b, params.n}, params.n);
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        std::vector<int64_t> out(params.n * params.n);
+        sys.mem().funcRead(cmat, out.data(), params.n * params.n * 8);
+        return out == golden;
+    }
+
+  private:
+    Addr a = 0, b = 0, cmat = 0;
+    std::vector<int64_t> ha, hb, golden;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeCilk5Mm(AppParams p)
+{
+    return std::make_unique<Cilk5Mm>(p);
+}
+
+} // namespace bigtiny::apps

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * cilk5-nq: n-queens solution counting by backtracking.
+ *
+ * Bitmask backtracking: each placed queen blocks a column and two
+ * diagonals. The top `cutoff` rows are parallelized with parallel_for
+ * over candidate columns (paper Table III: 10 / GS 3 / PM pf), each
+ * branch writing its count to a private simulated-memory slot that
+ * the parent sums after the join (DAG-consistent, no atomics needed).
+ */
+
+#include "apps/registry.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using rt::Worker;
+using sim::Core;
+
+/** Serial bitmask count below the parallel cutoff. */
+int64_t
+serialCount(Core &c, int n, uint32_t cols, uint32_t ld, uint32_t rd)
+{
+    uint32_t mask = (1u << n) - 1;
+    uint32_t avail = ~(cols | ld | rd) & mask;
+    if (cols == mask)
+        return 1;
+    int64_t count = 0;
+    while (avail) {
+        uint32_t bit = avail & (~avail + 1);
+        avail ^= bit;
+        c.work(6); // candidate test + recursion bookkeeping
+        count += serialCount(c, n, cols | bit, (ld | bit) << 1,
+                             (rd | bit) >> 1);
+    }
+    c.work(2);
+    return count;
+}
+
+int64_t
+parCount(Worker &w, int n, int row, int cutoff, uint32_t cols,
+         uint32_t ld, uint32_t rd)
+{
+    if (row >= cutoff)
+        return serialCount(w.core, n, cols, ld, rd);
+
+    uint32_t mask = (1u << n) - 1;
+    if (cols == mask)
+        return 1;
+    Addr slots = w.rt.sys.arena().allocLines(
+        static_cast<uint64_t>(n) * 8);
+    w.parallelFor(0, n, 1, [&](Worker &ww, int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            uint32_t bit = 1u << i;
+            ww.work(4);
+            int64_t sub = 0;
+            if (!((cols | ld | rd) & bit)) {
+                sub = parCount(ww, n, row + 1, cutoff, cols | bit,
+                               (ld | bit) << 1, (rd | bit) >> 1);
+            }
+            ww.st<int64_t>(slots + i * 8, sub);
+        }
+    });
+    int64_t total = 0;
+    for (int i = 0; i < n; ++i)
+        total += w.ld<int64_t>(slots + i * 8);
+    return total;
+}
+
+int64_t
+hostCount(int n, uint32_t cols, uint32_t ld, uint32_t rd)
+{
+    uint32_t mask = (1u << n) - 1;
+    if (cols == mask)
+        return 1;
+    uint32_t avail = ~(cols | ld | rd) & mask;
+    int64_t count = 0;
+    while (avail) {
+        uint32_t bit = avail & (~avail + 1);
+        avail ^= bit;
+        count += hostCount(n, cols | bit, (ld | bit) << 1,
+                           (rd | bit) >> 1);
+    }
+    return count;
+}
+
+class Cilk5Nq : public App
+{
+  public:
+    explicit Cilk5Nq(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 10;
+        if (params.grain == 0)
+            params.grain = 3; // parallel cutoff depth (paper GS)
+        fatal_if(params.n > 16, "cilk5-nq size too large");
+    }
+
+    const char *name() const override { return "cilk5-nq"; }
+    const char *parallelMethod() const override { return "pf"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        result = sys.arena().allocLines(8);
+        golden = hostCount(static_cast<int>(params.n), 0, 0, 0);
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        int64_t count =
+            parCount(w, static_cast<int>(params.n), 0,
+                     static_cast<int>(params.grain), 0, 0, 0);
+        w.st<int64_t>(result, count);
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        c.st<int64_t>(result,
+                      serialCount(c, static_cast<int>(params.n), 0, 0,
+                                  0));
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        return sys.mem().funcRead<int64_t>(result) == golden;
+    }
+
+  private:
+    Addr result = 0;
+    int64_t golden = 0;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeCilk5Nq(AppParams p)
+{
+    return std::make_unique<Cilk5Nq>(p);
+}
+
+} // namespace bigtiny::apps

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * ligra-bc: single-source betweenness centrality (Brandes).
+ *
+ * Forward phase: level-synchronous BFS computing each vertex's BFS
+ * level and shortest-path count sigma (atomic adds — multiple
+ * frontier vertices may discover the same neighbor in one round).
+ * Backward phase: dependency accumulation walks the levels in
+ * reverse; each vertex reads its successors' sigma/delta, so writes
+ * stay vertex-private. Paper Table III: rMat_100K / GS 32 / PM pf.
+ */
+
+#include <cmath>
+
+#include "apps/registry.hh"
+#include "graph/ligra.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using graph::SimGraph;
+using rt::Worker;
+using sim::Core;
+
+class LigraBc : public App
+{
+  public:
+    explicit LigraBc(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 2048;
+        if (params.grain == 0)
+            params.grain = 32;
+    }
+
+    const char *name() const override { return "ligra-bc"; }
+    const char *parallelMethod() const override { return "pf"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        g = graph::buildRmat(sys, params.n, params.n * 8,
+                             params.seed + 23);
+        src = g.maxDegreeVertex();
+        level = graph::allocArray<int32_t>(sys, g.numV);
+        graph::fillArray<int32_t>(sys, level, g.numV, -1);
+        sigma = graph::allocArray<int64_t>(sys, g.numV);
+        delta = graph::allocArray<double>(sys, g.numV);
+        curF = graph::allocBytes(sys, g.numV);
+        nextF = graph::allocBytes(sys, g.numV);
+        sys.mem().funcWrite<int32_t>(level + 4 * src, 0);
+        sys.mem().funcWrite<int64_t>(sigma + 8 * src, 1);
+        sys.mem().funcWrite<uint8_t>(curF + src, 1);
+        changed = std::make_unique<graph::ChangeFlag>(sys);
+        hostGolden();
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        // ---- forward BFS with sigma accumulation ----
+        Addr cur = curF, next = nextF;
+        int32_t round = 1;
+        for (;; ++round) {
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                bool local = false;
+                for (int64_t v = lo; v < hi; ++v) {
+                    if (ww.core.ld<uint8_t>(cur + v) == 0)
+                        continue;
+                    auto e0 = ww.core.ld<int64_t>(g.offsets + v * 8);
+                    auto e1 =
+                        ww.core.ld<int64_t>(g.offsets + (v + 1) * 8);
+                    if (e1 - e0 > 2 * graph::edgeGrain) {
+                        ww.parallelFor(e0, e1, graph::edgeGrain,
+                                       [&, v, round](Worker &w2,
+                                                     int64_t a,
+                                                     int64_t b) {
+                            if (forwardRange(w2.core, next, v, a, b,
+                                             round, true))
+                                changed->raise(w2);
+                        });
+                    } else if (forwardRange(ww.core, next, v, e0, e1,
+                                            round, true)) {
+                        local = true;
+                    }
+                }
+                if (local)
+                    changed->raise(ww);
+            });
+            if (!changed->readAndClear(w))
+                break;
+            graph::parClearBytes(w, cur, g.numV, params.grain);
+            std::swap(cur, next);
+        }
+        // ---- backward dependency accumulation ----
+        for (int32_t l = round - 2; l >= 0; --l) {
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                for (int64_t v = lo; v < hi; ++v)
+                    backward(ww.core, v, l);
+            });
+        }
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        Addr cur = curF, next = nextF;
+        int32_t round = 1;
+        for (;; ++round) {
+            bool any = false;
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (c.ld<uint8_t>(cur + v) == 0)
+                    continue;
+                if (forward(c, next, v, round, false))
+                    any = true;
+            }
+            if (!any)
+                break;
+            for (int64_t i = 0; i < (g.numV + 7) / 8; ++i)
+                c.st<uint64_t>(cur + i * 8, 0);
+            std::swap(cur, next);
+        }
+        for (int32_t l = round - 2; l >= 0; --l)
+            for (int64_t v = 0; v < g.numV; ++v)
+                backward(c, v, l);
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        std::vector<int64_t> sg(g.numV);
+        std::vector<double> dl(g.numV);
+        sys.mem().funcRead(sigma, sg.data(), g.numV * 8);
+        sys.mem().funcRead(delta, dl.data(), g.numV * 8);
+        for (int64_t v = 0; v < g.numV; ++v) {
+            if (sg[v] != hSigma[v])
+                return false;
+            double tol =
+                1e-9 * std::max(1.0, std::fabs(hDelta[v]));
+            if (std::fabs(dl[v] - hDelta[v]) > tol)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    forward(Core &c, Addr next, int64_t v, int32_t round, bool atomic)
+    {
+        auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+        auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+        return forwardRange(c, next, v, e0, e1, round, atomic);
+    }
+
+    bool
+    forwardRange(Core &c, Addr next, int64_t v, int64_t e0,
+                 int64_t e1, int32_t round, bool atomic)
+    {
+        bool any = false;
+        auto sv = c.ld<int64_t>(sigma + 8 * v);
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            c.work(2);
+            auto lu = c.ld<int32_t>(level + 4 * u);
+            if (lu >= 0 && lu < round)
+                continue; // settled at an earlier level
+            if (atomic) {
+                if (lu < 0 &&
+                    c.cas(level + 4 * u, static_cast<uint32_t>(-1),
+                          static_cast<uint32_t>(round), 4)) {
+                    c.st<uint8_t>(next + u, 1);
+                    any = true;
+                }
+                // u is (now) at this level: add our path count.
+                if (c.ld<int32_t>(level + 4 * u) == round)
+                    c.amo(mem::AmoOp::Add, sigma + 8 * u,
+                          static_cast<uint64_t>(sv), 8);
+            } else {
+                if (lu < 0) {
+                    c.st<int32_t>(level + 4 * u, round);
+                    c.st<uint8_t>(next + u, 1);
+                    any = true;
+                }
+                if (c.ld<int32_t>(level + 4 * u) == round) {
+                    c.st<int64_t>(sigma + 8 * u,
+                                  c.ld<int64_t>(sigma + 8 * u) + sv);
+                }
+            }
+        }
+        return any;
+    }
+
+    void
+    backward(Core &c, int64_t v, int32_t l)
+    {
+        if (c.ld<int32_t>(level + 4 * v) != l)
+            return;
+        auto sv = c.ld<int64_t>(sigma + 8 * v);
+        double acc = 0.0;
+        auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+        auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            c.work(3);
+            if (c.ld<int32_t>(level + 4 * u) != l + 1)
+                continue;
+            auto su = c.ld<int64_t>(sigma + 8 * u);
+            auto du = c.ld<double>(delta + 8 * u);
+            acc += static_cast<double>(sv) /
+                   static_cast<double>(su) * (1.0 + du);
+        }
+        c.st<double>(delta + 8 * v, acc);
+    }
+
+    void
+    hostGolden()
+    {
+        hSigma.assign(g.numV, 0);
+        hDelta.assign(g.numV, 0.0);
+        std::vector<int32_t> lv(g.numV, -1);
+        lv[src] = 0;
+        hSigma[src] = 1;
+        std::vector<int64_t> q{src};
+        int32_t maxl = 0;
+        for (size_t h = 0; h < q.size(); ++h) {
+            int64_t v = q[h];
+            for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+                int32_t u = g.hEdges[e];
+                if (lv[u] < 0) {
+                    lv[u] = lv[v] + 1;
+                    maxl = std::max(maxl, lv[u]);
+                    q.push_back(u);
+                }
+                if (lv[u] == lv[v] + 1)
+                    hSigma[u] += hSigma[v];
+            }
+        }
+        for (int32_t l = maxl - 1; l >= 0; --l) {
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (lv[v] != l)
+                    continue;
+                double acc = 0.0;
+                for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+                    int32_t u = g.hEdges[e];
+                    if (lv[u] == l + 1)
+                        acc += static_cast<double>(hSigma[v]) /
+                               static_cast<double>(hSigma[u]) *
+                               (1.0 + hDelta[u]);
+                }
+                hDelta[v] = acc;
+            }
+        }
+    }
+
+    SimGraph g;
+    int64_t src = 0;
+    Addr level = 0, sigma = 0, delta = 0, curF = 0, nextF = 0;
+    std::unique_ptr<graph::ChangeFlag> changed;
+    std::vector<int64_t> hSigma;
+    std::vector<double> hDelta;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeLigraBc(AppParams p)
+{
+    return std::make_unique<LigraBc>(p);
+}
+
+} // namespace bigtiny::apps

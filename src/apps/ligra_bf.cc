@@ -1,0 +1,204 @@
+/**
+ * @file
+ * ligra-bf: single-source shortest paths via frontier-based
+ * Bellman-Ford with atomic write-min relaxations (CAS loops).
+ * Paper Table III: rMat_200K / GS 32 / PM pf.
+ */
+
+#include "apps/registry.hh"
+#include "graph/ligra.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using graph::SimGraph;
+using rt::Worker;
+using sim::Core;
+
+constexpr int64_t inf = 1ll << 50;
+
+class LigraBf : public App
+{
+  public:
+    explicit LigraBf(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 4096;
+        if (params.grain == 0)
+            params.grain = 32;
+    }
+
+    const char *name() const override { return "ligra-bf"; }
+    const char *parallelMethod() const override { return "pf"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        g = graph::buildRmat(sys, params.n, params.n * 8,
+                             params.seed + 7, /*weighted=*/true);
+        src = g.maxDegreeVertex();
+        dist = graph::allocArray<int64_t>(sys, g.numV);
+        graph::fillArray<int64_t>(sys, dist, g.numV, inf);
+        sys.mem().funcWrite<int64_t>(dist + 8 * src, 0);
+        curF = graph::allocBytes(sys, g.numV);
+        nextF = graph::allocBytes(sys, g.numV);
+        sys.mem().funcWrite<uint8_t>(curF + src, 1);
+        changed = std::make_unique<graph::ChangeFlag>(sys);
+        hostSssp();
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        Addr cur = curF, next = nextF;
+        for (;;) {
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                bool local = false;
+                for (int64_t v = lo; v < hi; ++v) {
+                    if (ww.core.ld<uint8_t>(cur + v) == 0)
+                        continue;
+                    auto e0 = ww.core.ld<int64_t>(g.offsets + v * 8);
+                    auto e1 =
+                        ww.core.ld<int64_t>(g.offsets + (v + 1) * 8);
+                    if (e1 - e0 > 2 * graph::edgeGrain) {
+                        // hub vertex: nested edge-level parallelism
+                        ww.parallelFor(e0, e1, graph::edgeGrain,
+                                       [&, v](Worker &w2, int64_t a,
+                                              int64_t b) {
+                            if (relaxRange(w2.core, next, v, a, b,
+                                           true))
+                                changed->raise(w2);
+                        });
+                    } else if (relaxRange(ww.core, next, v, e0, e1,
+                                          true)) {
+                        local = true;
+                    }
+                }
+                if (local)
+                    changed->raise(ww);
+            });
+            if (!changed->readAndClear(w))
+                break;
+            graph::parClearBytes(w, cur, g.numV, params.grain);
+            std::swap(cur, next);
+        }
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        Addr cur = curF, next = nextF;
+        for (;;) {
+            bool any = false;
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (c.ld<uint8_t>(cur + v) == 0)
+                    continue;
+                if (relax(c, next, v, false))
+                    any = true;
+            }
+            if (!any)
+                break;
+            for (int64_t i = 0; i < (g.numV + 7) / 8; ++i)
+                c.st<uint64_t>(cur + i * 8, 0);
+            std::swap(cur, next);
+        }
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        std::vector<int64_t> out(g.numV);
+        sys.mem().funcRead(dist, out.data(), g.numV * 8);
+        return out == golden;
+    }
+
+  private:
+    bool
+    relax(Core &c, Addr next, int64_t v, bool atomic)
+    {
+        auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+        auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+        return relaxRange(c, next, v, e0, e1, atomic);
+    }
+
+    bool
+    relaxRange(Core &c, Addr next, int64_t v, int64_t e0, int64_t e1,
+               bool atomic)
+    {
+        bool any = false;
+        auto dv = c.ld<int64_t>(dist + 8 * v);
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            auto wt = c.ld<int32_t>(g.weights + e * 4);
+            int64_t nd = dv + wt;
+            c.work(3);
+            if (atomic) {
+                // write-min via CAS loop
+                for (;;) {
+                    auto old = static_cast<int64_t>(
+                        c.ld<int64_t>(dist + 8 * u));
+                    if (nd >= old)
+                        break;
+                    if (c.cas(dist + 8 * u,
+                              static_cast<uint64_t>(old),
+                              static_cast<uint64_t>(nd), 8)) {
+                        c.st<uint8_t>(next + u, 1);
+                        any = true;
+                        break;
+                    }
+                }
+            } else {
+                auto old = c.ld<int64_t>(dist + 8 * u);
+                if (nd < old) {
+                    c.st<int64_t>(dist + 8 * u, nd);
+                    c.st<uint8_t>(next + u, 1);
+                    any = true;
+                }
+            }
+        }
+        return any;
+    }
+
+    void
+    hostSssp()
+    {
+        golden.assign(g.numV, inf);
+        golden[src] = 0;
+        // Bellman-Ford on the host mirror (small graphs).
+        bool any = true;
+        while (any) {
+            any = false;
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (golden[v] >= inf)
+                    continue;
+                for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+                    int64_t nd = golden[v] + g.hWeights[e];
+                    if (nd < golden[g.hEdges[e]]) {
+                        golden[g.hEdges[e]] = nd;
+                        any = true;
+                    }
+                }
+            }
+        }
+    }
+
+    SimGraph g;
+    int64_t src = 0;
+    Addr dist = 0, curF = 0, nextF = 0;
+    std::unique_ptr<graph::ChangeFlag> changed;
+    std::vector<int64_t> golden;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeLigraBf(AppParams p)
+{
+    return std::make_unique<LigraBf>(p);
+}
+
+} // namespace bigtiny::apps

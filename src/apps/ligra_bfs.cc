@@ -1,0 +1,227 @@
+/**
+ * @file
+ * ligra-bfs: level-synchronous breadth-first search.
+ *
+ * Dense Ligra-style rounds: a parallel_for sweep over vertices tests
+ * the current frontier and claims unvisited neighbors with a
+ * compare-and-swap on the parent array (the paper's example of
+ * fine-grained non-determinism in the Ligra apps). Each leaf task
+ * raises a shared change flag at most once. Paper Table III:
+ * rMat_800K / GS 32 / PM pf; scaled here.
+ */
+
+#include "apps/registry.hh"
+#include "graph/ligra.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using graph::SimGraph;
+using rt::Worker;
+using sim::Core;
+
+constexpr int32_t unreached = -1;
+
+class LigraBfs : public App
+{
+  public:
+    explicit LigraBfs(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 8192;
+        if (params.grain == 0)
+            params.grain = 32;
+    }
+
+    const char *name() const override { return "ligra-bfs"; }
+    const char *parallelMethod() const override { return "pf"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        g = graph::buildRmat(sys, params.n, params.n * 8, params.seed);
+        src = g.maxDegreeVertex();
+        parent = graph::allocArray<int32_t>(sys, g.numV);
+        graph::fillArray<int32_t>(sys, parent, g.numV, unreached);
+        sys.mem().funcWrite<int32_t>(parent + 4 * src,
+                                     static_cast<int32_t>(src));
+        curF = graph::allocBytes(sys, g.numV);
+        nextF = graph::allocBytes(sys, g.numV);
+        sys.mem().funcWrite<uint8_t>(curF + src, 1);
+        changed = std::make_unique<graph::ChangeFlag>(sys);
+        hostLevels();
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        Addr cur = curF, next = nextF;
+        for (;;) {
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                sweep(ww.core, cur, next, lo, hi, ww);
+            });
+            if (!changed->readAndClear(w))
+                break;
+            // Consume the old frontier and advance.
+            graph::parClearBytes(w, cur, g.numV, params.grain);
+            std::swap(cur, next);
+        }
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        Addr cur = curF, next = nextF;
+        for (;;) {
+            bool any = false;
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (serialRelax(c, cur, next, v))
+                    any = true;
+            }
+            if (!any)
+                break;
+            for (int64_t i = 0; i < (g.numV + 7) / 8; ++i)
+                c.st<uint64_t>(cur + i * 8, 0);
+            std::swap(cur, next);
+        }
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        std::vector<int32_t> par(g.numV);
+        sys.mem().funcRead(parent, par.data(), g.numV * 4);
+        for (int64_t v = 0; v < g.numV; ++v) {
+            bool reach = levels[v] >= 0;
+            if (reach != (par[v] != unreached))
+                return false;
+            if (!reach || v == src)
+                continue;
+            int32_t p = par[v];
+            // the parent must be one BFS level closer to the source
+            if (p < 0 || p >= g.numV || levels[p] != levels[v] - 1)
+                return false;
+            // ...and actually adjacent
+            bool adj = false;
+            for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+                if (g.hEdges[e] == p) {
+                    adj = true;
+                    break;
+                }
+            }
+            if (!adj)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    /** Relax edges [e0,e1) of frontier vertex @p v. */
+    bool
+    relaxEdges(Core &c, Addr next, int64_t v, int64_t e0, int64_t e1)
+    {
+        bool any = false;
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            c.work(2);
+            if (c.ld<int32_t>(parent + 4 * u) != unreached)
+                continue;
+            if (c.cas(parent + 4 * u,
+                      static_cast<uint32_t>(unreached),
+                      static_cast<uint32_t>(v), 4)) {
+                c.st<uint8_t>(next + u, 1);
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    /**
+     * Relax the out-edges of every frontier vertex in [lo,hi); hub
+     * vertices split their edge list into nested parallel tasks
+     * (Ligra's edge-balanced traversal).
+     */
+    void
+    sweep(Core &c, Addr cur, Addr next, int64_t lo, int64_t hi,
+          Worker &w)
+    {
+        bool local_change = false;
+        for (int64_t v = lo; v < hi; ++v) {
+            if (c.ld<uint8_t>(cur + v) == 0)
+                continue;
+            auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+            auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+            if (e1 - e0 > 2 * graph::edgeGrain) {
+                w.parallelFor(e0, e1, graph::edgeGrain,
+                              [&, v](Worker &w2, int64_t a,
+                                     int64_t b) {
+                    if (relaxEdges(w2.core, next, v, a, b))
+                        changed->raise(w2);
+                });
+            } else if (relaxEdges(c, next, v, e0, e1)) {
+                local_change = true;
+            }
+        }
+        if (local_change)
+            changed->raise(w);
+    }
+
+    bool
+    serialRelax(Core &c, Addr cur, Addr next, int64_t v)
+    {
+        if (c.ld<uint8_t>(cur + v) == 0)
+            return false;
+        bool any = false;
+        auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+        auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            c.work(2);
+            if (c.ld<int32_t>(parent + 4 * u) == unreached) {
+                c.st<int32_t>(parent + 4 * u,
+                              static_cast<int32_t>(v));
+                c.st<uint8_t>(next + u, 1);
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    void
+    hostLevels()
+    {
+        levels.assign(g.numV, -1);
+        levels[src] = 0;
+        std::vector<int64_t> q{src};
+        for (size_t h = 0; h < q.size(); ++h) {
+            int64_t v = q[h];
+            for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+                int32_t u = g.hEdges[e];
+                if (levels[u] < 0) {
+                    levels[u] = levels[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+    }
+
+    SimGraph g;
+    int64_t src = 0;
+    Addr parent = 0, curF = 0, nextF = 0;
+    std::unique_ptr<graph::ChangeFlag> changed;
+    std::vector<int32_t> levels;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeLigraBfs(AppParams p)
+{
+    return std::make_unique<LigraBfs>(p);
+}
+
+} // namespace bigtiny::apps

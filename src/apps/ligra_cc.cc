@@ -1,0 +1,201 @@
+/**
+ * @file
+ * ligra-cc: connected components by min-label propagation with
+ * atomic write-min updates. Converges to the minimum vertex id of
+ * each component. Paper Table III: rMat_500K / GS 32 / PM pf.
+ */
+
+#include "apps/registry.hh"
+#include "graph/ligra.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using graph::SimGraph;
+using rt::Worker;
+using sim::Core;
+
+class LigraCc : public App
+{
+  public:
+    explicit LigraCc(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 4096;
+        if (params.grain == 0)
+            params.grain = 32;
+    }
+
+    const char *name() const override { return "ligra-cc"; }
+    const char *parallelMethod() const override { return "pf"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        g = graph::buildRmat(sys, params.n, params.n * 8,
+                             params.seed + 11);
+        ids = graph::allocArray<int32_t>(sys, g.numV);
+        std::vector<int32_t> init(g.numV);
+        for (int64_t v = 0; v < g.numV; ++v)
+            init[v] = static_cast<int32_t>(v);
+        sys.mem().funcWrite(ids, init.data(), g.numV * 4);
+        curF = graph::allocBytes(sys, g.numV);
+        nextF = graph::allocBytes(sys, g.numV);
+        // all vertices start in the frontier
+        std::vector<uint8_t> ones(g.numV, 1);
+        sys.mem().funcWrite(curF, ones.data(), g.numV);
+        changed = std::make_unique<graph::ChangeFlag>(sys);
+        hostComponents();
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        Addr cur = curF, next = nextF;
+        for (;;) {
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                bool local = false;
+                for (int64_t v = lo; v < hi; ++v) {
+                    if (ww.core.ld<uint8_t>(cur + v) == 0)
+                        continue;
+                    auto e0 = ww.core.ld<int64_t>(g.offsets + v * 8);
+                    auto e1 =
+                        ww.core.ld<int64_t>(g.offsets + (v + 1) * 8);
+                    if (e1 - e0 > 2 * graph::edgeGrain) {
+                        ww.parallelFor(e0, e1, graph::edgeGrain,
+                                       [&, v](Worker &w2, int64_t a,
+                                              int64_t b) {
+                            if (relaxRange(w2.core, next, v, a, b,
+                                           true))
+                                changed->raise(w2);
+                        });
+                    } else if (relaxRange(ww.core, next, v, e0, e1,
+                                          true)) {
+                        local = true;
+                    }
+                }
+                if (local)
+                    changed->raise(ww);
+            });
+            if (!changed->readAndClear(w))
+                break;
+            graph::parClearBytes(w, cur, g.numV, params.grain);
+            std::swap(cur, next);
+        }
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        Addr cur = curF, next = nextF;
+        for (;;) {
+            bool any = false;
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (c.ld<uint8_t>(cur + v) == 0)
+                    continue;
+                if (relax(c, next, v, false))
+                    any = true;
+            }
+            if (!any)
+                break;
+            for (int64_t i = 0; i < (g.numV + 7) / 8; ++i)
+                c.st<uint64_t>(cur + i * 8, 0);
+            std::swap(cur, next);
+        }
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        std::vector<int32_t> out(g.numV);
+        sys.mem().funcRead(ids, out.data(), g.numV * 4);
+        return out == golden;
+    }
+
+  private:
+    /** Push v's label to larger-labeled neighbors (write-min). */
+    bool
+    relax(Core &c, Addr next, int64_t v, bool atomic)
+    {
+        auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+        auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+        return relaxRange(c, next, v, e0, e1, atomic);
+    }
+
+    bool
+    relaxRange(Core &c, Addr next, int64_t v, int64_t e0, int64_t e1,
+               bool atomic)
+    {
+        bool any = false;
+        auto lv = c.ld<int32_t>(ids + 4 * v);
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            c.work(2);
+            if (atomic) {
+                for (;;) {
+                    auto lu = c.ld<int32_t>(ids + 4 * u);
+                    if (lv >= lu)
+                        break;
+                    if (c.cas(ids + 4 * u,
+                              static_cast<uint32_t>(lu),
+                              static_cast<uint32_t>(lv), 4)) {
+                        c.st<uint8_t>(next + u, 1);
+                        any = true;
+                        break;
+                    }
+                }
+            } else {
+                auto lu = c.ld<int32_t>(ids + 4 * u);
+                if (lv < lu) {
+                    c.st<int32_t>(ids + 4 * u, lv);
+                    c.st<uint8_t>(next + u, 1);
+                    any = true;
+                }
+            }
+        }
+        return any;
+    }
+
+    void
+    hostComponents()
+    {
+        golden.assign(g.numV, -1);
+        for (int64_t v = 0; v < g.numV; ++v) {
+            if (golden[v] >= 0)
+                continue;
+            // BFS labeling with the minimum id, which is v itself
+            // since we scan ids in increasing order.
+            golden[v] = static_cast<int32_t>(v);
+            std::vector<int64_t> q{v};
+            for (size_t h = 0; h < q.size(); ++h) {
+                for (int64_t e = g.hOff[q[h]]; e < g.hOff[q[h] + 1];
+                     ++e) {
+                    int32_t u = g.hEdges[e];
+                    if (golden[u] < 0) {
+                        golden[u] = static_cast<int32_t>(v);
+                        q.push_back(u);
+                    }
+                }
+            }
+        }
+    }
+
+    SimGraph g;
+    Addr ids = 0, curF = 0, nextF = 0;
+    std::unique_ptr<graph::ChangeFlag> changed;
+    std::vector<int32_t> golden;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeLigraCc(AppParams p)
+{
+    return std::make_unique<LigraCc>(p);
+}
+
+} // namespace bigtiny::apps

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * ligra-mis: maximal independent set with fixed random priorities
+ * (Luby-style rounds). A vertex enters the set once every
+ * higher-priority neighbor is out; a vertex leaves once any neighbor
+ * is in. With a fixed priority permutation the result is the
+ * deterministic lexicographically-first MIS, which the serial greedy
+ * baseline also computes. Paper Table III: rMat_100K / GS 32 / PM pf.
+ */
+
+#include <numeric>
+
+#include "apps/registry.hh"
+#include "common/rng.hh"
+#include "graph/ligra.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using graph::SimGraph;
+using rt::Worker;
+using sim::Core;
+
+constexpr int32_t undecided = 0;
+constexpr int32_t inSet = 1;
+constexpr int32_t outSet = 2;
+
+class LigraMis : public App
+{
+  public:
+    explicit LigraMis(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 4096;
+        if (params.grain == 0)
+            params.grain = 32;
+    }
+
+    const char *name() const override { return "ligra-mis"; }
+    const char *parallelMethod() const override { return "pf"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        g = graph::buildRmat(sys, params.n, params.n * 8,
+                             params.seed + 13);
+        status = graph::allocArray<int32_t>(sys, g.numV);
+        prio = graph::allocArray<int32_t>(sys, g.numV);
+        hPrio.resize(g.numV);
+        std::iota(hPrio.begin(), hPrio.end(), 0);
+        Rng rng(params.seed + 17);
+        for (int64_t i = g.numV - 1; i > 0; --i) {
+            auto j = static_cast<int64_t>(rng.nextBounded(i + 1));
+            std::swap(hPrio[i], hPrio[j]);
+        }
+        sys.mem().funcWrite(prio, hPrio.data(), g.numV * 4);
+        changed = std::make_unique<graph::ChangeFlag>(sys);
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        for (;;) {
+            // Phase A: admit vertices whose higher-priority
+            // neighborhood is fully out.
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                bool local = false;
+                for (int64_t v = lo; v < hi; ++v) {
+                    if (tryAdmit(ww.core, v))
+                        local = true;
+                }
+                if (local)
+                    changed->raise(ww);
+            });
+            // Phase B: retire neighbors of admitted vertices.
+            // Retirements count as progress: a round may retire
+            // without admitting, and maximality requires running
+            // until a fully quiescent round.
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                bool local = false;
+                for (int64_t v = lo; v < hi; ++v) {
+                    if (tryRetire(ww.core, v))
+                        local = true;
+                }
+                if (local)
+                    changed->raise(ww);
+            });
+            if (!changed->readAndClear(w))
+                break;
+        }
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        // Serial elision of the parallel rounds (same algorithm the
+        // runtime executes, minus tasks).
+        for (;;) {
+            bool any = false;
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (tryAdmit(c, v))
+                    any = true;
+            }
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (tryRetire(c, v))
+                    any = true;
+            }
+            if (!any)
+                break;
+        }
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        std::vector<int32_t> st(g.numV);
+        sys.mem().funcRead(status, st.data(), g.numV * 4);
+        for (int64_t v = 0; v < g.numV; ++v) {
+            if (st[v] == undecided)
+                return false; // not maximal: some vertex undecided
+            bool has_in_neighbor = false;
+            for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+                int32_t u = g.hEdges[e];
+                if (st[u] == inSet) {
+                    has_in_neighbor = true;
+                    if (st[v] == inSet)
+                        return false; // not independent
+                }
+            }
+            if (st[v] == outSet && !has_in_neighbor)
+                return false; // out without a reason
+        }
+        return true;
+    }
+
+  private:
+    bool
+    tryAdmit(Core &c, int64_t v)
+    {
+        if (c.ld<int32_t>(status + 4 * v) != undecided)
+            return false;
+        auto pv = c.ld<int32_t>(prio + 4 * v);
+        auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+        auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            c.work(2);
+            if (c.ld<int32_t>(prio + 4 * u) < pv &&
+                c.ld<int32_t>(status + 4 * u) != outSet) {
+                return false; // a higher-priority neighbor may win
+            }
+        }
+        c.st<int32_t>(status + 4 * v, inSet);
+        return true;
+    }
+
+    bool
+    tryRetire(Core &c, int64_t v)
+    {
+        if (c.ld<int32_t>(status + 4 * v) != undecided)
+            return false;
+        auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+        auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            c.work(2);
+            if (c.ld<int32_t>(status + 4 * u) == inSet) {
+                c.st<int32_t>(status + 4 * v, outSet);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    SimGraph g;
+    Addr status = 0, prio = 0;
+    std::vector<int32_t> hPrio;
+    std::unique_ptr<graph::ChangeFlag> changed;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeLigraMis(AppParams p)
+{
+    return std::make_unique<LigraMis>(p);
+}
+
+} // namespace bigtiny::apps

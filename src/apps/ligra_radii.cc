@@ -1,0 +1,217 @@
+/**
+ * @file
+ * ligra-radii: graph radii (eccentricity) estimation by K=64
+ * simultaneous BFS traversals packed into one 64-bit visited word per
+ * vertex. Each round ORs frontier words across edges; a vertex whose
+ * word grows joins the next frontier and records the round as its
+ * current radius estimate. Paper Table III: rMat_200K / GS 32 / PM pf.
+ */
+
+#include "apps/registry.hh"
+#include "graph/ligra.hh"
+
+namespace bigtiny::apps
+{
+
+namespace
+{
+
+using graph::SimGraph;
+using rt::Worker;
+using sim::Core;
+
+class LigraRadii : public App
+{
+  public:
+    explicit LigraRadii(AppParams p) : App(p)
+    {
+        if (params.n == 0)
+            params.n = 2048;
+        if (params.grain == 0)
+            params.grain = 32;
+    }
+
+    const char *name() const override { return "ligra-radii"; }
+    const char *parallelMethod() const override { return "pf"; }
+
+    void
+    setup(sim::System &sys) override
+    {
+        g = graph::buildRmat(sys, params.n, params.n * 8,
+                             params.seed + 19);
+        // K sample sources spread across the id space.
+        int64_t k = std::min<int64_t>(64, g.numV);
+        sources.clear();
+        for (int64_t i = 0; i < k; ++i)
+            sources.push_back(i * g.numV / k);
+        visited = graph::allocArray<uint64_t>(sys, g.numV);
+        visitedNext = graph::allocArray<uint64_t>(sys, g.numV);
+        radii = graph::allocArray<int32_t>(sys, g.numV);
+        graph::fillArray<int32_t>(sys, radii, g.numV, -1);
+        curF = graph::allocBytes(sys, g.numV);
+        nextF = graph::allocBytes(sys, g.numV);
+        for (int64_t i = 0; i < k; ++i) {
+            int64_t s = sources[i];
+            sys.mem().funcWrite<uint64_t>(visited + 8 * s, 1ull << i);
+            sys.mem().funcWrite<uint64_t>(visitedNext + 8 * s,
+                                          1ull << i);
+            sys.mem().funcWrite<int32_t>(radii + 4 * s, 0);
+            sys.mem().funcWrite<uint8_t>(curF + s, 1);
+        }
+        changed = std::make_unique<graph::ChangeFlag>(sys);
+    }
+
+    void
+    runParallel(rt::Worker &w) override
+    {
+        Addr cur = curF, next = nextF;
+        for (int32_t round = 1;; ++round) {
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                bool local = false;
+                for (int64_t v = lo; v < hi; ++v) {
+                    if (ww.core.ld<uint8_t>(cur + v) == 0)
+                        continue;
+                    auto e0 = ww.core.ld<int64_t>(g.offsets + v * 8);
+                    auto e1 =
+                        ww.core.ld<int64_t>(g.offsets + (v + 1) * 8);
+                    if (e1 - e0 > 2 * graph::edgeGrain) {
+                        ww.parallelFor(e0, e1, graph::edgeGrain,
+                                       [&, v, round](Worker &w2,
+                                                     int64_t a,
+                                                     int64_t b) {
+                            if (relaxRange(w2.core, next, v, a, b,
+                                           round, true))
+                                changed->raise(w2);
+                        });
+                    } else if (relaxRange(ww.core, next, v, e0, e1,
+                                          round, true)) {
+                        local = true;
+                    }
+                }
+                if (local)
+                    changed->raise(ww);
+            });
+            if (!changed->readAndClear(w))
+                break;
+            // Commit this round's visited words and clear the old
+            // frontier.
+            w.parallelFor(0, g.numV, params.grain,
+                          [&](Worker &ww, int64_t lo, int64_t hi) {
+                for (int64_t v = lo; v < hi; ++v) {
+                    auto nv =
+                        ww.core.ld<uint64_t>(visitedNext + 8 * v);
+                    ww.core.st<uint64_t>(visited + 8 * v, nv);
+                    ww.core.st<uint8_t>(cur + v, 0);
+                }
+            });
+            std::swap(cur, next);
+        }
+    }
+
+    void
+    runSerial(sim::Core &c) override
+    {
+        Addr cur = curF, next = nextF;
+        for (int32_t round = 1;; ++round) {
+            bool any = false;
+            for (int64_t v = 0; v < g.numV; ++v) {
+                if (c.ld<uint8_t>(cur + v) == 0)
+                    continue;
+                if (relax(c, next, v, round, false))
+                    any = true;
+            }
+            if (!any)
+                break;
+            for (int64_t v = 0; v < g.numV; ++v) {
+                c.st<uint64_t>(visited + 8 * v,
+                               c.ld<uint64_t>(visitedNext + 8 * v));
+                c.st<uint8_t>(cur + v, 0);
+            }
+            std::swap(cur, next);
+        }
+    }
+
+    bool
+    validate(sim::System &sys) override
+    {
+        std::vector<int32_t> out(g.numV);
+        sys.mem().funcRead(radii, out.data(), g.numV * 4);
+        // Host: radii[v] = max over sources of BFS distance.
+        std::vector<int32_t> expect(g.numV, -1);
+        std::vector<int32_t> dist(g.numV);
+        for (int64_t s : sources) {
+            std::fill(dist.begin(), dist.end(), -1);
+            dist[s] = 0;
+            std::vector<int64_t> q{s};
+            for (size_t h = 0; h < q.size(); ++h) {
+                int64_t v = q[h];
+                for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+                    int32_t u = g.hEdges[e];
+                    if (dist[u] < 0) {
+                        dist[u] = dist[v] + 1;
+                        q.push_back(u);
+                    }
+                }
+            }
+            for (int64_t v = 0; v < g.numV; ++v)
+                expect[v] = std::max(expect[v], dist[v]);
+        }
+        return out == expect;
+    }
+
+  private:
+    bool
+    relax(Core &c, Addr next, int64_t v, int32_t round, bool atomic)
+    {
+        auto e0 = c.ld<int64_t>(g.offsets + v * 8);
+        auto e1 = c.ld<int64_t>(g.offsets + (v + 1) * 8);
+        return relaxRange(c, next, v, e0, e1, round, atomic);
+    }
+
+    bool
+    relaxRange(Core &c, Addr next, int64_t v, int64_t e0, int64_t e1,
+               int32_t round, bool atomic)
+    {
+        bool any = false;
+        auto vbits = c.ld<uint64_t>(visited + 8 * v);
+        for (int64_t e = e0; e < e1; ++e) {
+            auto u = c.ld<int32_t>(g.edges + e * 4);
+            c.work(2);
+            uint64_t have = c.ld<uint64_t>(visitedNext + 8 * u);
+            uint64_t add = vbits & ~have;
+            if (!add)
+                continue;
+            uint64_t old;
+            if (atomic) {
+                old = c.amo(mem::AmoOp::Or, visitedNext + 8 * u, add,
+                            8);
+            } else {
+                old = c.ld<uint64_t>(visitedNext + 8 * u);
+                c.st<uint64_t>(visitedNext + 8 * u, old | add);
+            }
+            if (add & ~old) {
+                // New sources reached u this round.
+                c.st<int32_t>(radii + 4 * u, round);
+                c.st<uint8_t>(next + u, 1);
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    SimGraph g;
+    std::vector<int64_t> sources;
+    Addr visited = 0, visitedNext = 0, radii = 0, curF = 0, nextF = 0;
+    std::unique_ptr<graph::ChangeFlag> changed;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeLigraRadii(AppParams p)
+{
+    return std::make_unique<LigraRadii>(p);
+}
+
+} // namespace bigtiny::apps

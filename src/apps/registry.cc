@@ -1,0 +1,52 @@
+#include "apps/registry.hh"
+
+#include "common/log.hh"
+
+namespace bigtiny::apps
+{
+
+const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> names = {
+        "cilk5-cs",   "cilk5-lu",  "cilk5-mm",    "cilk5-mt",
+        "cilk5-nq",   "ligra-bc",  "ligra-bf",    "ligra-bfs",
+        "ligra-bfsbv", "ligra-cc", "ligra-mis",   "ligra-radii",
+        "ligra-tc",
+    };
+    return names;
+}
+
+std::unique_ptr<App>
+makeApp(const std::string &name, AppParams params)
+{
+    if (name == "cilk5-cs")
+        return makeCilk5Cs(params);
+    if (name == "cilk5-lu")
+        return makeCilk5Lu(params);
+    if (name == "cilk5-mm")
+        return makeCilk5Mm(params);
+    if (name == "cilk5-mt")
+        return makeCilk5Mt(params);
+    if (name == "cilk5-nq")
+        return makeCilk5Nq(params);
+    if (name == "ligra-bc")
+        return makeLigraBc(params);
+    if (name == "ligra-bf")
+        return makeLigraBf(params);
+    if (name == "ligra-bfs")
+        return makeLigraBfs(params);
+    if (name == "ligra-bfsbv")
+        return makeLigraBfsbv(params);
+    if (name == "ligra-cc")
+        return makeLigraCc(params);
+    if (name == "ligra-mis")
+        return makeLigraMis(params);
+    if (name == "ligra-radii")
+        return makeLigraRadii(params);
+    if (name == "ligra-tc")
+        return makeLigraTc(params);
+    fatal("unknown application '%s'", name.c_str());
+}
+
+} // namespace bigtiny::apps

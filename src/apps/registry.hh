@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Application registry: the paper's 13 dynamic task-parallel kernels
+ * (Table III), each with a parallel implementation against the
+ * work-stealing runtime, a serial-elision implementation against a
+ * bare core, input setup in simulated memory, and a validator backed
+ * by a host-side golden model.
+ */
+
+#ifndef BIGTINY_APPS_REGISTRY_HH
+#define BIGTINY_APPS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+namespace bigtiny::apps
+{
+
+struct AppParams
+{
+    int64_t n = 0;     //!< problem size (app-specific); 0 = default
+    int64_t grain = 0; //!< task granularity; 0 = app default
+    uint64_t seed = 0x5eedbeefull;
+};
+
+class App
+{
+  public:
+    explicit App(AppParams p) : params(p) {}
+    virtual ~App() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Paper Table III PM column: "ss" (spawn-sync) or "pf". */
+    virtual const char *parallelMethod() const = 0;
+
+    /** Allocate and initialize inputs in simulated memory. */
+    virtual void setup(sim::System &sys) = 0;
+
+    /** Root task body (runs under the work-stealing runtime). */
+    virtual void runParallel(rt::Worker &w) = 0;
+
+    /** Serial elision on a bare core (the "Serial IO" baseline). */
+    virtual void runSerial(sim::Core &c) = 0;
+
+    /** Check outputs against the golden model (after drainAll). */
+    virtual bool validate(sim::System &sys) = 0;
+
+    AppParams params;
+};
+
+/** The 13 kernels in paper Table III order. */
+const std::vector<std::string> &appNames();
+
+/** Instantiate an app by name; fatal on unknown names. */
+std::unique_ptr<App> makeApp(const std::string &name,
+                             AppParams params = {});
+
+// Per-app factories (one per translation unit).
+std::unique_ptr<App> makeCilk5Cs(AppParams);
+std::unique_ptr<App> makeCilk5Lu(AppParams);
+std::unique_ptr<App> makeCilk5Mm(AppParams);
+std::unique_ptr<App> makeCilk5Mt(AppParams);
+std::unique_ptr<App> makeCilk5Nq(AppParams);
+std::unique_ptr<App> makeLigraBc(AppParams);
+std::unique_ptr<App> makeLigraBf(AppParams);
+std::unique_ptr<App> makeLigraBfs(AppParams);
+std::unique_ptr<App> makeLigraBfsbv(AppParams);
+std::unique_ptr<App> makeLigraCc(AppParams);
+std::unique_ptr<App> makeLigraMis(AppParams);
+std::unique_ptr<App> makeLigraRadii(AppParams);
+std::unique_ptr<App> makeLigraTc(AppParams);
+
+} // namespace bigtiny::apps
+
+#endif // BIGTINY_APPS_REGISTRY_HH

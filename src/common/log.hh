@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 idiom.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user/configuration errors and exits cleanly.
+ * warn()/inform() report conditions without stopping the simulation.
+ */
+
+#ifndef BIGTINY_COMMON_LOG_HH
+#define BIGTINY_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace bigtiny
+{
+
+/** Abort with a formatted message. Use for simulator bugs. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Exit(1) with a formatted message. Use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a warning to stderr. The simulation continues. */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output globally (benches quiet it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace bigtiny
+
+#define panic(...) \
+    ::bigtiny::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::bigtiny::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::bigtiny::warnImpl(__VA_ARGS__)
+#define inform(...) ::bigtiny::informImpl(__VA_ARGS__)
+
+/**
+ * panic_if(cond, ...): panic when an invariant is violated. Always
+ * checked (release builds included); the memory-system invariants in
+ * this project are cheap relative to simulation work.
+ */
+#define panic_if(cond, ...)                                           \
+    do {                                                              \
+        if (cond) [[unlikely]]                                        \
+            panic(__VA_ARGS__);                                       \
+    } while (0)
+
+#define fatal_if(cond, ...)                                           \
+    do {                                                              \
+        if (cond) [[unlikely]]                                        \
+            fatal(__VA_ARGS__);                                       \
+    } while (0)
+
+#endif // BIGTINY_COMMON_LOG_HH

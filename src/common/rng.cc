@@ -1,0 +1,65 @@
+#include "common/rng.hh"
+
+namespace bigtiny
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &w : s)
+        w = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's multiply-shift bounded generation (tiny modulo bias is
+    // acceptable for simulation decisions).
+    unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace bigtiny

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be fully deterministic: every run with the same
+ * configuration and seed produces bit-identical statistics. All random
+ * choices (victim selection, rMAT edge sampling, test traces) therefore
+ * go through this xoshiro256** implementation rather than std::rand or
+ * hardware entropy.
+ */
+
+#ifndef BIGTINY_COMMON_RNG_HH
+#define BIGTINY_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace bigtiny
+{
+
+/** xoshiro256** PRNG (Blackman & Vigna), seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x8f2c3b5d17e94a01ull) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound) using rejection-free scaling. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    nextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            nextBounded(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace bigtiny
+
+#endif // BIGTINY_COMMON_RNG_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental simulator-wide types.
+ */
+
+#ifndef BIGTINY_COMMON_TYPES_HH
+#define BIGTINY_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace bigtiny
+{
+
+/** Simulated physical address. */
+using Addr = uint64_t;
+
+/** Simulated cycle count (all cores share one clock domain). */
+using Cycle = uint64_t;
+
+/** Core identifier; dense [0, numCores). */
+using CoreId = int32_t;
+
+/** Sentinel for "no core". */
+constexpr CoreId invalidCore = -1;
+
+/** Cache line size in bytes (fixed across the whole system). */
+constexpr uint32_t lineBytes = 64;
+
+/** log2(lineBytes). */
+constexpr uint32_t lineShift = 6;
+
+/** Align an address down to its line. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(lineBytes - 1);
+}
+
+/** Byte offset within a line. */
+constexpr uint32_t
+lineOffset(Addr a)
+{
+    return static_cast<uint32_t>(a & (lineBytes - 1));
+}
+
+} // namespace bigtiny
+
+#endif // BIGTINY_COMMON_TYPES_HH

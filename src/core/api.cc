@@ -1,0 +1,90 @@
+/**
+ * @file
+ * High-level templated patterns on top of the low-level task API:
+ * parallel_invoke and parallel_for (paper Figure 2b/2c). Bodies are
+ * host closures; the simulator stores only their pointer values in
+ * task frames (the moral equivalent of a compiled function address),
+ * while every value that crosses tasks lives in simulated memory.
+ */
+
+#include "common/log.hh"
+#include "core/worker.hh"
+
+namespace bigtiny::rt
+{
+
+namespace
+{
+
+void
+lambdaThunk(Worker &w, Addr self)
+{
+    auto *body =
+        reinterpret_cast<const Worker::Body *>(w.arg(self, 0));
+    (*body)(w);
+}
+
+void parallelForImpl(Worker &w, int64_t lo, int64_t hi, int64_t grain,
+                     const Worker::RangeBody &body);
+
+void
+rangeThunk(Worker &w, Addr self)
+{
+    auto lo = static_cast<int64_t>(w.arg(self, 0));
+    auto hi = static_cast<int64_t>(w.arg(self, 1));
+    auto grain = static_cast<int64_t>(w.arg(self, 2));
+    auto *body =
+        reinterpret_cast<const Worker::RangeBody *>(w.arg(self, 3));
+    parallelForImpl(w, lo, hi, grain, *body);
+}
+
+void
+parallelForImpl(Worker &w, int64_t lo, int64_t hi, int64_t grain,
+                const Worker::RangeBody &body)
+{
+    if (hi - lo <= grain) {
+        if (hi > lo)
+            body(w, lo, hi);
+        return;
+    }
+    int64_t mid = lo + (hi - lo) / 2;
+    auto body_bits = reinterpret_cast<uint64_t>(&body);
+    Addr a = w.newTask(rangeThunk,
+                       {static_cast<uint64_t>(lo),
+                        static_cast<uint64_t>(mid),
+                        static_cast<uint64_t>(grain), body_bits});
+    Addr b = w.newTask(rangeThunk,
+                       {static_cast<uint64_t>(mid),
+                        static_cast<uint64_t>(hi),
+                        static_cast<uint64_t>(grain), body_bits});
+    w.setRefCount(2);
+    w.spawn(a);
+    w.spawn(b);
+    w.wait();
+}
+
+} // namespace
+
+void
+Worker::parallelFor(int64_t lo, int64_t hi, int64_t grain,
+                    const RangeBody &body)
+{
+    panic_if(!curTaskActive(), "parallelFor outside a task");
+    if (grain < 1)
+        grain = 1;
+    parallelForImpl(*this, lo, hi, grain, body);
+}
+
+void
+Worker::parallelInvoke(const Body &a, const Body &b)
+{
+    panic_if(!curTaskActive(), "parallelInvoke outside a task");
+    Addr ta = newTask(lambdaThunk, {reinterpret_cast<uint64_t>(&a)});
+    Addr tb = newTask(lambdaThunk, {reinterpret_cast<uint64_t>(&b)});
+    setRefCount(2);
+    spawn(ta);
+    spawn(tb);
+    wait();
+}
+
+} // namespace bigtiny::rt

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Online work/span analysis of the task DAG — the reproduction's
+ * substitute for Cilkview (paper Section V-D and Table III's Work,
+ * Span, Parallelism, and IPT columns).
+ *
+ * Definitions: every logical instruction (work() cycle or memory
+ * operation, as counted by Core::instCount independent of core kind
+ * or contention) belongs to the task executing it. Work is the total
+ * over all tasks. Span (critical path) follows the fork-join
+ * recurrence for spawn-and-wait-all DAGs:
+ *
+ *   - a task's position advances with its own instructions;
+ *   - a child spawned at position p contributes a completion path of
+ *     p + span(child);
+ *   - at a wait, the position jumps to the maximum of its own position
+ *     and every joined child's completion path.
+ *
+ * All bookkeeping is host-side (no simulated cost), mirroring how
+ * Cilkview instruments a native binary without perturbing it.
+ */
+
+#ifndef BIGTINY_CORE_DAG_PROFILER_HH
+#define BIGTINY_CORE_DAG_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace bigtiny::rt
+{
+
+class DagProfiler
+{
+  public:
+    /** Index of a task entry; -1 = no task (outside the root). */
+    using Idx = int64_t;
+
+    static constexpr Idx none = -1;
+
+    /** Register a task spawned by @p parent at its current position. */
+    Idx
+    newTask(Idx parent)
+    {
+        if (!enabled)
+            return none;
+        Entry e;
+        e.parent = parent;
+        e.spawnPos = parent == none ? 0 : entries[parent].ownPos;
+        entries.push_back(e);
+        return static_cast<Idx>(entries.size()) - 1;
+    }
+
+    /** Charge @p insts own instructions to task @p idx. */
+    void
+    accrue(Idx idx, uint64_t insts)
+    {
+        if (idx == none || !enabled)
+            return;
+        entries[idx].ownPos += insts;
+        totalWork += insts;
+    }
+
+    /** Task @p idx finished executing: fold its path into the parent. */
+    void
+    onTaskDone(Idx idx)
+    {
+        if (idx == none || !enabled)
+            return;
+        Entry &e = entries[idx];
+        if (e.parent != none) {
+            Entry &p = entries[e.parent];
+            p.maxChildPath =
+                std::max(p.maxChildPath, e.spawnPos + e.ownPos);
+        }
+        ++tasksDone;
+    }
+
+    /** Task @p idx returned from wait(): children joined. */
+    void
+    onWaitExit(Idx idx)
+    {
+        if (idx == none || !enabled)
+            return;
+        Entry &e = entries[idx];
+        e.ownPos = std::max(e.ownPos, e.maxChildPath);
+        e.maxChildPath = 0;
+    }
+
+    /** Total instructions over all tasks. */
+    uint64_t work() const { return totalWork; }
+
+    /** Critical path length (valid after the root task finished). */
+    uint64_t
+    span() const
+    {
+        return entries.empty() ? 0 : entries[0].ownPos;
+    }
+
+    double
+    parallelism() const
+    {
+        uint64_t s = span();
+        return s ? static_cast<double>(work()) / s : 0.0;
+    }
+
+    uint64_t numTasks() const { return tasksDone; }
+
+    /** Average instructions per task (Table III's IPT). */
+    double
+    instsPerTask() const
+    {
+        return tasksDone ? static_cast<double>(totalWork) / tasksDone
+                         : 0.0;
+    }
+
+    bool enabled = true;
+
+  private:
+    struct Entry
+    {
+        Idx parent = none;
+        uint64_t spawnPos = 0;     //!< parent position at spawn
+        uint64_t ownPos = 0;       //!< serial position within the task
+        uint64_t maxChildPath = 0; //!< longest joined child path
+    };
+
+    std::vector<Entry> entries;
+    uint64_t totalWork = 0;
+    uint64_t tasksDone = 0;
+};
+
+} // namespace bigtiny::rt
+
+#endif // BIGTINY_CORE_DAG_PROFILER_HH

@@ -1,0 +1,84 @@
+#include "core/deque.hh"
+
+#include "common/log.hh"
+
+namespace bigtiny::rt
+{
+
+using sim::Core;
+using sim::TimeCat;
+
+TaskDeque::TaskDeque(mem::ArenaAllocator &arena, uint32_t capacity)
+    : capacity(capacity)
+{
+    lockA = arena.allocLines(lineBytes);
+    headA = arena.allocLines(lineBytes);
+    tailA = arena.allocLines(lineBytes);
+    bufA = arena.allocLines(static_cast<uint64_t>(capacity) * 8);
+}
+
+void
+TaskDeque::lockAq(Core &c)
+{
+    // test-and-set with a short backoff between attempts
+    while (c.amo(mem::AmoOp::Swap, lockA, 1, 8, TimeCat::Sync) != 0)
+        c.work(16, TimeCat::Sync);
+}
+
+void
+TaskDeque::lockRl(Core &c)
+{
+    // Release must be a synchronizing store so it is visible at the
+    // coherence point under GPU-WT/WB (a plain store could linger
+    // dirty in the private cache).
+    c.amo(mem::AmoOp::Swap, lockA, 0, 8, TimeCat::Sync);
+}
+
+void
+TaskDeque::enq(Core &c, Addr task)
+{
+    uint64_t tail = c.ld<uint64_t>(tailA);
+    uint64_t head = c.ld<uint64_t>(headA);
+    fatal_if(tail - head >= capacity,
+             "task deque overflow (capacity %u, head=%llu tail=%llu "
+             "core=%d); raise SystemConfig::dequeCapacity or coarsen "
+             "tasks", capacity, (unsigned long long)head,
+             (unsigned long long)tail, c.id());
+    c.st<uint64_t>(bufA + (tail % capacity) * 8, task);
+    c.st<uint64_t>(tailA, tail + 1);
+    c.work(2);
+}
+
+Addr
+TaskDeque::deqTail(Core &c)
+{
+    uint64_t tail = c.ld<uint64_t>(tailA);
+    uint64_t head = c.ld<uint64_t>(headA);
+    c.work(2);
+    if (head == tail)
+        return 0;
+    c.st<uint64_t>(tailA, tail - 1);
+    return c.ld<uint64_t>(bufA + ((tail - 1) % capacity) * 8);
+}
+
+Addr
+TaskDeque::deqHead(Core &c)
+{
+    uint64_t head = c.ld<uint64_t>(headA);
+    uint64_t tail = c.ld<uint64_t>(tailA);
+    c.work(2);
+    if (head == tail)
+        return 0;
+    c.st<uint64_t>(headA, head + 1);
+    return c.ld<uint64_t>(bufA + (head % capacity) * 8);
+}
+
+bool
+TaskDeque::empty(Core &c)
+{
+    uint64_t tail = c.ld<uint64_t>(tailA);
+    uint64_t head = c.ld<uint64_t>(headA);
+    return head == tail;
+}
+
+} // namespace bigtiny::rt

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-worker task deque (paper Section II-C).
+ *
+ * A fixed-capacity circular buffer of task pointers in simulated
+ * memory. The owner pushes and pops at the tail (LIFO); thieves
+ * dequeue at the head (FIFO). Synchronization policy is the caller's:
+ * the baseline and HCC runtimes guard every access with the per-deque
+ * lock (plus invalidate/flush on HCC, Figure 3(b)); the DTS runtime
+ * uses no lock at all because ULI makes the deque private to its
+ * owner (Figure 3(c)).
+ *
+ * The lock, head and tail words live on separate cache lines to avoid
+ * false sharing between the owner and thieves.
+ */
+
+#ifndef BIGTINY_CORE_DEQUE_HH
+#define BIGTINY_CORE_DEQUE_HH
+
+#include "common/types.hh"
+#include "mem/address_space.hh"
+#include "sim/core.hh"
+
+namespace bigtiny::rt
+{
+
+class TaskDeque
+{
+  public:
+    /** Carve out simulated memory for one deque. */
+    TaskDeque(mem::ArenaAllocator &arena, uint32_t capacity);
+
+    /**
+     * Test-and-set lock acquire (spins with exponential-free fixed
+     * backoff). Charged as Sync time.
+     */
+    void lockAq(sim::Core &c);
+
+    /** Lock release (a synchronizing store). */
+    void lockRl(sim::Core &c);
+
+    /** Push @p task at the tail. Fatal if full (size the capacity). */
+    void enq(sim::Core &c, Addr task);
+
+    /** Pop from the tail (owner side, LIFO); 0 when empty. */
+    Addr deqTail(sim::Core &c);
+
+    /** Dequeue from the head (thief side, FIFO); 0 when empty. */
+    Addr deqHead(sim::Core &c);
+
+    /** Owner-side emptiness probe (two loads). */
+    bool empty(sim::Core &c);
+
+  private:
+    Addr lockA;
+    Addr headA;
+    Addr tailA;
+    Addr bufA;
+    uint32_t capacity;
+};
+
+} // namespace bigtiny::rt
+
+#endif // BIGTINY_CORE_DEQUE_HH

@@ -1,0 +1,94 @@
+#include "core/runtime.hh"
+
+#include "common/log.hh"
+#include "core/worker.hh"
+
+namespace bigtiny::rt
+{
+
+const char *
+schedVariantName(SchedVariant v)
+{
+    switch (v) {
+      case SchedVariant::Baseline:
+        return "baseline";
+      case SchedVariant::Hcc:
+        return "hcc";
+      case SchedVariant::Dts:
+        return "dts";
+    }
+    return "?";
+}
+
+SchedVariant
+Runtime::defaultVariant(const sim::SystemConfig &cfg)
+{
+    if (cfg.dts)
+        return SchedVariant::Dts;
+    if (cfg.tinyProtocol != sim::Protocol::MESI) {
+        for (auto k : cfg.cores) {
+            if (k == sim::CoreKind::Tiny)
+                return SchedVariant::Hcc;
+        }
+    }
+    return SchedVariant::Baseline;
+}
+
+Runtime::Runtime(sim::System &sys, SchedVariant variant)
+    : variant(variant), sys(sys), cfg(sys.config())
+{
+    auto &arena = sys.arena();
+    int n = sys.numCores();
+    deques.reserve(n);
+    for (int w = 0; w < n; ++w) {
+        deques.push_back(
+            std::make_unique<TaskDeque>(arena, cfg.dequeCapacity));
+        mailboxes.push_back(arena.allocLines(lineBytes));
+        rngs.emplace_back(cfg.seed * 0x9e3779b9ull + w + 1);
+    }
+    doneA = arena.allocLines(lineBytes);
+    for (int w = 0; w < n; ++w)
+        workers.push_back(
+            std::make_unique<Worker>(*this, sys.core(w), w));
+}
+
+Runtime::~Runtime() = default;
+
+Addr
+Runtime::allocTaskFrame()
+{
+    return sys.arena().alloc(TaskLayout::frameBytes, lineBytes);
+}
+
+void
+Runtime::run(const std::function<void(Worker &)> &root)
+{
+    panic_if(ran, "Runtime::run may only be called once");
+    ran = true;
+    for (int w = 0; w < numWorkers(); ++w) {
+        Worker *worker = workers[w].get();
+        const auto *root_ptr = w == 0 ? &root : nullptr;
+        sys.attachGuest(w, [worker, root_ptr](sim::Core &) {
+            worker->guestMain(root_ptr);
+        });
+    }
+    sys.run();
+
+    // Post-run sanity: the task accounting must balance.
+    auto total = totalStats();
+    panic_if(total.tasksSpawned != total.tasksExecuted,
+             "task imbalance: %llu spawned vs %llu executed",
+             (unsigned long long)total.tasksSpawned,
+             (unsigned long long)total.tasksExecuted);
+}
+
+sim::RuntimeStats
+Runtime::totalStats() const
+{
+    sim::RuntimeStats agg;
+    for (const auto &w : workers)
+        agg.add(w->stats);
+    return agg;
+}
+
+} // namespace bigtiny::rt

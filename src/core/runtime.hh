@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The work-stealing runtime (paper Section III and IV).
+ *
+ * One Runtime drives one simulated System: it lays out per-worker task
+ * deques and DTS mailboxes in simulated memory, binds a Worker to
+ * every core, runs the root task on worker 0 with every other worker
+ * in the stealing loop, and aggregates runtime statistics.
+ *
+ * Three scheduler variants reproduce paper Figure 3:
+ *  - Baseline: per-deque locks only (hardware cache coherence).
+ *  - Hcc:      locks plus cache_invalidate/cache_flush around every
+ *              deque access and around stolen-task execution.
+ *  - Dts:      direct task stealing via user-level interrupts; deques
+ *              are private, and parent/child synchronization is elided
+ *              unless a child was actually stolen (has_stolen_child).
+ */
+
+#ifndef BIGTINY_CORE_RUNTIME_HH
+#define BIGTINY_CORE_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/dag_profiler.hh"
+#include "core/deque.hh"
+#include "core/task.hh"
+#include "sim/stats.hh"
+#include "sim/system.hh"
+
+namespace bigtiny::rt
+{
+
+class Worker;
+
+/** Scheduler flavor (paper Figure 3 (a), (b), (c)). */
+enum class SchedVariant
+{
+    Baseline,
+    Hcc,
+    Dts,
+};
+
+const char *schedVariantName(SchedVariant v);
+
+/** Victim-selection policy for steal attempts. */
+enum class VictimPolicy
+{
+    Random,     //!< classic uniform-random victim (paper default)
+    RoundRobin, //!< cycle through victims (deterministic sweep)
+    BigFirst,   //!< bias half the probes toward big cores
+                //!< (asymmetry-aware flavor of Torng et al. [71]:
+                //!< big cores drain their deques fastest, so their
+                //!< surplus is the freshest steal target)
+};
+
+class Runtime
+{
+  public:
+    /** Construct with an explicit scheduler variant. */
+    Runtime(sim::System &sys, SchedVariant variant);
+
+    /** Construct with the variant implied by the system config. */
+    explicit Runtime(sim::System &sys)
+        : Runtime(sys, defaultVariant(sys.config()))
+    {}
+
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * DTS on a system with ULI, Hcc when any core runs a
+     * software-centric protocol, Baseline otherwise.
+     */
+    static SchedVariant defaultVariant(const sim::SystemConfig &cfg);
+
+    /**
+     * Execute @p root as the root task on worker 0, with all other
+     * workers stealing, until the root returns. May be called once.
+     */
+    void run(const std::function<void(Worker &)> &root);
+
+    /** Aggregate runtime statistics over all workers. */
+    sim::RuntimeStats totalStats() const;
+
+    /** Allocate a fresh task frame (host-side; see task.hh). */
+    Addr allocTaskFrame();
+
+    TaskDeque &deque(int wid) { return *deques[wid]; }
+    Addr mailbox(int wid) const { return mailboxes[wid]; }
+    Addr doneFlag() const { return doneA; }
+    Rng &rng(int wid) { return rngs[wid]; }
+    Worker &worker(int wid) { return *workers[wid]; }
+    int numWorkers() const { return static_cast<int>(workers.size()); }
+
+    /**
+     * Steal end used by the DTS ULI handler: the paper's Figure 3(c)
+     * pseudocode pops the victim's own tail (legend: deq), while
+     * classic work stealing takes the head. Default follows the
+     * classic head steal; set true for the literal pseudocode.
+     */
+    bool dtsStealFromTail = false;
+
+    /** Victim-selection policy (see bench/ablation_dts). */
+    VictimPolicy victimPolicy = VictimPolicy::Random;
+
+    DagProfiler profiler;
+
+    /** Exactly-once execution check (host-side debug bookkeeping). */
+    std::unordered_set<Addr> executedTasks;
+
+    SchedVariant variant;
+    sim::System &sys;
+    const sim::SystemConfig &cfg;
+
+  private:
+    friend class Worker;
+
+    std::vector<std::unique_ptr<TaskDeque>> deques;
+    std::vector<Addr> mailboxes;
+    Addr doneA = 0;
+    std::vector<Rng> rngs;
+    std::vector<std::unique_ptr<Worker>> workers;
+    bool ran = false;
+};
+
+} // namespace bigtiny::rt
+
+#endif // BIGTINY_CORE_RUNTIME_HH

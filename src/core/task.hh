@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Task representation.
+ *
+ * A task is a 128-byte record in *simulated* memory (two cache lines),
+ * so that every inter-task interaction — a thief reading the function
+ * pointer and arguments, a child decrementing its parent's reference
+ * count, the DTS has_stolen_child flag — flows through the simulated
+ * coherence protocol exactly as the paper's Figure 3 requires.
+ *
+ * The function field holds a host function pointer (the moral
+ * equivalent of the paper's C++ vtable dispatch); its value is data to
+ * the simulator. Task frames are never recycled within a run: reusing
+ * a frame address would require flushing stale dirty copies out of
+ * every software-coherent L1, a hazard the paper's runtime avoids the
+ * same way (task frames live on the spawning task's stack until the
+ * join). See DESIGN.md.
+ */
+
+#ifndef BIGTINY_CORE_TASK_HH
+#define BIGTINY_CORE_TASK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bigtiny::rt
+{
+
+class Worker;
+
+/** Body of a task; @p self is the task's simulated-memory frame. */
+using TaskFn = void (*)(Worker &, Addr self);
+
+/** Field offsets within a task frame. */
+struct TaskLayout
+{
+    static constexpr Addr fnOff = 0;      //!< TaskFn as uint64
+    static constexpr Addr parentOff = 8;  //!< parent frame Addr
+    static constexpr Addr rcOff = 16;     //!< reference count (int64)
+    static constexpr Addr stolenOff = 24; //!< has_stolen_child flag
+    static constexpr Addr profOff = 32;   //!< DAG-profiler index + 1
+    static constexpr Addr argsOff = 40;   //!< inline argument slots
+    static constexpr uint32_t maxArgs = 11;
+    static constexpr uint32_t frameBytes = 128;
+};
+
+} // namespace bigtiny::rt
+
+#endif // BIGTINY_CORE_TASK_HH

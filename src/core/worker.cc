@@ -1,0 +1,460 @@
+#include "core/worker.hh"
+
+#include <unordered_set>
+
+#include "common/log.hh"
+
+namespace bigtiny::rt
+{
+
+using sim::Core;
+using sim::TimeCat;
+using L = TaskLayout;
+
+namespace
+{
+/** Instruction overhead charged for task dispatch bookkeeping. */
+constexpr uint64_t dispatchCycles = 4;
+constexpr uint64_t victimSelectCycles = 4;
+} // namespace
+
+Worker::Worker(Runtime &rt, Core &core, int wid)
+    : core(core), rt(rt), wid(wid)
+{}
+
+void
+Worker::accrue()
+{
+    uint64_t now = core.instCount();
+    rt.profiler.accrue(curProf, now - lastInst);
+    lastInst = now;
+}
+
+// ---------------------------------------------------------------------
+// Task creation and bookkeeping
+// ---------------------------------------------------------------------
+
+Addr
+Worker::newTask(TaskFn fn, std::initializer_list<uint64_t> args)
+{
+    panic_if(args.size() > L::maxArgs, "too many task arguments");
+    accrue();
+    Addr t = rt.allocTaskFrame();
+    DagProfiler::Idx prof = rt.profiler.newTask(curProf);
+    // Architectural initialization: these stores flow through the
+    // simulated caches like any user data (fresh frames are zero, so
+    // rc/has_stolen_child need no explicit store).
+    core.st<uint64_t>(t + L::fnOff, reinterpret_cast<uint64_t>(fn));
+    core.st<uint64_t>(t + L::parentOff, curTask);
+    int i = 0;
+    for (uint64_t v : args)
+        core.st<uint64_t>(t + L::argsOff + 8 * i++, v);
+    core.work(dispatchCycles);
+    // Profiler index is metadata, not architectural state.
+    rt.sys.mem().funcWrite<uint64_t>(t + L::profOff,
+                                     static_cast<uint64_t>(prof + 1));
+    return t;
+}
+
+uint64_t
+Worker::arg(Addr task, int i)
+{
+    return core.ld<uint64_t>(task + L::argsOff + 8 * i);
+}
+
+void
+Worker::setArg(Addr task, int i, uint64_t v)
+{
+    core.st<uint64_t>(task + L::argsOff + 8 * i, v);
+}
+
+void
+Worker::setRefCount(int64_t n)
+{
+    panic_if(!curTask, "setRefCount outside a task");
+    core.st<uint64_t>(curTask + L::rcOff, static_cast<uint64_t>(n));
+}
+
+void
+Worker::execTask(Addr t)
+{
+    accrue();
+    Addr saved_task = curTask;
+    DagProfiler::Idx saved_prof = curProf;
+    curTask = t;
+    curProf = static_cast<DagProfiler::Idx>(
+                  rt.sys.mem().funcRead<uint64_t>(t + L::profOff)) - 1;
+    lastInst = core.instCount();
+
+    // Runtime invariant: every task executes exactly once (host-side
+    // bookkeeping; a violation means the deque or join protocol broke).
+    panic_if(!rt.executedTasks.insert(t).second,
+             "task %#llx executed twice (worker %d)",
+             (unsigned long long)t, wid);
+    auto fn = reinterpret_cast<TaskFn>(core.ld<uint64_t>(t + L::fnOff));
+    core.work(dispatchCycles);
+    panic_if(!fn, "executing a task with no body");
+    fn(*this, t);
+
+    accrue();
+    rt.profiler.onTaskDone(curProf);
+    ++stats.tasksExecuted;
+    curTask = saved_task;
+    curProf = saved_prof;
+}
+
+void
+Worker::joinShared(Addr t)
+{
+    Addr parent = core.ld<uint64_t>(t + L::parentOff);
+    if (parent)
+        core.amo(mem::AmoOp::Add, parent + L::rcOff,
+                 static_cast<uint64_t>(-1), 8);
+}
+
+void
+Worker::joinDtsLocal(Addr t)
+{
+    // Figure 3(c) lines 17-20: AMO only if some child of the parent
+    // was stolen; otherwise the parent runs on this very core and a
+    // plain read-modify-write is safe.
+    Addr parent = core.ld<uint64_t>(t + L::parentOff);
+    if (!parent)
+        return;
+    if (core.ld<uint64_t>(parent + L::stolenOff)) {
+        core.amo(mem::AmoOp::Add, parent + L::rcOff,
+                 static_cast<uint64_t>(-1), 8);
+    } else {
+        uint64_t rc = core.ld<uint64_t>(parent + L::rcOff);
+        core.st<uint64_t>(parent + L::rcOff, rc - 1);
+    }
+}
+
+int
+Worker::chooseVictim()
+{
+    int n = rt.numWorkers();
+    if (n < 2)
+        return -1;
+    core.work(victimSelectCycles, TimeCat::Sync);
+    switch (rt.victimPolicy) {
+      case VictimPolicy::Random: {
+        auto v = static_cast<int>(rt.rng(wid).nextBounded(n - 1));
+        if (v >= wid)
+            ++v;
+        return v;
+      }
+      case VictimPolicy::RoundRobin: {
+        nextVictim = (nextVictim + 1) % n;
+        if (nextVictim == wid)
+            nextVictim = (nextVictim + 1) % n;
+        return nextVictim;
+      }
+      case VictimPolicy::BigFirst: {
+        // Biased sampling: half the probes target a big core (their
+        // higher throughput drains local work fastest, so their
+        // deques hold the freshest surplus), the rest stay uniform
+        // so tiny-held work is still found.
+        const auto &cores = rt.cfg.cores;
+        if (rt.rng(wid).nextBool(0.5)) {
+            for (int probe = 0; probe < n; ++probe) {
+                bigProbe = (bigProbe + 1) % n;
+                if (bigProbe != wid &&
+                    cores[bigProbe] == sim::CoreKind::Big)
+                    return bigProbe;
+            }
+        }
+        auto v = static_cast<int>(rt.rng(wid).nextBounded(n - 1));
+        if (v >= wid)
+            ++v;
+        return v;
+      }
+    }
+    return -1;
+}
+
+// ---------------------------------------------------------------------
+// spawn (Figure 3, all variants)
+// ---------------------------------------------------------------------
+
+void
+Worker::spawn(Addr t)
+{
+    ++stats.tasksSpawned;
+    TaskDeque &q = rt.deque(wid);
+    switch (rt.variant) {
+      case SchedVariant::Baseline:
+        q.lockAq(core);
+        q.enq(core, t);
+        q.lockRl(core);
+        break;
+      case SchedVariant::Hcc:
+        q.lockAq(core);
+        core.cacheInvalidate();
+        q.enq(core, t);
+        core.cacheFlush();
+        q.lockRl(core);
+        break;
+      case SchedVariant::Dts:
+        core.uliDisable();
+        core.work(1, TimeCat::Sync);
+        q.enq(core, t);
+        core.uliEnable();
+        core.work(1, TimeCat::Sync);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// wait (Figure 3, all variants)
+// ---------------------------------------------------------------------
+
+void
+Worker::wait()
+{
+    panic_if(!curTask, "wait outside a task");
+    Addr p = curTask;
+    accrue();
+    // Scheduling-loop overhead is not the task's own work (Cilkview
+    // measures the program, not the scheduler), so suspend accrual.
+    DagProfiler::Idx saved = curProf;
+    curProf = DagProfiler::none;
+    switch (rt.variant) {
+      case SchedVariant::Baseline:
+        waitBaseline(p);
+        break;
+      case SchedVariant::Hcc:
+        waitHcc(p);
+        break;
+      case SchedVariant::Dts:
+        waitDts(p);
+        break;
+    }
+    accrue();
+    curProf = saved;
+    rt.profiler.onWaitExit(curProf);
+}
+
+void
+Worker::waitBaseline(Addr p)
+{
+    TaskDeque &q = rt.deque(wid);
+    while (static_cast<int64_t>(core.ld<uint64_t>(p + L::rcOff)) > 0) {
+        q.lockAq(core);
+        Addr t = q.deqTail(core);
+        q.lockRl(core);
+        if (t) {
+            failStreak = 0;
+            execTask(t);
+            joinShared(t);
+        } else if (!stealOnce()) {
+            idleBackoff();
+        }
+    }
+}
+
+void
+Worker::waitHcc(Addr p)
+{
+    TaskDeque &q = rt.deque(wid);
+    while (static_cast<int64_t>(core.amoLoad(p + L::rcOff, 8)) > 0) {
+        q.lockAq(core);
+        core.cacheInvalidate();
+        Addr t = q.deqTail(core);
+        core.cacheFlush();
+        q.lockRl(core);
+        if (t) {
+            failStreak = 0;
+            execTask(t);
+            joinShared(t);
+        } else if (!stealOnce()) {
+            idleBackoff();
+        }
+    }
+    // Children may have run remotely; invalidate before the parent
+    // resumes so it cannot read their values stale (Figure 3(b) l.40).
+    core.cacheInvalidate();
+}
+
+void
+Worker::waitDts(Addr p)
+{
+    TaskDeque &q = rt.deque(wid);
+    auto rc = static_cast<int64_t>(core.ld<uint64_t>(p + L::rcOff));
+    while (rc > 0) {
+        core.uliDisable();
+        core.work(1, TimeCat::Sync);
+        Addr t = q.deqTail(core);
+        core.uliEnable();
+        core.work(1, TimeCat::Sync);
+        if (t) {
+            failStreak = 0;
+            execTask(t);
+            joinDtsLocal(t);
+        } else if (!stealOnce()) {
+            idleBackoff();
+        }
+        // Figure 3(c) lines 37-40: rc needs an AMO read only if a
+        // child escaped to another core.
+        if (core.ld<uint64_t>(p + L::stolenOff))
+            rc = static_cast<int64_t>(core.amoLoad(p + L::rcOff, 8));
+        else
+            rc = static_cast<int64_t>(core.ld<uint64_t>(p + L::rcOff));
+    }
+    // Invalidate only if some child actually ran elsewhere (l.43-44).
+    if (core.ld<uint64_t>(p + L::stolenOff))
+        core.cacheInvalidate();
+}
+
+// ---------------------------------------------------------------------
+// Stealing
+// ---------------------------------------------------------------------
+
+void
+Worker::idleBackoff()
+{
+    // Exponential backoff on repeated failed steals: keeps idle
+    // thieves from hammering victim deques (and, under DTS, from
+    // interrupting busy victims at a harmful rate).
+    Cycle b = rt.cfg.stealBackoff << std::min(failStreak, 3u);
+    ++failStreak;
+    core.work(b, TimeCat::Idle);
+}
+
+bool
+Worker::stealOnce()
+{
+    ++stats.stealAttempts;
+    int vid = chooseVictim();
+    if (vid < 0) {
+        ++stats.failedSteals;
+        return false;
+    }
+    switch (rt.variant) {
+      case SchedVariant::Baseline: {
+        TaskDeque &vq = rt.deque(vid);
+        vq.lockAq(core);
+        Addr t = vq.deqHead(core);
+        vq.lockRl(core);
+        if (!t)
+            break;
+        ++stats.tasksStolen;
+        failStreak = 0;
+        execTask(t);
+        joinShared(t);
+        return true;
+      }
+      case SchedVariant::Hcc: {
+        TaskDeque &vq = rt.deque(vid);
+        vq.lockAq(core);
+        core.cacheInvalidate();
+        Addr t = vq.deqHead(core);
+        core.cacheFlush();
+        vq.lockRl(core);
+        if (!t)
+            break;
+        ++stats.tasksStolen;
+        failStreak = 0;
+        core.cacheInvalidate(); // see the victim's published values
+        execTask(t);
+        core.cacheFlush();      // publish ours before the join
+        joinShared(t);
+        return true;
+      }
+      case SchedVariant::Dts: {
+        auto resp = core.uliSendReqAndWait(vid);
+        Addr t = 0;
+        if (resp.ack && resp.payload)
+            t = core.amoLoad(rt.mailbox(wid), 8, TimeCat::Sync);
+        if (!t)
+            break;
+        ++stats.tasksStolen;
+        failStreak = 0;
+        core.cacheInvalidate();
+        execTask(t);
+        core.cacheFlush();
+        joinShared(t); // stolen: always an AMO (Figure 3(c) l.33)
+        return true;
+      }
+    }
+    ++stats.failedSteals;
+    return false;
+}
+
+void
+Worker::uliHandler(CoreId thief)
+{
+    // Figure 3(c) lines 47-53, running on the victim core. ULI
+    // reception is implicitly disabled while we are in the handler.
+    TaskDeque &q = rt.deque(wid);
+    Addr t = rt.dtsStealFromTail ? q.deqTail(core) : q.deqHead(core);
+    if (!t) {
+        // Empty deque: reply immediately through the ULI response
+        // (payload 0 = no task). The common failed-probe case must
+        // not touch the mailbox or flush anything.
+        core.uliSendResp(thief, true, 0);
+        return;
+    }
+    Addr parent = core.ld<uint64_t>(t + L::parentOff);
+    if (parent)
+        core.st<uint64_t>(parent + L::stolenOff, 1);
+    // Publish every value the parent produced for the stolen task
+    // before the thief can observe it, then hand the task pointer
+    // over through the mailbox with a synchronizing store (the
+    // thief's synchronizing read is never stale).
+    core.cacheFlush();
+    core.amo(mem::AmoOp::Swap, rt.mailbox(thief), t, 8,
+             TimeCat::Sync);
+    core.uliSendResp(thief, true, 1);
+}
+
+// ---------------------------------------------------------------------
+// Guest entry
+// ---------------------------------------------------------------------
+
+void
+Worker::guestMain(const std::function<void(Worker &)> *root)
+{
+    if (rt.variant == SchedVariant::Dts) {
+        core.uliSetHandler(
+            [this](CoreId thief, uint64_t) { uliHandler(thief); });
+        core.uliEnable();
+        core.work(1, TimeCat::Sync);
+    }
+    if (root) {
+        // Worker 0 runs the root task inline.
+        Addr t = newTask(nullptr);
+        curTask = t;
+        curProf = 0;
+        lastInst = core.instCount();
+        ++stats.tasksSpawned;   // balance the executed count
+        ++stats.tasksExecuted;
+        (*root)(*this);
+        accrue();
+        rt.profiler.onTaskDone(curProf);
+        curTask = 0;
+        curProf = DagProfiler::none;
+        // Publish any remaining results, then signal completion.
+        core.cacheFlush();
+        core.amo(mem::AmoOp::Swap, rt.doneFlag(), 1, 8);
+    } else {
+        topLoop();
+    }
+    if (rt.variant == SchedVariant::Dts)
+        core.uliDisable();
+}
+
+void
+Worker::topLoop()
+{
+    // Idle workers spin on the done flag with a synchronizing read
+    // (visible under every protocol) and steal in between. Their own
+    // deque is necessarily empty between top-level task executions:
+    // a stolen task only returns after all of its descendants joined.
+    while (core.amoLoad(rt.doneFlag(), 8, TimeCat::Idle) == 0) {
+        if (!stealOnce())
+            idleBackoff();
+    }
+}
+
+} // namespace bigtiny::rt

@@ -1,0 +1,132 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace bigtiny::graph
+{
+
+int64_t
+SimGraph::maxDegreeVertex() const
+{
+    int64_t best = 0;
+    for (int64_t v = 1; v < numV; ++v) {
+        if (hDegree(v) > hDegree(best))
+            best = v;
+    }
+    return best;
+}
+
+void
+SimGraph::upload(sim::System &sys)
+{
+    auto &arena = sys.arena();
+    offsets = arena.allocLines((numV + 1) * 8);
+    edges = arena.allocLines(std::max<int64_t>(numE, 1) * 4);
+    sys.mem().funcWrite(offsets, hOff.data(), (numV + 1) * 8);
+    sys.mem().funcWrite(edges, hEdges.data(), numE * 4);
+    if (!hWeights.empty()) {
+        weights = arena.allocLines(std::max<int64_t>(numE, 1) * 4);
+        sys.mem().funcWrite(weights, hWeights.data(), numE * 4);
+    }
+}
+
+namespace
+{
+
+SimGraph
+fromUndirected(sim::System &sys, int64_t num_v,
+               std::vector<std::pair<int32_t, int32_t>> &und,
+               bool weighted, uint64_t seed)
+{
+    // Symmetrize, dedup, drop self loops.
+    std::vector<std::pair<int32_t, int32_t>> dir;
+    dir.reserve(und.size() * 2);
+    for (auto [u, v] : und) {
+        if (u == v)
+            continue;
+        dir.emplace_back(u, v);
+        dir.emplace_back(v, u);
+    }
+    std::sort(dir.begin(), dir.end());
+    dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+
+    SimGraph g;
+    g.numV = num_v;
+    g.numE = static_cast<int64_t>(dir.size());
+    g.hOff.assign(num_v + 1, 0);
+    g.hEdges.resize(dir.size());
+    for (size_t i = 0; i < dir.size(); ++i) {
+        ++g.hOff[dir[i].first + 1];
+        g.hEdges[i] = dir[i].second;
+    }
+    for (int64_t v = 0; v < num_v; ++v)
+        g.hOff[v + 1] += g.hOff[v];
+
+    if (weighted) {
+        // Symmetric weights: derive from the unordered vertex pair so
+        // both directions of an edge agree.
+        g.hWeights.resize(dir.size());
+        for (size_t i = 0; i < dir.size(); ++i) {
+            uint64_t a = std::min(dir[i].first, dir[i].second);
+            uint64_t b = std::max(dir[i].first, dir[i].second);
+            Rng rng(seed ^ (a * 0x9e3779b97f4a7c15ull + b));
+            g.hWeights[i] = static_cast<int32_t>(
+                1 + rng.nextBounded(32));
+        }
+    }
+    g.upload(sys);
+    return g;
+}
+
+} // namespace
+
+SimGraph
+buildRmat(sim::System &sys, int64_t num_v, int64_t num_e,
+          uint64_t seed, bool weighted)
+{
+    fatal_if(num_v <= 1 || (num_v & (num_v - 1)),
+             "rMAT vertex count must be a power of two > 1");
+    int levels = 0;
+    while ((1ll << levels) < num_v)
+        ++levels;
+
+    constexpr double a = 0.57, b = 0.19, c = 0.19;
+    Rng rng(seed);
+    std::vector<std::pair<int32_t, int32_t>> und;
+    und.reserve(num_e);
+    for (int64_t i = 0; i < num_e; ++i) {
+        int64_t u = 0, v = 0;
+        for (int l = 0; l < levels; ++l) {
+            double r = rng.nextDouble();
+            u <<= 1;
+            v <<= 1;
+            if (r < a) {
+                // top-left quadrant
+            } else if (r < a + b) {
+                v |= 1;
+            } else if (r < a + b + c) {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        und.emplace_back(static_cast<int32_t>(u),
+                         static_cast<int32_t>(v));
+    }
+    return fromUndirected(sys, num_v, und, weighted, seed);
+}
+
+SimGraph
+buildFromEdges(sim::System &sys, int64_t num_v,
+               const std::vector<std::pair<int32_t, int32_t>> &edges,
+               bool weighted, uint64_t seed)
+{
+    auto und = edges;
+    return fromUndirected(sys, num_v, und, weighted, seed);
+}
+
+} // namespace bigtiny::graph

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CSR graphs in simulated memory, with a host-side mirror for golden
+ * validation, plus the rMAT generator used by the paper's Ligra
+ * workloads (Table III inputs rMat_100K .. rMat_3M).
+ */
+
+#ifndef BIGTINY_GRAPH_GRAPH_HH
+#define BIGTINY_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/system.hh"
+
+namespace bigtiny::graph
+{
+
+/**
+ * A symmetric (undirected) graph in CSR form.
+ *
+ * Simulated layout: offsets is (numV+1) x int64, edges is numE x
+ * int32 neighbor ids sorted per vertex, weights (optional) is numE x
+ * int32. The host mirror (hOff/hEdges/hWeights) backs serial golden
+ * models and validation; guest code must use the simulated arrays.
+ */
+struct SimGraph
+{
+    int64_t numV = 0;
+    int64_t numE = 0; //!< directed edge slots (2x undirected edges)
+
+    Addr offsets = 0;
+    Addr edges = 0;
+    Addr weights = 0;
+
+    std::vector<int64_t> hOff;
+    std::vector<int32_t> hEdges;
+    std::vector<int32_t> hWeights;
+
+    int64_t
+    hDegree(int64_t v) const
+    {
+        return hOff[v + 1] - hOff[v];
+    }
+
+    /** Vertex with the largest degree (canonical BFS/BC source). */
+    int64_t maxDegreeVertex() const;
+
+    /** Copy the host mirror into simulated memory. */
+    void upload(sim::System &sys);
+};
+
+/**
+ * Build a symmetric rMAT graph (a=0.57, b=c=0.19, d=0.05), dedup'ed,
+ * self-loop-free, neighbor lists sorted. @p weighted attaches integer
+ * edge weights in [1, 32] (for Bellman-Ford).
+ */
+SimGraph buildRmat(sim::System &sys, int64_t num_v, int64_t num_e,
+                   uint64_t seed, bool weighted = false);
+
+/** Build a graph from an explicit undirected edge list (tests). */
+SimGraph buildFromEdges(
+    sim::System &sys, int64_t num_v,
+    const std::vector<std::pair<int32_t, int32_t>> &und_edges,
+    bool weighted = false, uint64_t seed = 1);
+
+} // namespace bigtiny::graph
+
+#endif // BIGTINY_GRAPH_GRAPH_HH

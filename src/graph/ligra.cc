@@ -1,0 +1,16 @@
+#include "graph/ligra.hh"
+
+namespace bigtiny::graph
+{
+
+void
+parClearBytes(rt::Worker &w, Addr base, int64_t n, int64_t grain)
+{
+    w.parallelFor(0, (n + 7) / 8, grain,
+                  [base](rt::Worker &ww, int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i)
+                          ww.st<uint64_t>(base + i * 8, 0);
+                  });
+}
+
+} // namespace bigtiny::graph

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small Ligra-style helpers shared by the graph kernels: dense byte
+ * frontiers, parallel clears, and synchronized change flags. The
+ * kernels themselves (src/apps/ligra_*.cc) write their edge loops
+ * directly with parallel_for — mirroring the dense edgeMap traversal
+ * of Ligra — so each can apply the paper's per-app synchronization
+ * idioms (compare-and-swap updates, write-min, bit-vector or-ing).
+ */
+
+#ifndef BIGTINY_GRAPH_LIGRA_HH
+#define BIGTINY_GRAPH_LIGRA_HH
+
+#include "core/worker.hh"
+#include "graph/graph.hh"
+
+namespace bigtiny::graph
+{
+
+/**
+ * Edge-level nested-parallelism grain: a vertex whose degree exceeds
+ * twice this splits its edge list into nested tasks, mirroring
+ * Ligra's edge-balanced traversal of power-law graphs.
+ */
+constexpr int64_t edgeGrain = 128;
+
+/** Allocate @p n bytes of zeroed simulated memory (line padded). */
+inline Addr
+allocBytes(sim::System &sys, int64_t n)
+{
+    return sys.arena().allocLines(static_cast<uint64_t>(n));
+}
+
+/** Allocate an n-element array of T. */
+template <typename T>
+Addr
+allocArray(sim::System &sys, int64_t n)
+{
+    return sys.arena().allocLines(static_cast<uint64_t>(n) * sizeof(T));
+}
+
+/** Host-side fill of a simulated array (input setup; zero-time). */
+template <typename T>
+void
+fillArray(sim::System &sys, Addr base, int64_t n, T value)
+{
+    std::vector<T> tmp(n, value);
+    sys.mem().funcWrite(base, tmp.data(), n * sizeof(T));
+}
+
+/** Parallel clear of a byte array (guest code, charged). */
+void parClearBytes(rt::Worker &w, Addr base, int64_t n, int64_t grain);
+
+/**
+ * One synchronized "something changed" flag. Workers OR into it at
+ * most once per leaf task (cheap), the driver reads it between
+ * rounds with a synchronizing load and resets it with a sync store.
+ */
+struct ChangeFlag
+{
+    explicit ChangeFlag(sim::System &sys)
+        : addr(sys.arena().allocLines(lineBytes))
+    {}
+
+    void
+    raise(rt::Worker &w) const
+    {
+        w.core.amo(mem::AmoOp::Or, addr, 1, 8);
+    }
+
+    bool
+    readAndClear(rt::Worker &w) const
+    {
+        return w.core.amo(mem::AmoOp::Swap, addr, 0, 8) != 0;
+    }
+
+    Addr addr;
+};
+
+} // namespace bigtiny::graph
+
+#endif // BIGTINY_GRAPH_LIGRA_HH

@@ -1,0 +1,84 @@
+#include "mem/address_space.hh"
+
+namespace bigtiny::mem
+{
+
+uint8_t *
+MainMemory::pageFor(Addr addr)
+{
+    Addr page = addr / pageBytes;
+    auto it = pages.find(page);
+    if (it == pages.end())
+        it = pages.emplace(page,
+                           std::vector<uint8_t>(pageBytes, 0)).first;
+    return it->second.data();
+}
+
+const uint8_t *
+MainMemory::pageForConst(Addr addr) const
+{
+    auto it = pages.find(addr / pageBytes);
+    return it == pages.end() ? nullptr : it->second.data();
+}
+
+void
+MainMemory::read(Addr addr, void *buf, uint32_t len) const
+{
+    auto *out = static_cast<uint8_t *>(buf);
+    while (len > 0) {
+        Addr off = addr % pageBytes;
+        uint32_t chunk = static_cast<uint32_t>(
+            std::min<Addr>(len, pageBytes - off));
+        const uint8_t *page = pageForConst(addr);
+        if (page)
+            std::memcpy(out, page + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MainMemory::write(Addr addr, const void *buf, uint32_t len)
+{
+    auto *in = static_cast<const uint8_t *>(buf);
+    while (len > 0) {
+        Addr off = addr % pageBytes;
+        uint32_t chunk = static_cast<uint32_t>(
+            std::min<Addr>(len, pageBytes - off));
+        std::memcpy(pageFor(addr) + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MainMemory::readLine(Addr addr, uint8_t *line) const
+{
+    panic_if(lineOffset(addr) != 0, "readLine: unaligned %#llx",
+             (unsigned long long)addr);
+    read(addr, line, lineBytes);
+}
+
+void
+MainMemory::writeLineMasked(Addr addr, const uint8_t *line,
+                            uint64_t byte_mask)
+{
+    panic_if(lineOffset(addr) != 0, "writeLineMasked: unaligned %#llx",
+             (unsigned long long)addr);
+    if (byte_mask == ~0ull) {
+        write(addr, line, lineBytes);
+        return;
+    }
+    uint8_t *page = pageFor(addr);
+    Addr off = addr % pageBytes;
+    for (uint32_t i = 0; i < lineBytes; ++i) {
+        if (byte_mask & (1ull << i))
+            page[off + i] = line[i];
+    }
+}
+
+} // namespace bigtiny::mem

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Simulated physical address space: sparse backing storage plus an
+ * arena allocator for guest data. Guest data (task records, deques,
+ * application arrays, graphs) lives here and is only reachable through
+ * the simulated cache hierarchy, so protocol mistakes produce real
+ * stale values.
+ */
+
+#ifndef BIGTINY_MEM_ADDRESS_SPACE_HH
+#define BIGTINY_MEM_ADDRESS_SPACE_HH
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace bigtiny::mem
+{
+
+/**
+ * Sparse byte-addressable main memory. Pages are allocated on first
+ * touch; reads of untouched memory return zero.
+ */
+class MainMemory
+{
+  public:
+    static constexpr Addr pageBytes = 4096;
+
+    /** Read @p len bytes at @p addr into @p buf. */
+    void read(Addr addr, void *buf, uint32_t len) const;
+
+    /** Write @p len bytes from @p buf at @p addr. */
+    void write(Addr addr, const void *buf, uint32_t len);
+
+    /** Read one full cache line (addr must be line-aligned). */
+    void readLine(Addr addr, uint8_t *line) const;
+
+    /** Write selected bytes of one cache line per @p byte_mask. */
+    void writeLineMasked(Addr addr, const uint8_t *line,
+                         uint64_t byte_mask);
+
+    size_t numPages() const { return pages.size(); }
+
+  private:
+    uint8_t *pageFor(Addr addr);
+    const uint8_t *pageForConst(Addr addr) const;
+
+    std::unordered_map<Addr, std::vector<uint8_t>> pages;
+};
+
+/**
+ * Bump allocator over the simulated address space. Address 0 is kept
+ * unmapped so that Addr 0 can serve as a null task/list pointer.
+ *
+ * Allocation is a host-side operation (no simulated cycles): it models
+ * memory that was set up by the loader or a malloc whose cost the
+ * paper's measurements exclude. reset() recycles the arena between
+ * runs.
+ */
+class ArenaAllocator
+{
+  public:
+    explicit ArenaAllocator(Addr base = 0x1000) : base(base), next(base)
+    {}
+
+    /** Allocate @p bytes aligned to @p align (power of two). */
+    Addr
+    alloc(uint64_t bytes, uint64_t align = 8)
+    {
+        panic_if(align == 0 || (align & (align - 1)),
+                 "bad alignment %llu", (unsigned long long)align);
+        next = (next + align - 1) & ~(align - 1);
+        Addr a = next;
+        next += bytes;
+        return a;
+    }
+
+    /** Allocate line-aligned storage padded to whole lines. */
+    Addr
+    allocLines(uint64_t bytes)
+    {
+        uint64_t padded =
+            (bytes + lineBytes - 1) & ~static_cast<uint64_t>(
+                lineBytes - 1);
+        return alloc(padded, lineBytes);
+    }
+
+    void reset() { next = base; }
+
+    Addr bytesUsed() const { return next - base; }
+
+  private:
+    Addr base;
+    Addr next;
+};
+
+} // namespace bigtiny::mem
+
+#endif // BIGTINY_MEM_ADDRESS_SPACE_HH

@@ -1,0 +1,4 @@
+#include "mem/dram.hh"
+
+// Header-only implementation; translation unit reserved for future
+// extensions (open-page policy, per-bank scheduling).

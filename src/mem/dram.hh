@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DRAM controller bandwidth/latency model.
+ *
+ * One controller per mesh column (paper Table II: 8 controllers,
+ * 16GB/s aggregate at a 1GHz clock => 2 bytes/cycle/controller).
+ * Each access pays a fixed latency plus bandwidth serialization;
+ * back-to-back accesses queue behind the controller's next-free time,
+ * which is sufficient to reproduce bandwidth saturation effects.
+ */
+
+#ifndef BIGTINY_MEM_DRAM_HH
+#define BIGTINY_MEM_DRAM_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace bigtiny::mem
+{
+
+class Dram
+{
+  public:
+    explicit Dram(const sim::SystemConfig &cfg)
+        : cfg(cfg), nextFree(cfg.numBanks(), 0)
+    {}
+
+    /**
+     * Access @p bytes at controller @p mc starting at @p now.
+     * @return cycles until the access completes (relative to now).
+     */
+    Cycle
+    access(int mc, Cycle now, uint32_t bytes)
+    {
+        Cycle serv = static_cast<Cycle>(
+            static_cast<double>(bytes) / cfg.mcBytesPerCycle + 0.5);
+        if (serv == 0)
+            serv = 1;
+        Cycle start = std::max(now, nextFree[mc]);
+        nextFree[mc] = start + serv;
+        Cycle done = start + cfg.dramLat + serv;
+        ++_accesses;
+        _bytes += bytes;
+        _queueCycles += start - now;
+        return done - now;
+    }
+
+    uint64_t accesses() const { return _accesses; }
+    uint64_t bytes() const { return _bytes; }
+    uint64_t queueCycles() const { return _queueCycles; }
+
+    void
+    clearStats()
+    {
+        _accesses = _bytes = _queueCycles = 0;
+        std::fill(nextFree.begin(), nextFree.end(), 0);
+    }
+
+  private:
+    const sim::SystemConfig &cfg;
+    std::vector<Cycle> nextFree;
+    uint64_t _accesses = 0;
+    uint64_t _bytes = 0;
+    uint64_t _queueCycles = 0;
+};
+
+} // namespace bigtiny::mem
+
+#endif // BIGTINY_MEM_DRAM_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Private L1 data-cache storage model.
+ *
+ * One L1Cache instance backs each core's private data cache. It stores
+ * real line data so that coherence-protocol behaviour is functional as
+ * well as timed: stale lines contain genuinely stale bytes. The
+ * protocol *transaction* logic lives in MemorySystem; this class only
+ * provides set-associative storage, LRU replacement, and bookkeeping.
+ *
+ * One line structure serves all four protocols (paper Table I):
+ *  - MESI uses the mesi state field (I/S/E/M).
+ *  - DeNovo uses valid + owned (ownership registered at the L2).
+ *  - GPU-WT uses valid only (write-through, no dirty data).
+ *  - GPU-WB uses per-byte valid/dirty masks (word-granularity writes).
+ */
+
+#ifndef BIGTINY_MEM_L1_CACHE_HH
+#define BIGTINY_MEM_L1_CACHE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace bigtiny::mem
+{
+
+/** MESI stable states. */
+enum class MesiState : uint8_t { I, S, E, M };
+
+struct L1Line
+{
+    Addr lineAddr = 0;
+    bool valid = false;
+    MesiState mesi = MesiState::I;
+    bool owned = false;          //!< DeNovo: registered at L2
+    uint64_t validMask = 0;      //!< per-byte validity
+    uint64_t dirtyMask = 0;      //!< per-byte dirtiness
+    uint64_t lru = 0;
+    std::array<uint8_t, lineBytes> data{};
+
+    void
+    reset()
+    {
+        valid = false;
+        mesi = MesiState::I;
+        owned = false;
+        validMask = 0;
+        dirtyMask = 0;
+    }
+
+    /** Byte mask covering [offset, offset+len). */
+    static uint64_t
+    maskFor(uint32_t offset, uint32_t len)
+    {
+        uint64_t m = len >= 64 ? ~0ull : ((1ull << len) - 1);
+        return m << offset;
+    }
+};
+
+class L1Cache
+{
+  public:
+    L1Cache(sim::Protocol proto, uint32_t size_bytes, uint32_t ways);
+
+    sim::Protocol protocol() const { return proto; }
+
+    /** Find a valid line; updates nothing. */
+    L1Line *find(Addr line_addr);
+    const L1Line *find(Addr line_addr) const;
+
+    /**
+     * Pick a victim way for @p line_addr (invalid way preferred, else
+     * LRU). The caller must handle write-back of the returned line's
+     * previous contents before reusing it.
+     */
+    L1Line *victimFor(Addr line_addr);
+
+    /** Bump LRU for a line on access. */
+    void touch(L1Line *line) { line->lru = ++lruTick; }
+
+    /** Apply fn to every valid line (invalidate/flush/drain walks). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (auto &l : lines) {
+            if (l.valid)
+                fn(l);
+        }
+    }
+
+    /** Invalidate everything (test/reset helper; no stats). */
+    void
+    reset()
+    {
+        for (auto &l : lines)
+            l.reset();
+    }
+
+    uint32_t numSets() const { return sets; }
+    uint32_t numWays() const { return ways; }
+
+    sim::CacheStats stats;
+
+  private:
+    uint32_t setOf(Addr line_addr) const
+    {
+        return static_cast<uint32_t>((line_addr >> lineShift) % sets);
+    }
+
+    sim::Protocol proto;
+    uint32_t sets;
+    uint32_t ways;
+    uint64_t lruTick = 0;
+    std::vector<L1Line> lines; // sets x ways, row-major
+};
+
+} // namespace bigtiny::mem
+
+#endif // BIGTINY_MEM_L1_CACHE_HH

@@ -1,0 +1,53 @@
+#include "mem/l2_cache.hh"
+
+namespace bigtiny::mem
+{
+
+L2Cache::L2Cache(const sim::SystemConfig &cfg)
+    : banks(cfg.numBanks()),
+      setsPerBank(cfg.l2BankBytes / (lineBytes * cfg.l2Ways)),
+      ways(cfg.l2Ways), occupancy(cfg.l2Occupancy),
+      lines(static_cast<size_t>(banks) * setsPerBank * cfg.l2Ways),
+      bankFree(banks, 0)
+{
+    panic_if(setsPerBank == 0, "L2 bank with zero sets");
+}
+
+L2Line *
+L2Cache::find(Addr line_addr)
+{
+    L2Line *base = &lines[slotBase(line_addr)];
+    for (uint32_t w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+L2Line *
+L2Cache::victimFor(Addr line_addr)
+{
+    L2Line *base = &lines[slotBase(line_addr)];
+    L2Line *victim = &base[0];
+    for (uint32_t w = 0; w < ways; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return victim;
+}
+
+void
+L2Cache::reset()
+{
+    for (auto &l : lines) {
+        l.valid = false;
+        l.dirty = false;
+        l.resetDirectory();
+    }
+    std::fill(bankFree.begin(), bankFree.end(), 0);
+    hits = misses = 0;
+}
+
+} // namespace bigtiny::mem

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Shared banked L2 cache with an embedded directory.
+ *
+ * Following paper Section V-A and Spandex, the L2 is the integration
+ * point for heterogeneous coherence: it keeps a precise sharer list
+ * for MESI L1s (the L2 is inclusive of MESI private caches) and a
+ * registration owner for DeNovo lines. GPU-WT/GPU-WB L1s are not
+ * tracked at all — that is the source of their simplicity and of the
+ * flush/invalidate obligations on software.
+ *
+ * Storage + directory state only; transaction logic is in
+ * MemorySystem.
+ */
+
+#ifndef BIGTINY_MEM_L2_CACHE_HH
+#define BIGTINY_MEM_L2_CACHE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace bigtiny::mem
+{
+
+/** Bitset of cores sized for up to 256 cores. */
+struct SharerSet
+{
+    std::array<uint64_t, 4> w{};
+
+    void set(CoreId c) { w[c >> 6] |= 1ull << (c & 63); }
+    void clear(CoreId c) { w[c >> 6] &= ~(1ull << (c & 63)); }
+    bool test(CoreId c) const { return w[c >> 6] >> (c & 63) & 1; }
+
+    bool
+    any() const
+    {
+        return (w[0] | w[1] | w[2] | w[3]) != 0;
+    }
+
+    int
+    count() const
+    {
+        int n = 0;
+        for (auto x : w)
+            n += __builtin_popcountll(x);
+        return n;
+    }
+
+    void clearAll() { w = {}; }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (int i = 0; i < 4; ++i) {
+            uint64_t x = w[i];
+            while (x) {
+                int b = __builtin_ctzll(x);
+                x &= x - 1;
+                fn(static_cast<CoreId>(i * 64 + b));
+            }
+        }
+    }
+};
+
+struct L2Line
+{
+    Addr lineAddr = 0;
+    bool valid = false;
+    bool dirty = false;            //!< with respect to main memory
+    CoreId mesiOwner = invalidCore; //!< core holding E/M, if any
+    SharerSet sharers;             //!< MESI sharers (includes owner)
+    CoreId dnvOwner = invalidCore; //!< DeNovo registration owner
+    uint64_t lru = 0;
+    std::array<uint8_t, lineBytes> data{};
+
+    void
+    resetDirectory()
+    {
+        mesiOwner = invalidCore;
+        sharers.clearAll();
+        dnvOwner = invalidCore;
+    }
+};
+
+class L2Cache
+{
+  public:
+    explicit L2Cache(const sim::SystemConfig &cfg);
+
+    /** Bank holding @p line_addr (line-interleaved across columns). */
+    int
+    bankOf(Addr line_addr) const
+    {
+        return static_cast<int>((line_addr >> lineShift) % banks);
+    }
+
+    L2Line *find(Addr line_addr);
+
+    /**
+     * Pick a victim way in the set of @p line_addr (invalid way
+     * preferred, else LRU). Caller handles eviction of prior contents
+     * (write-back, inclusive-invalidate of MESI sharers, DeNovo owner
+     * recall).
+     */
+    L2Line *victimFor(Addr line_addr);
+
+    void touch(L2Line *line) { line->lru = ++lruTick; }
+
+    /**
+     * Bank service queueing: reserve the bank at or after @p t.
+     * @return the cycle at which service begins.
+     */
+    Cycle
+    reserveBank(int bank, Cycle t)
+    {
+        Cycle start = std::max(t, bankFree[bank]);
+        bankFree[bank] = start + occupancy;
+        return start;
+    }
+
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (auto &l : lines) {
+            if (l.valid)
+                fn(l);
+        }
+    }
+
+    void reset();
+
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+  private:
+    uint32_t setOf(Addr line_addr) const
+    {
+        // Bank-interleaved: strip the bank bits, then index sets.
+        uint64_t frame = (line_addr >> lineShift) / banks;
+        return static_cast<uint32_t>(frame % setsPerBank);
+    }
+
+    size_t
+    slotBase(Addr line_addr) const
+    {
+        size_t bank = static_cast<size_t>(bankOf(line_addr));
+        return (bank * setsPerBank + setOf(line_addr)) * ways;
+    }
+
+    int banks;
+    uint32_t setsPerBank;
+    uint32_t ways;
+    Cycle occupancy;
+    uint64_t lruTick = 0;
+    std::vector<L2Line> lines;   // banks x sets x ways
+    std::vector<Cycle> bankFree;
+};
+
+} // namespace bigtiny::mem
+
+#endif // BIGTINY_MEM_L2_CACHE_HH

@@ -1,0 +1,943 @@
+#include "mem/memory_system.hh"
+
+#include <cstring>
+
+namespace bigtiny::mem
+{
+
+using sim::MsgClass;
+using sim::Protocol;
+
+MemorySystem::MemorySystem(const sim::SystemConfig &cfg)
+    : cfg(cfg), l2c(cfg), nocModel(cfg), dramModel(cfg)
+{
+    l1s.reserve(cfg.numCores());
+    for (CoreId c = 0; c < cfg.numCores(); ++c) {
+        l1s.push_back(std::make_unique<L1Cache>(
+            cfg.protocolOf(c), cfg.l1BytesOf(c), cfg.l1Ways));
+    }
+}
+
+Cycle
+MemorySystem::ctrlRoundTrip(int bank, CoreId c) const
+{
+    uint32_t hops = nocModel.hopsCoreToBank(c, bank);
+    return 2 * (static_cast<Cycle>(hops) * cfg.hopLat);
+}
+
+void
+MemorySystem::fillL1(L1Line *slot, Addr la, const L2Line *m)
+{
+    // Preserve locally dirty bytes on refill (GPU-WB partial lines).
+    uint64_t keep = (slot->valid && slot->lineAddr == la)
+        ? slot->dirtyMask : 0;
+    if (!(slot->valid && slot->lineAddr == la)) {
+        slot->reset();
+        slot->lineAddr = la;
+    }
+    for (uint32_t i = 0; i < lineBytes; ++i) {
+        if (!(keep & (1ull << i)))
+            slot->data[i] = m->data[i];
+    }
+    slot->valid = true;
+    slot->validMask = ~0ull;
+}
+
+// ---------------------------------------------------------------------
+// L2-side helpers
+// ---------------------------------------------------------------------
+
+L2Line *
+MemorySystem::l2GetLine(Addr la, Cycle &t, bool count_traffic)
+{
+    L2Line *m = l2c.find(la);
+    if (m) {
+        ++l2c.hits;
+        l2c.touch(m);
+        return m;
+    }
+    ++l2c.misses;
+    L2Line *victim = l2c.victimFor(la);
+    if (victim->valid)
+        l2Evict(victim, t);
+
+    int bank = l2c.bankOf(la);
+    if (count_traffic) {
+        nocModel.send(MsgClass::DramReq, cfg.ctrlMsgBytes, 1);
+        nocModel.send(MsgClass::DramResp, nocModel.dataMsgBytes(), 1);
+    }
+    t += dramModel.access(bank, t, lineBytes);
+
+    main.readLine(la, victim->data.data());
+    victim->lineAddr = la;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->resetDirectory();
+    l2c.touch(victim);
+    return victim;
+}
+
+void
+MemorySystem::l2Evict(L2Line *victim, Cycle &t)
+{
+    Addr la = victim->lineAddr;
+    int bank = l2c.bankOf(la);
+
+    // Inclusive invalidation of MESI L1 copies; recall dirty data.
+    if (victim->mesiOwner != invalidCore) {
+        CoreId o = victim->mesiOwner;
+        L1Line *ol = l1s[o]->find(la);
+        nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
+                      nocModel.hopsCoreToBank(o, bank));
+        if (ol && ol->mesi == MesiState::M) {
+            victim->data = ol->data;
+            victim->dirty = true;
+            nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
+                          nocModel.hopsCoreToBank(o, bank));
+        } else {
+            nocModel.send(MsgClass::CohResp, cfg.ctrlMsgBytes,
+                          nocModel.hopsCoreToBank(o, bank));
+        }
+        if (ol)
+            ol->reset();
+        t += ctrlRoundTrip(bank, o);
+        victim->mesiOwner = invalidCore;
+        victim->sharers.clear(o);
+    }
+    if (victim->sharers.any()) {
+        Cycle max_rt = 0;
+        victim->sharers.forEach([&](CoreId s) {
+            L1Line *sl = l1s[s]->find(la);
+            if (sl)
+                sl->reset();
+            nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
+                          nocModel.hopsCoreToBank(s, bank));
+            nocModel.send(MsgClass::CohResp, cfg.ctrlMsgBytes,
+                          nocModel.hopsCoreToBank(s, bank));
+            max_rt = std::max(max_rt, ctrlRoundTrip(bank, s));
+        });
+        t += max_rt;
+        victim->sharers.clearAll();
+    }
+    // Recall DeNovo registration (write back owned data).
+    if (victim->dnvOwner != invalidCore) {
+        CoreId o = victim->dnvOwner;
+        L1Line *ol = l1s[o]->find(la);
+        nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
+                      nocModel.hopsCoreToBank(o, bank));
+        nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
+                      nocModel.hopsCoreToBank(o, bank));
+        if (ol) {
+            victim->data = ol->data;
+            victim->dirty = true;
+            ol->owned = false;
+            ol->dirtyMask = 0;
+        }
+        t += ctrlRoundTrip(bank, o);
+        victim->dnvOwner = invalidCore;
+    }
+    // Note: untracked GPU-WT/WB L1 copies are left in place. Stale
+    // copies are the software's responsibility (cache_invalidate);
+    // GPU-WB dirty bytes will merge back on flush/eviction.
+
+    if (victim->dirty) {
+        nocModel.send(MsgClass::DramReq, nocModel.dataMsgBytes(), 1);
+        dramModel.access(l2c.bankOf(la), t, lineBytes);
+        main.writeLineMasked(la, victim->data.data(), ~0ull);
+    }
+    victim->valid = false;
+    victim->dirty = false;
+}
+
+/**
+ * Writer-initiated invalidation toward the hardware-coherent domain:
+ * any write that reaches the L2 from outside the MESI domain (DeNovo
+ * registration, GPU write-through, GPU-WB flush/write-back, AMO at the
+ * L2) must invalidate MESI copies, recalling dirty data from an M
+ * owner first. This is the Spandex-style integration role of the L2.
+ */
+void
+MemorySystem::invalidateMesiCopies(L2Line *m, CoreId requester,
+                                   Cycle &t)
+{
+    Addr la = m->lineAddr;
+    int bank = l2c.bankOf(la);
+    if (m->mesiOwner != invalidCore && m->mesiOwner != requester) {
+        CoreId o = m->mesiOwner;
+        L1Line *ol = l1s[o]->find(la);
+        nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
+                      nocModel.hopsCoreToBank(o, bank));
+        if (ol && ol->mesi == MesiState::M) {
+            m->data = ol->data;
+            m->dirty = true;
+            nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
+                          nocModel.hopsCoreToBank(o, bank));
+        } else {
+            nocModel.send(MsgClass::CohResp, cfg.ctrlMsgBytes,
+                          nocModel.hopsCoreToBank(o, bank));
+        }
+        if (ol)
+            ol->reset();
+        t += ctrlRoundTrip(bank, o) + 2;
+        m->sharers.clear(o);
+        m->mesiOwner = invalidCore;
+    }
+    if (m->sharers.any()) {
+        Cycle max_rt = 0;
+        bool requester_was_sharer = m->sharers.test(requester);
+        m->sharers.forEach([&](CoreId s) {
+            if (s == requester)
+                return;
+            L1Line *sl = l1s[s]->find(la);
+            if (sl)
+                sl->reset();
+            nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
+                          nocModel.hopsCoreToBank(s, bank));
+            nocModel.send(MsgClass::CohResp, cfg.ctrlMsgBytes,
+                          nocModel.hopsCoreToBank(s, bank));
+            max_rt = std::max(max_rt, ctrlRoundTrip(bank, s));
+        });
+        t += max_rt;
+        m->sharers.clearAll();
+        if (requester_was_sharer)
+            m->sharers.set(requester);
+    }
+}
+
+void
+MemorySystem::l2FreshenForRead(L2Line *m, CoreId requester, Cycle &t)
+{
+    Addr la = m->lineAddr;
+    int bank = l2c.bankOf(la);
+    bool requester_mesi =
+        l1s[requester]->protocol() == Protocol::MESI;
+
+    if (m->mesiOwner != invalidCore && m->mesiOwner != requester) {
+        CoreId o = m->mesiOwner;
+        L1Line *ol = l1s[o]->find(la);
+        nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
+                      nocModel.hopsCoreToBank(o, bank));
+        if (ol && ol->mesi == MesiState::M) {
+            m->data = ol->data;
+            m->dirty = true;
+            nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
+                          nocModel.hopsCoreToBank(o, bank));
+        } else {
+            nocModel.send(MsgClass::CohResp, cfg.ctrlMsgBytes,
+                          nocModel.hopsCoreToBank(o, bank));
+        }
+        if (ol) {
+            ol->mesi = MesiState::S; // downgrade
+            ol->dirtyMask = 0;
+        }
+        t += ctrlRoundTrip(bank, o) + 2;
+        m->mesiOwner = invalidCore; // still a sharer
+    }
+    if (m->dnvOwner != invalidCore && m->dnvOwner != requester) {
+        // Forward read: owner supplies fresh data. Software-coherent
+        // readers self-invalidate, so the owner may keep its
+        // registration; a MESI reader instead relies on hardware
+        // transparency, so its read must revoke the registration
+        // (the owner writes back and continues clean) or later owned
+        // writes would bypass the directory and leave the MESI copy
+        // stale forever.
+        CoreId o = m->dnvOwner;
+        L1Line *ol = l1s[o]->find(la);
+        nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
+                      nocModel.hopsCoreToBank(o, bank));
+        nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
+                      nocModel.hopsCoreToBank(o, bank));
+        if (ol) {
+            m->data = ol->data;
+            m->dirty = true;
+        }
+        if (requester_mesi) {
+            if (ol) {
+                ol->owned = false;
+                ol->dirtyMask = 0;
+            }
+            m->dnvOwner = invalidCore;
+        }
+        t += ctrlRoundTrip(bank, o) + 2;
+    }
+}
+
+void
+MemorySystem::l2ExclusiveForWrite(L2Line *m, CoreId requester, Cycle &t)
+{
+    Addr la = m->lineAddr;
+    int bank = l2c.bankOf(la);
+
+    invalidateMesiCopies(m, requester, t);
+    if (m->dnvOwner != invalidCore && m->dnvOwner != requester) {
+        // Recall registration: owner writes back and loses ownership.
+        CoreId o = m->dnvOwner;
+        L1Line *ol = l1s[o]->find(la);
+        nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
+                      nocModel.hopsCoreToBank(o, bank));
+        nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
+                      nocModel.hopsCoreToBank(o, bank));
+        if (ol) {
+            m->data = ol->data;
+            m->dirty = true;
+            ol->reset();
+        }
+        t += ctrlRoundTrip(bank, o) + 2;
+        m->dnvOwner = invalidCore;
+    }
+}
+
+// ---------------------------------------------------------------------
+// L1 eviction / write-back
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::writeL1LineToL2(CoreId c, L1Line *line, uint64_t byte_mask,
+                              Cycle &t, bool charge_latency)
+{
+    if (byte_mask == 0)
+        return;
+    Addr la = line->lineAddr;
+    int bank = l2c.bankOf(la);
+    uint32_t dirty_bytes =
+        static_cast<uint32_t>(__builtin_popcountll(byte_mask));
+    nocModel.send(MsgClass::WbReq, nocModel.dataMsgBytes(dirty_bytes),
+                  nocModel.hopsCoreToBank(c, bank));
+    Cycle t2 = t;
+    L2Line *m = l2GetLine(la, t2);
+    l2c.reserveBank(bank, t2);
+    // A write-back landing in the L2 from outside the MESI domain is
+    // a write: MESI copies must be invalidated (writer-initiated).
+    invalidateMesiCopies(m, c, t2);
+    for (uint32_t i = 0; i < lineBytes; ++i) {
+        if (byte_mask & (1ull << i))
+            m->data[i] = line->data[i];
+    }
+    m->dirty = true;
+    if (charge_latency)
+        t = t2;
+}
+
+void
+MemorySystem::evictL1Line(CoreId c, L1Line *line, Cycle &t)
+{
+    if (!line->valid)
+        return;
+    auto &cache = *l1s[c];
+    ++cache.stats.evictions;
+    Addr la = line->lineAddr;
+
+    switch (cache.protocol()) {
+      case Protocol::MESI:
+        if (line->mesi == MesiState::M) {
+            // Write back the whole line; directory drops us.
+            writeL1LineToL2(c, line, ~0ull, t, false);
+            ++cache.stats.wbLines;
+        }
+        if (L2Line *m = l2c.find(la)) {
+            m->sharers.clear(c);
+            if (m->mesiOwner == c)
+                m->mesiOwner = invalidCore;
+        }
+        break;
+      case Protocol::DeNovo:
+        if (line->owned) {
+            writeL1LineToL2(c, line, ~0ull, t, false);
+            ++cache.stats.wbLines;
+            if (L2Line *m = l2c.find(la)) {
+                if (m->dnvOwner == c)
+                    m->dnvOwner = invalidCore;
+            }
+        }
+        break;
+      case Protocol::GpuWT:
+        break; // always clean
+      case Protocol::GpuWB:
+        if (line->dirtyMask) {
+            writeL1LineToL2(c, line, line->dirtyMask, t, false);
+            ++cache.stats.wbLines;
+        }
+        break;
+    }
+    line->reset();
+}
+
+// ---------------------------------------------------------------------
+// Loads
+// ---------------------------------------------------------------------
+
+MemorySystem::Result
+MemorySystem::load(CoreId c, Cycle now, Addr a, void *out, uint32_t len)
+{
+    panic_if(lineOffset(a) + len > lineBytes,
+             "load crosses line: %#llx len %u", (unsigned long long)a,
+             len);
+    auto &cache = *l1s[c];
+    ++cache.stats.loads;
+    Addr la = lineAlign(a);
+    uint32_t off = lineOffset(a);
+    uint64_t mask = L1Line::maskFor(off, len);
+
+    L1Line *l = cache.find(la);
+    bool hit = l && (cache.protocol() == Protocol::MESI
+                         ? l->mesi != MesiState::I
+                         : (l->validMask & mask) == mask);
+    if (hit) {
+        cache.touch(l);
+        std::memcpy(out, l->data.data() + off, len);
+        return {cfg.l1HitLat, true};
+    }
+
+    ++cache.stats.loadMisses;
+    int bank = l2c.bankOf(la);
+    Cycle t = now;
+    t += nocModel.send(MsgClass::CpuReq, cfg.ctrlMsgBytes,
+                       nocModel.hopsCoreToBank(c, bank));
+    t = l2c.reserveBank(bank, t) + cfg.l2AccessLat;
+    // Make room in the L1 first: the victim's write-back may itself
+    // allocate in the L2 and would invalidate any L2Line pointer held
+    // across it.
+    L1Line *slot = l ? l : cache.victimFor(la);
+    if (!l)
+        evictL1Line(c, slot, t);
+    L2Line *m = l2GetLine(la, t);
+    l2FreshenForRead(m, c, t);
+    fillL1(slot, la, m);
+    cache.touch(slot);
+
+    switch (cache.protocol()) {
+      case Protocol::MESI:
+        if (!m->sharers.any() && m->mesiOwner == invalidCore) {
+            slot->mesi = MesiState::E;
+            m->mesiOwner = c;
+        } else {
+            slot->mesi = MesiState::S;
+        }
+        m->sharers.set(c);
+        break;
+      case Protocol::DeNovo:
+      case Protocol::GpuWT:
+      case Protocol::GpuWB:
+        break; // untracked clean fill
+    }
+
+    t += nocModel.send(MsgClass::DataResp, nocModel.dataMsgBytes(),
+                       nocModel.hopsCoreToBank(c, bank));
+    std::memcpy(out, slot->data.data() + off, len);
+    return {t - now, false};
+}
+
+// ---------------------------------------------------------------------
+// Stores
+// ---------------------------------------------------------------------
+
+MemorySystem::Result
+MemorySystem::store(CoreId c, Cycle now, Addr a, const void *in,
+                    uint32_t len)
+{
+    panic_if(lineOffset(a) + len > lineBytes,
+             "store crosses line: %#llx len %u", (unsigned long long)a,
+             len);
+    auto &cache = *l1s[c];
+    ++cache.stats.stores;
+    Addr la = lineAlign(a);
+    uint32_t off = lineOffset(a);
+    uint64_t mask = L1Line::maskFor(off, len);
+    int bank = l2c.bankOf(la);
+    L1Line *l = cache.find(la);
+
+    switch (cache.protocol()) {
+      case Protocol::MESI: {
+        if (l && l->mesi == MesiState::M) {
+            cache.touch(l);
+            std::memcpy(l->data.data() + off, in, len);
+            l->dirtyMask |= mask;
+            return {cfg.l1HitLat, true};
+        }
+        if (l && l->mesi == MesiState::E) {
+            cache.touch(l);
+            l->mesi = MesiState::M; // silent upgrade
+            std::memcpy(l->data.data() + off, in, len);
+            l->dirtyMask |= mask;
+            return {cfg.l1HitLat, true};
+        }
+        ++cache.stats.storeMisses;
+        Cycle t = now;
+        t += nocModel.send(MsgClass::CpuReq, cfg.ctrlMsgBytes,
+                           nocModel.hopsCoreToBank(c, bank));
+        t = l2c.reserveBank(bank, t) + cfg.l2AccessLat;
+        L1Line *slot = l ? l : cache.victimFor(la);
+        if (!l)
+            evictL1Line(c, slot, t); // before the L2 transaction
+        L2Line *m = l2GetLine(la, t);
+        l2ExclusiveForWrite(m, c, t);
+        bool upgrade = l != nullptr; // S -> M, data already present
+        fillL1(slot, la, m);
+        cache.touch(slot);
+        slot->mesi = MesiState::M;
+        m->mesiOwner = c;
+        m->sharers.clearAll();
+        m->sharers.set(c);
+        t += nocModel.send(MsgClass::DataResp,
+                           upgrade ? cfg.ctrlMsgBytes
+                                   : nocModel.dataMsgBytes(),
+                           nocModel.hopsCoreToBank(c, bank));
+        std::memcpy(slot->data.data() + off, in, len);
+        slot->dirtyMask |= mask;
+        return {t - now, false};
+      }
+
+      case Protocol::DeNovo: {
+        if (l && l->owned) {
+            cache.touch(l);
+            std::memcpy(l->data.data() + off, in, len);
+            l->dirtyMask |= mask;
+            l->validMask |= mask;
+            return {cfg.l1HitLat, true};
+        }
+        // Obtain registration at the L2.
+        ++cache.stats.storeMisses;
+        Cycle t = now;
+        t += nocModel.send(MsgClass::CpuReq, cfg.ctrlMsgBytes,
+                           nocModel.hopsCoreToBank(c, bank));
+        t = l2c.reserveBank(bank, t) + cfg.l2AccessLat;
+        L1Line *slot = l ? l : cache.victimFor(la);
+        if (!l)
+            evictL1Line(c, slot, t); // before the L2 transaction
+        L2Line *m = l2GetLine(la, t);
+        l2ExclusiveForWrite(m, c, t);
+        fillL1(slot, la, m);
+        cache.touch(slot);
+        slot->owned = true;
+        m->dnvOwner = c;
+        t += nocModel.send(MsgClass::DataResp, nocModel.dataMsgBytes(),
+                           nocModel.hopsCoreToBank(c, bank));
+        std::memcpy(slot->data.data() + off, in, len);
+        slot->dirtyMask |= mask;
+        return {t - now, false};
+      }
+
+      case Protocol::GpuWT: {
+        // Write-through, no-allocate. The write buffer hides latency
+        // (wtStoreLat) but the write still occupies NoC + bank.
+        nocModel.send(MsgClass::WbReq, nocModel.dataMsgBytes(len),
+                      nocModel.hopsCoreToBank(c, bank));
+        Cycle arrive =
+            now + nocModel.latency(nocModel.hopsCoreToBank(c, bank),
+                                   cfg.ctrlMsgBytes + len);
+        Cycle start = l2c.reserveBank(bank, arrive);
+        Cycle t = start + cfg.l2AccessLat;
+        L2Line *m = l2GetLine(la, t);
+        l2ExclusiveForWrite(m, c, t);
+        std::memcpy(m->data.data() + lineOffset(a), in, len);
+        m->dirty = true;
+        bool hit = false;
+        if (l) {
+            // No write-update: the write-through cache drops local
+            // validity for the stored bytes, so read-after-write
+            // misses back to the L2 (this is what makes GPU-WT
+            // catastrophic on read-modify-write kernels like
+            // cilk5-lu in the paper).
+            l->validMask &= ~mask;
+        }
+        ++cache.stats.storeMisses;
+        // The write buffer hides latency only while the bank keeps
+        // up; once the backlog exceeds the buffering slack, the core
+        // stalls (write-through bandwidth backpressure).
+        Cycle backlog = start > arrive ? start - arrive : 0;
+        Cycle stall = backlog > cfg.wtBufferSlack
+                          ? backlog - cfg.wtBufferSlack
+                          : 0;
+        return {cfg.wtStoreLat + stall, hit};
+      }
+
+      case Protocol::GpuWB: {
+        if (l && l->valid) {
+            cache.touch(l);
+            std::memcpy(l->data.data() + off, in, len);
+            l->dirtyMask |= mask;
+            l->validMask |= mask;
+            return {cfg.l1HitLat, true};
+        }
+        // Write-allocate: fetch the line, then write locally.
+        ++cache.stats.storeMisses;
+        Cycle t = now;
+        t += nocModel.send(MsgClass::CpuReq, cfg.ctrlMsgBytes,
+                           nocModel.hopsCoreToBank(c, bank));
+        t = l2c.reserveBank(bank, t) + cfg.l2AccessLat;
+        L1Line *slot = cache.victimFor(la);
+        evictL1Line(c, slot, t); // before the L2 transaction
+        L2Line *m = l2GetLine(la, t);
+        l2FreshenForRead(m, c, t);
+        fillL1(slot, la, m);
+        cache.touch(slot);
+        t += nocModel.send(MsgClass::DataResp, nocModel.dataMsgBytes(),
+                           nocModel.hopsCoreToBank(c, bank));
+        std::memcpy(slot->data.data() + off, in, len);
+        slot->dirtyMask |= mask;
+        return {t - now, false};
+      }
+    }
+    panic("unreachable store path");
+}
+
+// ---------------------------------------------------------------------
+// AMOs
+// ---------------------------------------------------------------------
+
+uint64_t
+MemorySystem::amoApply(AmoOp op, uint64_t old, uint64_t operand,
+                       uint64_t cas_expect, uint32_t len)
+{
+    auto sext = [len](uint64_t v) -> int64_t {
+        if (len == 4)
+            return static_cast<int32_t>(v);
+        return static_cast<int64_t>(v);
+    };
+    switch (op) {
+      case AmoOp::Add:
+        return old + operand;
+      case AmoOp::Or:
+        return old | operand;
+      case AmoOp::And:
+        return old & operand;
+      case AmoOp::Xor:
+        return old ^ operand;
+      case AmoOp::Swap:
+        return operand;
+      case AmoOp::Min:
+        return sext(old) <= sext(operand) ? old : operand;
+      case AmoOp::Max:
+        return sext(old) >= sext(operand) ? old : operand;
+      case AmoOp::Cas:
+        return old == cas_expect ? operand : old;
+    }
+    panic("bad AmoOp");
+}
+
+MemorySystem::Result
+MemorySystem::amo(CoreId c, Cycle now, AmoOp op, Addr a,
+                  uint64_t operand, uint64_t cas_expect, uint32_t len,
+                  uint64_t &old_out)
+{
+    panic_if(len != 4 && len != 8, "amo length must be 4 or 8");
+    panic_if(a % len != 0, "amo must be naturally aligned");
+    auto &cache = *l1s[c];
+    ++cache.stats.amos;
+    switch (cache.protocol()) {
+      case Protocol::MESI:
+      case Protocol::DeNovo:
+        return amoAtL1(c, now, op, a, operand, cas_expect, len, old_out);
+      case Protocol::GpuWT:
+      case Protocol::GpuWB:
+        return amoAtL2(c, now, op, a, operand, cas_expect, len, old_out);
+    }
+    panic("unreachable amo path");
+}
+
+MemorySystem::Result
+MemorySystem::amoAtL1(CoreId c, Cycle now, AmoOp op, Addr a,
+                      uint64_t operand, uint64_t cas_expect,
+                      uint32_t len, uint64_t &old_out)
+{
+    // Obtain an exclusive/registered copy, then operate in the L1.
+    auto &cache = *l1s[c];
+    Addr la = lineAlign(a);
+    uint32_t off = lineOffset(a);
+    uint64_t mask = L1Line::maskFor(off, len);
+    int bank = l2c.bankOf(la);
+    L1Line *l = cache.find(la);
+
+    bool exclusive =
+        l && (cache.protocol() == Protocol::MESI
+                  ? (l->mesi == MesiState::M || l->mesi == MesiState::E)
+                  : l->owned);
+    Cycle t = now;
+    bool hit = true;
+    if (!exclusive) {
+        hit = false;
+        t += nocModel.send(MsgClass::SyncReq, cfg.ctrlMsgBytes,
+                           nocModel.hopsCoreToBank(c, bank));
+        t = l2c.reserveBank(bank, t) + cfg.l2AccessLat;
+        L1Line *slot = l ? l : cache.victimFor(la);
+        if (!l)
+            evictL1Line(c, slot, t); // before the L2 transaction
+        L2Line *m = l2GetLine(la, t);
+        l2ExclusiveForWrite(m, c, t);
+        fillL1(slot, la, m);
+        if (cache.protocol() == Protocol::MESI) {
+            slot->mesi = MesiState::M;
+            m->mesiOwner = c;
+            m->sharers.clearAll();
+            m->sharers.set(c);
+        } else {
+            slot->owned = true;
+            m->dnvOwner = c;
+        }
+        t += nocModel.send(MsgClass::SyncResp, nocModel.dataMsgBytes(),
+                           nocModel.hopsCoreToBank(c, bank));
+        l = slot;
+    }
+    cache.touch(l);
+    if (cache.protocol() == Protocol::MESI)
+        l->mesi = MesiState::M;
+
+    uint64_t old = 0;
+    std::memcpy(&old, l->data.data() + off, len);
+    uint64_t next = amoApply(op, old, operand, cas_expect, len);
+    std::memcpy(l->data.data() + off, &next, len);
+    l->dirtyMask |= mask;
+    l->validMask |= mask;
+    old_out = old;
+    return {t - now + 1, hit};
+}
+
+MemorySystem::Result
+MemorySystem::amoAtL2(CoreId c, Cycle now, AmoOp op, Addr a,
+                      uint64_t operand, uint64_t cas_expect,
+                      uint32_t len, uint64_t &old_out)
+{
+    auto &cache = *l1s[c];
+    Addr la = lineAlign(a);
+    uint32_t off = lineOffset(a);
+    uint64_t mask = L1Line::maskFor(off, len);
+    int bank = l2c.bankOf(la);
+
+    Cycle t = now;
+    t += nocModel.send(MsgClass::SyncReq, cfg.ctrlMsgBytes + 8,
+                       nocModel.hopsCoreToBank(c, bank));
+
+    // Flush-word-before-atomic: our own dirty bytes of this word must
+    // reach the L2 before the operation (GPU-WB only).
+    L1Line *l = cache.find(la);
+    if (l && (l->dirtyMask & mask)) {
+        Cycle t2 = t;
+        writeL1LineToL2(c, l, l->dirtyMask & mask, t2, false);
+        l->dirtyMask &= ~mask;
+    }
+
+    t = l2c.reserveBank(bank, t) + cfg.l2AccessLat;
+    L2Line *m = l2GetLine(la, t);
+    l2ExclusiveForWrite(m, c, t);
+
+    uint64_t old = 0;
+    std::memcpy(&old, m->data.data() + off, len);
+    uint64_t next = amoApply(op, old, operand, cas_expect, len);
+    std::memcpy(m->data.data() + off, &next, len);
+    m->dirty = true;
+
+    // Write-update our cached copy so locally visible data stays
+    // consistent (kept clean; the L2 holds the authoritative value).
+    if (l && l->valid) {
+        std::memcpy(l->data.data() + off, &next, len);
+        l->validMask |= mask;
+    }
+
+    t += nocModel.send(MsgClass::SyncResp, cfg.ctrlMsgBytes + 8,
+                       nocModel.hopsCoreToBank(c, bank));
+    old_out = old;
+    return {t - now, false};
+}
+
+// ---------------------------------------------------------------------
+// cache_invalidate / cache_flush
+// ---------------------------------------------------------------------
+
+MemorySystem::Result
+MemorySystem::cacheInvalidate(CoreId c, Cycle now)
+{
+    auto &cache = *l1s[c];
+    if (cache.protocol() == Protocol::MESI)
+        return {0, true}; // no-op: hardware keeps us coherent
+
+    ++cache.stats.invOps;
+    uint64_t dropped = 0;
+    cache.forEachValid([&](L1Line &l) {
+        switch (cache.protocol()) {
+          case Protocol::DeNovo:
+            if (!l.owned) {
+                l.reset();
+                ++dropped;
+            }
+            break;
+          case Protocol::GpuWT:
+            l.reset();
+            ++dropped;
+            break;
+          case Protocol::GpuWB:
+            if (l.dirtyMask == 0) {
+                l.reset();
+                ++dropped;
+            } else if (l.validMask != l.dirtyMask) {
+                // Keep only our own dirty bytes valid.
+                l.validMask = l.dirtyMask;
+                ++dropped;
+            }
+            break;
+          default:
+            break;
+        }
+    });
+    cache.stats.invLines += dropped;
+    (void)now;
+    return {cfg.invFlashLat, true};
+}
+
+MemorySystem::Result
+MemorySystem::cacheFlush(CoreId c, Cycle now)
+{
+    auto &cache = *l1s[c];
+    if (cache.protocol() != Protocol::GpuWB)
+        return {0, true}; // no dirty data to propagate (Table I)
+
+    ++cache.stats.flushOps;
+    uint64_t flushed = 0;
+    Cycle t = now;
+    cache.forEachValid([&](L1Line &l) {
+        if (l.dirtyMask == 0)
+            return;
+        Cycle t2 = t;
+        writeL1LineToL2(c, &l, l.dirtyMask, t2, false);
+        l.dirtyMask = 0;
+        ++flushed;
+    });
+    cache.stats.flushLines += flushed;
+    return {cfg.flushBaseLat + cfg.flushPerLineLat * flushed,
+            flushed == 0};
+}
+
+// ---------------------------------------------------------------------
+// Functional access / drain / invariants
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::funcRead(Addr a, void *out, uint64_t len)
+{
+    auto *dst = static_cast<uint8_t *>(out);
+    while (len > 0) {
+        Addr la = lineAlign(a);
+        uint32_t off = lineOffset(a);
+        uint32_t chunk =
+            static_cast<uint32_t>(std::min<uint64_t>(len,
+                                                     lineBytes - off));
+        uint8_t line[lineBytes];
+        main.readLine(la, line);
+        if (L2Line *m = l2c.find(la)) {
+            std::memcpy(line, m->data.data(), lineBytes);
+        }
+        // Overlay the freshest private data: M/owned lines win whole-
+        // line; GPU-WB dirty bytes win per byte.
+        for (auto &l1p : l1s) {
+            L1Line *l = l1p->find(la);
+            if (!l)
+                continue;
+            bool whole = (l1p->protocol() == Protocol::MESI &&
+                          l->mesi == MesiState::M) ||
+                         (l1p->protocol() == Protocol::DeNovo &&
+                          l->owned);
+            if (whole) {
+                std::memcpy(line, l->data.data(), lineBytes);
+            } else if (l->dirtyMask) {
+                for (uint32_t i = 0; i < lineBytes; ++i) {
+                    if (l->dirtyMask & (1ull << i))
+                        line[i] = l->data[i];
+                }
+            }
+        }
+        std::memcpy(dst, line + off, chunk);
+        dst += chunk;
+        a += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemorySystem::funcWrite(Addr a, const void *in, uint64_t len)
+{
+    auto *src = static_cast<const uint8_t *>(in);
+    while (len > 0) {
+        Addr la = lineAlign(a);
+        uint32_t off = lineOffset(a);
+        uint32_t chunk =
+            static_cast<uint32_t>(std::min<uint64_t>(len,
+                                                     lineBytes - off));
+        main.write(a, src, chunk);
+        if (L2Line *m = l2c.find(la))
+            std::memcpy(m->data.data() + off, src, chunk);
+        for (auto &l1p : l1s) {
+            if (L1Line *l = l1p->find(la))
+                std::memcpy(l->data.data() + off, src, chunk);
+        }
+        src += chunk;
+        a += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MemorySystem::drainAll()
+{
+    // Write every private dirty byte through to main memory, then
+    // every dirty L2 line, then invalidate everything.
+    for (CoreId c = 0; c < cfg.numCores(); ++c) {
+        auto &cache = *l1s[c];
+        cache.forEachValid([&](L1Line &l) {
+            bool whole = (cache.protocol() == Protocol::MESI &&
+                          l.mesi == MesiState::M) ||
+                         (cache.protocol() == Protocol::DeNovo &&
+                          l.owned);
+            uint64_t mask = whole ? ~0ull : l.dirtyMask;
+            if (mask) {
+                if (L2Line *m = l2c.find(l.lineAddr)) {
+                    for (uint32_t i = 0; i < lineBytes; ++i) {
+                        if (mask & (1ull << i))
+                            m->data[i] = l.data[i];
+                    }
+                    m->dirty = true;
+                } else {
+                    main.writeLineMasked(l.lineAddr, l.data.data(),
+                                         mask);
+                }
+            }
+            l.reset();
+        });
+    }
+    l2c.forEachValid([&](L2Line &m) {
+        if (m.dirty)
+            main.writeLineMasked(m.lineAddr, m.data.data(), ~0ull);
+        m.valid = false;
+        m.dirty = false;
+        m.resetDirectory();
+    });
+}
+
+int
+MemorySystem::checkCoherenceInvariants() const
+{
+    int violations = 0;
+    // SWMR over MESI lines: collect every valid MESI L1 line.
+    std::unordered_map<Addr, std::pair<int, int>> state; // (M/E, S)
+    for (const auto &l1p : l1s) {
+        if (l1p->protocol() != Protocol::MESI)
+            continue;
+        const_cast<L1Cache &>(*l1p).forEachValid([&](L1Line &l) {
+            auto &st = state[l.lineAddr];
+            if (l.mesi == MesiState::M || l.mesi == MesiState::E)
+                ++st.first;
+            else if (l.mesi == MesiState::S)
+                ++st.second;
+        });
+    }
+    for (auto &[la, st] : state) {
+        if (st.first > 1)
+            ++violations; // two exclusive owners
+        if (st.first >= 1 && st.second >= 1)
+            ++violations; // exclusive + sharers
+        // Inclusion: every cached MESI line must be present in L2.
+        if (!const_cast<L2Cache &>(l2c).find(la))
+            ++violations;
+    }
+    return violations;
+}
+
+} // namespace bigtiny::mem

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The heterogeneous-cache-coherence protocol engine.
+ *
+ * MemorySystem ties the per-core L1s, the banked L2 + directory, the
+ * mesh NoC and the DRAM controllers together and implements the four
+ * coherence protocols of paper Table I as *atomic transactions*: each
+ * guest memory operation executes functionally at the moment the
+ * issuing core is the globally minimum-time core, and its latency is
+ * composed from NoC traversals, bank/DRAM queueing, and remote-cache
+ * recalls. Transient protocol states are therefore not modeled
+ * (equivalent to gem5's atomic Ruby mode); see DESIGN.md.
+ *
+ * Protocol summary (Table I):
+ *   MESI   — writer-initiated invalidation through the directory,
+ *            ownership write-back, AMOs execute in the L1.
+ *   DeNovo — reader-initiated self-invalidation (cache_invalidate),
+ *            ownership registration at the L2 for dirty propagation
+ *            (cache_flush is a no-op), AMOs execute in the L1.
+ *   GPU-WT — reader-initiated self-invalidation, write-through
+ *            no-allocate stores, no flush needed, AMOs at the L2.
+ *   GPU-WB — reader-initiated self-invalidation, per-byte dirty
+ *            write-back stores, explicit cache_flush, AMOs at the L2.
+ */
+
+#ifndef BIGTINY_MEM_MEMORY_SYSTEM_HH
+#define BIGTINY_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "mem/dram.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_cache.hh"
+#include "mem/noc.hh"
+#include "sim/config.hh"
+
+namespace bigtiny::mem
+{
+
+/** Atomic read-modify-write operations. */
+enum class AmoOp : uint8_t
+{
+    Add,
+    Or,
+    And,
+    Xor,
+    Swap,
+    Min, //!< signed
+    Max, //!< signed
+    Cas, //!< compare-and-swap; uses the extra expected operand
+};
+
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const sim::SystemConfig &cfg);
+
+    struct Result
+    {
+        Cycle lat = 0;
+        bool hit = true;
+    };
+
+    /**
+     * Timed guest operations. @p now is the issuing core's local time;
+     * the return value's lat field is the added latency. Accesses must
+     * not cross a cache-line boundary.
+     * @{
+     */
+    Result load(CoreId c, Cycle now, Addr a, void *out, uint32_t len);
+    Result store(CoreId c, Cycle now, Addr a, const void *in,
+                 uint32_t len);
+    Result amo(CoreId c, Cycle now, AmoOp op, Addr a, uint64_t operand,
+               uint64_t cas_expect, uint32_t len, uint64_t &old_out);
+
+    /** cache_invalidate: drop clean data (no-op on MESI). */
+    Result cacheInvalidate(CoreId c, Cycle now);
+
+    /** cache_flush: write back dirty data (only GPU-WB acts). */
+    Result cacheFlush(CoreId c, Cycle now);
+    /** @} */
+
+    /**
+     * Functional (host-side, zero-time) access. funcRead returns the
+     * globally freshest value (checking owners and dirty copies);
+     * funcWrite updates backing memory and every cached copy.
+     * @{
+     */
+    void funcRead(Addr a, void *out, uint64_t len);
+    void funcWrite(Addr a, const void *in, uint64_t len);
+
+    template <typename T>
+    T
+    funcRead(Addr a)
+    {
+        T v;
+        funcRead(a, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    funcWrite(Addr a, T v)
+    {
+        funcWrite(a, &v, sizeof(T));
+    }
+    /** @} */
+
+    /**
+     * Functionally write back and invalidate every cache (no timing,
+     * no stats). Used between runs and before end-of-run validation.
+     */
+    void drainAll();
+
+    /**
+     * Verify MESI invariants (SWMR: at most one E/M copy per line, and
+     * no S copies coexisting with an M copy) and directory inclusion.
+     * @return number of violations (0 when coherent).
+     */
+    int checkCoherenceInvariants() const;
+
+    L1Cache &l1(CoreId c) { return *l1s[c]; }
+    const L1Cache &l1(CoreId c) const { return *l1s[c]; }
+    L2Cache &l2() { return l2c; }
+    Noc &noc() { return nocModel; }
+    Dram &dram() { return dramModel; }
+    MainMemory &mainMemory() { return main; }
+
+    const sim::SystemConfig &config() const { return cfg; }
+
+  private:
+    // --- transaction helpers (all advance the absolute time t) -------
+    L2Line *l2GetLine(Addr la, Cycle &t, bool count_traffic = true);
+    void l2Evict(L2Line *victim, Cycle &t);
+    void invalidateMesiCopies(L2Line *m, CoreId requester, Cycle &t);
+    void l2FreshenForRead(L2Line *m, CoreId requester, Cycle &t);
+    void l2ExclusiveForWrite(L2Line *m, CoreId requester, Cycle &t);
+    void evictL1Line(CoreId c, L1Line *line, Cycle &t);
+    void writeL1LineToL2(CoreId c, L1Line *line, uint64_t byte_mask,
+                         Cycle &t, bool charge_latency);
+
+    /** Round-trip NoC latency bank<->core for control messages. */
+    Cycle ctrlRoundTrip(int bank, CoreId c) const;
+
+    // Fill an L1 slot from an L2 line (functional).
+    void fillL1(L1Line *slot, Addr la, const L2Line *m);
+
+    static uint64_t amoApply(AmoOp op, uint64_t old, uint64_t operand,
+                             uint64_t cas_expect, uint32_t len);
+
+    Result amoAtL1(CoreId c, Cycle now, AmoOp op, Addr a,
+                   uint64_t operand, uint64_t cas_expect, uint32_t len,
+                   uint64_t &old_out);
+    Result amoAtL2(CoreId c, Cycle now, AmoOp op, Addr a,
+                   uint64_t operand, uint64_t cas_expect, uint32_t len,
+                   uint64_t &old_out);
+
+    const sim::SystemConfig &cfg;
+    MainMemory main;
+    std::vector<std::unique_ptr<L1Cache>> l1s;
+    L2Cache l2c;
+    Noc nocModel;
+    Dram dramModel;
+};
+
+} // namespace bigtiny::mem
+
+#endif // BIGTINY_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,5 @@
+#include "mem/noc.hh"
+
+// Header-only implementation; this translation unit pins the vtable-
+// free class into the library and provides a home for future growth
+// (e.g., per-link contention modeling).

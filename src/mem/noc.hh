@@ -1,0 +1,95 @@
+/**
+ * @file
+ * On-chip mesh network model.
+ *
+ * Geometry and routing follow paper Table II: an RxC mesh with XY
+ * routing, 16B flits, and 1-cycle router + 1-cycle channel latency per
+ * hop. Each L2 bank and DRAM controller pair sits at the foot of its
+ * column (paper Figure 1). Latency is hops * hopLat plus payload
+ * serialization; per-link buffering is abstracted (endpoint queueing
+ * is modeled at the L2 banks and memory controllers, which dominate
+ * contention for these workloads). Every message is accounted by
+ * class for the paper's Figure 8 traffic breakdown.
+ */
+
+#ifndef BIGTINY_MEM_NOC_HH
+#define BIGTINY_MEM_NOC_HH
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace bigtiny::mem
+{
+
+class Noc
+{
+  public:
+    explicit Noc(const sim::SystemConfig &cfg) : cfg(cfg) {}
+
+    int tileRow(CoreId c) const { return c / cfg.meshCols; }
+    int tileCol(CoreId c) const { return c % cfg.meshCols; }
+
+    /** Mesh column hosting L2 bank / memory controller @p bank. */
+    int bankCol(int bank) const { return bank % cfg.meshCols; }
+
+    /** XY-routed hop count from core tile to an L2 bank. */
+    uint32_t
+    hopsCoreToBank(CoreId c, int bank) const
+    {
+        int dx = std::abs(tileCol(c) - bankCol(bank));
+        int dy = cfg.meshRows - tileRow(c); // banks below bottom row
+        return static_cast<uint32_t>(dx + dy);
+    }
+
+    /** XY-routed hop count between two core tiles. */
+    uint32_t
+    hopsCoreToCore(CoreId a, CoreId b) const
+    {
+        return static_cast<uint32_t>(
+            std::abs(tileCol(a) - tileCol(b)) +
+            std::abs(tileRow(a) - tileRow(b)));
+    }
+
+    /** Pure latency of moving @p bytes over @p hops. */
+    Cycle
+    latency(uint32_t hops, uint32_t bytes) const
+    {
+        uint32_t flits =
+            std::max(1u, (bytes + cfg.flitBytes - 1) / cfg.flitBytes);
+        return static_cast<Cycle>(hops) * cfg.hopLat + (flits - 1);
+    }
+
+    /** Account one message and return its traversal latency. */
+    Cycle
+    send(sim::MsgClass cls, uint32_t bytes, uint32_t hops)
+    {
+        auto i = static_cast<size_t>(cls);
+        ++_stats.msgs[i];
+        _stats.bytes[i] += bytes;
+        _stats.hopTraversals += hops;
+        return latency(hops, bytes);
+    }
+
+    /** Payload size of a data-bearing message (header + one line). */
+    uint32_t dataMsgBytes() const { return cfg.ctrlMsgBytes + lineBytes; }
+
+    /** Payload size of a data message carrying @p bytes of data. */
+    uint32_t
+    dataMsgBytes(uint32_t data_bytes) const
+    {
+        return cfg.ctrlMsgBytes + data_bytes;
+    }
+
+    uint32_t ctrlMsgBytes() const { return cfg.ctrlMsgBytes; }
+
+    const sim::NocStats &stats() const { return _stats; }
+    void clearStats() { _stats = sim::NocStats(); }
+
+  private:
+    const sim::SystemConfig &cfg;
+    sim::NocStats _stats;
+};
+
+} // namespace bigtiny::mem
+
+#endif // BIGTINY_MEM_NOC_HH

@@ -1,0 +1,198 @@
+#include "sim/config.hh"
+
+#include "common/log.hh"
+
+namespace bigtiny::sim
+{
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::MESI:
+        return "mesi";
+      case Protocol::DeNovo:
+        return "dnv";
+      case Protocol::GpuWT:
+        return "gwt";
+      case Protocol::GpuWB:
+        return "gwb";
+    }
+    return "?";
+}
+
+void
+SystemConfig::check() const
+{
+    fatal_if(cores.empty(), "config '%s' has no cores", name.c_str());
+    fatal_if(numCores() > meshRows * meshCols,
+             "config '%s': %d cores exceed %dx%d mesh", name.c_str(),
+             numCores(), meshRows, meshCols);
+    fatal_if(tinyL1Bytes % (lineBytes * l1Ways) != 0,
+             "tiny L1 size not divisible into sets");
+    fatal_if(bigL1Bytes % (lineBytes * l1Ways) != 0,
+             "big L1 size not divisible into sets");
+    fatal_if(l2BankBytes % (lineBytes * l2Ways) != 0,
+             "L2 bank size not divisible into sets");
+    fatal_if(dequeCapacity == 0 || (dequeCapacity & (dequeCapacity - 1)),
+             "deque capacity must be a power of two");
+}
+
+namespace
+{
+
+/**
+ * Core placement for big.TINY systems mirrors paper Figure 1: big
+ * cores sit in the bottom mesh row (closest to the L2 banks and
+ * memory controllers), interleaved with tiny cores; all remaining
+ * tiles are tiny cores.
+ */
+std::vector<CoreKind>
+bigTinyPlacement(int rows, int cols, int num_big)
+{
+    std::vector<CoreKind> kinds(rows * cols, CoreKind::Tiny);
+    int placed = 0;
+    for (int c = 0; c < cols && placed < num_big; c += 2, ++placed)
+        kinds[(rows - 1) * cols + c] = CoreKind::Big;
+    fatal_if(placed < num_big, "cannot place %d big cores in %d columns",
+             num_big, cols);
+    return kinds;
+}
+
+} // namespace
+
+SystemConfig
+bigTinyMesi()
+{
+    SystemConfig cfg;
+    cfg.name = "bt-mesi";
+    cfg.cores = bigTinyPlacement(8, 8, 4);
+    cfg.tinyProtocol = Protocol::MESI;
+    cfg.dts = false;
+    return cfg;
+}
+
+SystemConfig
+bigTinyHcc(Protocol tiny, bool dts)
+{
+    SystemConfig cfg;
+    cfg.name = std::string("bt-hcc-") + protocolName(tiny) +
+               (dts ? "-dts" : "");
+    cfg.cores = bigTinyPlacement(8, 8, 4);
+    cfg.tinyProtocol = tiny;
+    cfg.dts = dts;
+    return cfg;
+}
+
+SystemConfig
+o3(int n)
+{
+    fatal_if(n < 1 || n > 8, "o3(n) supports 1..8 big cores");
+    SystemConfig cfg;
+    cfg.name = "o3x" + std::to_string(n);
+    cfg.meshRows = 1;
+    cfg.meshCols = 8;
+    cfg.cores.assign(n, CoreKind::Big);
+    cfg.tinyProtocol = Protocol::MESI;
+    return cfg;
+}
+
+SystemConfig
+serialTiny()
+{
+    SystemConfig cfg;
+    cfg.name = "serial-io";
+    cfg.meshRows = 1;
+    cfg.meshCols = 8;
+    cfg.cores.assign(1, CoreKind::Tiny);
+    cfg.tinyProtocol = Protocol::MESI;
+    return cfg;
+}
+
+SystemConfig
+tiny64(Protocol tiny, bool dts)
+{
+    SystemConfig cfg;
+    cfg.name = std::string("tiny64-") + protocolName(tiny) +
+               (dts ? "-dts" : "");
+    cfg.cores.assign(64, CoreKind::Tiny);
+    cfg.tinyProtocol = tiny;
+    cfg.dts = dts;
+    return cfg;
+}
+
+SystemConfig
+bigTiny256(Protocol tiny, bool dts, bool hcc)
+{
+    SystemConfig cfg;
+    if (!hcc) {
+        cfg.name = "bt256-mesi";
+        tiny = Protocol::MESI;
+        dts = false;
+    } else {
+        cfg.name = std::string("bt256-hcc-") + protocolName(tiny) +
+                   (dts ? "-dts" : "");
+    }
+    cfg.meshRows = 8;
+    cfg.meshCols = 32;
+    cfg.cores = bigTinyPlacement(8, 32, 4);
+    cfg.tinyProtocol = tiny;
+    cfg.dts = dts;
+    // 4x memory bandwidth via 4x the controllers (one per column);
+    // per-controller bandwidth is unchanged.
+    return cfg;
+}
+
+SystemConfig
+configByName(const std::string &name)
+{
+    if (name == "bt-mesi")
+        return bigTinyMesi();
+    if (name == "bt-hcc-dnv")
+        return bigTinyHcc(Protocol::DeNovo, false);
+    if (name == "bt-hcc-gwt")
+        return bigTinyHcc(Protocol::GpuWT, false);
+    if (name == "bt-hcc-gwb")
+        return bigTinyHcc(Protocol::GpuWB, false);
+    if (name == "bt-hcc-dnv-dts")
+        return bigTinyHcc(Protocol::DeNovo, true);
+    if (name == "bt-hcc-gwt-dts")
+        return bigTinyHcc(Protocol::GpuWT, true);
+    if (name == "bt-hcc-gwb-dts")
+        return bigTinyHcc(Protocol::GpuWB, true);
+    if (name == "o3x1")
+        return o3(1);
+    if (name == "o3x4")
+        return o3(4);
+    if (name == "o3x8")
+        return o3(8);
+    if (name == "serial-io")
+        return serialTiny();
+    // tiny64-<proto>[-dts] (Figure 4 granularity study)
+    if (name.rfind("tiny64-", 0) == 0) {
+        std::string rest = name.substr(7);
+        bool dts = false;
+        if (rest.size() > 4 && rest.substr(rest.size() - 4) == "-dts") {
+            dts = true;
+            rest = rest.substr(0, rest.size() - 4);
+        }
+        Protocol p = rest == "mesi"  ? Protocol::MESI
+                     : rest == "dnv" ? Protocol::DeNovo
+                     : rest == "gwt" ? Protocol::GpuWT
+                     : rest == "gwb" ? Protocol::GpuWB
+                                     : Protocol::MESI;
+        fatal_if(rest != "mesi" && rest != "dnv" && rest != "gwt" &&
+                     rest != "gwb",
+                 "unknown tiny64 protocol in '%s'", name.c_str());
+        return tiny64(p, dts);
+    }
+    if (name == "bt256-mesi")
+        return bigTiny256(Protocol::MESI, false, false);
+    if (name == "bt256-hcc-gwb")
+        return bigTiny256(Protocol::GpuWB, false);
+    if (name == "bt256-hcc-gwb-dts")
+        return bigTiny256(Protocol::GpuWB, true);
+    fatal("unknown config name '%s'", name.c_str());
+}
+
+} // namespace bigtiny::sim

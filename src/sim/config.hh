@@ -1,0 +1,157 @@
+/**
+ * @file
+ * System configuration: core mix, coherence protocols, cache/NoC/DRAM
+ * parameters, and the named presets used throughout the paper's
+ * evaluation (Section V, Table II).
+ */
+
+#ifndef BIGTINY_SIM_CONFIG_HH
+#define BIGTINY_SIM_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bigtiny::sim
+{
+
+/** Private-cache coherence protocol (paper Table I). */
+enum class Protocol
+{
+    MESI,   //!< writer-initiated inv, owner WB, line granularity
+    DeNovo, //!< reader-initiated inv, owner WB (registration), AMO in L1
+    GpuWT,  //!< reader-initiated inv, write-through no-allocate, AMO in L2
+    GpuWB,  //!< reader-initiated inv, per-word write-back, AMO in L2
+};
+
+const char *protocolName(Protocol p);
+
+/** Core microarchitecture class. */
+enum class CoreKind
+{
+    Tiny, //!< single-issue in-order, 4KB L1s
+    Big,  //!< 4-way out-of-order, 64KB L1s (analytic model)
+};
+
+/**
+ * Full system configuration. Defaults follow paper Table II
+ * (64-core big.TINY: 4 big + 60 tiny, 8x8 mesh, 8x512KB L2 banks,
+ * 8 DRAM controllers, 16GB/s total at a 1GHz core clock).
+ */
+struct SystemConfig
+{
+    std::string name = "unnamed";
+
+    /** Core i lives at mesh tile i (row-major). */
+    std::vector<CoreKind> cores;
+
+    int meshRows = 8;
+    int meshCols = 8;
+
+    /** Protocol of tiny-core L1s; big cores always run MESI. */
+    Protocol tinyProtocol = Protocol::MESI;
+
+    /** Direct task stealing (runtime + ULI hardware) enabled. */
+    bool dts = false;
+
+    // --- L1 parameters ------------------------------------------------
+    uint32_t tinyL1Bytes = 4 * 1024;
+    uint32_t bigL1Bytes = 64 * 1024;
+    uint32_t l1Ways = 2;
+    Cycle l1HitLat = 1;
+
+    // --- L2 parameters (one bank per mesh column) ---------------------
+    uint32_t l2BankBytes = 512 * 1024;
+    uint32_t l2Ways = 8;
+    Cycle l2AccessLat = 8;
+    Cycle l2Occupancy = 2;  //!< pipelined bank service interval
+
+    // --- NoC ----------------------------------------------------------
+    Cycle hopLat = 2;            //!< 1-cycle router + 1-cycle channel
+    uint32_t flitBytes = 16;
+    uint32_t ctrlMsgBytes = 8;   //!< control message payload size
+
+    // --- DRAM (one controller per mesh column) ------------------------
+    Cycle dramLat = 60;
+    double mcBytesPerCycle = 2.0; //!< 16GB/s / 8 MCs at 1GHz
+
+    // --- Big-core analytic model ---------------------------------------
+    /**
+     * Compute-throughput multiple of a big core over a tiny core.
+     * Calibrated so O3x1 is ~2.5x a serial in-order core (Table III).
+     */
+    double bigIpcFactor = 2.6;
+    /** Memory-level-parallelism factor overlapping big-core misses. */
+    double bigMlp = 2.0;
+
+    // --- Protocol timing knobs -----------------------------------------
+    Cycle invFlashLat = 8;      //!< cache_invalidate flash-clear cost
+    Cycle flushBaseLat = 10;    //!< cache_flush fixed cost
+    Cycle flushPerLineLat = 4;  //!< additional cost per dirty line
+    Cycle wtStoreLat = 3;       //!< GPU-WT store latency (write buffer)
+    Cycle wtBufferSlack = 16;   //!< tolerated write-through backlog
+
+    // --- ULI ------------------------------------------------------------
+    Cycle uliHopLat = 2;
+    Cycle uliDrainTiny = 4;   //!< cycles to drain in-order pipe
+    Cycle uliDrainBig = 30;   //!< cycles to drain OoO pipe (paper: 10-50)
+
+    // --- Runtime ---------------------------------------------------------
+    uint32_t dequeCapacity = 8192;
+    Cycle stealBackoff = 50;  //!< idle cycles after a failed steal
+    uint64_t seed = 0xb1697e1ull;
+
+    /** Number of cores (== worker threads). */
+    int numCores() const { return static_cast<int>(cores.size()); }
+
+    /** Number of L2 banks / DRAM controllers (one per column). */
+    int numBanks() const { return meshCols; }
+
+    Protocol
+    protocolOf(CoreId c) const
+    {
+        return cores[c] == CoreKind::Big ? Protocol::MESI : tinyProtocol;
+    }
+
+    uint32_t
+    l1BytesOf(CoreId c) const
+    {
+        return cores[c] == CoreKind::Big ? bigL1Bytes : tinyL1Bytes;
+    }
+
+    /** Validate internal consistency; fatal() on user error. */
+    void check() const;
+};
+
+/**
+ * Named presets from the paper's evaluation.
+ * @{
+ */
+
+/** 64-core big.TINY (4 big + 60 tiny), all-MESI. */
+SystemConfig bigTinyMesi();
+
+/** 64-core big.TINY with HCC: big=MESI, tiny=@p tiny, optional DTS. */
+SystemConfig bigTinyHcc(Protocol tiny, bool dts);
+
+/** Big-core-only multicore, n in {1,4,8}; 1-row mesh, 8 L2 banks. */
+SystemConfig o3(int n);
+
+/** Single tiny in-order core (the "serial IO" baseline). */
+SystemConfig serialTiny();
+
+/** 64 tiny cores, no big cores (Figure 4 granularity study). */
+SystemConfig tiny64(Protocol tiny = Protocol::MESI, bool dts = false);
+
+/** 256-core big.TINY (4 big + 252 tiny, 8x32 mesh, Table V). */
+SystemConfig bigTiny256(Protocol tiny, bool dts, bool hcc = true);
+
+/** Parse a config by canonical name ("bt-mesi", "bt-hcc-gwb-dts"...). */
+SystemConfig configByName(const std::string &name);
+
+/** @} */
+
+} // namespace bigtiny::sim
+
+#endif // BIGTINY_SIM_CONFIG_HH

@@ -1,0 +1,1 @@
+// header-only module; see event_queue.hh

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A small discrete-event queue used for asynchronous hardware events
+ * (ULI message delivery). Events are host-side closures ordered by
+ * (time, insertion sequence) so simulation stays deterministic.
+ */
+
+#ifndef BIGTINY_SIM_EVENT_QUEUE_HH
+#define BIGTINY_SIM_EVENT_QUEUE_HH
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bigtiny::sim
+{
+
+class EventQueue
+{
+  public:
+    using Fn = std::function<void()>;
+
+    void
+    schedule(Cycle t, Fn fn)
+    {
+        heap.push(Ev{t, seq++, std::move(fn)});
+    }
+
+    bool empty() const { return heap.empty(); }
+
+    /** Time of the earliest event; maxCycle when empty. */
+    Cycle
+    nextTime() const
+    {
+        return heap.empty() ? maxCycle : heap.top().t;
+    }
+
+    /** Run every event scheduled at or before @p t. */
+    void
+    runDue(Cycle t)
+    {
+        while (!heap.empty() && heap.top().t <= t) {
+            // Copy out before pop so the handler may schedule more.
+            Fn fn = std::move(const_cast<Ev &>(heap.top()).fn);
+            heap.pop();
+            fn();
+        }
+    }
+
+    void
+    clear()
+    {
+        heap = {};
+    }
+
+    static constexpr Cycle maxCycle = ~static_cast<Cycle>(0);
+
+  private:
+    struct Ev
+    {
+        Cycle t;
+        uint64_t seq;
+        Fn fn;
+
+        bool
+        operator>(const Ev &o) const
+        {
+            return t != o.t ? t > o.t : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap;
+    uint64_t seq = 0;
+};
+
+} // namespace bigtiny::sim
+
+#endif // BIGTINY_SIM_EVENT_QUEUE_HH

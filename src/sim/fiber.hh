@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cooperative user-level fibers.
+ *
+ * Every simulated hardware thread runs guest code (runtime + kernels)
+ * on its own fiber; the central scheduler fiber (the program's native
+ * stack) resumes whichever core has the smallest local time. On x86-64
+ * a hand-rolled register switch is used (~20ns); other architectures
+ * fall back to ucontext (define BIGTINY_FIBER_UCONTEXT).
+ */
+
+#ifndef BIGTINY_SIM_FIBER_HH
+#define BIGTINY_SIM_FIBER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#ifdef BIGTINY_FIBER_UCONTEXT
+#include <ucontext.h>
+#endif
+
+namespace bigtiny::sim
+{
+
+/**
+ * A cooperatively scheduled execution context with its own stack.
+ *
+ * Usage: construct with an entry function, then Fiber::current()->
+ * switchTo(f) to run it; the entry function yields back by switching
+ * to another fiber (normally the scheduler's primary fiber). When the
+ * entry function returns, the fiber marks itself finished and switches
+ * to the fiber designated by setOnFinish() (default: primary).
+ */
+class Fiber
+{
+  public:
+    static constexpr size_t defaultStackBytes = 256 * 1024;
+
+    explicit Fiber(std::function<void()> fn,
+                   size_t stack_bytes = defaultStackBytes);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** Suspend the currently running fiber and resume this one. */
+    void run();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return _finished; }
+
+    /** The fiber currently executing. */
+    static Fiber *current();
+
+    /** The primary fiber: the program's original stack. */
+    static Fiber *primary();
+
+    /** Fiber to switch to when the entry function returns. */
+    void setOnFinish(Fiber *f) { onFinish = f; }
+
+  private:
+    // Primary-fiber constructor.
+    Fiber();
+
+    /** Called on first activation; runs fn then finishes. */
+    void main();
+
+    void createStack();
+
+    friend void fiberEntryThunk(Fiber *f);
+
+    std::function<void()> fn;
+    std::unique_ptr<uint8_t[]> stack;
+    size_t stackBytes = 0;
+    bool started = false;
+    bool _finished = false;
+    Fiber *onFinish = nullptr;
+
+#ifdef BIGTINY_FIBER_UCONTEXT
+    ucontext_t ctx;
+#else
+    void *sp = nullptr; // saved stack pointer
+#endif
+};
+
+} // namespace bigtiny::sim
+
+#endif // BIGTINY_SIM_FIBER_HH

@@ -1,0 +1,112 @@
+#include "sim/stats.hh"
+
+namespace bigtiny::sim
+{
+
+const char *
+msgClassName(MsgClass c)
+{
+    switch (c) {
+      case MsgClass::CpuReq:
+        return "cpu_req";
+      case MsgClass::WbReq:
+        return "wb_req";
+      case MsgClass::DataResp:
+        return "data_resp";
+      case MsgClass::DramReq:
+        return "dram_req";
+      case MsgClass::DramResp:
+        return "dram_resp";
+      case MsgClass::SyncReq:
+        return "sync_req";
+      case MsgClass::SyncResp:
+        return "sync_resp";
+      case MsgClass::CohReq:
+        return "coh_req";
+      case MsgClass::CohResp:
+        return "coh_resp";
+      default:
+        return "?";
+    }
+}
+
+const char *
+timeCatName(TimeCat c)
+{
+    switch (c) {
+      case TimeCat::Work:
+        return "work";
+      case TimeCat::Load:
+        return "load";
+      case TimeCat::Store:
+        return "store";
+      case TimeCat::Atomic:
+        return "atomic";
+      case TimeCat::Flush:
+        return "flush";
+      case TimeCat::Sync:
+        return "sync";
+      case TimeCat::Idle:
+        return "idle";
+      default:
+        return "?";
+    }
+}
+
+void
+CacheStats::add(const CacheStats &o)
+{
+    loads += o.loads;
+    loadMisses += o.loadMisses;
+    stores += o.stores;
+    storeMisses += o.storeMisses;
+    amos += o.amos;
+    invOps += o.invOps;
+    invLines += o.invLines;
+    flushOps += o.flushOps;
+    flushLines += o.flushLines;
+    evictions += o.evictions;
+    wbLines += o.wbLines;
+}
+
+void
+CoreStats::add(const CoreStats &o)
+{
+    for (size_t i = 0; i < numTimeCats; ++i)
+        timeByCat[i] += o.timeByCat[i];
+    memOps += o.memOps;
+    cache.add(o.cache);
+}
+
+void
+NocStats::add(const NocStats &o)
+{
+    for (size_t i = 0; i < numMsgClasses; ++i) {
+        msgs[i] += o.msgs[i];
+        bytes[i] += o.bytes[i];
+    }
+    hopTraversals += o.hopTraversals;
+}
+
+void
+UliStats::add(const UliStats &o)
+{
+    reqs += o.reqs;
+    acks += o.acks;
+    nacks += o.nacks;
+    resps += o.resps;
+    hopTraversals += o.hopTraversals;
+    handlerCycles += o.handlerCycles;
+}
+
+void
+RuntimeStats::add(const RuntimeStats &o)
+{
+    tasksSpawned += o.tasksSpawned;
+    tasksExecuted += o.tasksExecuted;
+    tasksStolen += o.tasksStolen;
+    stealAttempts += o.stealAttempts;
+    failedSteals += o.failedSteals;
+}
+
+} // namespace bigtiny::sim

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Statistics collected during simulation. These back every table and
+ * figure of the paper: L1 hit rates (Fig. 6), tiny-core time breakdown
+ * (Fig. 7), NoC traffic by message class (Fig. 8), and the
+ * invalidation/flush counts of Table IV.
+ */
+
+#ifndef BIGTINY_SIM_STATS_HH
+#define BIGTINY_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace bigtiny::sim
+{
+
+/** NoC message classes, matching paper Figure 8's legend. */
+enum class MsgClass : uint8_t
+{
+    CpuReq,   //!< L1 -> L2 load/store/ownership requests
+    WbReq,    //!< write-back / write-through data toward L2
+    DataResp, //!< L2 -> L1 data responses
+    DramReq,  //!< L2 -> memory controller requests
+    DramResp, //!< memory controller -> L2 responses
+    SyncReq,  //!< atomic/lock operation requests
+    SyncResp, //!< atomic/lock operation responses
+    CohReq,   //!< coherence requests (invalidations, recalls)
+    CohResp,  //!< coherence responses (acks, forwarded data)
+    NumClasses,
+};
+
+constexpr size_t numMsgClasses =
+    static_cast<size_t>(MsgClass::NumClasses);
+
+const char *msgClassName(MsgClass c);
+
+/** Where a core's cycles go; matches paper Figure 7's breakdown. */
+enum class TimeCat : uint8_t
+{
+    Work,   //!< non-memory instructions (paper: InstFetch+compute)
+    Load,   //!< data load latency
+    Store,  //!< data store latency
+    Atomic, //!< AMO latency
+    Flush,  //!< cache_flush + cache_invalidate latency
+    Sync,   //!< lock spinning, steal/ULI waiting
+    Idle,   //!< no task available
+    NumCats,
+};
+
+constexpr size_t numTimeCats = static_cast<size_t>(TimeCat::NumCats);
+
+const char *timeCatName(TimeCat c);
+
+/** Per-L1 cache statistics. */
+struct CacheStats
+{
+    uint64_t loads = 0;
+    uint64_t loadMisses = 0;
+    uint64_t stores = 0;
+    uint64_t storeMisses = 0;
+    uint64_t amos = 0;
+    uint64_t invOps = 0;    //!< cache_invalidate instructions
+    uint64_t invLines = 0;  //!< lines dropped by invalidations
+    uint64_t flushOps = 0;  //!< cache_flush instructions
+    uint64_t flushLines = 0; //!< dirty lines written back by flushes
+    uint64_t evictions = 0;
+    uint64_t wbLines = 0;   //!< dirty lines written back by evictions
+
+    uint64_t accesses() const { return loads + stores; }
+    uint64_t misses() const { return loadMisses + storeMisses; }
+
+    /** L1 data hit rate in [0,1]; 1.0 when there were no accesses. */
+    double
+    hitRate() const
+    {
+        uint64_t a = accesses();
+        return a ? 1.0 - static_cast<double>(misses()) / a : 1.0;
+    }
+
+    void add(const CacheStats &o);
+};
+
+/** Per-core statistics. */
+struct CoreStats
+{
+    std::array<Cycle, numTimeCats> timeByCat{};
+    uint64_t memOps = 0;
+    CacheStats cache;
+
+    Cycle
+    totalTime() const
+    {
+        Cycle t = 0;
+        for (auto c : timeByCat)
+            t += c;
+        return t;
+    }
+
+    void add(const CoreStats &o);
+};
+
+/** NoC traffic accounting. */
+struct NocStats
+{
+    std::array<uint64_t, numMsgClasses> msgs{};
+    std::array<uint64_t, numMsgClasses> bytes{};
+    uint64_t hopTraversals = 0;
+
+    uint64_t
+    totalBytes() const
+    {
+        uint64_t t = 0;
+        for (auto b : bytes)
+            t += b;
+        return t;
+    }
+
+    void add(const NocStats &o);
+};
+
+/** ULI network statistics (DTS). */
+struct UliStats
+{
+    uint64_t reqs = 0;
+    uint64_t acks = 0;
+    uint64_t nacks = 0;  //!< receiver disabled or buffer full
+    uint64_t resps = 0;
+    uint64_t hopTraversals = 0;
+    Cycle handlerCycles = 0;
+
+    void add(const UliStats &o);
+};
+
+/** Work-stealing runtime statistics. */
+struct RuntimeStats
+{
+    uint64_t tasksSpawned = 0;
+    uint64_t tasksExecuted = 0;
+    uint64_t tasksStolen = 0;
+    uint64_t stealAttempts = 0;
+    uint64_t failedSteals = 0;
+
+    void add(const RuntimeStats &o);
+};
+
+} // namespace bigtiny::sim
+
+#endif // BIGTINY_SIM_STATS_HH

@@ -1,0 +1,142 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+
+namespace bigtiny::sim
+{
+
+System::System(SystemConfig cfg_in) : cfg(std::move(cfg_in))
+{
+    cfg.check();
+    memSys = std::make_unique<mem::MemorySystem>(cfg);
+    uliNetwork = std::make_unique<uli::UliNetwork>(*this);
+    cores.reserve(cfg.numCores());
+    for (CoreId c = 0; c < cfg.numCores(); ++c)
+        cores.push_back(std::make_unique<Core>(*this, c, cfg.cores[c]));
+    fibers.resize(cfg.numCores());
+}
+
+System::~System() = default;
+
+void
+System::attachGuest(CoreId c, std::function<void(Core &)> guest)
+{
+    panic_if(c < 0 || c >= numCores(), "attachGuest: bad core %d", c);
+    panic_if(fibers[c] != nullptr, "core %d already has a guest", c);
+    Core *core = cores[c].get();
+    fibers[c] = std::make_unique<Fiber>(
+        [core, guest = std::move(guest)] { guest(*core); });
+}
+
+void
+System::run(Cycle max_cycles)
+{
+    schedFiber = Fiber::current();
+    watchdog = max_cycles;
+    liveGuests = 0;
+    for (CoreId c = 0; c < numCores(); ++c) {
+        if (!fibers[c])
+            continue;
+        fibers[c]->setOnFinish(schedFiber);
+        ready.push({cores[c]->time, c});
+        ++liveGuests;
+    }
+    fatal_if(liveGuests == 0, "System::run with no guests attached");
+    schedulerLoop(max_cycles);
+}
+
+void
+System::schedulerLoop(Cycle max_cycles)
+{
+    while (liveGuests > 0) {
+        panic_if(ready.empty(), "scheduler: live guests but none ready");
+        HeapEntry e = ready.top();
+        ready.pop();
+        Core &c = *cores[e.id];
+        if (c.done || e.t != c.time || c.running)
+            continue; // stale entry
+        panic_if(e.t > max_cycles,
+                 "watchdog: simulation exceeded %llu cycles",
+                 (unsigned long long)max_cycles);
+        // Hardware events at or before this core's time fire first.
+        eventQueue.runDue(e.t);
+        if (e.t != c.time)
+            panic("event changed a core's local time");
+        runningCore = &c;
+        c.running = true;
+        fibers[e.id]->run(); // returns on yield or guest completion
+        c.running = false;
+        runningCore = nullptr;
+        if (fibers[e.id]->finished() && !c.done) {
+            c.done = true;
+            --liveGuests;
+        }
+    }
+    // Drain any remaining events (e.g., in-flight ULI responses).
+    eventQueue.runDue(EventQueue::maxCycle);
+}
+
+void
+System::syncPoint(Core &c)
+{
+    // Guest-side watchdog: a lone spinning core never yields to the
+    // scheduler, so the hang check must live here as well.
+    panic_if(c.time > watchdog,
+             "watchdog: core %d exceeded %llu cycles", c.id(),
+             (unsigned long long)watchdog);
+    for (;;) {
+        bool earlier_event = eventQueue.nextTime() <= c.time;
+        bool earlier_core = false;
+        while (!ready.empty()) {
+            const HeapEntry &e = ready.top();
+            Core &o = *cores[e.id];
+            if (o.done || e.t != o.time || o.running) {
+                ready.pop();
+                continue;
+            }
+            earlier_core = e.t < c.time ||
+                           (e.t == c.time && e.id < c.id());
+            break;
+        }
+        if (!earlier_event && !earlier_core)
+            break;
+        ready.push({c.time, c.id()});
+        schedFiber->run(); // yield; scheduler resumes us in order
+    }
+    c.pollUli();
+}
+
+Cycle
+System::elapsed() const
+{
+    Cycle t = 0;
+    for (const auto &c : cores)
+        t = std::max(t, c->now());
+    return t;
+}
+
+CoreStats
+System::aggregateCoreStats(bool tiny_only) const
+{
+    CoreStats agg;
+    for (const auto &c : cores) {
+        if (tiny_only && c->kind() != CoreKind::Tiny)
+            continue;
+        agg.add(c->stats);
+    }
+    return agg;
+}
+
+CacheStats
+System::aggregateCacheStats(bool tiny_only) const
+{
+    CacheStats agg;
+    for (CoreId c = 0; c < numCores(); ++c) {
+        if (tiny_only && cores[c]->kind() != CoreKind::Tiny)
+            continue;
+        agg.add(memSys->l1(c).stats);
+    }
+    return agg;
+}
+
+} // namespace bigtiny::sim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The simulated machine: cores, memory system, ULI network, and the
+ * deterministic fiber scheduler that interleaves guest execution in
+ * global (time, core-id) order.
+ *
+ * Scheduling discipline: guest code on a core may only perform a
+ * globally visible action (memory transaction, ULI poll) when that
+ * core is the minimum-time agent in the system; Core::syncPoint()
+ * enforces this by yielding to the scheduler until it is. Events
+ * (ULI message arrivals) interleave at their exact timestamps. The
+ * result is a deterministic, repeatable interleaving for any seed.
+ */
+
+#ifndef BIGTINY_SIM_SYSTEM_HH
+#define BIGTINY_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "mem/memory_system.hh"
+#include "sim/config.hh"
+#include "sim/core.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "uli/uli.hh"
+
+namespace bigtiny::sim
+{
+
+class System
+{
+  public:
+    explicit System(SystemConfig cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Bind a guest function to a core; it runs when run() starts. */
+    void attachGuest(CoreId c, std::function<void(Core &)> guest);
+
+    /**
+     * Run every attached guest to completion.
+     * @param max_cycles watchdog; panics if exceeded (hang detector).
+     */
+    void run(Cycle max_cycles = 20ull * 1000 * 1000 * 1000);
+
+    /** Largest core time (total execution cycles). */
+    Cycle elapsed() const;
+
+    Core &core(CoreId c) { return *cores[c]; }
+    int numCores() const { return static_cast<int>(cores.size()); }
+
+    const SystemConfig &config() const { return cfg; }
+    mem::MemorySystem &mem() { return *memSys; }
+    mem::ArenaAllocator &arena() { return allocator; }
+    EventQueue &events() { return eventQueue; }
+    uli::UliNetwork &uliNet() { return *uliNetwork; }
+
+    /** Aggregate per-core stats over a core-kind filter. */
+    CoreStats aggregateCoreStats(bool tiny_only) const;
+
+    /** Aggregate L1 cache stats over all cores (or tiny only). */
+    CacheStats aggregateCacheStats(bool tiny_only) const;
+
+  private:
+    friend class Core;
+
+    /**
+     * Called from a core's fiber: yield until this core is the
+     * minimum-time agent, running due events along the way.
+     */
+    void syncPoint(Core &c);
+
+    /** Scheduler-side: pick and resume the minimum-time core. */
+    void schedulerLoop(Cycle max_cycles);
+
+    struct HeapEntry
+    {
+        Cycle t;
+        CoreId id;
+
+        bool
+        operator>(const HeapEntry &o) const
+        {
+            return t != o.t ? t > o.t : id > o.id;
+        }
+    };
+
+    SystemConfig cfg;
+    std::unique_ptr<mem::MemorySystem> memSys;
+    mem::ArenaAllocator allocator;
+    EventQueue eventQueue;
+    std::unique_ptr<uli::UliNetwork> uliNetwork;
+
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> ready;
+    int liveGuests = 0;
+    Cycle watchdog = ~static_cast<Cycle>(0);
+    Fiber *schedFiber = nullptr;
+    Core *runningCore = nullptr;
+};
+
+} // namespace bigtiny::sim
+
+#endif // BIGTINY_SIM_SYSTEM_HH

@@ -1,0 +1,68 @@
+#include "uli/uli.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "sim/system.hh"
+
+namespace bigtiny::uli
+{
+
+Cycle
+UliNetwork::flightLat(CoreId a, CoreId b) const
+{
+    const auto &cfg = sys.config();
+    int ar = a / cfg.meshCols, ac = a % cfg.meshCols;
+    int br = b / cfg.meshCols, bc = b % cfg.meshCols;
+    uint32_t hops =
+        static_cast<uint32_t>(std::abs(ar - br) + std::abs(ac - bc));
+    return static_cast<Cycle>(hops) * cfg.uliHopLat + 1;
+}
+
+void
+UliNetwork::sendReq(CoreId sender, CoreId victim, uint64_t payload,
+                    Cycle now)
+{
+    ++stats.reqs;
+    stats.hopTraversals += flightLat(sender, victim) /
+                           std::max<Cycle>(1, sys.config().uliHopLat);
+    Cycle arrival = now + flightLat(sender, victim);
+    sys.events().schedule(arrival, [this, sender, victim, payload,
+                                    arrival] {
+        sim::Core &v = sys.core(victim);
+        bool deliverable = !v.done && v.uliUnit.enabled &&
+                           !v.uliUnit.reqPending && !v.uliUnit.inHandler;
+        if (!deliverable) {
+            // Hardware-generated NACK; no software involvement.
+            sendResp(victim, sender, false, 0, arrival);
+            return;
+        }
+        v.uliUnit.reqPending = true;
+        v.uliUnit.reqSender = sender;
+        v.uliUnit.reqPayload = payload;
+    });
+}
+
+void
+UliNetwork::sendResp(CoreId sender, CoreId thief, bool ack,
+                     uint64_t payload, Cycle now)
+{
+    ++stats.resps;
+    if (ack)
+        ++stats.acks;
+    else
+        ++stats.nacks;
+    stats.hopTraversals += flightLat(sender, thief) /
+                           std::max<Cycle>(1, sys.config().uliHopLat);
+    Cycle arrival = now + flightLat(sender, thief);
+    sys.events().schedule(arrival, [this, thief, ack, payload] {
+        sim::Core &t = sys.core(thief);
+        panic_if(t.uliUnit.respReady,
+                 "ULI response buffer overrun on core %d", thief);
+        t.uliUnit.respReady = true;
+        t.uliUnit.respAck = ack;
+        t.uliUnit.respPayload = payload;
+    });
+}
+
+} // namespace bigtiny::uli

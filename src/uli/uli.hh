@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Inter-processor user-level interrupts (ULI), the hardware mechanism
+ * behind direct task stealing (paper Section IV-A and V-A).
+ *
+ * Model, following the paper: a dedicated mesh network with two
+ * virtual channels (request/response, deadlock-free), 1-cycle router
+ * and 1-cycle channel latency per hop, single-word messages. Each core
+ * has a send/receive unit with one request buffer and one response
+ * buffer; a request arriving at a core whose buffer is full or whose
+ * ULI reception is disabled is NACKed immediately by hardware. An
+ * accepted request interrupts the receiver at the next instruction
+ * boundary after a pipeline-drain delay (a few cycles on the in-order
+ * tiny cores, 10-50 on the out-of-order big cores), runs the software
+ * handler in user mode, and the handler replies with a ULI response.
+ */
+
+#ifndef BIGTINY_ULI_ULI_HH
+#define BIGTINY_ULI_ULI_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace bigtiny::sim
+{
+class System;
+class Core;
+} // namespace bigtiny::sim
+
+namespace bigtiny::uli
+{
+
+/** Per-core ULI send/receive hardware unit state. */
+struct UliUnit
+{
+    bool enabled = false;       //!< software-controlled reception
+    bool inHandler = false;     //!< handler currently executing
+    bool reqPending = false;    //!< request buffer occupied
+    CoreId reqSender = invalidCore;
+    uint64_t reqPayload = 0;
+
+    bool respReady = false;     //!< response buffer occupied
+    bool respAck = false;
+    uint64_t respPayload = 0;
+
+    /** Software handler invoked on delivery (runs as guest code). */
+    std::function<void(CoreId sender, uint64_t payload)> handler;
+};
+
+/**
+ * The ULI mesh network. Messages are injected as events on the system
+ * event queue; delivery honors the enabled/buffer rules above.
+ */
+class UliNetwork
+{
+  public:
+    explicit UliNetwork(sim::System &sys) : sys(sys) {}
+
+    /**
+     * Send a steal request from @p sender to @p victim at @p now.
+     * Delivery (or hardware NACK) is scheduled after the mesh flight
+     * time.
+     */
+    void sendReq(CoreId sender, CoreId victim, uint64_t payload,
+                 Cycle now);
+
+    /** Send a response (ACK + payload) from @p sender to @p thief. */
+    void sendResp(CoreId sender, CoreId thief, bool ack,
+                  uint64_t payload, Cycle now);
+
+    /** Mesh flight latency between two cores. */
+    Cycle flightLat(CoreId a, CoreId b) const;
+
+    sim::UliStats stats;
+
+  private:
+    sim::System &sys;
+};
+
+} // namespace bigtiny::uli
+
+#endif // BIGTINY_ULI_ULI_HH

@@ -1,0 +1,44 @@
+// Ad-hoc reproduction harness (not part of the test suite).
+#include <cstdio>
+
+#include "apps/registry.hh"
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name = argc > 1 ? argv[1] : "cilk5-cs";
+    std::string proto = argc > 2 ? argv[2] : "dnv";
+    sim::SystemConfig cfg;
+    cfg.name = "repro";
+    cfg.meshRows = 2;
+    cfg.meshCols = 4;
+    cfg.cores.assign(8, sim::CoreKind::Tiny);
+    cfg.cores[0] = sim::CoreKind::Big;
+    cfg.tinyProtocol = proto == "dnv"   ? sim::Protocol::DeNovo
+                       : proto == "gwt" ? sim::Protocol::GpuWT
+                       : proto == "gwb" ? sim::Protocol::GpuWB
+                                        : sim::Protocol::MESI;
+    cfg.dts = argc > 3 && std::string(argv[3]) == "dts";
+
+    sim::System sys(cfg);
+    apps::AppParams p;
+    if (app_name == "cilk5-cs") {
+        p.n = 4000;
+        p.grain = 256;
+    } else {
+        p.n = 512;
+        p.grain = 16;
+    }
+    auto app = apps::makeApp(app_name, p);
+    app->setup(sys);
+    rt::Runtime runtime(sys);
+    runtime.run([&](rt::Worker &w) { app->runParallel(w); });
+    sys.mem().drainAll();
+    std::printf("validate: %d elapsed: %llu\n", app->validate(sys),
+                (unsigned long long)sys.elapsed());
+    return 0;
+}

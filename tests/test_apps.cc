@@ -1,0 +1,154 @@
+/**
+ * @file
+ * End-to-end application tests: every kernel of paper Table III runs
+ * at a small scale on a parameterized sweep of (protocol, DTS)
+ * combinations and must validate against its host golden model, both
+ * under the work-stealing runtime and as a serial elision.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+using apps::AppParams;
+using sim::Protocol;
+
+namespace
+{
+
+sim::SystemConfig
+testConfig(Protocol tiny, bool dts)
+{
+    sim::SystemConfig cfg;
+    cfg.name = "apps-test";
+    cfg.meshRows = 2;
+    cfg.meshCols = 4;
+    cfg.cores.assign(8, sim::CoreKind::Tiny);
+    cfg.cores[0] = sim::CoreKind::Big; // mixed big/tiny
+    cfg.tinyProtocol = tiny;
+    cfg.dts = dts;
+    return cfg;
+}
+
+/** Small inputs so the full sweep stays fast. */
+AppParams
+testParams(const std::string &name)
+{
+    AppParams p;
+    if (name == "cilk5-cs")
+        p.n = 4000, p.grain = 256;
+    else if (name == "cilk5-lu")
+        p.n = 64;
+    else if (name == "cilk5-mm")
+        p.n = 64, p.grain = 16;
+    else if (name == "cilk5-mt")
+        p.n = 128, p.grain = 256;
+    else if (name == "cilk5-nq")
+        p.n = 7, p.grain = 2;
+    else
+        p.n = 512, p.grain = 16; // ligra kernels
+    return p;
+}
+
+struct AppCase
+{
+    std::string app;
+    Protocol proto;
+    bool dts;
+};
+
+std::string
+appCaseName(const testing::TestParamInfo<AppCase> &info)
+{
+    std::string n = info.param.app + "_" +
+                    sim::protocolName(info.param.proto) +
+                    (info.param.dts ? "_dts" : "");
+    for (auto &ch : n) {
+        if (ch == '-')
+            ch = '_';
+    }
+    return n;
+}
+
+class AppCorrectness : public testing::TestWithParam<AppCase>
+{};
+
+std::vector<AppCase>
+allAppCases()
+{
+    std::vector<AppCase> cases;
+    const std::vector<std::pair<Protocol, bool>> combos = {
+        {Protocol::MESI, false},   {Protocol::DeNovo, false},
+        {Protocol::GpuWT, false},  {Protocol::GpuWB, false},
+        {Protocol::DeNovo, true},  {Protocol::GpuWT, true},
+        {Protocol::GpuWB, true},
+    };
+    for (const auto &app : apps::appNames())
+        for (auto [proto, dts] : combos)
+            cases.push_back({app, proto, dts});
+    return cases;
+}
+
+} // namespace
+
+TEST_P(AppCorrectness, ParallelMatchesGolden)
+{
+    auto [name, proto, dts] = GetParam();
+    sim::System sys(testConfig(proto, dts));
+    auto app = apps::makeApp(name, testParams(name));
+    app->setup(sys);
+    rt::Runtime runtime(sys);
+    runtime.run([&](rt::Worker &w) { app->runParallel(w); });
+    sys.mem().drainAll();
+    EXPECT_TRUE(app->validate(sys)) << name << " failed validation";
+    EXPECT_EQ(sys.mem().checkCoherenceInvariants(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppCorrectness,
+                         testing::ValuesIn(allAppCases()),
+                         appCaseName);
+
+class AppSerial : public testing::TestWithParam<std::string>
+{};
+
+TEST_P(AppSerial, SerialMatchesGolden)
+{
+    const std::string name = GetParam();
+    sim::System sys(sim::serialTiny());
+    auto app = apps::makeApp(name, testParams(name));
+    app->setup(sys);
+    sys.attachGuest(0, [&](sim::Core &c) { app->runSerial(c); });
+    sys.run();
+    sys.mem().drainAll();
+    EXPECT_TRUE(app->validate(sys)) << name << " serial failed";
+    EXPECT_GT(sys.elapsed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSerial,
+                         testing::ValuesIn(apps::appNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &ch : n) {
+                                 if (ch == '-')
+                                     ch = '_';
+                             }
+                             return n;
+                         });
+
+TEST(AppProfile, WorkSpanLooksSane)
+{
+    sim::System sys(testConfig(Protocol::MESI, false));
+    auto app = apps::makeApp("cilk5-mt", testParams("cilk5-mt"));
+    app->setup(sys);
+    rt::Runtime runtime(sys);
+    runtime.run([&](rt::Worker &w) { app->runParallel(w); });
+    auto &prof = runtime.profiler;
+    EXPECT_GT(prof.work(), 0u);
+    EXPECT_GT(prof.span(), 0u);
+    EXPECT_GE(prof.work(), prof.span());
+    EXPECT_GT(prof.parallelism(), 2.0);
+    EXPECT_GT(prof.numTasks(), 10u);
+}

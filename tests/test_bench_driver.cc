@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the bench harness: result-cache round-tripping, flag
+ * parsing, paper-scaled parameter tables, geomean, and the
+ * first-order energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bench/driver.hh"
+#include "bench/energy_model.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::bench;
+
+TEST(BenchDriver, RunSpecKeyDistinguishes)
+{
+    RunSpec a{"ligra-bfs", "bt-mesi", apps::AppParams{256, 8, 1},
+              false};
+    RunSpec b = a;
+    EXPECT_EQ(a.key(), b.key());
+    b.config = "bt-hcc-gwb";
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.params.grain = 16;
+    EXPECT_NE(a.key(), b.key());
+    b = a;
+    b.serial = true;
+    EXPECT_NE(a.key(), b.key());
+}
+
+TEST(BenchDriver, CacheRoundTrip)
+{
+    std::string path = testing::TempDir() + "bt_cache_test.txt";
+    std::remove(path.c_str());
+    RunSpec spec{"cilk5-nq", "serial-io",
+                 apps::AppParams{6, 2, 1}, true};
+    RunResult first;
+    {
+        ResultCache cache(path);
+        first = cache.run(spec); // simulates
+        EXPECT_TRUE(first.valid);
+        EXPECT_GT(first.cycles, 0u);
+    }
+    {
+        ResultCache cache(path); // re-loads from disk
+        RunResult second = cache.run(spec);
+        EXPECT_EQ(second.cycles, first.cycles);
+        EXPECT_EQ(second.l1Accesses, first.l1Accesses);
+        EXPECT_EQ(second.tinyTime, first.tinyTime);
+        EXPECT_EQ(second.nocBytes, first.nocBytes);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BenchDriver, SerialAndParallelAgreeFunctionally)
+{
+    apps::AppParams p{9, 2, 9}; // 81 top-level tasks of ~2K insts
+    auto ser = runOne(RunSpec{"cilk5-nq", "serial-io", p, true});
+    auto par = runOne(RunSpec{"cilk5-nq", "bt-mesi", p, false});
+    EXPECT_TRUE(ser.valid);
+    EXPECT_TRUE(par.valid);
+    EXPECT_GT(ser.cycles, par.cycles); // 64 cores beat 1 tiny core
+    EXPECT_GT(par.tasks, 10u);
+}
+
+TEST(BenchDriver, FlagsParse)
+{
+    const char *argv[] = {"prog", "--scale=2.5", "--no-cache",
+                          "--apps=a,b,c"};
+    Flags f(4, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(f.getDouble("scale", 1.0), 2.5);
+    EXPECT_TRUE(f.has("no-cache"));
+    EXPECT_FALSE(f.has("cache-file"));
+    EXPECT_EQ(f.appList(),
+              (std::vector<std::string>{"a", "b", "c"}));
+    Flags empty(1, const_cast<char **>(argv));
+    EXPECT_EQ(empty.appList().size(), 13u); // all paper kernels
+}
+
+TEST(BenchDriver, BenchParamsScaleAndConstraints)
+{
+    for (const auto &app : apps::appNames()) {
+        auto p1 = benchParams(app, 1.0);
+        auto p2 = benchParams(app, 2.0);
+        EXPECT_GT(p1.n, 0) << app;
+        EXPECT_GT(p1.grain, 0) << app;
+        EXPECT_GE(p2.n, p1.n) << app;
+    }
+    // power-of-two constraints hold under odd scales
+    auto lu = benchParams("cilk5-lu", 1.7);
+    EXPECT_EQ(lu.n & (lu.n - 1), 0);
+    auto bfs = benchParams("ligra-bfs", 0.3);
+    EXPECT_EQ(bfs.n & (bfs.n - 1), 0);
+    // grain override wins
+    EXPECT_EQ(benchParams("ligra-tc", 1.0, 99).grain, 99);
+}
+
+TEST(BenchDriver, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(EnergyModel, ComponentsAndMonotonicity)
+{
+    RunResult r;
+    r.l1Accesses = 1000;
+    r.l1Misses = 100;
+    r.tinyTime[size_t(sim::TimeCat::Work)] = 5000;
+    r.tinyTime[size_t(sim::TimeCat::Idle)] = 5000;
+    r.nocBytes[size_t(sim::MsgClass::DataResp)] = 7200;
+    r.nocBytes[size_t(sim::MsgClass::DramResp)] = 720;
+    auto e = estimateEnergy(r);
+    EXPECT_GT(e.l1, 0);
+    EXPECT_GT(e.l2, 0);
+    EXPECT_GT(e.noc, 0);
+    EXPECT_GT(e.dram, 0);
+    EXPECT_GT(e.core, 0);
+    EXPECT_NEAR(e.total(),
+                e.l1 + e.l2 + e.noc + e.dram + e.core + e.uli, 1e-9);
+
+    // more misses => more energy
+    RunResult worse = r;
+    worse.l1Misses = 500;
+    worse.nocBytes[size_t(sim::MsgClass::DataResp)] = 36000;
+    EXPECT_GT(estimateEnergy(worse).total(), e.total());
+
+    // idle cycles cost less than active ones
+    RunResult idler = r;
+    idler.tinyTime[size_t(sim::TimeCat::Work)] = 0;
+    idler.tinyTime[size_t(sim::TimeCat::Idle)] = 10000;
+    EXPECT_LT(estimateEnergy(idler).core, e.core);
+}
+
+TEST(EnergyModel, DtsReducesEnergyOnRealRun)
+{
+    apps::AppParams p{512, 8, 5};
+    auto base = runOne(RunSpec{"ligra-mis", "bt-hcc-gwb", p, false});
+    auto dts =
+        runOne(RunSpec{"ligra-mis", "bt-hcc-gwb-dts", p, false});
+    ASSERT_TRUE(base.valid);
+    ASSERT_TRUE(dts.valid);
+    // Fewer invalidation-induced misses and less write-back traffic
+    // must show up as lower modeled energy.
+    EXPECT_LT(estimateEnergy(dts).total(),
+              estimateEnergy(base).total());
+}

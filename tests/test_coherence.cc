@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Protocol-level coherence tests against MemorySystem, using bare
+ * cores (no runtime): the Table I semantics of all four protocols,
+ * the Spandex-style HCC integration at the L2, AMO placement, and
+ * randomized property tests (SWMR, exactly-once visibility).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+using sim::Core;
+using sim::CoreKind;
+using sim::Protocol;
+using sim::System;
+using sim::SystemConfig;
+
+namespace
+{
+
+SystemConfig
+pair2(Protocol tiny, bool with_big = false)
+{
+    SystemConfig cfg;
+    cfg.name = "coh-test";
+    cfg.meshRows = 1;
+    cfg.meshCols = 8;
+    cfg.cores.assign(3, CoreKind::Tiny);
+    if (with_big)
+        cfg.cores[0] = CoreKind::Big;
+    cfg.tinyProtocol = tiny;
+    return cfg;
+}
+
+class PerProtocol : public testing::TestWithParam<Protocol>
+{};
+
+std::string
+protoName(const testing::TestParamInfo<Protocol> &info)
+{
+    return sim::protocolName(info.param);
+}
+
+} // namespace
+
+TEST_P(PerProtocol, SingleCoreReadAfterWrite)
+{
+    System sys(pair2(GetParam()));
+    Addr x = sys.arena().allocLines(64);
+    sys.attachGuest(1, [&](Core &c) {
+        for (int i = 0; i < 8; ++i)
+            c.st<uint64_t>(x + 8 * i, 1000 + i);
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(c.ld<uint64_t>(x + 8 * i), 1000u + i);
+    });
+    sys.run();
+}
+
+TEST_P(PerProtocol, InvalidateThenFlushPublishes)
+{
+    // writer: store; flush. reader: invalidate; load -> fresh under
+    // every protocol (the HCC runtime's synchronization recipe).
+    System sys(pair2(GetParam()));
+    Addr x = sys.arena().allocLines(8);
+    sys.attachGuest(1, [&](Core &c) {
+        c.ld<uint64_t>(x);
+        c.st<uint64_t>(x, 7);
+        c.cacheFlush();
+    });
+    uint64_t seen = 99;
+    sys.attachGuest(2, [&](Core &c) {
+        c.ld<uint64_t>(x); // cache a stale copy
+        c.work(2000);      // writer finished long ago by now
+        c.cacheInvalidate();
+        seen = c.ld<uint64_t>(x);
+    });
+    sys.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST_P(PerProtocol, AmoLoadAlwaysFresh)
+{
+    System sys(pair2(GetParam()));
+    Addr x = sys.arena().allocLines(8);
+    sys.attachGuest(1, [&](Core &c) {
+        c.st<uint64_t>(x, 5);
+        c.cacheFlush();
+    });
+    uint64_t seen = 0;
+    sys.attachGuest(2, [&](Core &c) {
+        c.ld<uint64_t>(x);
+        c.work(2000);
+        seen = c.amoLoad(x, 8); // synchronizing read
+    });
+    sys.run();
+    EXPECT_EQ(seen, 5u);
+}
+
+TEST_P(PerProtocol, AmoAtomicityUnderContention)
+{
+    System sys(pair2(GetParam()));
+    Addr ctr = sys.arena().allocLines(8);
+    constexpr int perCore = 200;
+    for (CoreId id = 0; id < 3; ++id) {
+        sys.attachGuest(id, [&](Core &c) {
+            for (int i = 0; i < perCore; ++i) {
+                c.amo(mem::AmoOp::Add, ctr, 1, 8);
+                c.work(3);
+            }
+        });
+    }
+    sys.run();
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(ctr), 3u * perCore);
+}
+
+TEST_P(PerProtocol, CasLoop)
+{
+    System sys(pair2(GetParam()));
+    Addr x = sys.arena().allocLines(8);
+    // Both cores CAS-increment; total must be exact.
+    for (CoreId id = 1; id <= 2; ++id) {
+        sys.attachGuest(id, [&](Core &c) {
+            for (int i = 0; i < 100; ++i) {
+                for (;;) {
+                    uint64_t old = c.amoLoad(x, 8);
+                    if (c.cas(x, old, old + 1, 8))
+                        break;
+                }
+            }
+        });
+    }
+    sys.run();
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(x), 200u);
+}
+
+TEST_P(PerProtocol, MixedBigTinyVisibility)
+{
+    // Big MESI core and software-coherent tiny core exchange data
+    // through the Spandex-style L2: tiny publishes with flush, big
+    // reads transparently; big publishes, tiny invalidates and reads.
+    System sys(pair2(GetParam(), /*with_big=*/true));
+    Addr x = sys.arena().allocLines(8);
+    Addr y = sys.arena().allocLines(8);
+    uint64_t big_saw = 0, tiny_saw = 0;
+    sys.attachGuest(0, [&](Core &c) { // big (MESI)
+        c.st<uint64_t>(y, 31);
+        c.work(3000);
+        // Re-read x late; MESI hardware keeps us coherent even
+        // against a tiny writer that only owns/flushes.
+        big_saw = c.ld<uint64_t>(x);
+    });
+    sys.attachGuest(1, [&](Core &c) { // tiny
+        c.st<uint64_t>(x, 17);
+        c.cacheFlush();
+        c.work(6000);
+        c.cacheInvalidate();
+        tiny_saw = c.ld<uint64_t>(y);
+    });
+    sys.run();
+    EXPECT_EQ(big_saw, 17u);
+    EXPECT_EQ(tiny_saw, 31u);
+}
+
+TEST_P(PerProtocol, BigCoreNeverStale)
+{
+    // The regression behind the Spandex integration fix: a tiny core
+    // repeatedly rewrites an owned/cached line; a big MESI core must
+    // see every published value without any explicit invalidate.
+    System sys(pair2(GetParam(), true));
+    Addr x = sys.arena().allocLines(8);
+    sys.attachGuest(1, [&](Core &c) { // tiny writer
+        for (uint64_t i = 1; i <= 50; ++i) {
+            c.st<uint64_t>(x, i);
+            c.cacheFlush();
+            c.work(40);
+        }
+    });
+    bool monotonic = true;
+    sys.attachGuest(0, [&](Core &c) { // big reader
+        uint64_t last = 0;
+        for (int i = 0; i < 120; ++i) {
+            uint64_t v = c.ld<uint64_t>(x);
+            if (v < last)
+                monotonic = false;
+            last = v;
+            c.work(17);
+        }
+    });
+    sys.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(sys.mem().checkCoherenceInvariants(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, PerProtocol,
+                         testing::Values(Protocol::MESI,
+                                         Protocol::DeNovo,
+                                         Protocol::GpuWT,
+                                         Protocol::GpuWB),
+                         protoName);
+
+// ---------------------------------------------------------------------
+// Protocol-specific semantics (Table I)
+// ---------------------------------------------------------------------
+
+TEST(MesiSemantics, RemoteWriteInvalidatesSharers)
+{
+    System sys(pair2(Protocol::MESI));
+    Addr x = sys.arena().allocLines(8);
+    uint64_t seen = 99;
+    sys.attachGuest(1, [&](Core &c) {
+        c.work(100);
+        c.st<uint64_t>(x, 1); // writer-initiated invalidation
+    });
+    sys.attachGuest(2, [&](Core &c) {
+        c.ld<uint64_t>(x); // becomes a sharer
+        c.work(1000);
+        seen = c.ld<uint64_t>(x); // plain load must be fresh
+    });
+    sys.run();
+    EXPECT_EQ(seen, 1u);
+    EXPECT_EQ(sys.mem().checkCoherenceInvariants(), 0);
+}
+
+TEST(DeNovoSemantics, FlushIsNoOpOwnershipPropagates)
+{
+    System sys(pair2(Protocol::DeNovo));
+    Addr x = sys.arena().allocLines(8);
+    uint64_t seen = 99;
+    sys.attachGuest(1, [&](Core &c) {
+        c.st<uint64_t>(x, 3); // registers ownership; NO flush
+    });
+    sys.attachGuest(2, [&](Core &c) {
+        c.work(1000);
+        c.cacheInvalidate();
+        seen = c.ld<uint64_t>(x); // forwarded from the owner
+    });
+    sys.run();
+    EXPECT_EQ(seen, 3u);
+    // flush really is a no-op: no flushed lines counted
+    EXPECT_EQ(sys.mem().l1(1).stats.flushLines, 0u);
+}
+
+TEST(GpuWtSemantics, WritesReachL2Immediately)
+{
+    System sys(pair2(Protocol::GpuWT));
+    Addr x = sys.arena().allocLines(8);
+    uint64_t seen = 99;
+    sys.attachGuest(1, [&](Core &c) {
+        c.st<uint64_t>(x, 4); // write-through, no flush needed
+    });
+    sys.attachGuest(2, [&](Core &c) {
+        c.work(1000);
+        c.cacheInvalidate();
+        seen = c.ld<uint64_t>(x);
+    });
+    sys.run();
+    EXPECT_EQ(seen, 4u);
+}
+
+TEST(GpuWtSemantics, NoWriteAllocate)
+{
+    System sys(pair2(Protocol::GpuWT));
+    Addr x = sys.arena().allocLines(64);
+    sys.attachGuest(1, [&](Core &c) {
+        c.st<uint64_t>(x, 1);
+        // read-after-write misses back to the L2 (store did not
+        // allocate or update the line)
+        EXPECT_EQ(c.ld<uint64_t>(x), 1u);
+    });
+    sys.run();
+    const auto &s = sys.mem().l1(1).stats;
+    EXPECT_EQ(s.loadMisses, 1u);
+}
+
+TEST(GpuWbSemantics, DirtyDataInvisibleUntilFlush)
+{
+    System sys(pair2(Protocol::GpuWB));
+    Addr x = sys.arena().allocLines(8);
+    uint64_t before = 99, after = 99;
+    sys.attachGuest(1, [&](Core &c) {
+        c.st<uint64_t>(x, 6);
+        c.work(1500); // hold it dirty for a while
+        c.cacheFlush();
+    });
+    sys.attachGuest(2, [&](Core &c) {
+        c.work(700);
+        c.cacheInvalidate();
+        before = c.ld<uint64_t>(x); // writer has not flushed yet
+        c.work(2000);
+        c.cacheInvalidate();
+        after = c.ld<uint64_t>(x); // now flushed
+    });
+    sys.run();
+    EXPECT_EQ(before, 0u);
+    EXPECT_EQ(after, 6u);
+}
+
+TEST(GpuWbSemantics, InvalidateKeepsOwnDirtyBytes)
+{
+    System sys(pair2(Protocol::GpuWB));
+    Addr x = sys.arena().allocLines(64);
+    sys.attachGuest(1, [&](Core &c) {
+        c.st<uint64_t>(x, 11);     // dirty byte range
+        c.cacheInvalidate();       // must keep our dirty data
+        EXPECT_EQ(c.ld<uint64_t>(x), 11u);
+    });
+    sys.run();
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(x), 11u);
+}
+
+TEST(GpuWbSemantics, PerByteDirtyMergeAcrossCores)
+{
+    // Two cores write disjoint halves of one line (false sharing);
+    // per-byte dirty masks must merge both on flush.
+    System sys(pair2(Protocol::GpuWB));
+    Addr line = sys.arena().allocLines(64);
+    sys.attachGuest(1, [&](Core &c) {
+        c.st<uint64_t>(line, 0x1111);
+        c.cacheFlush();
+    });
+    sys.attachGuest(2, [&](Core &c) {
+        c.st<uint64_t>(line + 32, 0x2222);
+        c.cacheFlush();
+    });
+    sys.run();
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(line), 0x1111u);
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(line + 32), 0x2222u);
+}
+
+TEST(HccIntegration, WriteThroughInvalidatesMesiSharer)
+{
+    // A big MESI core caches a line; a tiny GPU-WT core writes it.
+    // The L2 must send a writer-initiated invalidation into the MESI
+    // domain.
+    System sys(pair2(Protocol::GpuWT, true));
+    Addr x = sys.arena().allocLines(8);
+    uint64_t seen = 99;
+    sys.attachGuest(0, [&](Core &c) { // big
+        c.ld<uint64_t>(x);            // cache it in S
+        c.work(1000);
+        seen = c.ld<uint64_t>(x);
+    });
+    sys.attachGuest(1, [&](Core &c) { // tiny WT
+        c.work(100);
+        c.st<uint64_t>(x, 9);
+    });
+    sys.run();
+    EXPECT_EQ(seen, 9u);
+}
+
+TEST(HccIntegration, MesiReadRevokesDeNovoOwnership)
+{
+    System sys(pair2(Protocol::DeNovo, true));
+    Addr x = sys.arena().allocLines(8);
+    uint64_t first = 0, second = 0;
+    sys.attachGuest(1, [&](Core &c) { // tiny DeNovo owner
+        c.st<uint64_t>(x, 1);
+        c.work(1000);
+        c.st<uint64_t>(x, 2); // rewrite after the big core read
+        c.cacheFlush();
+    });
+    sys.attachGuest(0, [&](Core &c) { // big MESI
+        c.work(500); // note: big-core work() is IPC-scaled
+        first = c.ld<uint64_t>(x);
+        c.work(8000); // well past the tiny core's rewrite
+        second = c.ld<uint64_t>(x);
+    });
+    sys.run();
+    EXPECT_EQ(first, 1u);
+    EXPECT_EQ(second, 2u); // would be stale without revocation
+}
+
+// ---------------------------------------------------------------------
+// Randomized property tests
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+class RandomTraces
+    : public testing::TestWithParam<std::pair<Protocol, uint64_t>>
+{};
+
+} // namespace
+
+TEST_P(RandomTraces, DisjointWritesAllSurvive)
+{
+    // Each core owns a disjoint slice of a shared region and writes a
+    // random pattern with random sizes; after drain, main memory must
+    // contain every byte (no write is lost to evictions/mergers).
+    auto [proto, seed] = GetParam();
+    System sys(pair2(proto));
+    constexpr int64_t bytesPerCore = 2048;
+    Addr base = sys.arena().allocLines(3 * bytesPerCore);
+    std::vector<std::vector<uint8_t>> expect(3);
+    for (CoreId id = 0; id < 3; ++id) {
+        expect[id].assign(bytesPerCore, 0);
+        sys.attachGuest(id, [&, id](Core &c) {
+            Rng rng(seed * 977 + id);
+            Addr mine = base + id * bytesPerCore;
+            for (int op = 0; op < 600; ++op) {
+                uint32_t len = 1u << rng.nextBounded(4); // 1..8
+                uint64_t off =
+                    rng.nextBounded(bytesPerCore - 8) & ~(len - 1);
+                uint64_t val = rng.next();
+                c.store(mine + off, val, len);
+                std::memcpy(&expect[id][off], &val, len);
+                if (rng.nextBool(0.05))
+                    c.cacheFlush();
+                if (rng.nextBool(0.05))
+                    c.cacheInvalidate();
+                c.work(rng.nextBounded(8));
+            }
+            c.cacheFlush();
+        });
+    }
+    sys.run();
+    sys.mem().drainAll();
+    for (CoreId id = 0; id < 3; ++id) {
+        std::vector<uint8_t> got(bytesPerCore);
+        sys.mem().funcRead(base + id * bytesPerCore, got.data(),
+                           bytesPerCore);
+        EXPECT_EQ(got, expect[id]) << "core " << id;
+    }
+    EXPECT_EQ(sys.mem().checkCoherenceInvariants(), 0);
+}
+
+TEST_P(RandomTraces, AmoSumExactUnderChurn)
+{
+    // Random mix of AMOs on shared counters plus private-line churn
+    // that forces evictions; the shared sums must come out exact.
+    auto [proto, seed] = GetParam();
+    System sys(pair2(proto));
+    constexpr int numCtrs = 8;
+    Addr ctrs = sys.arena().allocLines(numCtrs * 8);
+    Addr churn = sys.arena().allocLines(16384); // > L1 capacity
+    std::array<int64_t, numCtrs> expect{};
+    for (CoreId id = 0; id < 3; ++id) {
+        sys.attachGuest(id, [&, id](Core &c) {
+            Rng rng(seed * 31 + id);
+            for (int op = 0; op < 400; ++op) {
+                auto k = rng.nextBounded(numCtrs);
+                uint64_t delta = rng.nextBounded(100);
+                c.amo(mem::AmoOp::Add, ctrs + 8 * k, delta, 8);
+                expect[k] += static_cast<int64_t>(delta);
+                // private churn to force capacity evictions
+                Addr a = churn + (rng.nextBounded(256) * lineBytes) +
+                         id * 8;
+                c.st<uint64_t>(a, rng.next());
+            }
+        });
+    }
+    sys.run();
+    sys.mem().drainAll();
+    for (int k = 0; k < numCtrs; ++k) {
+        EXPECT_EQ(sys.mem().funcRead<int64_t>(ctrs + 8 * k),
+                  expect[k])
+            << "counter " << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomTraces,
+    testing::Values(std::pair{Protocol::MESI, 1ull},
+                    std::pair{Protocol::MESI, 2ull},
+                    std::pair{Protocol::DeNovo, 1ull},
+                    std::pair{Protocol::DeNovo, 2ull},
+                    std::pair{Protocol::GpuWT, 1ull},
+                    std::pair{Protocol::GpuWT, 2ull},
+                    std::pair{Protocol::GpuWB, 1ull},
+                    std::pair{Protocol::GpuWB, 2ull}),
+    [](const auto &info) {
+        return std::string(sim::protocolName(info.param.first)) +
+               "_s" + std::to_string(info.param.second);
+    });

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: rMAT generation, CSR
+ * construction invariants, symmetry, weights, upload round-trips,
+ * and the Ligra helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/worker.hh"
+#include "graph/ligra.hh"
+
+using namespace bigtiny;
+using graph::SimGraph;
+
+namespace
+{
+
+sim::SystemConfig
+tiny4()
+{
+    sim::SystemConfig cfg;
+    cfg.name = "graph-test";
+    cfg.meshRows = 1;
+    cfg.meshCols = 8;
+    cfg.cores.assign(4, sim::CoreKind::Tiny);
+    return cfg;
+}
+
+} // namespace
+
+TEST(Graph, CsrInvariants)
+{
+    sim::System sys(tiny4());
+    auto g = graph::buildRmat(sys, 1024, 8192, 42);
+    ASSERT_EQ(static_cast<int64_t>(g.hOff.size()), g.numV + 1);
+    EXPECT_EQ(g.hOff[0], 0);
+    EXPECT_EQ(g.hOff[g.numV], g.numE);
+    for (int64_t v = 0; v < g.numV; ++v) {
+        EXPECT_LE(g.hOff[v], g.hOff[v + 1]);
+        // sorted, dedup'ed, no self loops
+        for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+            EXPECT_NE(g.hEdges[e], v);
+            if (e > g.hOff[v]) {
+                EXPECT_LT(g.hEdges[e - 1], g.hEdges[e]);
+            }
+        }
+    }
+}
+
+TEST(Graph, Symmetry)
+{
+    sim::System sys(tiny4());
+    auto g = graph::buildRmat(sys, 512, 4096, 7);
+    auto has_edge = [&](int64_t a, int64_t b) {
+        for (int64_t e = g.hOff[a]; e < g.hOff[a + 1]; ++e)
+            if (g.hEdges[e] == b)
+                return true;
+        return false;
+    };
+    for (int64_t v = 0; v < g.numV; ++v)
+        for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e)
+            EXPECT_TRUE(has_edge(g.hEdges[e], v));
+}
+
+TEST(Graph, WeightsSymmetricAndBounded)
+{
+    sim::System sys(tiny4());
+    auto g = graph::buildRmat(sys, 256, 2048, 11, /*weighted=*/true);
+    ASSERT_EQ(static_cast<int64_t>(g.hWeights.size()), g.numE);
+    auto weight_of = [&](int64_t a, int64_t b) {
+        for (int64_t e = g.hOff[a]; e < g.hOff[a + 1]; ++e)
+            if (g.hEdges[e] == b)
+                return g.hWeights[e];
+        return -1;
+    };
+    for (int64_t v = 0; v < g.numV; ++v) {
+        for (int64_t e = g.hOff[v]; e < g.hOff[v + 1]; ++e) {
+            EXPECT_GE(g.hWeights[e], 1);
+            EXPECT_LE(g.hWeights[e], 32);
+            EXPECT_EQ(g.hWeights[e], weight_of(g.hEdges[e], v));
+        }
+    }
+}
+
+TEST(Graph, UploadRoundTrip)
+{
+    sim::System sys(tiny4());
+    auto g = graph::buildRmat(sys, 256, 1024, 3);
+    std::vector<int64_t> off(g.numV + 1);
+    sys.mem().funcRead(g.offsets, off.data(), (g.numV + 1) * 8);
+    EXPECT_EQ(off, g.hOff);
+    std::vector<int32_t> edges(g.numE);
+    sys.mem().funcRead(g.edges, edges.data(), g.numE * 4);
+    EXPECT_EQ(edges, g.hEdges);
+}
+
+TEST(Graph, DeterministicForSeed)
+{
+    sim::System s1(tiny4()), s2(tiny4());
+    auto a = graph::buildRmat(s1, 512, 4096, 99);
+    auto b = graph::buildRmat(s2, 512, 4096, 99);
+    EXPECT_EQ(a.numE, b.numE);
+    EXPECT_EQ(a.hEdges, b.hEdges);
+    auto c = graph::buildRmat(s1, 512, 4096, 100);
+    EXPECT_NE(a.hEdges, c.hEdges);
+}
+
+TEST(Graph, PowerLawish)
+{
+    // rMAT with the standard parameters is skewed: the max degree
+    // should be far above the average degree.
+    sim::System sys(tiny4());
+    auto g = graph::buildRmat(sys, 4096, 32768, 5);
+    int64_t vmax = g.maxDegreeVertex();
+    double avg = static_cast<double>(g.numE) / g.numV;
+    EXPECT_GT(g.hDegree(vmax), static_cast<int64_t>(8 * avg));
+}
+
+TEST(Graph, BuildFromExplicitEdges)
+{
+    sim::System sys(tiny4());
+    auto g = graph::buildFromEdges(sys, 5,
+                                   {{0, 1}, {1, 2}, {2, 0}, {3, 4},
+                                    {1, 1} /*self loop dropped*/,
+                                    {0, 1} /*dup dropped*/});
+    EXPECT_EQ(g.numE, 8); // 4 undirected edges x 2
+    EXPECT_EQ(g.hDegree(0), 2);
+    EXPECT_EQ(g.hDegree(1), 2);
+    EXPECT_EQ(g.hDegree(3), 1);
+}
+
+TEST(LigraHelpers, ParClearBytes)
+{
+    sim::System sys(tiny4());
+    constexpr int64_t n = 4096;
+    Addr buf = graph::allocBytes(sys, n);
+    std::vector<uint8_t> ones(n, 0xff);
+    sys.mem().funcWrite(buf, ones.data(), n);
+    rt::Runtime runtime(sys);
+    runtime.run([&](rt::Worker &w) {
+        graph::parClearBytes(w, buf, n, 16);
+    });
+    sys.mem().drainAll();
+    std::vector<uint8_t> out(n);
+    sys.mem().funcRead(buf, out.data(), n);
+    for (auto b : out)
+        ASSERT_EQ(b, 0);
+}
+
+TEST(LigraHelpers, ChangeFlag)
+{
+    sim::System sys(tiny4());
+    graph::ChangeFlag flag(sys);
+    rt::Runtime runtime(sys);
+    runtime.run([&](rt::Worker &w) {
+        EXPECT_FALSE(flag.readAndClear(w));
+        flag.raise(w);
+        flag.raise(w); // idempotent
+        EXPECT_TRUE(flag.readAndClear(w));
+        EXPECT_FALSE(flag.readAndClear(w));
+    });
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: main memory, arena allocator,
+ * NoC geometry/accounting, DRAM bandwidth model, and L1/L2 storage
+ * mechanics (lookup, LRU victimization, bank mapping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "mem/dram.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_cache.hh"
+#include "mem/noc.hh"
+#include "sim/config.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::mem;
+
+TEST(MainMemory, ZeroOnFirstTouch)
+{
+    MainMemory m;
+    uint64_t v = 123;
+    m.read(0x4000, &v, 8);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(MainMemory, ReadBackWrites)
+{
+    MainMemory m;
+    uint64_t v = 0xdeadbeefcafef00dull;
+    m.write(0x1234, &v, 8);
+    uint64_t r = 0;
+    m.read(0x1234, &r, 8);
+    EXPECT_EQ(r, v);
+}
+
+TEST(MainMemory, CrossPageAccess)
+{
+    MainMemory m;
+    std::vector<uint8_t> buf(8192);
+    for (size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<uint8_t>(i * 7);
+    Addr base = MainMemory::pageBytes - 100; // straddles a boundary
+    m.write(base, buf.data(), buf.size());
+    std::vector<uint8_t> out(buf.size());
+    m.read(base, out.data(), out.size());
+    EXPECT_EQ(buf, out);
+}
+
+TEST(MainMemory, MaskedLineWrite)
+{
+    MainMemory m;
+    uint8_t line[lineBytes];
+    for (uint32_t i = 0; i < lineBytes; ++i)
+        line[i] = 0xff;
+    m.writeLineMasked(0x1000, line, 0x00000000000000f0ull);
+    uint8_t out[lineBytes];
+    m.readLine(0x1000, out);
+    for (uint32_t i = 0; i < lineBytes; ++i)
+        EXPECT_EQ(out[i], (i >= 4 && i < 8) ? 0xff : 0x00) << i;
+}
+
+TEST(ArenaAllocator, AlignmentAndMonotonicity)
+{
+    ArenaAllocator a;
+    Addr x = a.alloc(3, 8);
+    Addr y = a.alloc(10, 16);
+    Addr z = a.allocLines(1);
+    EXPECT_EQ(x % 8, 0u);
+    EXPECT_EQ(y % 16, 0u);
+    EXPECT_EQ(z % lineBytes, 0u);
+    EXPECT_LT(x, y);
+    EXPECT_LT(y, z);
+    // Address 0 stays unmapped (null task pointer).
+    EXPECT_GE(x, 0x1000u);
+}
+
+TEST(ArenaAllocator, ResetRecycles)
+{
+    ArenaAllocator a;
+    Addr x = a.alloc(64);
+    a.reset();
+    EXPECT_EQ(a.alloc(64), x);
+}
+
+TEST(Noc, XYRoutingHops)
+{
+    sim::SystemConfig cfg = sim::bigTinyMesi();
+    Noc noc(cfg);
+    // Core 0 is tile (0,0); bank 0 sits below the bottom row, col 0.
+    EXPECT_EQ(noc.hopsCoreToBank(0, 0), 8u);
+    // Core 63 is tile (7,7): 0 columns over, 1 row down to bank 7.
+    EXPECT_EQ(noc.hopsCoreToBank(63, 7), 1u);
+    EXPECT_EQ(noc.hopsCoreToCore(0, 63), 14u);
+    EXPECT_EQ(noc.hopsCoreToCore(9, 9), 0u);
+}
+
+TEST(Noc, LatencySerialization)
+{
+    sim::SystemConfig cfg = sim::bigTinyMesi();
+    Noc noc(cfg);
+    // One 8B control flit over 4 hops at 2 cycles/hop.
+    EXPECT_EQ(noc.latency(4, 8), 8u);
+    // A 72B data message is 5 flits: 4 extra serialization cycles.
+    EXPECT_EQ(noc.latency(4, 72), 12u);
+}
+
+TEST(Noc, TrafficAccounting)
+{
+    sim::SystemConfig cfg = sim::bigTinyMesi();
+    Noc noc(cfg);
+    noc.send(sim::MsgClass::CpuReq, 8, 3);
+    noc.send(sim::MsgClass::CpuReq, 8, 5);
+    noc.send(sim::MsgClass::DataResp, 72, 3);
+    const auto &s = noc.stats();
+    EXPECT_EQ(s.msgs[size_t(sim::MsgClass::CpuReq)], 2u);
+    EXPECT_EQ(s.bytes[size_t(sim::MsgClass::CpuReq)], 16u);
+    EXPECT_EQ(s.bytes[size_t(sim::MsgClass::DataResp)], 72u);
+    EXPECT_EQ(s.totalBytes(), 88u);
+    EXPECT_EQ(s.hopTraversals, 11u);
+}
+
+TEST(Dram, FixedLatencyWhenIdle)
+{
+    sim::SystemConfig cfg = sim::bigTinyMesi();
+    Dram d(cfg);
+    // 64B at 2 B/cycle = 32 service + 60 fixed.
+    EXPECT_EQ(d.access(0, 1000, 64), 92u);
+}
+
+TEST(Dram, BandwidthQueueing)
+{
+    sim::SystemConfig cfg = sim::bigTinyMesi();
+    Dram d(cfg);
+    Cycle l1 = d.access(0, 0, 64);
+    Cycle l2 = d.access(0, 0, 64); // queues behind the first
+    EXPECT_EQ(l1, 92u);
+    EXPECT_EQ(l2, 92u + 32u);
+    // A different controller is independent.
+    EXPECT_EQ(d.access(1, 0, 64), 92u);
+    EXPECT_GT(d.queueCycles(), 0u);
+}
+
+TEST(L1Cache, FindAndVictimize)
+{
+    L1Cache c(sim::Protocol::GpuWB, 4096, 2); // 32 sets x 2 ways
+    EXPECT_EQ(c.numSets(), 32u);
+    EXPECT_EQ(c.find(0x0), nullptr);
+
+    // Fill both ways of set 0 (same set: addresses 32 lines apart).
+    Addr a = 0, b = 32 * lineBytes, d = 64 * lineBytes;
+    for (Addr la : {a, b}) {
+        L1Line *slot = c.victimFor(la);
+        ASSERT_NE(slot, nullptr);
+        EXPECT_FALSE(slot->valid);
+        slot->valid = true;
+        slot->lineAddr = la;
+        c.touch(slot);
+    }
+    EXPECT_NE(c.find(a), nullptr);
+    EXPECT_NE(c.find(b), nullptr);
+    // Third line in the same set evicts the LRU (a).
+    c.touch(c.find(b));
+    L1Line *victim = c.victimFor(d);
+    EXPECT_EQ(victim->lineAddr, a);
+}
+
+TEST(L2Cache, BankInterleavingAndQueueing)
+{
+    sim::SystemConfig cfg = sim::bigTinyMesi();
+    L2Cache l2(cfg);
+    EXPECT_EQ(l2.bankOf(0x0), 0);
+    EXPECT_EQ(l2.bankOf(0x40), 1);
+    EXPECT_EQ(l2.bankOf(0x1C0), 7);
+    EXPECT_EQ(l2.bankOf(0x200), 0);
+
+    Cycle s1 = l2.reserveBank(0, 100);
+    Cycle s2 = l2.reserveBank(0, 100);
+    EXPECT_EQ(s1, 100u);
+    EXPECT_EQ(s2, 100u + cfg.l2Occupancy);
+    EXPECT_EQ(l2.reserveBank(1, 100), 100u); // other bank independent
+}
+
+TEST(SharerSet, SetClearCountForEach)
+{
+    SharerSet s;
+    EXPECT_FALSE(s.any());
+    s.set(0);
+    s.set(63);
+    s.set(64);
+    s.set(255);
+    EXPECT_EQ(s.count(), 4);
+    EXPECT_TRUE(s.test(63));
+    EXPECT_FALSE(s.test(62));
+    s.clear(63);
+    EXPECT_EQ(s.count(), 3);
+    int seen = 0;
+    s.forEach([&](CoreId c) {
+        seen++;
+        EXPECT_TRUE(c == 0 || c == 64 || c == 255);
+    });
+    EXPECT_EQ(seen, 3);
+    s.clearAll();
+    EXPECT_FALSE(s.any());
+}
+
+TEST(LineMask, MaskFor)
+{
+    EXPECT_EQ(L1Line::maskFor(0, 64), ~0ull);
+    EXPECT_EQ(L1Line::maskFor(0, 8), 0xffull);
+    EXPECT_EQ(L1Line::maskFor(8, 4), 0xf00ull);
+    EXPECT_EQ(L1Line::maskFor(60, 4), 0xf000000000000000ull);
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Integration tests of the work-stealing runtime across every
+ * scheduler variant and coherence protocol: recursive spawn-and-sync
+ * (fib), parallel_for, nesting, and the runtime's own invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+using rt::Runtime;
+using rt::Worker;
+using sim::Protocol;
+using sim::System;
+using sim::SystemConfig;
+
+namespace
+{
+
+/** Small configs so tests run fast; 8 cores exercise real stealing. */
+SystemConfig
+smallConfig(Protocol tiny, bool dts, int n_tiny = 8)
+{
+    SystemConfig cfg;
+    cfg.name = "test";
+    cfg.meshRows = 2;
+    cfg.meshCols = 4;
+    cfg.cores.assign(n_tiny, sim::CoreKind::Tiny);
+    cfg.tinyProtocol = tiny;
+    cfg.dts = dts;
+    return cfg;
+}
+
+/** fib via the low-level spawn/wait API (paper Figure 2a). */
+void
+fibTask(Worker &w, Addr self)
+{
+    auto n = static_cast<int64_t>(w.arg(self, 0));
+    Addr sum = w.arg(self, 1);
+    if (n < 2) {
+        w.st<int64_t>(sum, n);
+        return;
+    }
+    Addr x = w.rt.sys.arena().alloc(8, 8);
+    Addr y = w.rt.sys.arena().alloc(8, 8);
+    Addr a = w.newTask(fibTask, {static_cast<uint64_t>(n - 1), x});
+    Addr b = w.newTask(fibTask, {static_cast<uint64_t>(n - 2), y});
+    w.setRefCount(2);
+    w.spawn(a);
+    w.spawn(b);
+    w.wait();
+    w.st<int64_t>(sum, w.ld<int64_t>(x) + w.ld<int64_t>(y));
+}
+
+int64_t
+fibRef(int n)
+{
+    return n < 2 ? n : fibRef(n - 1) + fibRef(n - 2);
+}
+
+struct ProtoCase
+{
+    Protocol proto;
+    bool dts;
+};
+
+std::string
+protoCaseName(const testing::TestParamInfo<ProtoCase> &info)
+{
+    return std::string(sim::protocolName(info.param.proto)) +
+           (info.param.dts ? "_dts" : "");
+}
+
+class RuntimeAllVariants : public testing::TestWithParam<ProtoCase>
+{};
+
+} // namespace
+
+TEST_P(RuntimeAllVariants, FibSpawnWait)
+{
+    auto [proto, dts] = GetParam();
+    System sys(smallConfig(proto, dts));
+    Runtime rt(sys);
+    Addr result = sys.arena().alloc(8, 8);
+    rt.run([&](Worker &w) {
+        Addr t = w.newTask(fibTask, {10, result});
+        w.setRefCount(1);
+        w.spawn(t);
+        w.wait();
+    });
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<int64_t>(result), fibRef(10));
+    auto total = rt.totalStats();
+    EXPECT_GT(total.tasksExecuted, 100u);
+    EXPECT_EQ(total.tasksSpawned, total.tasksExecuted);
+}
+
+TEST_P(RuntimeAllVariants, ParallelForSum)
+{
+    auto [proto, dts] = GetParam();
+    System sys(smallConfig(proto, dts));
+    Runtime rt(sys);
+    constexpr int64_t n = 2000;
+    Addr src = sys.arena().allocLines(n * 8);
+    Addr dst = sys.arena().allocLines(n * 8);
+    for (int64_t i = 0; i < n; ++i)
+        sys.mem().funcWrite<int64_t>(src + 8 * i, 3 * i + 1);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, n, 64, [&](Worker &ww, int64_t lo,
+                                    int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+                auto v = ww.ld<int64_t>(src + 8 * i);
+                ww.st<int64_t>(dst + 8 * i, v * 2);
+                ww.work(2);
+            }
+        });
+    });
+    sys.mem().drainAll();
+    for (int64_t i = 0; i < n; i += 97) {
+        ASSERT_EQ(sys.mem().funcRead<int64_t>(dst + 8 * i),
+                  (3 * i + 1) * 2)
+            << "index " << i;
+    }
+}
+
+TEST_P(RuntimeAllVariants, NestedParallelism)
+{
+    auto [proto, dts] = GetParam();
+    System sys(smallConfig(proto, dts));
+    Runtime rt(sys);
+    constexpr int64_t rows = 20, cols = 40;
+    Addr m = sys.arena().allocLines(rows * cols * 8);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, rows, 2, [&](Worker &w1, int64_t rlo,
+                                      int64_t rhi) {
+            for (int64_t r = rlo; r < rhi; ++r) {
+                w1.parallelFor(0, cols, 8, [&, r](Worker &w2,
+                                                  int64_t clo,
+                                                  int64_t chi) {
+                    for (int64_t cc = clo; cc < chi; ++cc)
+                        w2.st<int64_t>(m + (r * cols + cc) * 8,
+                                       r * 1000 + cc);
+                });
+            }
+        });
+    });
+    sys.mem().drainAll();
+    for (int64_t r = 0; r < rows; r += 3)
+        for (int64_t cc = 0; cc < cols; cc += 7)
+            ASSERT_EQ(sys.mem().funcRead<int64_t>(m +
+                                                  (r * cols + cc) * 8),
+                      r * 1000 + cc);
+}
+
+TEST_P(RuntimeAllVariants, ParallelInvokeTree)
+{
+    auto [proto, dts] = GetParam();
+    System sys(smallConfig(proto, dts));
+    Runtime rt(sys);
+    Addr out = sys.arena().alloc(8, 8);
+    // High-level API fib (paper Figure 2b).
+    std::function<int64_t(Worker &, int)> fib =
+        [&](Worker &w, int n) -> int64_t {
+        if (n < 2)
+            return n;
+        Addr xs = w.rt.sys.arena().alloc(16, 8);
+        w.parallelInvoke(
+            [&, n, xs](Worker &wa) {
+                wa.st<int64_t>(xs, fib(wa, n - 1));
+            },
+            [&, n, xs](Worker &wb) {
+                wb.st<int64_t>(xs + 8, fib(wb, n - 2));
+            });
+        return w.ld<int64_t>(xs) + w.ld<int64_t>(xs + 8);
+    };
+    rt.run([&](Worker &w) { w.st<int64_t>(out, fib(w, 9)); });
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<int64_t>(out), fibRef(9));
+}
+
+TEST_P(RuntimeAllVariants, DeterministicCycleCount)
+{
+    auto [proto, dts] = GetParam();
+    auto once = [&]() {
+        System sys(smallConfig(proto, dts));
+        Runtime rt(sys);
+        Addr result = sys.arena().alloc(8, 8);
+        rt.run([&](Worker &w) {
+            Addr t = w.newTask(fibTask, {9, result});
+            w.setRefCount(1);
+            w.spawn(t);
+            w.wait();
+        });
+        return sys.elapsed();
+    };
+    EXPECT_EQ(once(), once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, RuntimeAllVariants,
+    testing::Values(ProtoCase{Protocol::MESI, false},
+                    ProtoCase{Protocol::DeNovo, false},
+                    ProtoCase{Protocol::GpuWT, false},
+                    ProtoCase{Protocol::GpuWB, false},
+                    ProtoCase{Protocol::DeNovo, true},
+                    ProtoCase{Protocol::GpuWT, true},
+                    ProtoCase{Protocol::GpuWB, true}),
+    protoCaseName);
+
+TEST(RuntimeSteals, WorkSpreadsAcrossWorkers)
+{
+    System sys(smallConfig(Protocol::GpuWB, true));
+    Runtime rt(sys);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 4000, 16, [&](Worker &ww, int64_t lo,
+                                       int64_t hi) {
+            ww.work(static_cast<uint64_t>(hi - lo) * 50);
+        });
+    });
+    auto total = rt.totalStats();
+    EXPECT_GT(total.tasksStolen, 4u);
+    int busy = 0;
+    for (int wid = 0; wid < rt.numWorkers(); ++wid) {
+        if (rt.worker(wid).stats.tasksExecuted > 0)
+            ++busy;
+    }
+    EXPECT_GE(busy, rt.numWorkers() / 2);
+}
+
+TEST(RuntimeSteals, DtsUsesUliNetwork)
+{
+    System sys(smallConfig(Protocol::GpuWB, true));
+    Runtime rt(sys);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 1000, 8, [&](Worker &ww, int64_t lo,
+                                      int64_t hi) {
+            ww.work(static_cast<uint64_t>(hi - lo) * 30);
+        });
+    });
+    auto &uli = sys.uliNet().stats;
+    EXPECT_GT(uli.reqs, 0u);
+    EXPECT_EQ(uli.resps, uli.acks + uli.nacks);
+    // Every ACKed steal request either carried a task or an empty
+    // mailbox; tasksStolen cannot exceed ACKs.
+    EXPECT_LE(rt.totalStats().tasksStolen, uli.acks);
+}
+
+TEST(RuntimeSteals, NonDtsNeverTouchesUli)
+{
+    System sys(smallConfig(Protocol::GpuWB, false));
+    Runtime rt(sys);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 500, 8, [&](Worker &ww, int64_t lo,
+                                     int64_t hi) {
+            ww.work(static_cast<uint64_t>(hi - lo) * 20);
+        });
+    });
+    EXPECT_EQ(sys.uliNet().stats.reqs, 0u);
+}
+
+TEST(RuntimeCoherence, MesiInvariantsHoldAfterRun)
+{
+    System sys(smallConfig(Protocol::MESI, false));
+    Runtime rt(sys);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 1000, 16, [&](Worker &ww, int64_t lo,
+                                       int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                ww.work(10);
+        });
+    });
+    EXPECT_EQ(sys.mem().checkCoherenceInvariants(), 0);
+}

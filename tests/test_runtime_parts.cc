@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for runtime building blocks: the task deque (LIFO owner
+ * end, FIFO steal end, lock exclusion), the DAG profiler's work/span
+ * algebra, DTS-specific semantics (has_stolen_child, AMO elision),
+ * configuration presets, and the PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+using rt::DagProfiler;
+using rt::Runtime;
+using rt::TaskDeque;
+using rt::Worker;
+using sim::Core;
+using sim::System;
+using sim::SystemConfig;
+
+namespace
+{
+
+SystemConfig
+tinyN(int n, sim::Protocol p = sim::Protocol::MESI, bool dts = false)
+{
+    SystemConfig cfg;
+    cfg.name = "parts-test";
+    cfg.meshRows = 1;
+    cfg.meshCols = 8;
+    cfg.cores.assign(n, sim::CoreKind::Tiny);
+    cfg.tinyProtocol = p;
+    cfg.dts = dts;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// TaskDeque
+// ---------------------------------------------------------------------
+
+TEST(TaskDeque, LifoOwnerFifoThief)
+{
+    System sys(tinyN(1));
+    TaskDeque q(sys.arena(), 64);
+    sys.attachGuest(0, [&](Core &c) {
+        for (Addr t : {0x100, 0x200, 0x300})
+            q.enq(c, t);
+        EXPECT_EQ(q.deqTail(c), 0x300u); // owner pops newest
+        EXPECT_EQ(q.deqHead(c), 0x100u); // thief takes oldest
+        EXPECT_EQ(q.deqTail(c), 0x200u);
+        EXPECT_EQ(q.deqTail(c), 0u); // empty
+        EXPECT_EQ(q.deqHead(c), 0u);
+    });
+    sys.run();
+}
+
+TEST(TaskDeque, WrapAround)
+{
+    System sys(tinyN(1));
+    TaskDeque q(sys.arena(), 8);
+    sys.attachGuest(0, [&](Core &c) {
+        for (int round = 0; round < 5; ++round) {
+            for (Addr t = 1; t <= 6; ++t)
+                q.enq(c, t * 16);
+            for (Addr t = 1; t <= 6; ++t)
+                EXPECT_EQ(q.deqHead(c), t * 16);
+        }
+        EXPECT_TRUE(q.empty(c));
+    });
+    sys.run();
+}
+
+TEST(TaskDeque, LockMutualExclusion)
+{
+    System sys(tinyN(4, sim::Protocol::GpuWB));
+    TaskDeque q(sys.arena(), 1024);
+    Addr in_cs = sys.arena().allocLines(8);
+    bool violated = false;
+    for (CoreId id = 0; id < 4; ++id) {
+        sys.attachGuest(id, [&, id](Core &c) {
+            for (int i = 0; i < 50; ++i) {
+                q.lockAq(c);
+                if (c.amoLoad(in_cs, 8) != 0)
+                    violated = true;
+                c.amo(mem::AmoOp::Swap, in_cs, 1, 8);
+                q.enq(c, (id + 1) * 1000 + i);
+                c.work(20);
+                c.amo(mem::AmoOp::Swap, in_cs, 0, 8);
+                q.lockRl(c);
+            }
+        });
+    }
+    sys.run();
+    EXPECT_FALSE(violated);
+}
+
+// ---------------------------------------------------------------------
+// DagProfiler
+// ---------------------------------------------------------------------
+
+TEST(DagProfiler, SerialChainSpanEqualsWork)
+{
+    DagProfiler p;
+    auto root = p.newTask(DagProfiler::none);
+    p.accrue(root, 100);
+    auto child = p.newTask(root);
+    p.accrue(child, 50);
+    p.onTaskDone(child);
+    p.onWaitExit(root);
+    p.accrue(root, 10);
+    p.onTaskDone(root);
+    EXPECT_EQ(p.work(), 160u);
+    EXPECT_EQ(p.span(), 160u); // one chain: all of it is critical
+}
+
+TEST(DagProfiler, ParallelChildrenSpanIsMax)
+{
+    DagProfiler p;
+    auto root = p.newTask(DagProfiler::none);
+    p.accrue(root, 10);
+    auto a = p.newTask(root);
+    auto b = p.newTask(root); // spawned at the same position
+    p.accrue(a, 100);
+    p.onTaskDone(a);
+    p.accrue(b, 30);
+    p.onTaskDone(b);
+    p.onWaitExit(root);
+    p.accrue(root, 5);
+    p.onTaskDone(root);
+    EXPECT_EQ(p.work(), 145u);
+    EXPECT_EQ(p.span(), 115u); // 10 + max(100,30) + 5
+    EXPECT_NEAR(p.parallelism(), 145.0 / 115.0, 1e-9);
+}
+
+TEST(DagProfiler, SpawnPositionMatters)
+{
+    DagProfiler p;
+    auto root = p.newTask(DagProfiler::none);
+    auto a = p.newTask(root); // spawned at position 0
+    p.accrue(root, 40);       // root works before spawning b
+    auto b = p.newTask(root); // spawned at position 40
+    p.accrue(a, 100);
+    p.onTaskDone(a);
+    p.accrue(b, 100);
+    p.onTaskDone(b);
+    p.onWaitExit(root);
+    p.onTaskDone(root);
+    EXPECT_EQ(p.span(), 140u); // b's path: 40 + 100 > a's 0 + 100
+}
+
+TEST(DagProfiler, NestedWaves)
+{
+    DagProfiler p;
+    auto root = p.newTask(DagProfiler::none);
+    // wave 1: two children of 20 each -> position 20
+    auto a = p.newTask(root);
+    auto b = p.newTask(root);
+    p.accrue(a, 20);
+    p.onTaskDone(a);
+    p.accrue(b, 20);
+    p.onTaskDone(b);
+    p.onWaitExit(root);
+    // wave 2 starts at 20: child of 50 -> position 70
+    auto c = p.newTask(root);
+    p.accrue(c, 50);
+    p.onTaskDone(c);
+    p.onWaitExit(root);
+    p.onTaskDone(root);
+    EXPECT_EQ(p.span(), 70u);
+    EXPECT_EQ(p.work(), 90u);
+}
+
+// ---------------------------------------------------------------------
+// DTS-specific runtime semantics
+// ---------------------------------------------------------------------
+
+TEST(DtsSemantics, NoStealMeansNoStolenFlagAndNoUli)
+{
+    // Single worker: nothing can be stolen; has_stolen_child stays 0
+    // everywhere and the ULI network stays silent.
+    System sys(tinyN(1, sim::Protocol::GpuWB, true));
+    Runtime rt(sys);
+    EXPECT_EQ(rt.variant, rt::SchedVariant::Dts);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 200, 10, [](Worker &ww, int64_t lo,
+                                     int64_t hi) {
+            ww.work(static_cast<uint64_t>(hi - lo) * 5);
+        });
+    });
+    EXPECT_EQ(sys.uliNet().stats.reqs, 0u);
+    EXPECT_EQ(rt.totalStats().tasksStolen, 0u);
+}
+
+TEST(DtsSemantics, StolenChildSetsFlagAndUsesAmo)
+{
+    System sys(tinyN(8, sim::Protocol::GpuWB, true));
+    Runtime rt(sys);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 2000, 8, [](Worker &ww, int64_t lo,
+                                     int64_t hi) {
+            ww.work(static_cast<uint64_t>(hi - lo) * 40);
+        });
+    });
+    auto total = rt.totalStats();
+    EXPECT_GT(total.tasksStolen, 0u);
+    // ULI accounting is self-consistent
+    const auto &u = sys.uliNet().stats;
+    EXPECT_EQ(u.resps, u.acks + u.nacks);
+    EXPECT_LE(total.tasksStolen, u.acks);
+}
+
+TEST(DtsSemantics, StealFromTailOptionWorks)
+{
+    // The literal Figure 3(c) pseudocode variant (victim pops its own
+    // tail) must also produce correct results.
+    System sys(tinyN(8, sim::Protocol::GpuWB, true));
+    Runtime rt(sys);
+    rt.dtsStealFromTail = true;
+    Addr acc = sys.arena().allocLines(8);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 1000, 4, [&](Worker &ww, int64_t lo,
+                                      int64_t hi) {
+            ww.work(static_cast<uint64_t>(hi - lo) * 30);
+            ww.core.amo(mem::AmoOp::Add, acc,
+                        static_cast<uint64_t>(hi - lo), 8);
+        });
+    });
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(acc), 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Config presets
+// ---------------------------------------------------------------------
+
+TEST(Config, PaperPresets)
+{
+    auto bt = sim::bigTinyMesi();
+    EXPECT_EQ(bt.numCores(), 64);
+    int big = 0;
+    for (auto k : bt.cores)
+        big += k == sim::CoreKind::Big;
+    EXPECT_EQ(big, 4);
+    EXPECT_EQ(bt.numBanks(), 8);
+
+    auto b256 = sim::bigTiny256(sim::Protocol::GpuWB, true);
+    EXPECT_EQ(b256.numCores(), 256);
+    EXPECT_EQ(b256.meshCols, 32);
+    EXPECT_EQ(b256.numBanks(), 32); // 4x bandwidth and banks
+    EXPECT_TRUE(b256.dts);
+
+    auto o3 = sim::o3(8);
+    EXPECT_EQ(o3.numCores(), 8);
+    for (auto k : o3.cores)
+        EXPECT_EQ(k, sim::CoreKind::Big);
+
+    EXPECT_EQ(sim::configByName("bt-hcc-gwt-dts").tinyProtocol,
+              sim::Protocol::GpuWT);
+    EXPECT_TRUE(sim::configByName("tiny64-dnv-dts").dts);
+    EXPECT_EQ(sim::configByName("tiny64-gwb").numCores(), 64);
+}
+
+TEST(Config, AreaEquivalenceNote)
+{
+    // Paper Section V-A: a big core's 64KB L1 is ~15x a tiny 4KB L1,
+    // making O3x8 area-equivalent to 4 big + 60 tiny.
+    auto cfg = sim::bigTinyMesi();
+    EXPECT_EQ(cfg.bigL1Bytes / cfg.tinyL1Bytes, 16u);
+}
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(7), b(7), c(8);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng r(11);
+    std::array<int, 8> hist{};
+    constexpr int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++hist[r.nextBounded(8)];
+    for (int h : hist) {
+        EXPECT_GT(h, n / 8 - n / 80);
+        EXPECT_LT(h, n / 8 + n / 80);
+    }
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Randomized fork-join stress tests: generate random task DAGs
+ * (random fan-outs, depths, work sizes, and shared-memory writes)
+ * and execute them on every protocol/scheduler combination. The
+ * result must match a host-side evaluation of the same DAG exactly,
+ * every task must run exactly once (enforced by the runtime), and
+ * the DAG profiler's work must match the generated work. Also covers
+ * the victim-selection policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+using rt::Runtime;
+using rt::Worker;
+using sim::Protocol;
+using sim::System;
+using sim::SystemConfig;
+
+namespace
+{
+
+SystemConfig
+stressConfig(Protocol p, bool dts)
+{
+    SystemConfig cfg;
+    cfg.name = "stress";
+    cfg.meshRows = 2;
+    cfg.meshCols = 4;
+    cfg.cores.assign(8, sim::CoreKind::Tiny);
+    cfg.cores[3] = sim::CoreKind::Big;
+    cfg.tinyProtocol = p;
+    cfg.dts = dts;
+    return cfg;
+}
+
+/**
+ * Random DAG node: either a leaf (writes a pseudo-random value into
+ * its slot) or an inner node (spawns children, then combines their
+ * slots with + or ^ and adds its own salt).
+ */
+struct DagSpec
+{
+    uint64_t seed;
+    int maxDepth;
+    int maxFan;
+
+    /** Host-side golden evaluation. */
+    uint64_t
+    golden(uint64_t node_seed, int depth) const
+    {
+        Rng rng(node_seed);
+        if (depth >= maxDepth || rng.nextBool(0.25))
+            return rng.next(); // leaf value
+        auto fan = static_cast<int>(2 + rng.nextBounded(maxFan - 1));
+        bool use_xor = rng.nextBool(0.5);
+        uint64_t salt = rng.next();
+        uint64_t acc = use_xor ? 0 : salt;
+        for (int i = 0; i < fan; ++i) {
+            uint64_t child = golden(node_seed * 131 + i + 1,
+                                    depth + 1);
+            acc = use_xor ? acc ^ child : acc + child;
+        }
+        if (use_xor)
+            acc ^= salt;
+        return acc;
+    }
+
+    /** Guest-side evaluation through the runtime. */
+    uint64_t
+    run(Worker &w, uint64_t node_seed, int depth) const
+    {
+        Rng rng(node_seed);
+        if (depth >= maxDepth || rng.nextBool(0.25)) {
+            uint64_t v = rng.next(); // same draw as golden()
+            w.work(1 + (v & 63));
+            return v;
+        }
+        auto fan = static_cast<int>(2 + rng.nextBounded(maxFan - 1));
+        bool use_xor = rng.nextBool(0.5);
+        uint64_t salt = rng.next();
+        Addr slots = w.rt.sys.arena().allocLines(
+            static_cast<uint64_t>(fan) * 8);
+        // Low-level API: create all children, set rc, spawn, wait.
+        std::vector<Addr> tasks;
+        for (int i = 0; i < fan; ++i) {
+            tasks.push_back(w.newTask(
+                &DagSpec::taskEntry,
+                {reinterpret_cast<uint64_t>(this),
+                 node_seed * 131 + i + 1,
+                 static_cast<uint64_t>(depth + 1), slots + 8 * i}));
+        }
+        w.setRefCount(fan);
+        for (Addr t : tasks)
+            w.spawn(t);
+        w.wait();
+        uint64_t acc = use_xor ? 0 : salt;
+        for (int i = 0; i < fan; ++i) {
+            uint64_t child = w.ld<uint64_t>(slots + 8 * i);
+            acc = use_xor ? acc ^ child : acc + child;
+        }
+        if (use_xor)
+            acc ^= salt;
+        return acc;
+    }
+
+    static void
+    taskEntry(Worker &w, Addr self)
+    {
+        auto *spec =
+            reinterpret_cast<const DagSpec *>(w.arg(self, 0));
+        uint64_t node_seed = w.arg(self, 1);
+        auto depth = static_cast<int>(w.arg(self, 2));
+        Addr slot = w.arg(self, 3);
+        w.st<uint64_t>(slot, spec->run(w, node_seed, depth));
+    }
+};
+
+struct StressCase
+{
+    Protocol proto;
+    bool dts;
+    uint64_t seed;
+};
+
+class RandomDag : public testing::TestWithParam<StressCase>
+{};
+
+} // namespace
+
+TEST_P(RandomDag, MatchesHostEvaluation)
+{
+    auto [proto, dts, seed] = GetParam();
+    System sys(stressConfig(proto, dts));
+    Runtime rt(sys);
+    DagSpec spec{seed, /*maxDepth=*/5, /*maxFan=*/4};
+    Addr out = sys.arena().allocLines(8);
+    rt.run([&](Worker &w) {
+        w.st<uint64_t>(out, spec.run(w, seed * 7 + 1, 0));
+    });
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(out),
+              spec.golden(seed * 7 + 1, 0));
+    auto total = rt.totalStats();
+    EXPECT_EQ(total.tasksSpawned, total.tasksExecuted);
+    EXPECT_EQ(sys.mem().checkCoherenceInvariants(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomDag,
+    testing::Values(StressCase{Protocol::MESI, false, 1},
+                    StressCase{Protocol::MESI, false, 2},
+                    StressCase{Protocol::DeNovo, false, 1},
+                    StressCase{Protocol::DeNovo, true, 2},
+                    StressCase{Protocol::GpuWT, false, 3},
+                    StressCase{Protocol::GpuWT, true, 1},
+                    StressCase{Protocol::GpuWB, false, 2},
+                    StressCase{Protocol::GpuWB, true, 3},
+                    StressCase{Protocol::GpuWB, true, 4},
+                    StressCase{Protocol::GpuWB, true, 5}),
+    [](const auto &info) {
+        return std::string(sim::protocolName(info.param.proto)) +
+               (info.param.dts ? "_dts_s" : "_s") +
+               std::to_string(info.param.seed);
+    });
+
+namespace
+{
+
+class VictimPolicies
+    : public testing::TestWithParam<rt::VictimPolicy>
+{};
+
+} // namespace
+
+TEST_P(VictimPolicies, CorrectAndBalanced)
+{
+    System sys(stressConfig(Protocol::GpuWB, true));
+    Runtime rt(sys);
+    rt.victimPolicy = GetParam();
+    Addr acc = sys.arena().allocLines(8);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 3000, 16, [&](Worker &ww, int64_t lo,
+                                       int64_t hi) {
+            ww.work(static_cast<uint64_t>(hi - lo) * 40);
+            ww.core.amo(mem::AmoOp::Add, acc,
+                        static_cast<uint64_t>(hi - lo), 8);
+        });
+    });
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(acc), 3000u);
+    int busy = 0;
+    for (int wid = 0; wid < rt.numWorkers(); ++wid)
+        busy += rt.worker(wid).stats.tasksExecuted > 0;
+    EXPECT_GE(busy, rt.numWorkers() / 2) << "poor load balance";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, VictimPolicies,
+    testing::Values(rt::VictimPolicy::Random,
+                    rt::VictimPolicy::RoundRobin,
+                    rt::VictimPolicy::BigFirst),
+    [](const auto &info) {
+        switch (info.param) {
+          case rt::VictimPolicy::Random:
+            return "random";
+          case rt::VictimPolicy::RoundRobin:
+            return "roundrobin";
+          case rt::VictimPolicy::BigFirst:
+            return "bigfirst";
+        }
+        return "?";
+    });

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * btsim — command-line driver for the BigTiny simulator.
+ *
+ * Runs any registered application on any configuration and prints a
+ * full statistics report: cycles, work/span/parallelism, runtime
+ * behaviour, per-protocol coherence operations, L1/L2 behaviour, NoC
+ * traffic by message class, DRAM, ULI, and the tiny-core time
+ * breakdown.
+ *
+ *   btsim --app=ligra-bfs --config=bt-hcc-gwb-dts --n=16384
+ *   btsim --list
+ *   btsim --app=cilk5-cs --config=serial-io --serial
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "apps/registry.hh"
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+
+namespace
+{
+
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv)
+{
+    std::map<std::string, std::string> kv;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--", 0) != 0) {
+            warn("ignoring '%s'", a.c_str());
+            continue;
+        }
+        auto eq = a.find('=');
+        if (eq == std::string::npos)
+            kv[a.substr(2)] = "1";
+        else
+            kv[a.substr(2, eq - 2)] = a.substr(eq + 1);
+    }
+    return kv;
+}
+
+void
+printReport(sim::System &sys, rt::Runtime *rt, bool valid)
+{
+    const auto &cfg = sys.config();
+    std::printf("== %s: %d cores (%d big), tiny protocol %s%s\n",
+                cfg.name.c_str(), cfg.numCores(),
+                static_cast<int>(std::count(cfg.cores.begin(),
+                                            cfg.cores.end(),
+                                            sim::CoreKind::Big)),
+                sim::protocolName(cfg.tinyProtocol),
+                cfg.dts ? " + DTS" : "");
+    std::printf("cycles            %llu\n",
+                (unsigned long long)sys.elapsed());
+    std::printf("validation        %s\n", valid ? "ok" : "FAILED");
+
+    if (rt) {
+        auto &prof = rt->profiler;
+        std::printf("\n-- task DAG (Cilkview analog)\n");
+        std::printf("work              %llu insts\n",
+                    (unsigned long long)prof.work());
+        std::printf("span              %llu insts\n",
+                    (unsigned long long)prof.span());
+        std::printf("parallelism       %.1f\n", prof.parallelism());
+        std::printf("tasks             %llu (IPT %.0f)\n",
+                    (unsigned long long)prof.numTasks(),
+                    prof.instsPerTask());
+        auto rs = rt->totalStats();
+        std::printf("\n-- work stealing\n");
+        std::printf("spawned/executed  %llu / %llu\n",
+                    (unsigned long long)rs.tasksSpawned,
+                    (unsigned long long)rs.tasksExecuted);
+        std::printf("steals            %llu (%llu attempts, %llu "
+                    "failed)\n",
+                    (unsigned long long)rs.tasksStolen,
+                    (unsigned long long)rs.stealAttempts,
+                    (unsigned long long)rs.failedSteals);
+    }
+
+    auto cache = sys.aggregateCacheStats(true);
+    std::printf("\n-- tiny-core L1 data caches (aggregate)\n");
+    std::printf("loads/stores/amos %llu / %llu / %llu\n",
+                (unsigned long long)cache.loads,
+                (unsigned long long)cache.stores,
+                (unsigned long long)cache.amos);
+    std::printf("hit rate          %.2f%%\n", 100 * cache.hitRate());
+    std::printf("inv ops/lines     %llu / %llu\n",
+                (unsigned long long)cache.invOps,
+                (unsigned long long)cache.invLines);
+    std::printf("flush ops/lines   %llu / %llu\n",
+                (unsigned long long)cache.flushOps,
+                (unsigned long long)cache.flushLines);
+    std::printf("evict/writebacks  %llu / %llu\n",
+                (unsigned long long)cache.evictions,
+                (unsigned long long)cache.wbLines);
+
+    auto &l2 = sys.mem().l2();
+    std::printf("\n-- shared L2\n");
+    std::printf("hits/misses       %llu / %llu\n",
+                (unsigned long long)l2.hits,
+                (unsigned long long)l2.misses);
+    std::printf("dram accesses     %llu (%llu bytes, queue %llu "
+                "cyc)\n",
+                (unsigned long long)sys.mem().dram().accesses(),
+                (unsigned long long)sys.mem().dram().bytes(),
+                (unsigned long long)sys.mem().dram().queueCycles());
+
+    const auto &noc = sys.mem().noc().stats();
+    std::printf("\n-- NoC traffic (%llu bytes total)\n",
+                (unsigned long long)noc.totalBytes());
+    for (size_t i = 0; i < sim::numMsgClasses; ++i) {
+        if (noc.msgs[i] == 0)
+            continue;
+        std::printf("  %-10s %10llu msgs %12llu bytes\n",
+                    sim::msgClassName(static_cast<sim::MsgClass>(i)),
+                    (unsigned long long)noc.msgs[i],
+                    (unsigned long long)noc.bytes[i]);
+    }
+
+    if (sys.config().dts) {
+        const auto &u = sys.uliNet().stats;
+        std::printf("\n-- ULI network\n");
+        std::printf("requests          %llu (%llu ack, %llu nack)\n",
+                    (unsigned long long)u.reqs,
+                    (unsigned long long)u.acks,
+                    (unsigned long long)u.nacks);
+        std::printf("handler cycles    %llu (%.2f%% of exec)\n",
+                    (unsigned long long)u.handlerCycles,
+                    100.0 * static_cast<double>(u.handlerCycles) /
+                        (static_cast<double>(sys.elapsed()) *
+                         sys.numCores()));
+    }
+
+    auto cores = sys.aggregateCoreStats(true);
+    Cycle total = cores.totalTime();
+    std::printf("\n-- tiny-core time breakdown\n");
+    for (size_t i = 0; i < sim::numTimeCats; ++i) {
+        std::printf("  %-8s %12llu cyc (%5.1f%%)\n",
+                    sim::timeCatName(static_cast<sim::TimeCat>(i)),
+                    (unsigned long long)cores.timeByCat[i],
+                    total ? 100.0 * cores.timeByCat[i] / total : 0.0);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto kv = parseFlags(argc, argv);
+    auto get = [&](const std::string &k, const std::string &d) {
+        auto it = kv.find(k);
+        return it == kv.end() ? d : it->second;
+    };
+
+    if (kv.count("list")) {
+        std::printf("applications:\n");
+        for (const auto &a : apps::appNames())
+            std::printf("  %s\n", a.c_str());
+        std::printf("configurations: serial-io o3x{1,4,8} bt-mesi "
+                    "bt-hcc-{dnv,gwt,gwb}[-dts] tiny64-<p>[-dts] "
+                    "bt256-{mesi,hcc-gwb[-dts]}\n");
+        return 0;
+    }
+    if (kv.count("help") || !kv.count("app")) {
+        std::printf("usage: btsim --app=NAME [--config=NAME] [--n=N] "
+                    "[--grain=G] [--seed=S] [--serial] [--list]\n");
+        return kv.count("help") ? 0 : 1;
+    }
+
+    apps::AppParams params;
+    params.n = std::stoll(get("n", "0"));
+    params.grain = std::stoll(get("grain", "0"));
+    params.seed = std::stoull(get("seed", "0x5eedbeef"), nullptr, 0);
+    bool serial = kv.count("serial") != 0;
+    std::string config_name =
+        get("config", serial ? "serial-io" : "bt-hcc-gwb-dts");
+
+    sim::System sys(sim::configByName(config_name));
+    auto app = apps::makeApp(get("app", ""), params);
+    app->setup(sys);
+
+    if (serial) {
+        sys.attachGuest(0, [&](sim::Core &c) { app->runSerial(c); });
+        sys.run();
+        sys.mem().drainAll();
+        printReport(sys, nullptr, app->validate(sys));
+    } else {
+        rt::Runtime runtime(sys);
+        runtime.run([&](rt::Worker &w) { app->runParallel(w); });
+        sys.mem().drainAll();
+        printReport(sys, &runtime, app->validate(sys));
+    }
+    return 0;
+}
