@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dts.dir/ablation_dts.cc.o"
+  "CMakeFiles/ablation_dts.dir/ablation_dts.cc.o.d"
+  "ablation_dts"
+  "ablation_dts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

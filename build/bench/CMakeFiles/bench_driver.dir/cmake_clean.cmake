@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_driver.dir/driver.cc.o"
+  "CMakeFiles/bench_driver.dir/driver.cc.o.d"
+  "libbench_driver.a"
+  "libbench_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_traffic.dir/fig8_traffic.cc.o"
+  "CMakeFiles/fig8_traffic.dir/fig8_traffic.cc.o.d"
+  "fig8_traffic"
+  "fig8_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

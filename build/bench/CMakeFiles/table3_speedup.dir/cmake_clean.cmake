@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_speedup.dir/table3_speedup.cc.o"
+  "CMakeFiles/table3_speedup.dir/table3_speedup.cc.o.d"
+  "table3_speedup"
+  "table3_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_scale256.dir/table5_scale256.cc.o"
+  "CMakeFiles/table5_scale256.dir/table5_scale256.cc.o.d"
+  "table5_scale256"
+  "table5_scale256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_scale256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_tour.dir/coherence_tour.cpp.o"
+  "CMakeFiles/coherence_tour.dir/coherence_tour.cpp.o.d"
+  "coherence_tour"
+  "coherence_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

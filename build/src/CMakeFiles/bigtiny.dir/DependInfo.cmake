@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/fiber_switch_x86_64.S" "/root/repo/build/src/CMakeFiles/bigtiny.dir/sim/fiber_switch_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cilk5_cs.cc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_cs.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_cs.cc.o.d"
+  "/root/repo/src/apps/cilk5_lu.cc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_lu.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_lu.cc.o.d"
+  "/root/repo/src/apps/cilk5_mm.cc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_mm.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_mm.cc.o.d"
+  "/root/repo/src/apps/cilk5_mt.cc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_mt.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_mt.cc.o.d"
+  "/root/repo/src/apps/cilk5_nq.cc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_nq.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/cilk5_nq.cc.o.d"
+  "/root/repo/src/apps/ligra_bc.cc" "src/CMakeFiles/bigtiny.dir/apps/ligra_bc.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/ligra_bc.cc.o.d"
+  "/root/repo/src/apps/ligra_bf.cc" "src/CMakeFiles/bigtiny.dir/apps/ligra_bf.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/ligra_bf.cc.o.d"
+  "/root/repo/src/apps/ligra_bfs.cc" "src/CMakeFiles/bigtiny.dir/apps/ligra_bfs.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/ligra_bfs.cc.o.d"
+  "/root/repo/src/apps/ligra_bfsbv.cc" "src/CMakeFiles/bigtiny.dir/apps/ligra_bfsbv.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/ligra_bfsbv.cc.o.d"
+  "/root/repo/src/apps/ligra_cc.cc" "src/CMakeFiles/bigtiny.dir/apps/ligra_cc.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/ligra_cc.cc.o.d"
+  "/root/repo/src/apps/ligra_mis.cc" "src/CMakeFiles/bigtiny.dir/apps/ligra_mis.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/ligra_mis.cc.o.d"
+  "/root/repo/src/apps/ligra_radii.cc" "src/CMakeFiles/bigtiny.dir/apps/ligra_radii.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/ligra_radii.cc.o.d"
+  "/root/repo/src/apps/ligra_tc.cc" "src/CMakeFiles/bigtiny.dir/apps/ligra_tc.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/ligra_tc.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/CMakeFiles/bigtiny.dir/apps/registry.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/apps/registry.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/bigtiny.dir/common/log.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/bigtiny.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/common/rng.cc.o.d"
+  "/root/repo/src/core/api.cc" "src/CMakeFiles/bigtiny.dir/core/api.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/core/api.cc.o.d"
+  "/root/repo/src/core/deque.cc" "src/CMakeFiles/bigtiny.dir/core/deque.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/core/deque.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/CMakeFiles/bigtiny.dir/core/runtime.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/core/runtime.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/CMakeFiles/bigtiny.dir/core/worker.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/core/worker.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/bigtiny.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/ligra.cc" "src/CMakeFiles/bigtiny.dir/graph/ligra.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/graph/ligra.cc.o.d"
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/bigtiny.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/bigtiny.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/l1_cache.cc" "src/CMakeFiles/bigtiny.dir/mem/l1_cache.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/mem/l1_cache.cc.o.d"
+  "/root/repo/src/mem/l2_cache.cc" "src/CMakeFiles/bigtiny.dir/mem/l2_cache.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/mem/l2_cache.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/bigtiny.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/noc.cc" "src/CMakeFiles/bigtiny.dir/mem/noc.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/mem/noc.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/bigtiny.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/CMakeFiles/bigtiny.dir/sim/core.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/sim/core.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/bigtiny.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/fiber.cc" "src/CMakeFiles/bigtiny.dir/sim/fiber.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/sim/fiber.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/bigtiny.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/bigtiny.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/sim/system.cc.o.d"
+  "/root/repo/src/uli/uli.cc" "src/CMakeFiles/bigtiny.dir/uli/uli.cc.o" "gcc" "src/CMakeFiles/bigtiny.dir/uli/uli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

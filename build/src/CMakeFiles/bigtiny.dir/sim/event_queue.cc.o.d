@@ -1,0 +1,2 @@
+src/CMakeFiles/bigtiny.dir/sim/event_queue.cc.o: \
+ /root/repo/src/sim/event_queue.cc /usr/include/stdc-predef.h

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_bench_driver.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_bench_driver.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_bench_driver.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_fiber.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_fiber.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_fiber.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_mem_basic.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_mem_basic.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_mem_basic.cc.o.d"
+  "/root/repo/tests/test_model_fidelity.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_model_fidelity.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_model_fidelity.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_runtime_parts.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_runtime_parts.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_runtime_parts.cc.o.d"
+  "/root/repo/tests/test_sim_core.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_sim_core.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_sim_core.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_uli.cc" "tests/CMakeFiles/bigtiny_tests.dir/test_uli.cc.o" "gcc" "tests/CMakeFiles/bigtiny_tests.dir/test_uli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bigtiny.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/bench_driver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigtiny_tests.dir/test_apps.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_apps.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_bench_driver.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_bench_driver.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_coherence.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_coherence.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_fiber.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_fiber.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_graph.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_graph.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_mem_basic.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_mem_basic.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_model_fidelity.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_model_fidelity.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_runtime.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_runtime.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_runtime_parts.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_runtime_parts.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_sim_core.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_sim_core.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_stress.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_stress.cc.o.d"
+  "CMakeFiles/bigtiny_tests.dir/test_uli.cc.o"
+  "CMakeFiles/bigtiny_tests.dir/test_uli.cc.o.d"
+  "bigtiny_tests"
+  "bigtiny_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigtiny_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

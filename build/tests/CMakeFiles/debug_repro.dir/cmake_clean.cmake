@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_repro.dir/debug_repro.cc.o"
+  "CMakeFiles/debug_repro.dir/debug_repro.cc.o.d"
+  "debug_repro"
+  "debug_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

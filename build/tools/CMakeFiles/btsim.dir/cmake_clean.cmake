@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btsim.dir/btsim.cc.o"
+  "CMakeFiles/btsim.dir/btsim.cc.o.d"
+  "btsim"
+  "btsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
