@@ -19,6 +19,8 @@ RunSpec::key() const
     os << "v" << modelVersion << "|" << app << "|" << config << "|n="
        << params.n << "|g=" << params.grain << "|s=" << params.seed
        << "|" << (serial ? "serial" : "parallel");
+    if (check)
+        os << "|check";
     return os.str();
 }
 
@@ -26,6 +28,7 @@ RunResult
 runOne(const RunSpec &spec)
 {
     sim::SystemConfig cfg = sim::configByName(spec.config);
+    cfg.checkCoherence = spec.check;
     sim::System sys(cfg);
     auto app = apps::makeApp(spec.app, spec.params);
     app->setup(sys);
@@ -65,6 +68,14 @@ runOne(const RunSpec &spec)
 
     sys.mem().drainAll();
     r.valid = app->validate(sys);
+    if (auto *chk = sys.mem().checker()) {
+        if (chk->totalViolations() > 0) {
+            warn("run %s: coherence violations detected",
+                 spec.key().c_str());
+            chk->printReport(stderr);
+            r.valid = false;
+        }
+    }
     if (!r.valid)
         warn("run %s FAILED VALIDATION", spec.key().c_str());
     return r;

@@ -32,6 +32,7 @@ struct RunSpec
     std::string config;  //!< sim::configByName name, e.g. "bt-mesi"
     apps::AppParams params;
     bool serial = false; //!< serial elision instead of the runtime
+    bool check = false;  //!< shadow-memory coherence checker on
 
     std::string key() const;
 };

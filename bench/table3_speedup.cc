@@ -7,6 +7,7 @@
  * GPU-WB, each with and without DTS).
  *
  * Flags: --apps=a,b,c  --scale=1.0  --no-cache  --cache-file=PATH
+ *        --check (shadow-memory coherence checker on every run)
  */
 
 #include <cstdio>
@@ -21,6 +22,7 @@ main(int argc, char **argv)
 {
     Flags flags(argc, argv);
     double scale = flags.getDouble("scale", 1.0);
+    bool check = flags.has("check");
     ResultCache cache(flags.get("cache-file", "bench_results.cache"),
                       !flags.has("no-cache"));
 
@@ -43,11 +45,11 @@ main(int argc, char **argv)
         auto app_obj = apps::makeApp(app, params);
         const char *pm = app_obj->parallelMethod();
 
-        RunSpec serial{app, "serial-io", params, true};
+        RunSpec serial{app, "serial-io", params, true, check};
         auto rs = cache.run(serial);
 
         auto par = [&](const std::string &cfg) {
-            return cache.run(RunSpec{app, cfg, params, false});
+            return cache.run(RunSpec{app, cfg, params, false, check});
         };
         auto o31 = par("o3x1");
         auto o34 = par("o3x4");

@@ -1,0 +1,303 @@
+#include "check/coherence_checker.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace bigtiny::check
+{
+
+const char *
+violationKindName(ViolationKind k)
+{
+    switch (k) {
+      case ViolationKind::StaleRead:
+        return "stale-read";
+      case ViolationKind::LostUpdate:
+        return "lost-update";
+      case ViolationKind::FreedFrameRead:
+        return "freed-frame-read";
+      case ViolationKind::NumKinds:
+        break;
+    }
+    return "?";
+}
+
+std::string
+Violation::describe() const
+{
+    char writer_buf[32];
+    if (lastWriter == CoherenceChecker::hostWriter)
+        std::snprintf(writer_buf, sizeof(writer_buf), "host");
+    else if (lastWriter == invalidCore)
+        std::snprintf(writer_buf, sizeof(writer_buf), "none");
+    else
+        std::snprintf(writer_buf, sizeof(writer_buf), "core %d cycle %llu",
+                      lastWriter, (unsigned long long)lastWriteCycle);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: core %d cycle %llu addr %#llx len %u "
+                  "observed %#llx expected %#llx "
+                  "(last writer %s, epoch %llu) at %s",
+                  violationKindName(kind), core,
+                  (unsigned long long)cycle, (unsigned long long)addr,
+                  len, (unsigned long long)observed,
+                  (unsigned long long)expected, writer_buf,
+                  (unsigned long long)lastWriteEpoch,
+                  site ? site : "<no site>");
+    return buf;
+}
+
+CoherenceChecker::CoherenceChecker(const sim::SystemConfig &cfg)
+{
+    sites.resize(cfg.numCores(), nullptr);
+}
+
+const CoherenceChecker::ShadowLine *
+CoherenceChecker::findLine(Addr la) const
+{
+    auto it = shadow.find(la);
+    return it == shadow.end() ? nullptr : &it->second;
+}
+
+void
+CoherenceChecker::goldenWrite(CoreId c, Cycle now, Addr a,
+                              const void *value, uint64_t len)
+{
+    const auto *src = static_cast<const uint8_t *>(value);
+    ++epoch;
+    while (len > 0) {
+        Addr la = lineAlign(a);
+        uint32_t off = lineOffset(a);
+        auto chunk = static_cast<uint32_t>(
+            std::min<uint64_t>(len, lineBytes - off));
+        ShadowLine &sl = line(la);
+        for (uint32_t i = 0; i < chunk; ++i) {
+            sl.golden[off + i] = src[i];
+            sl.writer[off + i] = c;
+            sl.writeCycle[off + i] = now;
+            sl.writeEpoch[off + i] = epoch;
+        }
+        src += chunk;
+        a += chunk;
+        len -= chunk;
+    }
+}
+
+void
+CoherenceChecker::report(Violation v)
+{
+    if (v.core >= 0 && v.core < static_cast<CoreId>(sites.size()))
+        v.site = sites[v.core];
+    ++counts[static_cast<size_t>(v.kind)];
+    ++total;
+    if (log.size() < maxRecorded)
+        log.push_back(v);
+    panic_if(panicOnViolation, "coherence violation: %s",
+             v.describe().c_str());
+}
+
+bool
+CoherenceChecker::inFreedFrame(Addr a) const
+{
+    auto it = frames.upper_bound(a);
+    if (it == frames.begin())
+        return false;
+    --it;
+    return it->second.second && a < it->first + it->second.first;
+}
+
+void
+CoherenceChecker::onLoad(CoreId c, Cycle now, Addr a,
+                         const void *observed, uint32_t len,
+                         uint64_t reader_dirty_mask)
+{
+    const auto *obs = static_cast<const uint8_t *>(observed);
+    Addr la = lineAlign(a);
+    uint32_t off = lineOffset(a);
+    const ShadowLine *sl = findLine(la);
+
+    auto fill_writer = [&](Violation &v, uint32_t byte_off) {
+        if (!sl)
+            return;
+        v.lastWriter = sl->writer[byte_off];
+        v.lastWriteCycle = sl->writeCycle[byte_off];
+        v.lastWriteEpoch = sl->writeEpoch[byte_off];
+    };
+
+    // Freed-frame reads first: the value may even match (frames are
+    // not recycled inside a run), but the access itself is the bug.
+    if (inFreedFrame(a)) {
+        Violation v;
+        v.kind = ViolationKind::FreedFrameRead;
+        v.core = c;
+        v.cycle = now;
+        v.addr = a;
+        v.len = len;
+        uint32_t n = std::min<uint32_t>(len, 8);
+        for (uint32_t i = 0; i < n; ++i) {
+            v.observed |= static_cast<uint64_t>(obs[i]) << (8 * i);
+            if (sl)
+                v.expected |=
+                    static_cast<uint64_t>(sl->golden[off + i]) << (8 * i);
+        }
+        fill_writer(v, off);
+        report(v);
+        return;
+    }
+
+    // Byte-for-byte compare against the golden image; a line the guest
+    // never stored to is golden-zero (main memory is zero-filled).
+    uint32_t first = len, last = 0;
+    for (uint32_t i = 0; i < len; ++i) {
+        uint8_t g = sl ? sl->golden[off + i] : 0;
+        if (obs[i] != g) {
+            if (first == len)
+                first = i;
+            last = i;
+        }
+    }
+    if (first == len)
+        return;
+
+    Violation v;
+    // A diverging byte that is dirty in the reader's own L1 means the
+    // reader's pending write is masking a newer remote write: the
+    // remote update is lost when this line writes back. Otherwise the
+    // reader simply kept a stale clean copy it should have
+    // self-invalidated.
+    bool own_dirty = (reader_dirty_mask >> (off + first)) & 1;
+    v.kind = own_dirty ? ViolationKind::LostUpdate
+                       : ViolationKind::StaleRead;
+    v.core = c;
+    v.cycle = now;
+    v.addr = a + first;
+    v.len = last - first + 1;
+    uint32_t n = std::min<uint32_t>(v.len, 8);
+    for (uint32_t i = 0; i < n; ++i) {
+        v.observed |= static_cast<uint64_t>(obs[first + i]) << (8 * i);
+        if (sl)
+            v.expected |=
+                static_cast<uint64_t>(sl->golden[off + first + i])
+                << (8 * i);
+    }
+    fill_writer(v, off + first);
+    report(v);
+}
+
+void
+CoherenceChecker::onStore(CoreId c, Cycle now, Addr a, const void *value,
+                          uint32_t len)
+{
+    goldenWrite(c, now, a, value, len);
+}
+
+void
+CoherenceChecker::onAmo(CoreId c, Cycle now, Addr a,
+                        const void *observed_old, const void *stored,
+                        uint32_t len)
+{
+    // AMOs execute at the coherence point (exclusive L1 copy or the
+    // L2 itself), so the old value must match golden regardless of
+    // software-coherence discipline; a divergence is a protocol-model
+    // bug and is reported like a stale read.
+    onLoad(c, now, a, observed_old, len, 0);
+    goldenWrite(c, now, a, stored, len);
+}
+
+void
+CoherenceChecker::onWriteBack(CoreId c, Cycle now, Addr la,
+                              const uint8_t *data, uint64_t byte_mask)
+{
+    const ShadowLine *sl = findLine(la);
+    if (!sl)
+        return;
+    // A written-back byte whose golden writer is someone else and
+    // whose golden value differs is clobbering a newer write.
+    uint32_t first = lineBytes, last = 0;
+    for (uint32_t i = 0; i < lineBytes; ++i) {
+        if (!(byte_mask & (1ull << i)))
+            continue;
+        if (sl->writer[i] == c || sl->writer[i] == invalidCore)
+            continue;
+        if (data[i] == sl->golden[i])
+            continue;
+        if (first == lineBytes)
+            first = i;
+        last = i;
+    }
+    if (first == lineBytes)
+        return;
+
+    Violation v;
+    v.kind = ViolationKind::LostUpdate;
+    v.core = c;
+    v.cycle = now;
+    v.addr = la + first;
+    v.len = last - first + 1;
+    uint32_t n = std::min<uint32_t>(v.len, 8);
+    for (uint32_t i = 0; i < n; ++i) {
+        v.observed |= static_cast<uint64_t>(data[first + i]) << (8 * i);
+        v.expected |=
+            static_cast<uint64_t>(sl->golden[first + i]) << (8 * i);
+    }
+    v.lastWriter = sl->writer[first];
+    v.lastWriteCycle = sl->writeCycle[first];
+    v.lastWriteEpoch = sl->writeEpoch[first];
+    report(v);
+}
+
+void
+CoherenceChecker::onFuncWrite(Addr a, const void *value, uint64_t len)
+{
+    // Host-side writes update every cached copy too, so they can never
+    // create a divergence; the golden image just has to follow.
+    goldenWrite(hostWriter, 0, a, value, len);
+}
+
+void
+CoherenceChecker::frameAlloc(Addr a, uint32_t bytes)
+{
+    frames[a] = {bytes, false};
+}
+
+void
+CoherenceChecker::frameFree(Addr a)
+{
+    auto it = frames.find(a);
+    if (it != frames.end())
+        it->second.second = true;
+}
+
+const char *
+CoherenceChecker::setSite(CoreId c, const char *site)
+{
+    if (c < 0 || c >= static_cast<CoreId>(sites.size()))
+        return nullptr;
+    const char *prev = sites[c];
+    sites[c] = site;
+    return prev;
+}
+
+void
+CoherenceChecker::printReport(std::FILE *out) const
+{
+    std::fprintf(out, "coherence check: %llu violation(s)\n",
+                 (unsigned long long)total);
+    for (size_t k = 0; k < numViolationKinds; ++k) {
+        if (counts[k]) {
+            std::fprintf(out, "  %-16s %llu\n",
+                         violationKindName(static_cast<ViolationKind>(k)),
+                         (unsigned long long)counts[k]);
+        }
+    }
+    for (const auto &v : log)
+        std::fprintf(out, "  %s\n", v.describe().c_str());
+    if (total > log.size()) {
+        std::fprintf(out, "  ... %llu more not recorded\n",
+                     (unsigned long long)(total - log.size()));
+    }
+}
+
+} // namespace bigtiny::check

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Shadow-memory coherence checker.
+ *
+ * The repository's correctness claim is that the HCC and DTS runtime
+ * variants insert *exactly* the cache_invalidate / cache_flush / AMO
+ * operations required under software-centric coherence (paper
+ * Figure 3). End-result validation cannot establish that: many stale
+ * metadata reads survive by luck. This checker turns "the figures look
+ * right" into "no stale read occurred".
+ *
+ * Model: a host-side golden image of simulated memory is updated at
+ * every *architectural* store and AMO, tagged per byte with the
+ * writing core, its local cycle, and a global write epoch. Because the
+ * simulator executes memory operations as atomic transactions in
+ * global (time, core-id) order, the golden image is exactly the value
+ * sequence a coherent memory would hold. On every architectural load,
+ * the value the modelled L1 + coherence protocol actually returned is
+ * compared byte-for-byte against the golden image; a divergence is a
+ * coherence violation and is classified as one of:
+ *
+ *  - StaleRead:  the reader returned a value that a remote core has
+ *                since overwritten — a missing cache_invalidate (or a
+ *                missing cache_flush on the writer side).
+ *  - LostUpdate: dirty private bytes written back over a *newer*
+ *                remote write (detected both at write-back time and
+ *                when a reader observes its own masking write).
+ *  - FreedFrameRead: a load from a task frame the runtime has
+ *                released — reading recycled frame memory is never
+ *                safe under software-centric coherence (see task.hh).
+ *
+ * Reports carry the reading core, address, the symbolized runtime
+ * site (set by the runtime via setSite), and the last golden writer's
+ * core/cycle/epoch. The checker is enabled with
+ * SystemConfig::checkCoherence and surfaces through `--check` on
+ * tools/btsim and bench/driver.
+ */
+
+#ifndef BIGTINY_CHECK_COHERENCE_CHECKER_HH
+#define BIGTINY_CHECK_COHERENCE_CHECKER_HH
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace bigtiny::check
+{
+
+/** Violation classes, most specific first. */
+enum class ViolationKind : uint8_t
+{
+    StaleRead,      //!< read of a value a remote core overwrote
+    LostUpdate,     //!< write-back clobbers a newer remote write
+    FreedFrameRead, //!< read of a released task frame
+    NumKinds,
+};
+
+constexpr size_t numViolationKinds =
+    static_cast<size_t>(ViolationKind::NumKinds);
+
+const char *violationKindName(ViolationKind k);
+
+/** One detected coherence violation. */
+struct Violation
+{
+    ViolationKind kind;
+    CoreId core = invalidCore;  //!< reader (or writing-back core)
+    Cycle cycle = 0;            //!< reader's local time
+    Addr addr = 0;              //!< first diverging byte
+    uint32_t len = 0;           //!< diverging bytes within the access
+    uint64_t observed = 0;      //!< modelled value (diverging bytes)
+    uint64_t expected = 0;      //!< golden value (diverging bytes)
+    CoreId lastWriter = invalidCore; //!< golden writer of addr
+    Cycle lastWriteCycle = 0;
+    uint64_t lastWriteEpoch = 0;
+    const char *site = nullptr; //!< runtime site label of `core`
+
+    /** Human-readable one-line description. */
+    std::string describe() const;
+};
+
+class CoherenceChecker
+{
+  public:
+    /** Writer tag for host-side (funcWrite) stores. */
+    static constexpr CoreId hostWriter = -2;
+
+    explicit CoherenceChecker(const sim::SystemConfig &cfg);
+
+    // --- architectural hooks (called by MemorySystem) -----------------
+
+    /**
+     * A load by core @p c returned @p observed for [a, a+len).
+     * @p reader_dirty_mask is the per-byte dirty mask the reader's L1
+     * holds for the accessed line (used to classify a divergence as a
+     * lost update rather than a plain stale read).
+     */
+    void onLoad(CoreId c, Cycle now, Addr a, const void *observed,
+                uint32_t len, uint64_t reader_dirty_mask);
+
+    /** A store by core @p c architecturally wrote [a, a+len). */
+    void onStore(CoreId c, Cycle now, Addr a, const void *value,
+                 uint32_t len);
+
+    /**
+     * An AMO by core @p c read @p observed_old and stored @p stored.
+     * The read is checked like a load (AMOs execute at the coherence
+     * point, so a divergence here is a protocol-model bug); the write
+     * updates the golden image.
+     */
+    void onAmo(CoreId c, Cycle now, Addr a, const void *observed_old,
+               const void *stored, uint32_t len);
+
+    /**
+     * Core @p c writes back the bytes of @p byte_mask from its private
+     * line copy @p data (line address @p la) toward the L2. A byte
+     * whose golden writer is another core and whose golden value
+     * differs is being clobbered: a lost update.
+     */
+    void onWriteBack(CoreId c, Cycle now, Addr la, const uint8_t *data,
+                     uint64_t byte_mask);
+
+    /** Host-side (zero-time) write; keeps the golden image in sync. */
+    void onFuncWrite(Addr a, const void *value, uint64_t len);
+
+    // --- runtime hooks ------------------------------------------------
+
+    /** Register a task frame allocated at @p a. */
+    void frameAlloc(Addr a, uint32_t bytes);
+
+    /** Mark the frame at @p a released; later reads are violations. */
+    void frameFree(Addr a);
+
+    /**
+     * Set the symbolized runtime site for @p c (e.g.
+     * "Worker::stealOnce"); returns the previous label so callers can
+     * scope labels. Pass nullptr to clear.
+     */
+    const char *setSite(CoreId c, const char *site);
+
+    // --- results ------------------------------------------------------
+
+    /** Total violations detected (recorded or not). */
+    uint64_t totalViolations() const { return total; }
+
+    uint64_t
+    countOf(ViolationKind k) const
+    {
+        return counts[static_cast<size_t>(k)];
+    }
+
+    /** Recorded violations (capped at maxRecorded). */
+    const std::vector<Violation> &violations() const { return log; }
+
+    /** Print a summary report (counts plus first few records). */
+    void printReport(std::FILE *out) const;
+
+    /** Abort the simulation on the first violation (tests/debug). */
+    bool panicOnViolation = false;
+
+    /** Cap on fully recorded violations; counters keep counting. */
+    size_t maxRecorded = 64;
+
+  private:
+    struct ShadowLine
+    {
+        std::array<uint8_t, lineBytes> golden{};
+        std::array<CoreId, lineBytes> writer;
+        std::array<Cycle, lineBytes> writeCycle{};
+        std::array<uint64_t, lineBytes> writeEpoch{};
+
+        ShadowLine() { writer.fill(invalidCore); } // never written
+    };
+
+    ShadowLine &line(Addr la) { return shadow[la]; }
+    const ShadowLine *findLine(Addr la) const;
+
+    void goldenWrite(CoreId c, Cycle now, Addr a, const void *value,
+                     uint64_t len);
+    void report(Violation v);
+
+    /** True when @p a falls inside a frame marked freed. */
+    bool inFreedFrame(Addr a) const;
+
+    std::unordered_map<Addr, ShadowLine> shadow;
+    std::map<Addr, std::pair<uint32_t, bool>> frames; // addr->{sz,freed}
+    std::vector<const char *> sites;                  // per core
+    std::vector<Violation> log;
+    std::array<uint64_t, numViolationKinds> counts{};
+    uint64_t total = 0;
+    uint64_t epoch = 0;
+};
+
+} // namespace bigtiny::check
+
+#endif // BIGTINY_CHECK_COHERENCE_CHECKER_HH

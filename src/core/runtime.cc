@@ -57,7 +57,10 @@ Runtime::~Runtime() = default;
 Addr
 Runtime::allocTaskFrame()
 {
-    return sys.arena().alloc(TaskLayout::frameBytes, lineBytes);
+    Addr t = sys.arena().alloc(TaskLayout::frameBytes, lineBytes);
+    if (auto *chk = sys.mem().checker())
+        chk->frameAlloc(t, TaskLayout::frameBytes);
+    return t;
 }
 
 void

@@ -16,6 +16,34 @@ namespace
 /** Instruction overhead charged for task dispatch bookkeeping. */
 constexpr uint64_t dispatchCycles = 4;
 constexpr uint64_t victimSelectCycles = 4;
+
+/**
+ * Scoped coherence-checker site label: violations reported while the
+ * scope is live carry @p site for the worker's core; the previous
+ * label is restored on exit (labels nest across execTask recursion).
+ */
+class SiteScope
+{
+  public:
+    SiteScope(check::CoherenceChecker *chk, CoreId c, const char *site)
+        : chk(chk), c(c)
+    {
+        if (chk)
+            prev = chk->setSite(c, site);
+    }
+    ~SiteScope()
+    {
+        if (chk)
+            chk->setSite(c, prev);
+    }
+    SiteScope(const SiteScope &) = delete;
+    SiteScope &operator=(const SiteScope &) = delete;
+
+  private:
+    check::CoherenceChecker *chk;
+    CoreId c;
+    const char *prev = nullptr;
+};
 } // namespace
 
 Worker::Worker(Runtime &rt, Core &core, int wid)
@@ -39,6 +67,7 @@ Worker::newTask(TaskFn fn, std::initializer_list<uint64_t> args)
 {
     panic_if(args.size() > L::maxArgs, "too many task arguments");
     accrue();
+    SiteScope site(rt.sys.mem().checker(), wid, "Worker::newTask");
     Addr t = rt.allocTaskFrame();
     DagProfiler::Idx prof = rt.profiler.newTask(curProf);
     // Architectural initialization: these stores flow through the
@@ -94,7 +123,10 @@ Worker::execTask(Addr t)
     auto fn = reinterpret_cast<TaskFn>(core.ld<uint64_t>(t + L::fnOff));
     core.work(dispatchCycles);
     panic_if(!fn, "executing a task with no body");
-    fn(*this, t);
+    {
+        SiteScope site(rt.sys.mem().checker(), wid, "task body");
+        fn(*this, t);
+    }
 
     accrue();
     rt.profiler.onTaskDone(curProf);
@@ -106,10 +138,20 @@ Worker::execTask(Addr t)
 void
 Worker::joinShared(Addr t)
 {
+    SiteScope site(rt.sys.mem().checker(), wid, "Worker::joinShared");
     Addr parent = core.ld<uint64_t>(t + L::parentOff);
     if (parent)
         core.amo(mem::AmoOp::Add, parent + L::rcOff,
                  static_cast<uint64_t>(-1), 8);
+}
+
+void
+Worker::retire(Addr t)
+{
+    // After a task has executed and joined, nothing may read its
+    // frame again (frames are not recycled inside a run; see task.hh).
+    if (auto *chk = rt.sys.mem().checker())
+        chk->frameFree(t);
 }
 
 void
@@ -118,6 +160,7 @@ Worker::joinDtsLocal(Addr t)
     // Figure 3(c) lines 17-20: AMO only if some child of the parent
     // was stolen; otherwise the parent runs on this very core and a
     // plain read-modify-write is safe.
+    SiteScope site(rt.sys.mem().checker(), wid, "Worker::joinDtsLocal");
     Addr parent = core.ld<uint64_t>(t + L::parentOff);
     if (!parent)
         return;
@@ -180,6 +223,7 @@ Worker::chooseVictim()
 void
 Worker::spawn(Addr t)
 {
+    SiteScope site(rt.sys.mem().checker(), wid, "Worker::spawn");
     ++stats.tasksSpawned;
     TaskDeque &q = rt.deque(wid);
     switch (rt.variant) {
@@ -213,6 +257,7 @@ void
 Worker::wait()
 {
     panic_if(!curTask, "wait outside a task");
+    SiteScope site(rt.sys.mem().checker(), wid, "Worker::wait");
     Addr p = curTask;
     accrue();
     // Scheduling-loop overhead is not the task's own work (Cilkview
@@ -247,6 +292,7 @@ Worker::waitBaseline(Addr p)
             failStreak = 0;
             execTask(t);
             joinShared(t);
+            retire(t);
         } else if (!stealOnce()) {
             idleBackoff();
         }
@@ -267,6 +313,7 @@ Worker::waitHcc(Addr p)
             failStreak = 0;
             execTask(t);
             joinShared(t);
+            retire(t);
         } else if (!stealOnce()) {
             idleBackoff();
         }
@@ -291,6 +338,7 @@ Worker::waitDts(Addr p)
             failStreak = 0;
             execTask(t);
             joinDtsLocal(t);
+            retire(t);
         } else if (!stealOnce()) {
             idleBackoff();
         }
@@ -324,6 +372,7 @@ Worker::idleBackoff()
 bool
 Worker::stealOnce()
 {
+    SiteScope site(rt.sys.mem().checker(), wid, "Worker::stealOnce");
     ++stats.stealAttempts;
     int vid = chooseVictim();
     if (vid < 0) {
@@ -342,12 +391,14 @@ Worker::stealOnce()
         failStreak = 0;
         execTask(t);
         joinShared(t);
+        retire(t);
         return true;
       }
       case SchedVariant::Hcc: {
         TaskDeque &vq = rt.deque(vid);
         vq.lockAq(core);
-        core.cacheInvalidate();
+        if (!rt.hccElideStealInvalidate)
+            core.cacheInvalidate();
         Addr t = vq.deqHead(core);
         core.cacheFlush();
         vq.lockRl(core);
@@ -355,10 +406,12 @@ Worker::stealOnce()
             break;
         ++stats.tasksStolen;
         failStreak = 0;
-        core.cacheInvalidate(); // see the victim's published values
+        if (!rt.hccElideStealInvalidate)
+            core.cacheInvalidate(); // see the victim's published values
         execTask(t);
-        core.cacheFlush();      // publish ours before the join
+        core.cacheFlush();          // publish ours before the join
         joinShared(t);
+        retire(t);
         return true;
       }
       case SchedVariant::Dts: {
@@ -374,6 +427,7 @@ Worker::stealOnce()
         execTask(t);
         core.cacheFlush();
         joinShared(t); // stolen: always an AMO (Figure 3(c) l.33)
+        retire(t);
         return true;
       }
     }
@@ -386,6 +440,7 @@ Worker::uliHandler(CoreId thief)
 {
     // Figure 3(c) lines 47-53, running on the victim core. ULI
     // reception is implicitly disabled while we are in the handler.
+    SiteScope site(rt.sys.mem().checker(), wid, "Worker::uliHandler");
     TaskDeque &q = rt.deque(wid);
     Addr t = rt.dtsStealFromTail ? q.deqTail(core) : q.deqHead(core);
     if (!t) {
@@ -429,6 +484,11 @@ Worker::guestMain(const std::function<void(Worker &)> *root)
         lastInst = core.instCount();
         ++stats.tasksSpawned;   // balance the executed count
         ++stats.tasksExecuted;
+        // The root participates in the execute-exactly-once invariant
+        // like any other task, so a stray re-entry panics.
+        panic_if(!rt.executedTasks.insert(t).second,
+                 "root task %#llx executed twice (worker %d)",
+                 (unsigned long long)t, wid);
         (*root)(*this);
         accrue();
         rt.profiler.onTaskDone(curProf);

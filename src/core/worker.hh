@@ -132,6 +132,9 @@ class Worker
     /** Join an executed task into its parent (shared-memory rc). */
     void joinShared(Addr t);
 
+    /** Tell the coherence checker a joined frame is dead. */
+    void retire(Addr t);
+
     /** DTS join: plain decrement unless a child was stolen. */
     void joinDtsLocal(Addr t);
 

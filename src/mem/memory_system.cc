@@ -16,6 +16,49 @@ MemorySystem::MemorySystem(const sim::SystemConfig &cfg)
         l1s.push_back(std::make_unique<L1Cache>(
             cfg.protocolOf(c), cfg.l1BytesOf(c), cfg.l1Ways));
     }
+    if (cfg.checkCoherence)
+        chk = std::make_unique<check::CoherenceChecker>(cfg);
+}
+
+// ---------------------------------------------------------------------
+// Coherence-checker wrappers around the timed operations
+// ---------------------------------------------------------------------
+
+MemorySystem::Result
+MemorySystem::load(CoreId c, Cycle now, Addr a, void *out, uint32_t len)
+{
+    Result r = loadImpl(c, now, a, out, len);
+    if (chk) {
+        uint64_t dirty = 0;
+        if (L1Line *l = l1s[c]->find(lineAlign(a)))
+            dirty = l->dirtyMask;
+        chk->onLoad(c, now, a, out, len, dirty);
+    }
+    return r;
+}
+
+MemorySystem::Result
+MemorySystem::store(CoreId c, Cycle now, Addr a, const void *in,
+                    uint32_t len)
+{
+    Result r = storeImpl(c, now, a, in, len);
+    if (chk)
+        chk->onStore(c, now, a, in, len);
+    return r;
+}
+
+MemorySystem::Result
+MemorySystem::amo(CoreId c, Cycle now, AmoOp op, Addr a,
+                  uint64_t operand, uint64_t cas_expect, uint32_t len,
+                  uint64_t &old_out)
+{
+    Result r = amoImpl(c, now, op, a, operand, cas_expect, len, old_out);
+    if (chk) {
+        uint64_t stored =
+            amoApply(op, old_out, operand, cas_expect, len);
+        chk->onAmo(c, now, a, &old_out, &stored, len);
+    }
+    return r;
 }
 
 Cycle
@@ -297,6 +340,9 @@ MemorySystem::writeL1LineToL2(CoreId c, L1Line *line, uint64_t byte_mask,
 {
     if (byte_mask == 0)
         return;
+    if (chk)
+        chk->onWriteBack(c, t, line->lineAddr, line->data.data(),
+                         byte_mask);
     Addr la = line->lineAddr;
     int bank = l2c.bankOf(la);
     uint32_t dirty_bytes =
@@ -367,7 +413,8 @@ MemorySystem::evictL1Line(CoreId c, L1Line *line, Cycle &t)
 // ---------------------------------------------------------------------
 
 MemorySystem::Result
-MemorySystem::load(CoreId c, Cycle now, Addr a, void *out, uint32_t len)
+MemorySystem::loadImpl(CoreId c, Cycle now, Addr a, void *out,
+                       uint32_t len)
 {
     panic_if(lineOffset(a) + len > lineBytes,
              "load crosses line: %#llx len %u", (unsigned long long)a,
@@ -432,8 +479,8 @@ MemorySystem::load(CoreId c, Cycle now, Addr a, void *out, uint32_t len)
 // ---------------------------------------------------------------------
 
 MemorySystem::Result
-MemorySystem::store(CoreId c, Cycle now, Addr a, const void *in,
-                    uint32_t len)
+MemorySystem::storeImpl(CoreId c, Cycle now, Addr a, const void *in,
+                        uint32_t len)
 {
     panic_if(lineOffset(a) + len > lineBytes,
              "store crosses line: %#llx len %u", (unsigned long long)a,
@@ -616,9 +663,9 @@ MemorySystem::amoApply(AmoOp op, uint64_t old, uint64_t operand,
 }
 
 MemorySystem::Result
-MemorySystem::amo(CoreId c, Cycle now, AmoOp op, Addr a,
-                  uint64_t operand, uint64_t cas_expect, uint32_t len,
-                  uint64_t &old_out)
+MemorySystem::amoImpl(CoreId c, Cycle now, AmoOp op, Addr a,
+                      uint64_t operand, uint64_t cas_expect, uint32_t len,
+                      uint64_t &old_out)
 {
     panic_if(len != 4 && len != 8, "amo length must be 4 or 8");
     panic_if(a % len != 0, "amo must be naturally aligned");
@@ -854,6 +901,8 @@ MemorySystem::funcRead(Addr a, void *out, uint64_t len)
 void
 MemorySystem::funcWrite(Addr a, const void *in, uint64_t len)
 {
+    if (chk)
+        chk->onFuncWrite(a, in, len);
     auto *src = static_cast<const uint8_t *>(in);
     while (len > 0) {
         Addr la = lineAlign(a);

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/coherence_checker.hh"
 #include "mem/address_space.hh"
 #include "mem/dram.hh"
 #include "mem/l1_cache.hh"
@@ -121,6 +122,13 @@ class MemorySystem
      */
     int checkCoherenceInvariants() const;
 
+    /**
+     * Shadow-memory coherence checker; non-null only when
+     * SystemConfig::checkCoherence is set
+     * (src/check/coherence_checker.hh).
+     */
+    check::CoherenceChecker *checker() const { return chk.get(); }
+
     L1Cache &l1(CoreId c) { return *l1s[c]; }
     const L1Cache &l1(CoreId c) const { return *l1s[c]; }
     L2Cache &l2() { return l2c; }
@@ -157,12 +165,23 @@ class MemorySystem
                    uint64_t operand, uint64_t cas_expect, uint32_t len,
                    uint64_t &old_out);
 
+    // The public load/store/amo wrap these with the coherence-checker
+    // hooks (the bodies have many protocol-specific return paths).
+    Result loadImpl(CoreId c, Cycle now, Addr a, void *out,
+                    uint32_t len);
+    Result storeImpl(CoreId c, Cycle now, Addr a, const void *in,
+                     uint32_t len);
+    Result amoImpl(CoreId c, Cycle now, AmoOp op, Addr a,
+                   uint64_t operand, uint64_t cas_expect, uint32_t len,
+                   uint64_t &old_out);
+
     const sim::SystemConfig &cfg;
     MainMemory main;
     std::vector<std::unique_ptr<L1Cache>> l1s;
     L2Cache l2c;
     Noc nocModel;
     Dram dramModel;
+    std::unique_ptr<check::CoherenceChecker> chk;
 };
 
 } // namespace bigtiny::mem

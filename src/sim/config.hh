@@ -97,6 +97,14 @@ struct SystemConfig
     Cycle uliDrainTiny = 4;   //!< cycles to drain in-order pipe
     Cycle uliDrainBig = 30;   //!< cycles to drain OoO pipe (paper: 10-50)
 
+    // --- Debug / validation ----------------------------------------------
+    /**
+     * Enable the shadow-memory coherence checker (src/check/): golden
+     * image of simulated memory, checked on every architectural load.
+     * Functional only — adds host time, never simulated time.
+     */
+    bool checkCoherence = false;
+
     // --- Runtime ---------------------------------------------------------
     uint32_t dequeCapacity = 8192;
     Cycle stealBackoff = 50;  //!< idle cycles after a failed steal

@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#ifdef BIGTINY_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 #include "common/log.hh"
 
 #ifndef BIGTINY_FIBER_UCONTEXT
@@ -22,6 +26,14 @@ currentFiberRef()
     static thread_local Fiber *cur = nullptr;
     return cur;
 }
+
+#ifdef BIGTINY_ASAN_FIBERS
+// The fiber a switch is leaving, so the destination side of the swap
+// can close the ASan annotation with the right saved state and record
+// the departed stack's bounds (this is how the primary fiber's bounds,
+// which we never allocated ourselves, are learned).
+thread_local Fiber *switchingFrom = nullptr;
+#endif
 
 } // namespace
 
@@ -66,6 +78,13 @@ Fiber::current()
 void
 Fiber::main()
 {
+#ifdef BIGTINY_ASAN_FIBERS
+    // First activation: close the switch annotation (this fiber was
+    // never suspended, so there is no fake stack to restore) and
+    // record the bounds of the stack we came from.
+    __sanitizer_finish_switch_fiber(nullptr, &switchingFrom->asanBottom,
+                                    &switchingFrom->asanSize);
+#endif
     fn();
     _finished = true;
     Fiber *next = onFinish ? onFinish : primary();
@@ -79,6 +98,10 @@ void
 Fiber::createStack()
 {
     stack = std::make_unique<uint8_t[]>(stackBytes);
+#ifdef BIGTINY_ASAN_FIBERS
+    asanBottom = stack.get();
+    asanSize = stackBytes;
+#endif
     // Lay the stack out so that the final `ret` in bigtinyFiberSwap
     // lands in bigtinyFiberTramp with this Fiber in the %r12 slot. The
     // return-address slot must be 16-byte aligned so the trampoline
@@ -111,7 +134,21 @@ Fiber::run()
         return;
     currentFiberRef() = this;
     started = true;
+#ifdef BIGTINY_ASAN_FIBERS
+    switchingFrom = prev;
+    // A finished fiber never resumes: passing nullptr lets ASan
+    // release its fake-stack state instead of saving it.
+    __sanitizer_start_switch_fiber(
+        prev->_finished ? nullptr : &prev->asanFakeStack, asanBottom,
+        asanSize);
+#endif
     bigtinyFiberSwap(&prev->sp, this->sp);
+#ifdef BIGTINY_ASAN_FIBERS
+    // Someone switched back to prev; finish their annotation.
+    __sanitizer_finish_switch_fiber(prev->asanFakeStack,
+                                    &switchingFrom->asanBottom,
+                                    &switchingFrom->asanSize);
+#endif
 }
 
 #else // BIGTINY_FIBER_UCONTEXT
@@ -120,6 +157,10 @@ void
 Fiber::createStack()
 {
     stack = std::make_unique<uint8_t[]>(stackBytes);
+#ifdef BIGTINY_ASAN_FIBERS
+    asanBottom = stack.get();
+    asanSize = stackBytes;
+#endif
     getcontext(&ctx);
     ctx.uc_stack.ss_sp = stack.get();
     ctx.uc_stack.ss_size = stackBytes;
@@ -137,7 +178,18 @@ Fiber::run()
         return;
     currentFiberRef() = this;
     started = true;
+#ifdef BIGTINY_ASAN_FIBERS
+    switchingFrom = prev;
+    __sanitizer_start_switch_fiber(
+        prev->_finished ? nullptr : &prev->asanFakeStack, asanBottom,
+        asanSize);
+#endif
     swapcontext(&prev->ctx, &this->ctx);
+#ifdef BIGTINY_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(prev->asanFakeStack,
+                                    &switchingFrom->asanBottom,
+                                    &switchingFrom->asanSize);
+#endif
 }
 
 #endif

@@ -21,6 +21,18 @@
 #include <ucontext.h>
 #endif
 
+// AddressSanitizer tracks one shadow region per stack; hand-rolled
+// context switches have to tell it about every switch or it reports
+// bogus stack-buffer overflows and corrupts its fake-stack bookkeeping
+// (see tools/check_build.sh).
+#if defined(__SANITIZE_ADDRESS__)
+#define BIGTINY_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BIGTINY_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace bigtiny::sim
 {
 
@@ -82,6 +94,12 @@ class Fiber
     ucontext_t ctx;
 #else
     void *sp = nullptr; // saved stack pointer
+#endif
+
+#ifdef BIGTINY_ASAN_FIBERS
+    void *asanFakeStack = nullptr;   //!< saved while suspended
+    const void *asanBottom = nullptr; //!< stack bottom for ASan
+    size_t asanSize = 0;              //!< (primary's learned lazily)
 #endif
 };
 

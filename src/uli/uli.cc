@@ -8,15 +8,22 @@
 namespace bigtiny::uli
 {
 
-Cycle
-UliNetwork::flightLat(CoreId a, CoreId b) const
+uint32_t
+UliNetwork::hops(CoreId a, CoreId b) const
 {
     const auto &cfg = sys.config();
     int ar = a / cfg.meshCols, ac = a % cfg.meshCols;
     int br = b / cfg.meshCols, bc = b % cfg.meshCols;
-    uint32_t hops =
-        static_cast<uint32_t>(std::abs(ar - br) + std::abs(ac - bc));
-    return static_cast<Cycle>(hops) * cfg.uliHopLat + 1;
+    return static_cast<uint32_t>(std::abs(ar - br) + std::abs(ac - bc));
+}
+
+Cycle
+UliNetwork::flightLat(CoreId a, CoreId b) const
+{
+    // +1 for the receiver-side delivery/ejection cycle; the hop count
+    // itself must come from hops(), not back-derived from this (the
+    // stats were off by one whenever uliHopLat == 1).
+    return static_cast<Cycle>(hops(a, b)) * sys.config().uliHopLat + 1;
 }
 
 void
@@ -24,8 +31,7 @@ UliNetwork::sendReq(CoreId sender, CoreId victim, uint64_t payload,
                     Cycle now)
 {
     ++stats.reqs;
-    stats.hopTraversals += flightLat(sender, victim) /
-                           std::max<Cycle>(1, sys.config().uliHopLat);
+    stats.hopTraversals += hops(sender, victim);
     Cycle arrival = now + flightLat(sender, victim);
     sys.events().schedule(arrival, [this, sender, victim, payload,
                                     arrival] {
@@ -52,8 +58,7 @@ UliNetwork::sendResp(CoreId sender, CoreId thief, bool ack,
         ++stats.acks;
     else
         ++stats.nacks;
-    stats.hopTraversals += flightLat(sender, thief) /
-                           std::max<Cycle>(1, sys.config().uliHopLat);
+    stats.hopTraversals += hops(sender, thief);
     Cycle arrival = now + flightLat(sender, thief);
     sys.events().schedule(arrival, [this, thief, ack, payload] {
         sim::Core &t = sys.core(thief);

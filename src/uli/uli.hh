@@ -71,6 +71,9 @@ class UliNetwork
     void sendResp(CoreId sender, CoreId thief, bool ack,
                   uint64_t payload, Cycle now);
 
+    /** Manhattan hop count between two mesh tiles. */
+    uint32_t hops(CoreId a, CoreId b) const;
+
     /** Mesh flight latency between two cores. */
     Cycle flightLat(CoreId a, CoreId b) const;
 

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the shadow-memory coherence checker (src/check/).
+ *
+ * Three layers:
+ *  1. Direct MemorySystem-level sequences that force each violation
+ *     class (stale read, lost update at read and at write-back, freed
+ *     frame read) and check the recorded classification and report.
+ *  2. Clean runs: all three scheduler variants (Baseline / HCC / DTS)
+ *     execute a disciplined fork-join workload under the checker with
+ *     zero violations — the positive half of the paper's Figure 3
+ *     correctness claim.
+ *  3. Fault injection: eliding the cache_invalidate pair in the HCC
+ *     steal path (Runtime::hccElideStealInvalidate) makes a thief
+ *     keep a stale clean copy of the victim's deque tail. The run
+ *     still completes with correct results — the victim pops the
+ *     task the thief could not see — which is exactly the silent
+ *     failure mode end-result validation misses and the checker must
+ *     catch.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "check/coherence_checker.hh"
+#include "core/worker.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+using check::CoherenceChecker;
+using check::ViolationKind;
+using rt::Runtime;
+using rt::SchedVariant;
+using rt::Worker;
+using sim::Core;
+using sim::System;
+using sim::SystemConfig;
+
+namespace
+{
+
+SystemConfig
+checkCfg(int n, sim::Protocol p, bool dts = false)
+{
+    SystemConfig cfg;
+    cfg.name = "check-test";
+    cfg.meshRows = 1;
+    cfg.meshCols = 8;
+    cfg.cores.assign(n, sim::CoreKind::Tiny);
+    cfg.tinyProtocol = p;
+    cfg.dts = dts;
+    cfg.checkCoherence = true;
+    return cfg;
+}
+
+void
+noopTask(Worker &w, Addr)
+{
+    w.work(500);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Direct MemorySystem-level classification tests
+// ---------------------------------------------------------------------
+
+TEST(CoherenceChecker, CleanPublishReadsFresh)
+{
+    System sys(checkCfg(2, sim::Protocol::GpuWB));
+    auto &mem = sys.mem();
+    auto *chk = mem.checker();
+    ASSERT_NE(chk, nullptr);
+
+    Addr x = sys.arena().allocLines(8);
+    uint64_t v = 1;
+    mem.store(0, 10, x, &v, 8);
+    mem.cacheFlush(0, 20); // publish (GPU-WB write-back discipline)
+    uint64_t got = 0;
+    mem.load(1, 30, x, &got, 8);
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(chk->totalViolations(), 0u);
+}
+
+TEST(CoherenceChecker, StaleReadClassified)
+{
+    System sys(checkCfg(2, sim::Protocol::GpuWB));
+    auto &mem = sys.mem();
+    auto *chk = mem.checker();
+    ASSERT_NE(chk, nullptr);
+
+    Addr x = sys.arena().allocLines(8);
+    uint64_t v = 1;
+    mem.store(0, 10, x, &v, 8);
+    mem.cacheFlush(0, 20);
+    uint64_t got = 0;
+    mem.load(1, 30, x, &got, 8); // core 1 caches a clean copy
+    EXPECT_EQ(chk->totalViolations(), 0u);
+
+    v = 2;
+    mem.store(0, 40, x, &v, 8);
+    mem.cacheFlush(0, 50); // remote overwrite; core 1 never invalidates
+
+    chk->setSite(1, "test-reader");
+    mem.load(1, 60, x, &got, 8);
+    EXPECT_EQ(got, 1u); // the modelled protocol really returned stale
+
+    ASSERT_EQ(chk->totalViolations(), 1u);
+    EXPECT_EQ(chk->countOf(ViolationKind::StaleRead), 1u);
+    ASSERT_EQ(chk->violations().size(), 1u);
+    const auto &viol = chk->violations().front();
+    EXPECT_EQ(viol.kind, ViolationKind::StaleRead);
+    EXPECT_EQ(viol.core, 1);
+    EXPECT_EQ(viol.cycle, 60u);
+    EXPECT_EQ(viol.addr, x);
+    EXPECT_EQ(viol.observed, 1u);
+    EXPECT_EQ(viol.expected, 2u);
+    EXPECT_EQ(viol.lastWriter, 0);
+    EXPECT_EQ(viol.lastWriteCycle, 40u);
+    EXPECT_STREQ(viol.site, "test-reader");
+    std::string desc = viol.describe();
+    EXPECT_NE(desc.find("stale-read"), std::string::npos);
+    EXPECT_NE(desc.find("test-reader"), std::string::npos);
+}
+
+TEST(CoherenceChecker, LostUpdateClassified)
+{
+    System sys(checkCfg(2, sim::Protocol::GpuWB));
+    auto &mem = sys.mem();
+    auto *chk = mem.checker();
+    ASSERT_NE(chk, nullptr);
+
+    Addr x = sys.arena().allocLines(8);
+    uint64_t v = 1;
+    mem.store(0, 10, x, &v, 8); // core 0 holds x=1 dirty, unpublished
+    v = 2;
+    mem.store(1, 20, x, &v, 8);
+    mem.cacheFlush(1, 30); // core 1 publishes the newer x=2
+
+    // Core 0 reads its own masking write: a lost update seen at the
+    // reader (its dirty byte hides the newer remote value).
+    uint64_t got = 0;
+    mem.load(0, 40, x, &got, 8);
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(chk->countOf(ViolationKind::LostUpdate), 1u);
+    EXPECT_EQ(chk->countOf(ViolationKind::StaleRead), 0u);
+
+    // Core 0 writes back: its stale dirty data clobbers core 1's
+    // newer write — the same lost update, now materialized at the L2.
+    mem.cacheFlush(0, 50);
+    EXPECT_EQ(chk->countOf(ViolationKind::LostUpdate), 2u);
+    const auto &wb = chk->violations().back();
+    EXPECT_EQ(wb.kind, ViolationKind::LostUpdate);
+    EXPECT_EQ(wb.core, 0);
+    EXPECT_EQ(wb.lastWriter, 1);
+}
+
+TEST(CoherenceChecker, FreedFrameReadClassified)
+{
+    System sys(checkCfg(1, sim::Protocol::MESI));
+    auto &mem = sys.mem();
+    auto *chk = mem.checker();
+    ASSERT_NE(chk, nullptr);
+
+    Addr f = sys.arena().allocLines(rt::TaskLayout::frameBytes);
+    chk->frameAlloc(f, rt::TaskLayout::frameBytes);
+    uint64_t v = 7;
+    mem.store(0, 10, f, &v, 8);
+    uint64_t got = 0;
+    mem.load(0, 20, f, &got, 8); // live frame: fine
+    EXPECT_EQ(chk->totalViolations(), 0u);
+
+    chk->frameFree(f);
+    mem.load(0, 30, f, &got, 8); // value still matches, frame is dead
+    EXPECT_EQ(got, 7u);
+    EXPECT_EQ(chk->countOf(ViolationKind::FreedFrameRead), 1u);
+    const auto &viol = chk->violations().back();
+    EXPECT_EQ(viol.kind, ViolationKind::FreedFrameRead);
+    EXPECT_EQ(viol.addr, f);
+}
+
+TEST(CoherenceChecker, AmoAndFuncWriteKeepGoldenInSync)
+{
+    System sys(checkCfg(2, sim::Protocol::GpuWB));
+    auto &mem = sys.mem();
+    auto *chk = mem.checker();
+    ASSERT_NE(chk, nullptr);
+
+    Addr x = sys.arena().allocLines(8);
+    mem.funcWrite<uint64_t>(x, 5); // host-side seed
+    uint64_t old = 0;
+    mem.amo(0, 10, mem::AmoOp::Add, x, 3, 0, 8, old);
+    EXPECT_EQ(old, 5u);
+    mem.amo(1, 20, mem::AmoOp::Add, x, 4, 0, 8, old);
+    EXPECT_EQ(old, 8u);
+    uint64_t got = 0;
+    mem.load(0, 30, x, &got, 8);
+    EXPECT_EQ(got, 12u);
+    EXPECT_EQ(chk->totalViolations(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Clean runs: every scheduler variant under the checker
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Disciplined fork-join workload: leaves store into an array and
+ * AMO-accumulate; the root reads the results back after wait() (the
+ * Figure 3 discipline makes those reads coherent under every variant).
+ * Returns the checker's violation count.
+ */
+uint64_t
+cleanRun(sim::Protocol p, bool dts, SchedVariant want)
+{
+    constexpr int64_t n = 64;
+    System sys(checkCfg(4, p, dts));
+    Runtime rt(sys);
+    EXPECT_EQ(rt.variant, want);
+    Addr acc = sys.arena().allocLines(8);
+    Addr arr = sys.arena().allocLines(n * 8);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, n, 4, [&](Worker &ww, int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                ww.st<uint64_t>(arr + i * 8,
+                                static_cast<uint64_t>(i) + 1);
+            ww.work(static_cast<uint64_t>(hi - lo) * 30);
+            ww.core.amo(mem::AmoOp::Add, acc,
+                        static_cast<uint64_t>(hi - lo), 8);
+        });
+        // Post-wait read-back on the root: must be fresh.
+        for (int64_t i = 0; i < n; i += 7)
+            EXPECT_EQ(w.ld<uint64_t>(arr + i * 8),
+                      static_cast<uint64_t>(i) + 1);
+    });
+    sys.mem().drainAll();
+    EXPECT_EQ(sys.mem().funcRead<uint64_t>(acc),
+              static_cast<uint64_t>(n));
+    auto *chk = sys.mem().checker();
+    EXPECT_NE(chk, nullptr);
+    return chk ? chk->totalViolations() : ~0ull;
+}
+
+} // namespace
+
+TEST(CoherenceCheckRuns, BaselineMesiClean)
+{
+    EXPECT_EQ(cleanRun(sim::Protocol::MESI, false,
+                       SchedVariant::Baseline), 0u);
+}
+
+TEST(CoherenceCheckRuns, HccDeNovoClean)
+{
+    EXPECT_EQ(cleanRun(sim::Protocol::DeNovo, false, SchedVariant::Hcc),
+              0u);
+}
+
+TEST(CoherenceCheckRuns, HccGpuWtClean)
+{
+    EXPECT_EQ(cleanRun(sim::Protocol::GpuWT, false, SchedVariant::Hcc),
+              0u);
+}
+
+TEST(CoherenceCheckRuns, HccGpuWbClean)
+{
+    EXPECT_EQ(cleanRun(sim::Protocol::GpuWB, false, SchedVariant::Hcc),
+              0u);
+}
+
+TEST(CoherenceCheckRuns, DtsGpuWbClean)
+{
+    EXPECT_EQ(cleanRun(sim::Protocol::GpuWB, true, SchedVariant::Dts),
+              0u);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: elide the HCC steal-path invalidates
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct ElisionResult
+{
+    uint64_t violations = 0;
+    uint64_t staleReads = 0;
+    uint64_t executed = 0;
+    uint64_t stolen = 0;
+    bool thiefStealSiteSeen = false;
+};
+
+ElisionResult
+elisionRun(bool elide)
+{
+    System sys(checkCfg(2, sim::Protocol::GpuWB));
+    Runtime rt(sys);
+    EXPECT_EQ(rt.variant, SchedVariant::Hcc);
+    rt.hccElideStealInvalidate = elide;
+    rt.run([&](Worker &w) {
+        // Let the thief (worker 1) probe the still-empty deque and
+        // cache its head/tail metadata...
+        w.work(2000);
+        // ...then publish one task. With the steal-path invalidates
+        // elided the thief keeps reading its stale tail and never
+        // sees it; the root pops the task itself, so the run still
+        // finishes with correct bookkeeping ("survives by luck").
+        Addr t = w.newTask(noopTask);
+        w.setRefCount(1);
+        w.spawn(t);
+        w.work(4000);
+        w.wait();
+    });
+    auto *chk = sys.mem().checker();
+    EXPECT_NE(chk, nullptr);
+    ElisionResult r;
+    auto total = rt.totalStats();
+    r.executed = total.tasksExecuted;
+    r.stolen = total.tasksStolen;
+    if (!chk)
+        return r;
+    r.violations = chk->totalViolations();
+    r.staleReads = chk->countOf(ViolationKind::StaleRead);
+    for (const auto &v : chk->violations()) {
+        if (v.kind == ViolationKind::StaleRead && v.core == 1 &&
+            v.site && std::strcmp(v.site, "Worker::stealOnce") == 0 &&
+            v.lastWriter == 0)
+            r.thiefStealSiteSeen = true;
+    }
+    return r;
+}
+
+} // namespace
+
+TEST(CoherenceCheckRuns, HccStealWithoutInvalidateFiresStaleRead)
+{
+    ElisionResult r = elisionRun(true);
+    // The run itself completes correctly — the end-result validation
+    // that the rest of the test suite relies on would pass...
+    EXPECT_EQ(r.executed, 2u); // root + child, child run by the root
+    EXPECT_EQ(r.stolen, 0u);   // the thief never saw it
+    // ...but the checker catches the stale deque-metadata reads.
+    EXPECT_GE(r.staleReads, 1u);
+    EXPECT_TRUE(r.thiefStealSiteSeen)
+        << "expected a StaleRead on core 1 at Worker::stealOnce "
+           "last written by core 0";
+}
+
+TEST(CoherenceCheckRuns, HccStealWithInvalidateIsClean)
+{
+    ElisionResult r = elisionRun(false);
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_EQ(r.executed, 2u);
+}

@@ -6,6 +6,8 @@
  * configuration presets, and the PRNG.
  */
 
+#include <deque>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
@@ -73,6 +75,79 @@ TEST(TaskDeque, WrapAround)
         EXPECT_TRUE(q.empty(c));
     });
     sys.run();
+}
+
+TEST(TaskDeque, WrapAroundInterleaved)
+{
+    // Drive head and tail several multiples past the capacity with a
+    // pseudo-random mix of pushes and pops from both ends, checking
+    // every dequeued value against a reference deque (LIFO at the
+    // tail, FIFO at the head).
+    System sys(tinyN(1));
+    constexpr uint32_t cap = 8;
+    TaskDeque q(sys.arena(), cap);
+    sys.attachGuest(0, [&](Core &c) {
+        std::deque<Addr> model;
+        Rng rng(42);
+        Addr next = 16;
+        uint64_t enqs = 0;
+        for (int step = 0; step < 600; ++step) {
+            switch (rng.nextBounded(3)) {
+              case 0:
+                if (model.size() < cap - 1) {
+                    q.enq(c, next);
+                    model.push_back(next);
+                    next += 16;
+                    ++enqs;
+                }
+                break;
+              case 1: {
+                Addr got = q.deqTail(c);
+                if (model.empty()) {
+                    EXPECT_EQ(got, 0u);
+                } else {
+                    EXPECT_EQ(got, model.back());
+                    model.pop_back();
+                }
+                break;
+              }
+              case 2: {
+                Addr got = q.deqHead(c);
+                if (model.empty()) {
+                    EXPECT_EQ(got, 0u);
+                } else {
+                    EXPECT_EQ(got, model.front());
+                    model.pop_front();
+                }
+                break;
+              }
+            }
+        }
+        while (!model.empty()) {
+            EXPECT_EQ(q.deqHead(c), model.front());
+            model.pop_front();
+        }
+        EXPECT_TRUE(q.empty(c));
+        // the monotonic indices wrapped the buffer many times over
+        EXPECT_GT(enqs, uint64_t{cap} * 5);
+    });
+    sys.run();
+}
+
+TEST(TaskDequeDeathTest, OverflowIsFatal)
+{
+    auto overflow = [] {
+        System sys(tinyN(1));
+        TaskDeque q(sys.arena(), 8);
+        sys.attachGuest(0, [&](Core &c) {
+            for (Addr t = 1; t <= 9; ++t)
+                q.enq(c, t * 16);
+        });
+        sys.run();
+    };
+    // fatal() (user error: deque sized too small) exits with code 1
+    EXPECT_EXIT(overflow(), testing::ExitedWithCode(1),
+                "task deque overflow");
 }
 
 TEST(TaskDeque, LockMutualExclusion)
@@ -232,6 +307,25 @@ TEST(DtsSemantics, StealFromTailOptionWorks)
     });
     sys.mem().drainAll();
     EXPECT_EQ(sys.mem().funcRead<uint64_t>(acc), 1000u);
+}
+
+TEST(RuntimeBookkeeping, RootTaskRegisteredInExecutedSet)
+{
+    // The root frame participates in the execute-exactly-once
+    // invariant like any spawned task: it is counted in the stats AND
+    // registered in executedTasks, so the two always agree.
+    System sys(tinyN(4, sim::Protocol::GpuWB));
+    Runtime rt(sys);
+    rt.run([&](Worker &w) {
+        w.parallelFor(0, 64, 8, [](Worker &ww, int64_t lo,
+                                   int64_t hi) {
+            ww.work(static_cast<uint64_t>(hi - lo) * 10);
+        });
+    });
+    auto total = rt.totalStats();
+    EXPECT_GT(total.tasksExecuted, 1u);
+    EXPECT_EQ(rt.executedTasks.size(), total.tasksExecuted);
+    EXPECT_EQ(total.tasksSpawned, total.tasksExecuted);
 }
 
 // ---------------------------------------------------------------------

@@ -183,6 +183,38 @@ TEST(Uli, BigCoreDrainCostsMore)
     EXPECT_GE(big_lat - tiny_lat, 20u); // drain difference dominates
 }
 
+TEST(Uli, HopTraversalAccountingExact)
+{
+    // hopTraversals must count Manhattan mesh hops, independent of the
+    // per-hop latency. It used to be back-derived from the flight
+    // latency (hops * uliHopLat + 1 delivery cycle), which over-counts
+    // by one hop per message whenever uliHopLat == 1.
+    for (Cycle hop_lat : {Cycle{1}, Cycle{2}}) {
+        SystemConfig cfg = uliConfig();
+        cfg.uliHopLat = hop_lat;
+        System sys(cfg);
+        // cores 0 and 3 sit 3 tiles apart on the 1x8 mesh
+        EXPECT_EQ(sys.uliNet().flightLat(0, 3), 3 * hop_lat + 1);
+        sys.attachGuest(3, [&](Core &c) {
+            c.uliSetHandler([&](CoreId s, uint64_t) {
+                c.uliSendResp(s, true, 0);
+            });
+            c.uliEnable();
+            c.work(4000);
+        });
+        sys.attachGuest(0, [&](Core &c) {
+            c.work(100);
+            auto r = c.uliSendReqAndWait(3, 0);
+            EXPECT_TRUE(r.ack);
+        });
+        sys.run();
+        EXPECT_EQ(sys.uliNet().stats.reqs, 1u);
+        // one request + one response, 3 hops each
+        EXPECT_EQ(sys.uliNet().stats.hopTraversals, 6u)
+            << "with uliHopLat=" << hop_lat;
+    }
+}
+
 TEST(Uli, FlightLatencyScalesWithDistance)
 {
     System sys(sim::bigTinyHcc(sim::Protocol::GpuWB, true));

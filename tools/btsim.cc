@@ -9,6 +9,7 @@
  * breakdown.
  *
  *   btsim --app=ligra-bfs --config=bt-hcc-gwb-dts --n=16384
+ *   btsim --app=cilk5-nq --check       # shadow-memory coherence check
  *   btsim --list
  *   btsim --app=cilk5-cs --config=serial-io --serial
  */
@@ -170,7 +171,8 @@ main(int argc, char **argv)
     }
     if (kv.count("help") || !kv.count("app")) {
         std::printf("usage: btsim --app=NAME [--config=NAME] [--n=N] "
-                    "[--grain=G] [--seed=S] [--serial] [--list]\n");
+                    "[--grain=G] [--seed=S] [--serial] [--check] "
+                    "[--list]\n");
         return kv.count("help") ? 0 : 1;
     }
 
@@ -182,7 +184,10 @@ main(int argc, char **argv)
     std::string config_name =
         get("config", serial ? "serial-io" : "bt-hcc-gwb-dts");
 
-    sim::System sys(sim::configByName(config_name));
+    sim::SystemConfig cfg = sim::configByName(config_name);
+    cfg.checkCoherence = kv.count("check") != 0;
+
+    sim::System sys(cfg);
     auto app = apps::makeApp(get("app", ""), params);
     app->setup(sys);
 
@@ -196,6 +201,12 @@ main(int argc, char **argv)
         runtime.run([&](rt::Worker &w) { app->runParallel(w); });
         sys.mem().drainAll();
         printReport(sys, &runtime, app->validate(sys));
+    }
+    if (auto *chk = sys.mem().checker()) {
+        std::printf("\n-- coherence check\n");
+        chk->printReport(stdout);
+        if (chk->totalViolations() > 0)
+            return 2;
     }
     return 0;
 }
