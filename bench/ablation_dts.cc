@@ -16,7 +16,7 @@
 #include <cstdio>
 
 #include "apps/registry.hh"
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 #include "core/worker.hh"
 #include "sim/system.hh"
 
@@ -67,51 +67,67 @@ main(int argc, char **argv)
     if (flags.has("apps"))
         apps_to_run = flags.appList();
 
-    for (const auto &app : apps_to_run) {
-        std::printf("%s on bt-hcc-gwb-dts (scale=%.2f):\n",
-                    app.c_str(), scale);
-        Knobs base;
-        Cycle ref = runWith(app, base, scale);
-        std::printf("  %-38s %10llu cycles (1.00x)\n",
-                    "baseline (head steal, drain 4/30, b=50)",
-                    (unsigned long long)ref);
+    // These runs vary knobs outside the RunSpec key space, so they
+    // bypass the result cache; parallelFor still spreads the
+    // app x variant matrix across host threads.
+    struct Variant
+    {
+        const char *label;
+        Knobs knobs;
+    };
+    std::vector<Variant> variants;
+    variants.push_back(
+        {"baseline (head steal, drain 4/30, b=50)", Knobs{}});
+    {
+        Knobs k;
+        k.stealFromTail = true;
+        variants.push_back({"literal Fig.3(c): steal victim tail", k});
+    }
+    {
+        Knobs k;
+        k.drainTiny = 30;
+        k.drainBig = 100;
+        variants.push_back({"pessimistic interrupt drain 30/100", k});
+    }
+    {
+        Knobs k;
+        k.backoff = 10;
+        variants.push_back({"aggressive steal pacing (b=10)", k});
+    }
+    {
+        Knobs k;
+        k.backoff = 400;
+        variants.push_back({"lazy steal pacing (b=400)", k});
+    }
+    {
+        Knobs k;
+        k.policy = rt::VictimPolicy::RoundRobin;
+        variants.push_back({"round-robin victim selection", k});
+    }
+    {
+        Knobs k;
+        k.policy = rt::VictimPolicy::BigFirst;
+        variants.push_back({"big-biased victim selection", k});
+    }
 
-        auto rel = [&](const char *label, Knobs k) {
-            Cycle c = runWith(app, k, scale);
-            std::printf("  %-38s %10llu cycles (%.2fx)\n", label,
-                        (unsigned long long)c,
+    std::vector<Cycle> cycles(apps_to_run.size() * variants.size());
+    parallelFor(cycles.size(),
+                resolveJobs(flags.getInt("jobs", 0)), [&](size_t i) {
+                    size_t a = i / variants.size();
+                    size_t v = i % variants.size();
+                    cycles[i] = runWith(apps_to_run[a],
+                                        variants[v].knobs, scale);
+                });
+
+    for (size_t a = 0; a < apps_to_run.size(); ++a) {
+        std::printf("%s on bt-hcc-gwb-dts (scale=%.2f):\n",
+                    apps_to_run[a].c_str(), scale);
+        Cycle ref = cycles[a * variants.size()];
+        for (size_t v = 0; v < variants.size(); ++v) {
+            Cycle c = cycles[a * variants.size() + v];
+            std::printf("  %-38s %10llu cycles (%.2fx)\n",
+                        variants[v].label, (unsigned long long)c,
                         static_cast<double>(c) / ref);
-        };
-        {
-            Knobs k = base;
-            k.stealFromTail = true;
-            rel("literal Fig.3(c): steal victim tail", k);
-        }
-        {
-            Knobs k = base;
-            k.drainTiny = 30;
-            k.drainBig = 100;
-            rel("pessimistic interrupt drain 30/100", k);
-        }
-        {
-            Knobs k = base;
-            k.backoff = 10;
-            rel("aggressive steal pacing (b=10)", k);
-        }
-        {
-            Knobs k = base;
-            k.backoff = 400;
-            rel("lazy steal pacing (b=400)", k);
-        }
-        {
-            Knobs k = base;
-            k.policy = rt::VictimPolicy::RoundRobin;
-            rel("round-robin victim selection", k);
-        }
-        {
-            Knobs k = base;
-            k.policy = rt::VictimPolicy::BigFirst;
-            rel("big-biased victim selection", k);
         }
         std::printf("\n");
         std::fflush(stdout);

@@ -1,8 +1,8 @@
 #include "bench/driver.hh"
 
-#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "common/log.hh"
@@ -12,14 +12,99 @@
 namespace bigtiny::bench
 {
 
+// ---------------------------------------------------------------------
+// RunSpec
+// ---------------------------------------------------------------------
+
+RunSpec
+RunSpec::forApp(const std::string &app)
+{
+    RunSpec s;
+    s.app = app;
+    s.params = benchParams(app);
+    return s;
+}
+
+RunSpec
+RunSpec::fromFlags(const cli::Flags &flags)
+{
+    RunSpec s;
+    s.app = flags.get("app");
+    s.serialElision = flags.has("serial");
+    s.configName = flags.get(
+        "config", s.serialElision ? "serial-io" : "bt-hcc-gwb-dts");
+    if (flags.has("scale"))
+        s.params = benchParams(s.app, flags.getDouble("scale", 1.0));
+    else
+        s.params = apps::AppParams{}; // app defaults (n=0, grain=0)
+    s.params.n = flags.getInt("n", s.params.n);
+    s.params.grain = flags.getInt("grain", s.params.grain);
+    s.params.seed = static_cast<uint64_t>(
+        flags.getInt("seed", static_cast<int64_t>(s.params.seed)));
+    s.checkCoherence = flags.has("check");
+    return s;
+}
+
+RunSpec &
+RunSpec::config(const std::string &name)
+{
+    configName = name;
+    return *this;
+}
+
+RunSpec &
+RunSpec::scale(double s)
+{
+    uint64_t keep_seed = params.seed;
+    params = benchParams(app, s);
+    params.seed = keep_seed;
+    return *this;
+}
+
+RunSpec &
+RunSpec::n(int64_t n)
+{
+    params.n = n;
+    return *this;
+}
+
+RunSpec &
+RunSpec::grain(int64_t g)
+{
+    params.grain = g;
+    return *this;
+}
+
+RunSpec &
+RunSpec::seed(uint64_t s)
+{
+    params.seed = s;
+    return *this;
+}
+
+RunSpec &
+RunSpec::serial(bool on)
+{
+    serialElision = on;
+    return *this;
+}
+
+RunSpec &
+RunSpec::checked(bool on)
+{
+    checkCoherence = on;
+    return *this;
+}
+
 std::string
 RunSpec::key() const
 {
     std::ostringstream os;
-    os << "v" << modelVersion << "|" << app << "|" << config << "|n="
-       << params.n << "|g=" << params.grain << "|s=" << params.seed
-       << "|" << (serial ? "serial" : "parallel");
-    if (check)
+    os << "v" << modelVersion << "|" << app << "|" << configName
+       << "|n=" << params.n << "|g=" << params.grain
+       << "|s=" << params.seed << "|"
+       << (serialElision ? "serial" : "parallel");
+    if (checkCoherence)
         os << "|check";
     return os.str();
 }
@@ -27,14 +112,14 @@ RunSpec::key() const
 RunResult
 runOne(const RunSpec &spec)
 {
-    sim::SystemConfig cfg = sim::configByName(spec.config);
-    cfg.checkCoherence = spec.check;
+    sim::SystemConfig cfg = sim::configByName(spec.configName);
+    cfg.checkCoherence = spec.checkCoherence;
     sim::System sys(cfg);
     auto app = apps::makeApp(spec.app, spec.params);
     app->setup(sys);
 
     RunResult r;
-    if (spec.serial) {
+    if (spec.serialElision) {
         sys.attachGuest(0,
                         [&](sim::Core &c) { app->runSerial(c); });
         sys.run();
@@ -121,6 +206,13 @@ deserialize(const std::string &line, RunResult &r)
     return true;
 }
 
+bool
+currentVersion(const std::string &key)
+{
+    std::string want = "v" + std::to_string(modelVersion) + "|";
+    return key.rfind(want, 0) == 0;
+}
+
 } // namespace
 
 ResultCache::ResultCache(std::string path, bool enabled)
@@ -130,172 +222,143 @@ ResultCache::ResultCache(std::string path, bool enabled)
         load();
 }
 
+ResultCache::Shard &
+ResultCache::shardFor(const std::string &key) const
+{
+    return shards[std::hash<std::string>{}(key) % numShards];
+}
+
 void
 ResultCache::load()
 {
     std::ifstream in(path);
+    if (!in)
+        return;
     std::string line;
+    size_t lineno = 0;
     while (std::getline(in, line)) {
-        auto tab = line.find('\t');
-        if (tab == std::string::npos)
+        ++lineno;
+        // A line without the trailing '\n' is a torn append from a
+        // crashed/killed run; it is always the last line.
+        bool torn = in.eof();
+        auto reject = [&](const char *why) {
+            ++loadInfo.malformed;
+            warn("%s:%zu: %s cache line%s", path.c_str(), lineno, why,
+                 torn ? " (torn trailing append)" : "");
+        };
+        if (line.empty())
             continue;
+        auto tab = line.find('\t');
+        if (tab == std::string::npos) {
+            reject("malformed (no key separator)");
+            continue;
+        }
+        std::string key = line.substr(0, tab);
+        if (!currentVersion(key)) {
+            ++loadInfo.stale;
+            continue;
+        }
         RunResult r;
-        if (deserialize(line.substr(tab + 1), r))
-            entries[line.substr(0, tab)] = r;
+        if (!deserialize(line.substr(tab + 1), r)) {
+            reject("unparseable");
+            continue;
+        }
+        shardFor(key).entries[key] = r;
+        ++loadInfo.loaded;
     }
+    if (loadInfo.stale)
+        inform("%s: purging %zu stale model-v!=%d entr%s",
+               path.c_str(), loadInfo.stale, modelVersion,
+               loadInfo.stale == 1 ? "y" : "ies");
+    if (loadInfo.stale || loadInfo.malformed)
+        compact();
+}
+
+void
+ResultCache::compact()
+{
+    // Rewrite the file with only the entries that survived load(), so
+    // stale-version keys and garbage lines do not accumulate forever.
+    // Write-then-rename keeps a concurrent crash from eating the
+    // whole cache.
+    std::lock_guard<std::mutex> lk(fileMu);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("%s: cannot compact cache (open failed)",
+                 tmp.c_str());
+            return;
+        }
+        for (const auto &sh : shards)
+            for (const auto &[key, r] : sh.entries)
+                out << key << '\t' << serialize(r) << '\n';
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        warn("%s: cannot compact cache (rename failed)",
+             path.c_str());
 }
 
 void
 ResultCache::append(const std::string &key, const RunResult &r)
 {
-    entries[key] = r;
+    std::lock_guard<std::mutex> lk(fileMu);
     std::ofstream out(path, std::ios::app);
     out << key << '\t' << serialize(r) << '\n';
+}
+
+bool
+ResultCache::contains(const std::string &key) const
+{
+    Shard &sh = shardFor(key);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    return sh.entries.count(key) != 0;
+}
+
+size_t
+ResultCache::size() const
+{
+    size_t n = 0;
+    for (const auto &sh : shards) {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        n += sh.entries.size();
+    }
+    return n;
 }
 
 RunResult
 ResultCache::run(const RunSpec &spec)
 {
+    if (!enabled)
+        return runOne(spec);
     std::string key = spec.key();
-    if (enabled) {
-        auto it = entries.find(key);
-        if (it != entries.end())
-            return it->second;
+    Shard &sh = shardFor(key);
+    {
+        std::unique_lock<std::mutex> lk(sh.mu);
+        for (;;) {
+            auto it = sh.entries.find(key);
+            if (it != sh.entries.end())
+                return it->second;
+            // First requester simulates; concurrent requesters for
+            // the same key wait for its result instead of burning a
+            // core on a duplicate simulation.
+            if (!sh.inflight.count(key)) {
+                sh.inflight.insert(key);
+                break;
+            }
+            sh.cv.wait(lk);
+        }
     }
     std::fprintf(stderr, "[bench] simulating %s ...\n", key.c_str());
     RunResult r = runOne(spec);
-    if (enabled)
-        append(key, r);
+    append(key, r);
+    {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        sh.entries[key] = r;
+        sh.inflight.erase(key);
+    }
+    sh.cv.notify_all();
     return r;
-}
-
-// ---------------------------------------------------------------------
-// Parameters and helpers
-// ---------------------------------------------------------------------
-
-apps::AppParams
-benchParams(const std::string &app, double scale,
-            int64_t grain_override)
-{
-    apps::AppParams p;
-    auto scaled = [&](int64_t base) {
-        return static_cast<int64_t>(
-            std::llround(static_cast<double>(base) * scale));
-    };
-    auto pow2 = [&](int64_t base) {
-        // keep power-of-two constraints (lu/mm sizes, rMAT vertices)
-        int64_t want = scaled(base);
-        int64_t v = 1;
-        while (v * 2 <= want)
-            v *= 2;
-        return std::max<int64_t>(v, 16);
-    };
-    if (app == "cilk5-cs") {
-        p.n = scaled(50000);
-        p.grain = 256;
-    } else if (app == "cilk5-lu") {
-        p.n = pow2(128);
-        p.grain = 8; // recursion base block
-    } else if (app == "cilk5-mm") {
-        p.n = pow2(256);
-        p.grain = 16;
-    } else if (app == "cilk5-mt") {
-        p.n = pow2(512);
-        p.grain = 256;
-    } else if (app == "cilk5-nq") {
-        p.n = scale >= 2.0 ? 11 : 10;
-        p.grain = 3;
-    } else if (app == "ligra-bc") {
-        p.n = pow2(16384);
-        p.grain = 32;
-    } else if (app == "ligra-bf") {
-        p.n = pow2(16384);
-        p.grain = 32;
-    } else if (app == "ligra-bfs") {
-        p.n = pow2(32768);
-        p.grain = 32;
-    } else if (app == "ligra-bfsbv") {
-        p.n = pow2(32768);
-        p.grain = 32;
-    } else if (app == "ligra-cc") {
-        p.n = pow2(16384);
-        p.grain = 32;
-    } else if (app == "ligra-mis") {
-        p.n = pow2(8192);
-        p.grain = 32;
-    } else if (app == "ligra-radii") {
-        p.n = pow2(8192);
-        p.grain = 32;
-    } else if (app == "ligra-tc") {
-        p.n = pow2(8192);
-        p.grain = 8;
-    } else {
-        fatal("benchParams: unknown app '%s'", app.c_str());
-    }
-    if (grain_override > 0)
-        p.grain = grain_override;
-    return p;
-}
-
-Flags::Flags(int argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0) {
-            warn("ignoring argument '%s'", arg.c_str());
-            continue;
-        }
-        auto eq = arg.find('=');
-        if (eq == std::string::npos)
-            kv[arg.substr(2)] = "1";
-        else
-            kv[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-    }
-}
-
-std::string
-Flags::get(const std::string &key, const std::string &def) const
-{
-    auto it = kv.find(key);
-    return it == kv.end() ? def : it->second;
-}
-
-double
-Flags::getDouble(const std::string &key, double def) const
-{
-    auto it = kv.find(key);
-    return it == kv.end() ? def : std::stod(it->second);
-}
-
-bool
-Flags::has(const std::string &key) const
-{
-    return kv.count(key) != 0;
-}
-
-std::vector<std::string>
-Flags::appList() const
-{
-    std::string csv = get("apps");
-    if (csv.empty())
-        return apps::appNames();
-    std::vector<std::string> out;
-    std::istringstream is(csv);
-    std::string tok;
-    while (std::getline(is, tok, ','))
-        out.push_back(tok);
-    return out;
-}
-
-double
-geomean(const std::vector<double> &xs)
-{
-    if (xs.empty())
-        return 0.0;
-    double acc = 0.0;
-    for (double x : xs)
-        acc += std::log(x);
-    return std::exp(acc / static_cast<double>(xs.size()));
 }
 
 } // namespace bigtiny::bench

@@ -8,31 +8,81 @@
  * directory). The simulator is fully deterministic, so cached results
  * are exact; Table III and Figures 5-8 are different projections of
  * the same 13-app x 10-config sweep and share one set of simulations.
+ *
+ * The ResultCache is thread-safe (sharded map, mutex-guarded appends,
+ * per-key in-flight tracking so concurrent requests for the same spec
+ * simulate exactly once); bench::Sweep (sweep.hh) runs a batch of
+ * RunSpecs across a pool of host threads on top of it. Thread
+ * ownership rule: each host thread owns its entire simulation
+ * (sim::System + rt::Runtime + app, all stack-local in runOne); the
+ * cache is the only object shared between sweep threads.
  */
 
 #ifndef BIGTINY_BENCH_DRIVER_HH
 #define BIGTINY_BENCH_DRIVER_HH
 
+#include <array>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hh"
+#include "common/cli.hh"
 #include "sim/stats.hh"
 
 namespace bigtiny::bench
 {
 
+// Historically these lived here; re-export the shared versions so
+// bench binaries keep writing bench::Flags / geomean / benchParams.
+using cli::Flags;
+using cli::benchParams;
+using cli::geomean;
+
 /** Bump when the timing model changes to invalidate cached results. */
 constexpr int modelVersion = 5;
 
+/**
+ * One experiment: an app, a machine configuration, and parameters.
+ *
+ * Build specs fluently; setters return *this so they chain:
+ *
+ *   RunSpec::forApp("ligra-bfs").config("bt-hcc-gwb-dts").scale(2.0)
+ *   RunSpec::forApp("cilk5-nq").config("serial-io").serial().checked()
+ *   RunSpec::fromFlags(flags)   // --app/--config/--scale/--n/...
+ *
+ * scale() rederives params from the paper's table, so call it before
+ * the n()/grain()/seed() overrides.
+ */
 struct RunSpec
 {
     std::string app;
-    std::string config;  //!< sim::configByName name, e.g. "bt-mesi"
+    std::string configName = "bt-hcc-gwb-dts";
     apps::AppParams params;
-    bool serial = false; //!< serial elision instead of the runtime
-    bool check = false;  //!< shadow-memory coherence checker on
+    bool serialElision = false; //!< serial elision, not the runtime
+    bool checkCoherence = false; //!< shadow-memory checker on
+
+    /** Spec for @p app with the paper-default (scale 1.0) params. */
+    static RunSpec forApp(const std::string &app);
+
+    /**
+     * Spec from --app, --config, --scale, --n, --grain, --seed,
+     * --serial, --check. Without --scale, n/grain default to 0 (=
+     * each app's own default size) as btsim always did; --n/--grain/
+     * --seed override either way.
+     */
+    static RunSpec fromFlags(const cli::Flags &flags);
+
+    RunSpec &config(const std::string &name);
+    RunSpec &scale(double s);
+    RunSpec &n(int64_t n);
+    RunSpec &grain(int64_t g);
+    RunSpec &seed(uint64_t s);
+    RunSpec &serial(bool on = true);
+    RunSpec &checked(bool on = true);
 
     std::string key() const;
 };
@@ -97,55 +147,66 @@ struct RunResult
     }
 };
 
-/** Execute one run (no caching). */
+/** Execute one run (no caching). Thread-safe: everything the
+ *  simulation touches is local to the call. */
 RunResult runOne(const RunSpec &spec);
 
-/** File-backed result cache. */
+/**
+ * File-backed, thread-safe result cache.
+ *
+ * In memory the entries live in 16 independently locked shards keyed
+ * by a hash of the cache key; on disk they are append-only
+ * tab-separated lines. Loading tolerates a torn trailing line (a
+ * crash mid-append), reports every unparseable line, and purges
+ * entries whose embedded modelVersion no longer matches; if anything
+ * was dropped the file is compacted in place so dead keys do not
+ * accumulate.
+ */
 class ResultCache
 {
   public:
+    struct LoadStats
+    {
+        size_t loaded = 0;    //!< entries accepted
+        size_t malformed = 0; //!< unparseable lines (incl. torn tail)
+        size_t stale = 0;     //!< wrong modelVersion, purged
+    };
+
     explicit ResultCache(std::string path = "bench_results.cache",
                          bool enabled = true);
 
-    /** Run @p spec, consulting / updating the cache. */
+    /**
+     * Run @p spec, consulting / updating the cache. Safe to call from
+     * many threads; concurrent calls with the same key simulate once
+     * and share the result.
+     */
     RunResult run(const RunSpec &spec);
 
+    bool contains(const std::string &key) const;
+    size_t size() const;
+    const LoadStats &loadStats() const { return loadInfo; }
+
   private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::condition_variable cv;
+        std::map<std::string, RunResult> entries;
+        std::set<std::string> inflight;
+    };
+    static constexpr size_t numShards = 16;
+
     void load();
+    void compact();
     void append(const std::string &key, const RunResult &r);
+    Shard &shardFor(const std::string &key) const;
 
     std::string path;
     bool enabled;
-    std::map<std::string, RunResult> entries;
+    LoadStats loadInfo;
+    mutable std::array<Shard, numShards> shards;
+    std::mutex fileMu;
 };
-
-/**
- * Paper-scaled default parameters for an app; @p scale multiplies the
- * problem size (1.0 = the repository's default bench size).
- */
-apps::AppParams benchParams(const std::string &app, double scale = 1.0,
-                            int64_t grain_override = 0);
-
-/** Tiny command-line helper: --key=value flags. */
-class Flags
-{
-  public:
-    Flags(int argc, char **argv);
-
-    std::string get(const std::string &key,
-                    const std::string &def = "") const;
-    double getDouble(const std::string &key, double def) const;
-    bool has(const std::string &key) const;
-
-    /** Comma-separated app list (default: all 13). */
-    std::vector<std::string> appList() const;
-
-  private:
-    std::map<std::string, std::string> kv;
-};
-
-/** Geometric mean of positive values (0 if empty). */
-double geomean(const std::vector<double> &xs);
 
 } // namespace bigtiny::bench
 

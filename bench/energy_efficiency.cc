@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 #include "bench/energy_model.hh"
 
 using namespace bigtiny;
@@ -30,6 +30,18 @@ main(int argc, char **argv)
         "bt-hcc-gwb-dts",
     };
 
+    // One host-parallel sweep populates the cache; the print
+    // loops below replay from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    for (const auto &app : flags.appList()) {
+        sweep.add(RunSpec::forApp(app).scale(scale)
+                      .config("bt-mesi"));
+        for (const auto &cfg : cfgs)
+            sweep.add(RunSpec::forApp(app).scale(scale)
+                          .config(cfg));
+    }
+    sweep.run();
+
     std::printf("Energy relative to bt-mesi (first-order model; "
                 "scale=%.2f)\n", scale);
     std::printf("%-12s %-14s %6s | %5s %5s %5s %5s %5s\n", "App",
@@ -38,12 +50,13 @@ main(int argc, char **argv)
 
     std::map<std::string, std::vector<double>> geo;
     for (const auto &app : flags.appList()) {
-        auto params = benchParams(app, scale);
         auto mesi =
-            cache.run(RunSpec{app, "bt-mesi", params, false});
+            cache.run(
+            RunSpec::forApp(app).scale(scale).config("bt-mesi"));
         double base = estimateEnergy(mesi).total();
         for (const auto &cfg : cfgs) {
-            auto r = cache.run(RunSpec{app, cfg, params, false});
+            auto r = cache.run(
+                RunSpec::forApp(app).scale(scale).config(cfg));
             auto e = estimateEnergy(r);
             std::printf("%-12s %-14s %6.2f | %5.2f %5.2f %5.2f "
                         "%5.2f %5.2f\n",

@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -34,18 +34,27 @@ main(int argc, char **argv)
             grains.push_back(std::stoll(tok));
     }
 
+    // One host-parallel sweep populates the cache; the print loop
+    // below replays from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    sweep.add(RunSpec::forApp("ligra-tc").scale(scale)
+                  .config("serial-io").serial());
+    for (int64_t grain : grains)
+        sweep.add(RunSpec::forApp("ligra-tc").scale(scale)
+                      .grain(grain).config(config));
+    sweep.run();
+
     std::printf("Figure 4: ligra-tc task-granularity sweep on %s "
                 "(scale=%.2f)\n", config.c_str(), scale);
     std::printf("%10s %12s %14s %12s %10s\n", "Grain",
                 "Speedup", "Parallelism", "IPT", "Steals");
 
-    auto serial_params = benchParams("ligra-tc", scale);
-    auto serial = cache.run(
-        RunSpec{"ligra-tc", "serial-io", serial_params, true});
+    auto serial = cache.run(RunSpec::forApp("ligra-tc").scale(scale)
+                                .config("serial-io").serial());
 
     for (int64_t grain : grains) {
-        auto params = benchParams("ligra-tc", scale, grain);
-        auto r = cache.run(RunSpec{"ligra-tc", config, params, false});
+        auto r = cache.run(RunSpec::forApp("ligra-tc").scale(scale)
+                               .grain(grain).config(config));
         std::printf("%10lld %12.2f %14.1f %12.0f %10llu\n",
                     (long long)grain,
                     static_cast<double>(serial.cycles) /

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -28,6 +28,18 @@ main(int argc, char **argv)
         "bt-hcc-dnv-dts", "bt-hcc-gwt-dts", "bt-hcc-gwb-dts",
     };
 
+    // One host-parallel sweep populates the cache; the print
+    // loops below replay from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    for (const auto &app : flags.appList()) {
+        sweep.add(RunSpec::forApp(app).scale(scale)
+                      .config("bt-mesi"));
+        for (const auto &cfg : cfgs)
+            sweep.add(RunSpec::forApp(app).scale(scale)
+                          .config(cfg));
+    }
+    sweep.run();
+
     std::printf("Figure 5: speedup over big.TINY/MESI "
                 "(scale=%.2f)\n", scale);
     std::printf("%-12s", "App");
@@ -37,12 +49,13 @@ main(int argc, char **argv)
 
     std::map<std::string, std::vector<double>> geo;
     for (const auto &app : flags.appList()) {
-        auto params = benchParams(app, scale);
         auto mesi =
-            cache.run(RunSpec{app, "bt-mesi", params, false});
+            cache.run(
+            RunSpec::forApp(app).scale(scale).config("bt-mesi"));
         std::printf("%-12s", app.c_str());
         for (const auto &cfg : cfgs) {
-            auto r = cache.run(RunSpec{app, cfg, params, false});
+            auto r = cache.run(
+                RunSpec::forApp(app).scale(scale).config(cfg));
             double rel = static_cast<double>(mesi.cycles) /
                          static_cast<double>(r.cycles);
             std::printf(" %14.2f", rel);

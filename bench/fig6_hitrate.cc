@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -27,6 +27,18 @@ main(int argc, char **argv)
         "bt-hcc-gwb-dts",
     };
 
+    // One host-parallel sweep populates the cache; the print
+    // loops below replay from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    for (const auto &app : flags.appList()) {
+        sweep.add(RunSpec::forApp(app).scale(scale)
+                      .config("bt-mesi"));
+        for (const auto &cfg : cfgs)
+            sweep.add(RunSpec::forApp(app).scale(scale)
+                          .config(cfg));
+    }
+    sweep.run();
+
     std::printf("Figure 6: L1 D-cache hit rate (tiny cores, %%) "
                 "(scale=%.2f)\n", scale);
     std::printf("%-12s", "App");
@@ -35,10 +47,10 @@ main(int argc, char **argv)
     std::printf("\n");
 
     for (const auto &app : flags.appList()) {
-        auto params = benchParams(app, scale);
         std::printf("%-12s", app.c_str());
         for (const auto &cfg : cfgs) {
-            auto r = cache.run(RunSpec{app, cfg, params, false});
+            auto r = cache.run(
+                RunSpec::forApp(app).scale(scale).config(cfg));
             std::printf(" %12.1f", 100.0 * r.hitRate());
         }
         std::printf("\n");

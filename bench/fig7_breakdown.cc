@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -26,6 +26,18 @@ main(int argc, char **argv)
         "bt-hcc-gwb-dts",
     };
 
+    // One host-parallel sweep populates the cache; the print
+    // loops below replay from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    for (const auto &app : flags.appList()) {
+        sweep.add(RunSpec::forApp(app).scale(scale)
+                      .config("bt-mesi"));
+        for (const auto &cfg : cfgs)
+            sweep.add(RunSpec::forApp(app).scale(scale)
+                          .config(cfg));
+    }
+    sweep.run();
+
     std::printf("Figure 7: tiny-core execution-time breakdown, "
                 "normalized to bt-mesi total (scale=%.2f)\n", scale);
     std::printf("%-12s %-14s %6s", "App", "Config", "Total");
@@ -35,16 +47,17 @@ main(int argc, char **argv)
     std::printf("\n");
 
     for (const auto &app : flags.appList()) {
-        auto params = benchParams(app, scale);
         auto mesi =
-            cache.run(RunSpec{app, "bt-mesi", params, false});
+            cache.run(
+            RunSpec::forApp(app).scale(scale).config("bt-mesi"));
         double base = 0;
         for (auto t : mesi.tinyTime)
             base += static_cast<double>(t);
         if (base == 0)
             base = 1;
         for (const auto &cfg : cfgs) {
-            auto r = cache.run(RunSpec{app, cfg, params, false});
+            auto r = cache.run(
+                RunSpec::forApp(app).scale(scale).config(cfg));
             double total = 0;
             for (auto t : r.tinyTime)
                 total += static_cast<double>(t);

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -27,6 +27,18 @@ main(int argc, char **argv)
         "bt-hcc-gwb-dts",
     };
 
+    // One host-parallel sweep populates the cache; the print
+    // loops below replay from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    for (const auto &app : flags.appList()) {
+        sweep.add(RunSpec::forApp(app).scale(scale)
+                      .config("bt-mesi"));
+        for (const auto &cfg : cfgs)
+            sweep.add(RunSpec::forApp(app).scale(scale)
+                          .config(cfg));
+    }
+    sweep.run();
+
     std::printf("Figure 8: NoC traffic by message class, normalized "
                 "to bt-mesi total bytes (scale=%.2f)\n", scale);
     std::printf("%-12s %-14s %6s", "App", "Config", "Total");
@@ -36,14 +48,15 @@ main(int argc, char **argv)
     std::printf("\n");
 
     for (const auto &app : flags.appList()) {
-        auto params = benchParams(app, scale);
         auto mesi =
-            cache.run(RunSpec{app, "bt-mesi", params, false});
+            cache.run(
+            RunSpec::forApp(app).scale(scale).config("bt-mesi"));
         double base = static_cast<double>(mesi.nocTotalBytes());
         if (base == 0)
             base = 1;
         for (const auto &cfg : cfgs) {
-            auto r = cache.run(RunSpec{app, cfg, params, false});
+            auto r = cache.run(
+                RunSpec::forApp(app).scale(scale).config(cfg));
             std::printf("%-12s %-14s %6.2f", app.c_str(),
                         cfg.c_str() + 3,
                         static_cast<double>(r.nocTotalBytes()) / base);

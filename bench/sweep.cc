@@ -1,0 +1,195 @@
+#include "bench/sweep.hh"
+
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace bigtiny::bench
+{
+
+void
+parallelFor(size_t n, int jobs, const std::function<void(size_t)> &fn)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    size_t workers = std::min(static_cast<size_t>(jobs), n);
+    std::atomic<size_t> next{0};
+    auto body = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t)
+        pool.emplace_back(body);
+    for (auto &t : pool)
+        t.join();
+}
+
+int
+resolveJobs(int64_t jobs)
+{
+    if (jobs > 0)
+        return static_cast<int>(jobs);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+Sweep::Sweep(ResultCache &cache, int64_t jobs)
+    : cache(cache), jobs(resolveJobs(jobs))
+{
+}
+
+Sweep &
+Sweep::add(RunSpec spec)
+{
+    pending.push_back(std::move(spec));
+    return *this;
+}
+
+Sweep &
+Sweep::addAll(const std::vector<RunSpec> &specs)
+{
+    pending.insert(pending.end(), specs.begin(), specs.end());
+    return *this;
+}
+
+std::vector<RunResult>
+Sweep::run()
+{
+    // Deduplicate by key so the pool spends every thread on a
+    // distinct simulation (the cache would serialize duplicates
+    // anyway, but waiting threads would sit idle — and with caching
+    // disabled duplicates would simulate twice).
+    std::vector<RunResult> results(pending.size());
+    std::vector<size_t> unique;
+    std::vector<size_t> aliasOf(pending.size());
+    {
+        std::map<std::string, size_t> first;
+        for (size_t i = 0; i < pending.size(); ++i) {
+            auto [it, fresh] = first.emplace(pending[i].key(), i);
+            aliasOf[i] = it->second;
+            if (fresh)
+                unique.push_back(i);
+        }
+    }
+    parallelFor(unique.size(), jobs, [&](size_t u) {
+        size_t i = unique[u];
+        results[i] = cache.run(pending[i]);
+    });
+    for (size_t i = 0; i < pending.size(); ++i)
+        if (aliasOf[i] != i)
+            results[i] = results[aliasOf[i]];
+    return results;
+}
+
+// ---------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+template <typename T>
+void
+jsonArray(std::ofstream &out, const char *name, const T &xs)
+{
+    out << "\"" << name << "\":[";
+    bool first = true;
+    for (auto x : xs) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << x;
+    }
+    out << "]";
+}
+
+} // namespace
+
+void
+writeSweepJson(const std::string &path,
+               const std::vector<RunSpec> &specs,
+               const std::vector<RunResult> &results)
+{
+    panic_if(specs.size() != results.size(),
+             "writeSweepJson: %zu specs vs %zu results", specs.size(),
+             results.size());
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot write sweep JSON to '%s'", path.c_str());
+        return;
+    }
+    out << "{\n\"modelVersion\": " << modelVersion << ",\n";
+    out << "\"runs\": [\n";
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec &s = specs[i];
+        const RunResult &r = results[i];
+        out << "{\"app\":\"" << jsonEscape(s.app) << "\","
+            << "\"config\":\"" << jsonEscape(s.configName) << "\","
+            << "\"n\":" << s.params.n << ","
+            << "\"grain\":" << s.params.grain << ","
+            << "\"seed\":" << s.params.seed << ","
+            << "\"serial\":" << (s.serialElision ? "true" : "false")
+            << ","
+            << "\"check\":" << (s.checkCoherence ? "true" : "false")
+            << ","
+            << "\"key\":\"" << jsonEscape(s.key()) << "\","
+            << "\"valid\":" << (r.valid ? "true" : "false") << ","
+            << "\"cycles\":" << r.cycles << ","
+            << "\"work\":" << r.work << ","
+            << "\"span\":" << r.span << ","
+            << "\"tasks\":" << r.tasks << ","
+            << "\"steals\":" << r.steals << ","
+            << "\"stealAttempts\":" << r.stealAttempts << ","
+            << "\"l1Accesses\":" << r.l1Accesses << ","
+            << "\"l1Misses\":" << r.l1Misses << ","
+            << "\"hitRate\":" << r.hitRate() << ","
+            << "\"invLines\":" << r.invLines << ","
+            << "\"flushLines\":" << r.flushLines << ","
+            << "\"uliReqs\":" << r.uliReqs << ","
+            << "\"uliNacks\":" << r.uliNacks << ",";
+        jsonArray(out, "tinyTime", r.tinyTime);
+        out << ",";
+        jsonArray(out, "nocBytes", r.nocBytes);
+        out << ",\"nocTotalBytes\":" << r.nocTotalBytes() << "}";
+        out << (i + 1 < specs.size() ? ",\n" : "\n");
+    }
+    out << "]\n}\n";
+}
+
+} // namespace bigtiny::bench

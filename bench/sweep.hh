@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Host-parallel sweep engine.
+ *
+ * A sweep is a batch of RunSpecs executed across a pool of host
+ * threads. Each RunSpec is an independent deterministic simulation —
+ * runOne() builds a private sim::System + rt::Runtime per call and
+ * the fiber layer keeps one scheduler stack per host thread — so a
+ * cold 13-app x 10-config paper sweep parallelizes embarrassingly.
+ * Results are identical to a serial sweep, bit for bit, regardless of
+ * --jobs.
+ *
+ * Thread-ownership rules (DESIGN.md §7):
+ *  - a pool thread owns everything its simulation touches;
+ *  - the shared ResultCache is the only cross-thread object;
+ *  - result order is the add() order, independent of scheduling.
+ */
+
+#ifndef BIGTINY_BENCH_SWEEP_HH
+#define BIGTINY_BENCH_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/driver.hh"
+
+namespace bigtiny::bench
+{
+
+/**
+ * Run fn(i) for i in [0, n) on @p jobs host threads (jobs <= 1 runs
+ * inline). Blocks until every call returns.
+ */
+void parallelFor(size_t n, int jobs,
+                 const std::function<void(size_t)> &fn);
+
+/** Resolve a --jobs flag: <= 0 means "all hardware threads". */
+int resolveJobs(int64_t jobs);
+
+/** A batch of RunSpecs executed across a pool of host threads. */
+class Sweep
+{
+  public:
+    /** @p jobs <= 0 uses all hardware threads. */
+    explicit Sweep(ResultCache &cache, int64_t jobs = 1);
+
+    Sweep &add(RunSpec spec);
+    Sweep &addAll(const std::vector<RunSpec> &specs);
+
+    /**
+     * Simulate every pending spec (cache hits are free; distinct
+     * cold keys run concurrently) and return results in add() order.
+     */
+    std::vector<RunResult> run();
+
+    const std::vector<RunSpec> &specs() const { return pending; }
+
+  private:
+    ResultCache &cache;
+    int jobs;
+    std::vector<RunSpec> pending;
+};
+
+/**
+ * Write a finished sweep as a machine-readable JSON document:
+ * {"modelVersion": N, "runs": [{spec fields, key, result fields}]}.
+ */
+void writeSweepJson(const std::string &path,
+                    const std::vector<RunSpec> &specs,
+                    const std::vector<RunResult> &results);
+
+} // namespace bigtiny::bench
+
+#endif // BIGTINY_BENCH_SWEEP_HH

@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -31,6 +31,20 @@ main(int argc, char **argv)
         "bt-hcc-dnv-dts", "bt-hcc-gwt-dts", "bt-hcc-gwb-dts",
     };
 
+    // One host-parallel sweep populates the cache; the print loop
+    // below replays from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    for (const auto &app : flags.appList()) {
+        auto base = RunSpec::forApp(app).scale(scale).checked(check);
+        sweep.add(RunSpec(base).config("serial-io").serial());
+        for (const auto &cfg :
+             {"o3x1", "o3x4", "o3x8", "bt-mesi"})
+            sweep.add(RunSpec(base).config(cfg));
+        for (const auto &cfg : hcc_cfgs)
+            sweep.add(RunSpec(base).config(cfg));
+    }
+    sweep.run();
+
     std::printf("Table III: simulated application kernels "
                 "(scale=%.2f)\n", scale);
     std::printf("%-12s %6s %3s | %9s %8s %6s %6s | "
@@ -45,11 +59,12 @@ main(int argc, char **argv)
         auto app_obj = apps::makeApp(app, params);
         const char *pm = app_obj->parallelMethod();
 
-        RunSpec serial{app, "serial-io", params, true, check};
-        auto rs = cache.run(serial);
+        auto base = RunSpec::forApp(app).scale(scale).checked(check);
+        auto rs =
+            cache.run(RunSpec(base).config("serial-io").serial());
 
         auto par = [&](const std::string &cfg) {
-            return cache.run(RunSpec{app, cfg, params, false, check});
+            return cache.run(RunSpec(base).config(cfg));
         };
         auto o31 = par("o3x1");
         auto o34 = par("o3x4");

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -21,6 +21,16 @@ main(int argc, char **argv)
     ResultCache cache(flags.get("cache-file", "bench_results.cache"),
                       !flags.has("no-cache"));
 
+    // One host-parallel sweep populates the cache; the print loop
+    // below replays from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    for (const auto &app : flags.appList())
+        for (const char *proto : {"dnv", "gwt", "gwb"})
+            for (const char *dts : {"", "-dts"})
+                sweep.add(RunSpec::forApp(app).scale(scale).config(
+                    std::string("bt-hcc-") + proto + dts));
+    sweep.run();
+
     std::printf("Table IV: DTS coherence-operation reduction "
                 "(scale=%.2f)\n", scale);
     std::printf("%-12s | %7s %7s %7s | %7s | %7s %7s %7s\n", "App",
@@ -31,13 +41,13 @@ main(int argc, char **argv)
 
     const std::vector<std::string> protos = {"dnv", "gwt", "gwb"};
     for (const auto &app : flags.appList()) {
-        auto params = benchParams(app, scale);
         double inv_dec[3], hit_inc[3], fls_dec = 0;
         for (size_t i = 0; i < protos.size(); ++i) {
-            auto base = cache.run(RunSpec{
-                app, "bt-hcc-" + protos[i], params, false});
-            auto dts = cache.run(RunSpec{
-                app, "bt-hcc-" + protos[i] + "-dts", params, false});
+            auto base = cache.run(RunSpec::forApp(app).scale(scale)
+                                      .config("bt-hcc-" + protos[i]));
+            auto dts = cache.run(
+                RunSpec::forApp(app).scale(scale)
+                    .config("bt-hcc-" + protos[i] + "-dts"));
             inv_dec[i] =
                 base.invLines
                     ? 100.0 * (1.0 - static_cast<double>(dts.invLines) /

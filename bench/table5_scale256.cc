@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/driver.hh"
+#include "bench/sweep.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -28,19 +28,28 @@ main(int argc, char **argv)
         "cilk5-cs", "ligra-bc", "ligra-bfs", "ligra-cc", "ligra-tc",
     };
 
+    // One host-parallel sweep populates the cache; the print loop
+    // below replays from it.
+    Sweep sweep(cache, flags.getInt("jobs", 0));
+    for (const auto &app : apps5)
+        for (const char *cfg : {"o3x1", "bt256-mesi", "bt256-hcc-gwb",
+                                "bt256-hcc-gwb-dts"})
+            sweep.add(RunSpec::forApp(app).scale(scale).config(cfg));
+    sweep.run();
+
     std::printf("Table V: 256-core big.TINY (scale=%.2f)\n", scale);
     std::printf("%-12s %10s | %12s | %10s %14s\n", "Name", "Input",
                 "bT/MESI/O3x1", "HCC-gwb", "HCC-DTS-gwb");
 
     for (const auto &app : apps5) {
         auto params = benchParams(app, scale);
-        auto o31 = cache.run(RunSpec{app, "o3x1", params, false});
-        auto mesi =
-            cache.run(RunSpec{app, "bt256-mesi", params, false});
+        auto base = RunSpec::forApp(app).scale(scale);
+        auto o31 = cache.run(RunSpec(base).config("o3x1"));
+        auto mesi = cache.run(RunSpec(base).config("bt256-mesi"));
         auto gwb =
-            cache.run(RunSpec{app, "bt256-hcc-gwb", params, false});
-        auto dts = cache.run(
-            RunSpec{app, "bt256-hcc-gwb-dts", params, false});
+            cache.run(RunSpec(base).config("bt256-hcc-gwb"));
+        auto dts =
+            cache.run(RunSpec(base).config("bt256-hcc-gwb-dts"));
         std::printf("%-12s %10lld | %12.1f | %10.2f %14.2f\n",
                     app.c_str(), (long long)params.n,
                     static_cast<double>(o31.cycles) / mesi.cycles,

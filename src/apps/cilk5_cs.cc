@@ -263,10 +263,6 @@ class Cilk5Cs : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeCilk5Cs(AppParams p)
-{
-    return std::make_unique<Cilk5Cs>(p);
-}
+BIGTINY_REGISTER_APP("cilk5-cs", Cilk5Cs);
 
 } // namespace bigtiny::apps

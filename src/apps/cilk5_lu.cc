@@ -325,10 +325,6 @@ class Cilk5Lu : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeCilk5Lu(AppParams p)
-{
-    return std::make_unique<Cilk5Lu>(p);
-}
+BIGTINY_REGISTER_APP("cilk5-lu", Cilk5Lu);
 
 } // namespace bigtiny::apps

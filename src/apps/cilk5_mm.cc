@@ -198,10 +198,6 @@ class Cilk5Mm : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeCilk5Mm(AppParams p)
-{
-    return std::make_unique<Cilk5Mm>(p);
-}
+BIGTINY_REGISTER_APP("cilk5-mm", Cilk5Mm);
 
 } // namespace bigtiny::apps

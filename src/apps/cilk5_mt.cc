@@ -123,10 +123,6 @@ class Cilk5Mt : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeCilk5Mt(AppParams p)
-{
-    return std::make_unique<Cilk5Mt>(p);
-}
+BIGTINY_REGISTER_APP("cilk5-mt", Cilk5Mt);
 
 } // namespace bigtiny::apps

@@ -139,10 +139,6 @@ class Cilk5Nq : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeCilk5Nq(AppParams p)
-{
-    return std::make_unique<Cilk5Nq>(p);
-}
+BIGTINY_REGISTER_APP("cilk5-nq", Cilk5Nq);
 
 } // namespace bigtiny::apps

@@ -267,10 +267,6 @@ class LigraBc : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeLigraBc(AppParams p)
-{
-    return std::make_unique<LigraBc>(p);
-}
+BIGTINY_REGISTER_APP("ligra-bc", LigraBc);
 
 } // namespace bigtiny::apps

@@ -195,10 +195,6 @@ class LigraBf : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeLigraBf(AppParams p)
-{
-    return std::make_unique<LigraBf>(p);
-}
+BIGTINY_REGISTER_APP("ligra-bf", LigraBf);
 
 } // namespace bigtiny::apps

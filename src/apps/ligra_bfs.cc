@@ -218,10 +218,6 @@ class LigraBfs : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeLigraBfs(AppParams p)
-{
-    return std::make_unique<LigraBfs>(p);
-}
+BIGTINY_REGISTER_APP("ligra-bfs", LigraBfs);
 
 } // namespace bigtiny::apps

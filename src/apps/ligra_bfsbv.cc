@@ -184,10 +184,6 @@ class LigraBfsbv : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeLigraBfsbv(AppParams p)
-{
-    return std::make_unique<LigraBfsbv>(p);
-}
+BIGTINY_REGISTER_APP("ligra-bfsbv", LigraBfsbv);
 
 } // namespace bigtiny::apps

@@ -192,10 +192,6 @@ class LigraCc : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeLigraCc(AppParams p)
-{
-    return std::make_unique<LigraCc>(p);
-}
+BIGTINY_REGISTER_APP("ligra-cc", LigraCc);
 
 } // namespace bigtiny::apps

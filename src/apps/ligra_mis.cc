@@ -185,10 +185,6 @@ class LigraMis : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeLigraMis(AppParams p)
-{
-    return std::make_unique<LigraMis>(p);
-}
+BIGTINY_REGISTER_APP("ligra-mis", LigraMis);
 
 } // namespace bigtiny::apps

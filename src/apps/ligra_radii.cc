@@ -208,10 +208,6 @@ class LigraRadii : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeLigraRadii(AppParams p)
-{
-    return std::make_unique<LigraRadii>(p);
-}
+BIGTINY_REGISTER_APP("ligra-radii", LigraRadii);
 
 } // namespace bigtiny::apps

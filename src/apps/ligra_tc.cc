@@ -179,10 +179,6 @@ class LigraTc : public App
 
 } // namespace
 
-std::unique_ptr<App>
-makeLigraTc(AppParams p)
-{
-    return std::make_unique<LigraTc>(p);
-}
+BIGTINY_REGISTER_APP("ligra-tc", LigraTc);
 
 } // namespace bigtiny::apps

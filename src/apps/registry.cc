@@ -1,52 +1,69 @@
 #include "apps/registry.hh"
 
+#include <map>
+#include <sstream>
+
 #include "common/log.hh"
 
 namespace bigtiny::apps
 {
 
+namespace
+{
+
+/**
+ * Construct-on-first-use so app translation units can register
+ * themselves in any static-initialization order. std::map keeps the
+ * names sorted, which is exactly Table III order for the paper's 13
+ * kernels.
+ */
+std::map<std::string, AppFactory> &
+registry()
+{
+    static std::map<std::string, AppFactory> map;
+    return map;
+}
+
+} // namespace
+
+Registrar::Registrar(const char *name, AppFactory factory)
+{
+    auto [it, fresh] = registry().emplace(name, factory);
+    (void)it;
+    panic_if(!fresh, "duplicate app registration '%s'", name);
+}
+
 const std::vector<std::string> &
 appNames()
 {
-    static const std::vector<std::string> names = {
-        "cilk5-cs",   "cilk5-lu",  "cilk5-mm",    "cilk5-mt",
-        "cilk5-nq",   "ligra-bc",  "ligra-bf",    "ligra-bfs",
-        "ligra-bfsbv", "ligra-cc", "ligra-mis",   "ligra-radii",
-        "ligra-tc",
-    };
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        v.reserve(registry().size());
+        for (const auto &[name, factory] : registry())
+            v.push_back(name);
+        return v;
+    }();
     return names;
+}
+
+bool
+haveApp(const std::string &name)
+{
+    return registry().count(name) != 0;
 }
 
 std::unique_ptr<App>
 makeApp(const std::string &name, AppParams params)
 {
-    if (name == "cilk5-cs")
-        return makeCilk5Cs(params);
-    if (name == "cilk5-lu")
-        return makeCilk5Lu(params);
-    if (name == "cilk5-mm")
-        return makeCilk5Mm(params);
-    if (name == "cilk5-mt")
-        return makeCilk5Mt(params);
-    if (name == "cilk5-nq")
-        return makeCilk5Nq(params);
-    if (name == "ligra-bc")
-        return makeLigraBc(params);
-    if (name == "ligra-bf")
-        return makeLigraBf(params);
-    if (name == "ligra-bfs")
-        return makeLigraBfs(params);
-    if (name == "ligra-bfsbv")
-        return makeLigraBfsbv(params);
-    if (name == "ligra-cc")
-        return makeLigraCc(params);
-    if (name == "ligra-mis")
-        return makeLigraMis(params);
-    if (name == "ligra-radii")
-        return makeLigraRadii(params);
-    if (name == "ligra-tc")
-        return makeLigraTc(params);
-    fatal("unknown application '%s'", name.c_str());
+    auto it = registry().find(name);
+    if (it == registry().end()) {
+        std::ostringstream known;
+        for (const auto &n : appNames())
+            known << ' ' << n;
+        fatal("unknown application '%s' (known:%s)", name.c_str(),
+              known.str().c_str());
+    }
+    return it->second(params);
 }
 
 } // namespace bigtiny::apps

@@ -5,6 +5,13 @@
  * work-stealing runtime, a serial-elision implementation against a
  * bare core, input setup in simulated memory, and a validator backed
  * by a host-side golden model.
+ *
+ * Apps self-register: each translation unit places one
+ * BIGTINY_REGISTER_APP(name, Class) after its class definition, and
+ * the constructor of the resulting Registrar object inserts a factory
+ * into a name-keyed map before main() runs. Adding an app is a
+ * one-file change (plus the build-system source list); nothing else
+ * needs to know the new name.
  */
 
 #ifndef BIGTINY_APPS_REGISTRY_HH
@@ -53,28 +60,41 @@ class App
     AppParams params;
 };
 
-/** The 13 kernels in paper Table III order. */
+using AppFactory = std::unique_ptr<App> (*)(AppParams);
+
+/**
+ * Self-registration handle: constructing one inserts @p factory into
+ * the registry under @p name (fatal on duplicates). Use the
+ * BIGTINY_REGISTER_APP macro rather than instantiating directly.
+ */
+class Registrar
+{
+  public:
+    Registrar(const char *name, AppFactory factory);
+};
+
+/**
+ * All registered app names, sorted. The paper's 13 kernels sort into
+ * Table III order, so benches iterate this directly.
+ */
 const std::vector<std::string> &appNames();
+
+/** True if @p name is a registered application. */
+bool haveApp(const std::string &name);
 
 /** Instantiate an app by name; fatal on unknown names. */
 std::unique_ptr<App> makeApp(const std::string &name,
                              AppParams params = {});
 
-// Per-app factories (one per translation unit).
-std::unique_ptr<App> makeCilk5Cs(AppParams);
-std::unique_ptr<App> makeCilk5Lu(AppParams);
-std::unique_ptr<App> makeCilk5Mm(AppParams);
-std::unique_ptr<App> makeCilk5Mt(AppParams);
-std::unique_ptr<App> makeCilk5Nq(AppParams);
-std::unique_ptr<App> makeLigraBc(AppParams);
-std::unique_ptr<App> makeLigraBf(AppParams);
-std::unique_ptr<App> makeLigraBfs(AppParams);
-std::unique_ptr<App> makeLigraBfsbv(AppParams);
-std::unique_ptr<App> makeLigraCc(AppParams);
-std::unique_ptr<App> makeLigraMis(AppParams);
-std::unique_ptr<App> makeLigraRadii(AppParams);
-std::unique_ptr<App> makeLigraTc(AppParams);
-
 } // namespace bigtiny::apps
+
+/** Register an App subclass; place one per app translation unit. */
+#define BIGTINY_REGISTER_APP(name, Class)                              \
+    static const ::bigtiny::apps::Registrar bigtinyAppReg_##Class(     \
+        name,                                                          \
+        [](::bigtiny::apps::AppParams p)                               \
+            -> std::unique_ptr<::bigtiny::apps::App> {                 \
+            return std::make_unique<Class>(p);                         \
+        })
 
 #endif // BIGTINY_APPS_REGISTRY_HH

@@ -1,0 +1,173 @@
+#include "common/cli.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "apps/registry.hh"
+#include "common/log.hh"
+
+namespace bigtiny::cli
+{
+
+Flags::Flags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            warn("ignoring argument '%s'", arg.c_str());
+            continue;
+        }
+        auto eq = arg.find('=');
+        std::string key = eq == std::string::npos
+                              ? arg.substr(2)
+                              : arg.substr(2, eq - 2);
+        if (key.empty()) {
+            warn("ignoring malformed flag '%s'", arg.c_str());
+            continue;
+        }
+        // Last occurrence of a repeated key wins.
+        kv[key] = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    }
+}
+
+std::string
+Flags::get(const std::string &key, const std::string &def) const
+{
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+}
+
+double
+Flags::getDouble(const std::string &key, double def) const
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return def;
+    const char *s = it->second.c_str();
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(s, &end);
+    fatal_if(end == s || *end != '\0' || errno == ERANGE,
+             "--%s: '%s' is not a number", key.c_str(), s);
+    return v;
+}
+
+int64_t
+Flags::getInt(const std::string &key, int64_t def) const
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return def;
+    const char *s = it->second.c_str();
+    char *end = nullptr;
+    errno = 0;
+    int64_t v = std::strtoll(s, &end, 0);
+    fatal_if(end == s || *end != '\0' || errno == ERANGE,
+             "--%s: '%s' is not an integer", key.c_str(), s);
+    return v;
+}
+
+bool
+Flags::has(const std::string &key) const
+{
+    return kv.count(key) != 0;
+}
+
+std::vector<std::string>
+Flags::list(const std::string &key, const std::string &def) const
+{
+    std::vector<std::string> out;
+    std::istringstream is(get(key, def));
+    std::string tok;
+    while (std::getline(is, tok, ','))
+        if (!tok.empty())
+            out.push_back(tok);
+    return out;
+}
+
+std::vector<std::string>
+Flags::appList() const
+{
+    if (!has("apps"))
+        return apps::appNames();
+    return list("apps");
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+apps::AppParams
+benchParams(const std::string &app, double scale,
+            int64_t grain_override)
+{
+    apps::AppParams p;
+    auto scaled = [&](int64_t base) {
+        return static_cast<int64_t>(
+            std::llround(static_cast<double>(base) * scale));
+    };
+    auto pow2 = [&](int64_t base) {
+        // keep power-of-two constraints (lu/mm sizes, rMAT vertices)
+        int64_t want = scaled(base);
+        int64_t v = 1;
+        while (v * 2 <= want)
+            v *= 2;
+        return std::max<int64_t>(v, 16);
+    };
+    if (app == "cilk5-cs") {
+        p.n = scaled(50000);
+        p.grain = 256;
+    } else if (app == "cilk5-lu") {
+        p.n = pow2(128);
+        p.grain = 8; // recursion base block
+    } else if (app == "cilk5-mm") {
+        p.n = pow2(256);
+        p.grain = 16;
+    } else if (app == "cilk5-mt") {
+        p.n = pow2(512);
+        p.grain = 256;
+    } else if (app == "cilk5-nq") {
+        p.n = scale >= 2.0 ? 11 : 10;
+        p.grain = 3;
+    } else if (app == "ligra-bc") {
+        p.n = pow2(16384);
+        p.grain = 32;
+    } else if (app == "ligra-bf") {
+        p.n = pow2(16384);
+        p.grain = 32;
+    } else if (app == "ligra-bfs") {
+        p.n = pow2(32768);
+        p.grain = 32;
+    } else if (app == "ligra-bfsbv") {
+        p.n = pow2(32768);
+        p.grain = 32;
+    } else if (app == "ligra-cc") {
+        p.n = pow2(16384);
+        p.grain = 32;
+    } else if (app == "ligra-mis") {
+        p.n = pow2(8192);
+        p.grain = 32;
+    } else if (app == "ligra-radii") {
+        p.n = pow2(8192);
+        p.grain = 32;
+    } else if (app == "ligra-tc") {
+        p.n = pow2(8192);
+        p.grain = 8;
+    } else {
+        fatal("benchParams: unknown app '%s'", app.c_str());
+    }
+    if (grain_override > 0)
+        p.grain = grain_override;
+    return p;
+}
+
+} // namespace bigtiny::cli

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared command-line and experiment-parameter helpers.
+ *
+ * Every binary in this repository (bench binaries, btsim, btsweep)
+ * takes --key=value flags; Flags is the one parser they all share.
+ * benchParams holds the paper-scaled default problem sizes (Table
+ * III) and geomean the summary statistic, both previously private to
+ * bench/driver.* and now shared so tools stop hand-rolling copies.
+ *
+ * Flag grammar and edge cases (unit-tested in test_bench_driver.cc):
+ *  - "--key=value"  sets key to value ("--key=" sets it to "").
+ *  - "--key"        sets key to "1" (boolean present).
+ *  - a repeated key keeps the LAST occurrence.
+ *  - anything not starting with "--", and "--=value" (empty key),
+ *    is reported with warn() and ignored.
+ *  - getInt/getDouble on a malformed number is a fatal() user error,
+ *    not an exception or silent zero.
+ */
+
+#ifndef BIGTINY_COMMON_CLI_HH
+#define BIGTINY_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bigtiny::apps
+{
+struct AppParams;
+}
+
+namespace bigtiny::cli
+{
+
+/** Tiny command-line helper: --key=value flags. */
+class Flags
+{
+  public:
+    Flags(int argc, char **argv);
+
+    std::string get(const std::string &key,
+                    const std::string &def = "") const;
+    double getDouble(const std::string &key, double def) const;
+
+    /** Integer flag; base auto-detected (0x... hex accepted). */
+    int64_t getInt(const std::string &key, int64_t def) const;
+
+    bool has(const std::string &key) const;
+
+    /** Comma-separated values of @p key ( @p def when absent). */
+    std::vector<std::string> list(const std::string &key,
+                                  const std::string &def = "") const;
+
+    /** Comma-separated --apps list (default: all registered apps). */
+    std::vector<std::string> appList() const;
+
+  private:
+    std::map<std::string, std::string> kv;
+};
+
+/** Geometric mean of positive values (0 if empty). */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Paper-scaled default parameters for an app; @p scale multiplies the
+ * problem size (1.0 = the repository's default bench size).
+ */
+apps::AppParams benchParams(const std::string &app, double scale = 1.0,
+                            int64_t grain_override = 0);
+
+} // namespace bigtiny::cli
+
+#endif // BIGTINY_COMMON_CLI_HH

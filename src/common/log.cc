@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,7 @@ namespace bigtiny
 
 namespace
 {
-bool verboseFlag = true;
+std::atomic<bool> verboseFlag{true};
 
 void
 vreport(const char *prefix, const char *fmt, va_list ap)

@@ -62,7 +62,11 @@ Fiber::~Fiber() = default;
 Fiber *
 Fiber::primary()
 {
-    static Fiber primary_fiber;
+    // One primary per host thread: a parallel sweep runs a complete
+    // simulation on each pool thread, and every switch back to "the
+    // scheduler" must land on the calling thread's native stack, not
+    // on whichever thread first touched a process-wide singleton.
+    static thread_local Fiber primary_fiber;
     return &primary_fiber;
 }
 

@@ -17,26 +17,53 @@ using namespace bigtiny::bench;
 
 TEST(BenchDriver, RunSpecKeyDistinguishes)
 {
-    RunSpec a{"ligra-bfs", "bt-mesi", apps::AppParams{256, 8, 1},
-              false};
+    RunSpec a = RunSpec::forApp("ligra-bfs")
+                    .config("bt-mesi").n(256).grain(8).seed(1);
     RunSpec b = a;
     EXPECT_EQ(a.key(), b.key());
-    b.config = "bt-hcc-gwb";
+    b.config("bt-hcc-gwb");
     EXPECT_NE(a.key(), b.key());
     b = a;
-    b.params.grain = 16;
+    b.grain(16);
     EXPECT_NE(a.key(), b.key());
     b = a;
-    b.serial = true;
+    b.serial();
     EXPECT_NE(a.key(), b.key());
+}
+
+TEST(BenchDriver, RunSpecBuilderAndFromFlagsAgree)
+{
+    // The builder and the flag parser must produce identical keys
+    // for the same run, or the cache fractures by construction path.
+    const char *argv[] = {"prog",    "--app=ligra-bfs",
+                          "--config=bt-mesi", "--n=256",
+                          "--grain=8",        "--seed=1"};
+    Flags f(6, const_cast<char **>(argv));
+    RunSpec from_flags = RunSpec::fromFlags(f);
+    RunSpec built = RunSpec::forApp("ligra-bfs")
+                        .config("bt-mesi").n(256).grain(8).seed(1);
+    EXPECT_EQ(from_flags.key(), built.key());
+
+    // --scale derives the paper-default params...
+    const char *argv2[] = {"prog", "--app=ligra-bfs",
+                           "--scale=1.0", "--serial"};
+    Flags f2(4, const_cast<char **>(argv2));
+    RunSpec scaled = RunSpec::fromFlags(f2);
+    EXPECT_EQ(scaled.params.n, benchParams("ligra-bfs", 1.0).n);
+    EXPECT_TRUE(scaled.serialElision);
+    EXPECT_EQ(scaled.configName, "serial-io"); // serial default cfg
+    // ...and matches the builder's scale().
+    EXPECT_EQ(scaled.key(), RunSpec::forApp("ligra-bfs")
+                                .config("serial-io").serial().key());
 }
 
 TEST(BenchDriver, CacheRoundTrip)
 {
     std::string path = testing::TempDir() + "bt_cache_test.txt";
     std::remove(path.c_str());
-    RunSpec spec{"cilk5-nq", "serial-io",
-                 apps::AppParams{6, 2, 1}, true};
+    RunSpec spec = RunSpec::forApp("cilk5-nq")
+                       .config("serial-io").n(6).grain(2).seed(1)
+                       .serial();
     RunResult first;
     {
         ResultCache cache(path);
@@ -57,9 +84,10 @@ TEST(BenchDriver, CacheRoundTrip)
 
 TEST(BenchDriver, SerialAndParallelAgreeFunctionally)
 {
-    apps::AppParams p{9, 2, 9}; // 81 top-level tasks of ~2K insts
-    auto ser = runOne(RunSpec{"cilk5-nq", "serial-io", p, true});
-    auto par = runOne(RunSpec{"cilk5-nq", "bt-mesi", p, false});
+    // 81 top-level tasks of ~2K insts
+    auto nq = RunSpec::forApp("cilk5-nq").n(9).grain(2).seed(9);
+    auto ser = runOne(RunSpec(nq).config("serial-io").serial());
+    auto par = runOne(RunSpec(nq).config("bt-mesi"));
     EXPECT_TRUE(ser.valid);
     EXPECT_TRUE(par.valid);
     EXPECT_GT(ser.cycles, par.cycles); // 64 cores beat 1 tiny core
@@ -78,6 +106,44 @@ TEST(BenchDriver, FlagsParse)
               (std::vector<std::string>{"a", "b", "c"}));
     Flags empty(1, const_cast<char **>(argv));
     EXPECT_EQ(empty.appList().size(), 13u); // all paper kernels
+}
+
+TEST(BenchDriver, FlagsEdgeCases)
+{
+    // Empty value, repeated key (last wins), malformed flags, and
+    // integer parsing including hex.
+    const char *argv[] = {"prog",     "--empty=",  "--k=first",
+                          "--k=last", "notaflag",  "--=oops",
+                          "--jobs=4", "--seed=0x10"};
+    Flags f(8, const_cast<char **>(argv));
+    EXPECT_TRUE(f.has("empty"));
+    EXPECT_EQ(f.get("empty", "def"), "");
+    EXPECT_EQ(f.get("k"), "last");
+    EXPECT_FALSE(f.has("notaflag"));
+    EXPECT_FALSE(f.has(""));
+    EXPECT_EQ(f.getInt("jobs", 0), 4);
+    EXPECT_EQ(f.getInt("seed", 0), 0x10);
+    EXPECT_EQ(f.getInt("absent", -7), -7);
+    // boolean presence flags read as "1"
+    const char *argv2[] = {"prog", "--check"};
+    Flags f2(2, const_cast<char **>(argv2));
+    EXPECT_TRUE(f2.has("check"));
+    EXPECT_EQ(f2.get("check"), "1");
+    // comma list with empty fields drops them
+    const char *argv3[] = {"prog", "--configs=a,,b,"};
+    Flags f3(2, const_cast<char **>(argv3));
+    EXPECT_EQ(f3.list("configs"),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(BenchDriver, FlagsMalformedNumberIsFatal)
+{
+    const char *argv[] = {"prog", "--scale=fast", "--jobs=4x"};
+    Flags f(3, const_cast<char **>(argv));
+    EXPECT_EXIT(f.getDouble("scale", 1.0),
+                testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(f.getInt("jobs", 1), testing::ExitedWithCode(1),
+                "not an integer");
 }
 
 TEST(BenchDriver, BenchParamsScaleAndConstraints)
@@ -138,10 +204,9 @@ TEST(EnergyModel, ComponentsAndMonotonicity)
 
 TEST(EnergyModel, DtsReducesEnergyOnRealRun)
 {
-    apps::AppParams p{512, 8, 5};
-    auto base = runOne(RunSpec{"ligra-mis", "bt-hcc-gwb", p, false});
-    auto dts =
-        runOne(RunSpec{"ligra-mis", "bt-hcc-gwb-dts", p, false});
+    auto mis = RunSpec::forApp("ligra-mis").n(512).grain(8).seed(5);
+    auto base = runOne(RunSpec(mis).config("bt-hcc-gwb"));
+    auto dts = runOne(RunSpec(mis).config("bt-hcc-gwb-dts"));
     ASSERT_TRUE(base.valid);
     ASSERT_TRUE(dts.valid);
     // Fewer invalidation-induced misses and less write-back traffic

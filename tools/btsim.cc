@@ -15,10 +15,11 @@
  */
 
 #include <cstdio>
-#include <map>
 #include <string>
 
 #include "apps/registry.hh"
+#include "bench/driver.hh"
+#include "common/cli.hh"
 #include "core/worker.hh"
 #include "sim/system.hh"
 
@@ -26,25 +27,6 @@ using namespace bigtiny;
 
 namespace
 {
-
-std::map<std::string, std::string>
-parseFlags(int argc, char **argv)
-{
-    std::map<std::string, std::string> kv;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a.rfind("--", 0) != 0) {
-            warn("ignoring '%s'", a.c_str());
-            continue;
-        }
-        auto eq = a.find('=');
-        if (eq == std::string::npos)
-            kv[a.substr(2)] = "1";
-        else
-            kv[a.substr(2, eq - 2)] = a.substr(eq + 1);
-    }
-    return kv;
-}
 
 void
 printReport(sim::System &sys, rt::Runtime *rt, bool valid)
@@ -154,13 +136,9 @@ printReport(sim::System &sys, rt::Runtime *rt, bool valid)
 int
 main(int argc, char **argv)
 {
-    auto kv = parseFlags(argc, argv);
-    auto get = [&](const std::string &k, const std::string &d) {
-        auto it = kv.find(k);
-        return it == kv.end() ? d : it->second;
-    };
+    cli::Flags flags(argc, argv);
 
-    if (kv.count("list")) {
+    if (flags.has("list")) {
         std::printf("applications:\n");
         for (const auto &a : apps::appNames())
             std::printf("  %s\n", a.c_str());
@@ -169,29 +147,22 @@ main(int argc, char **argv)
                     "bt256-{mesi,hcc-gwb[-dts]}\n");
         return 0;
     }
-    if (kv.count("help") || !kv.count("app")) {
+    if (flags.has("help") || !flags.has("app")) {
         std::printf("usage: btsim --app=NAME [--config=NAME] [--n=N] "
-                    "[--grain=G] [--seed=S] [--serial] [--check] "
-                    "[--list]\n");
-        return kv.count("help") ? 0 : 1;
+                    "[--grain=G] [--seed=S] [--scale=X] [--serial] "
+                    "[--check] [--list]\n");
+        return flags.has("help") ? 0 : 1;
     }
 
-    apps::AppParams params;
-    params.n = std::stoll(get("n", "0"));
-    params.grain = std::stoll(get("grain", "0"));
-    params.seed = std::stoull(get("seed", "0x5eedbeef"), nullptr, 0);
-    bool serial = kv.count("serial") != 0;
-    std::string config_name =
-        get("config", serial ? "serial-io" : "bt-hcc-gwb-dts");
-
-    sim::SystemConfig cfg = sim::configByName(config_name);
-    cfg.checkCoherence = kv.count("check") != 0;
+    bench::RunSpec spec = bench::RunSpec::fromFlags(flags);
+    sim::SystemConfig cfg = sim::configByName(spec.configName);
+    cfg.checkCoherence = spec.checkCoherence;
 
     sim::System sys(cfg);
-    auto app = apps::makeApp(get("app", ""), params);
+    auto app = apps::makeApp(spec.app, spec.params);
     app->setup(sys);
 
-    if (serial) {
+    if (spec.serialElision) {
         sys.attachGuest(0, [&](sim::Core &c) { app->runSerial(c); });
         sys.run();
         sys.mem().drainAll();

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * btsweep — host-parallel experiment sweeps for the BigTiny simulator.
+ *
+ * Runs the cross-product of --apps x --configs x --scales on a pool
+ * of --jobs host threads (each thread owns a full simulator
+ * instance), memoizes every run in the shared text cache, and emits a
+ * machine-readable JSON summary. The default sweep is the paper's
+ * Table III / Figures 5-8 matrix: 13 apps x (serial baseline, O3x{1,4,8},
+ * big.TINY/MESI, six HCC variants) — cold, it saturates the host;
+ * warm, it replays from the cache in milliseconds.
+ *
+ *   btsweep                               # full paper sweep, all cores
+ *   btsweep --jobs=4 --apps=ligra-bfs,cilk5-nq --configs=bt-mesi
+ *   btsweep --scales=0.5,1.0,2.0 --json=sweep.json
+ *   btsweep --apps=cilk5-nq --n=8         # override problem size
+ *   btsweep --list
+ *
+ * The "serial-io" config automatically runs as serial elision; every
+ * other config runs under the work-stealing runtime. --check enables
+ * the shadow-memory coherence checker on every run.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/sweep.hh"
+#include "common/cli.hh"
+#include "common/log.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::bench;
+
+namespace
+{
+
+const char *paperConfigs =
+    "serial-io,o3x1,o3x4,o3x8,bt-mesi,bt-hcc-dnv,bt-hcc-gwt,"
+    "bt-hcc-gwb,bt-hcc-dnv-dts,bt-hcc-gwt-dts,bt-hcc-gwb-dts";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::Flags flags(argc, argv);
+
+    if (flags.has("list")) {
+        std::printf("applications:\n");
+        for (const auto &a : apps::appNames())
+            std::printf("  %s\n", a.c_str());
+        std::printf("configurations: serial-io o3x{1,4,8} bt-mesi "
+                    "bt-hcc-{dnv,gwt,gwb}[-dts] tiny64-<p>[-dts] "
+                    "bt256-{mesi,hcc-gwb[-dts]}\n");
+        return 0;
+    }
+    if (flags.has("help")) {
+        std::printf(
+            "usage: btsweep [--apps=A,B] [--configs=C,D] "
+            "[--scales=1.0,2.0] [--jobs=N]\n"
+            "               [--n=N] [--grain=G] [--seed=S] [--check] "
+            "[--serial]\n"
+            "               [--cache-file=PATH] [--no-cache] "
+            "[--json=PATH] [--list]\n"
+            "defaults: all apps, the paper's 10-config sweep, scale "
+            "1.0, all host\n"
+            "threads, JSON to BENCH_sweep.json\n");
+        return 0;
+    }
+
+    auto configs = flags.list("configs", paperConfigs);
+    std::vector<double> scales;
+    if (flags.has("scales")) {
+        for (const auto &s : flags.list("scales")) {
+            char *end = nullptr;
+            double v = std::strtod(s.c_str(), &end);
+            fatal_if(end == s.c_str() || *end != '\0',
+                     "--scales: '%s' is not a number", s.c_str());
+            scales.push_back(v);
+        }
+    } else {
+        scales.push_back(flags.getDouble("scale", 1.0));
+    }
+
+    ResultCache cache(flags.get("cache-file", "bench_results.cache"),
+                      !flags.has("no-cache"));
+    int64_t jobs = flags.getInt("jobs", 0);
+    Sweep sweep(cache, jobs);
+
+    for (const auto &app : flags.appList()) {
+        for (double scale : scales) {
+            for (const auto &cfg : configs) {
+                RunSpec spec = RunSpec::forApp(app)
+                                   .config(cfg)
+                                   .scale(scale)
+                                   .checked(flags.has("check"));
+                if (cfg == "serial-io" || flags.has("serial"))
+                    spec.serial();
+                if (flags.has("n"))
+                    spec.n(flags.getInt("n", 0));
+                if (flags.has("grain"))
+                    spec.grain(flags.getInt("grain", 0));
+                if (flags.has("seed"))
+                    spec.seed(static_cast<uint64_t>(
+                        flags.getInt("seed", 0)));
+                sweep.add(spec);
+            }
+        }
+    }
+
+    std::fprintf(stderr,
+                 "[btsweep] %zu runs (%zu apps x %zu configs x %zu "
+                 "scales) on %d host threads\n",
+                 sweep.specs().size(), flags.appList().size(),
+                 configs.size(), scales.size(), resolveJobs(jobs));
+    auto results = sweep.run();
+
+    std::string json = flags.get("json", "BENCH_sweep.json");
+    if (json != "none") {
+        writeSweepJson(json, sweep.specs(), results);
+        std::fprintf(stderr, "[btsweep] wrote %s\n", json.c_str());
+    }
+
+    std::printf("%-12s %-16s %6s %8s %5s %14s %8s %8s\n", "App",
+                "Config", "Scale", "n", "ok", "Cycles", "Para",
+                "HitRate");
+    size_t i = 0;
+    int failures = 0;
+    for (const auto &app : flags.appList()) {
+        for (double scale : scales) {
+            for (const auto &cfg : configs) {
+                const RunResult &r = results[i++];
+                if (!r.valid)
+                    ++failures;
+                std::printf(
+                    "%-12s %-16s %6.2f %8lld %5s %14llu %8.1f "
+                    "%7.1f%%\n",
+                    app.c_str(), cfg.c_str(), scale,
+                    static_cast<long long>(
+                        sweep.specs()[i - 1].params.n),
+                    r.valid ? "ok" : "FAIL",
+                    static_cast<unsigned long long>(r.cycles),
+                    r.parallelism(), 100.0 * r.hitRate());
+            }
+        }
+    }
+    return failures ? 1 : 0;
+}

@@ -23,4 +23,32 @@ cmake --build "$build_dir" -j "$(nproc)"
 ASAN_OPTIONS=detect_stack_use_after_return=1 \
 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
-echo "sanitizer build + tier-1 tests: OK"
+
+# Parallel-sweep smoke: run a tiny cold sweep with a thread pool under
+# the sanitizers. The thread-ownership rule (DESIGN.md section 7) says
+# host threads share nothing but the ResultCache; a data race slipped
+# in later shows up here as an ASan/TSan-style abort or as a cache
+# mismatch against the serial run.
+sweep_dir=$(mktemp -d)
+trap 'rm -rf "$sweep_dir"' EXIT
+sweep_args="--apps=cilk5-nq,ligra-mis --configs=serial-io,bt-mesi \
+    --scale=0.1"
+ASAN_OPTIONS=detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$build_dir/tools/btsweep" $sweep_args --jobs=4 \
+        --cache-file="$sweep_dir/par.cache" \
+        --json="$sweep_dir/par.json" > /dev/null
+ASAN_OPTIONS=detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$build_dir/tools/btsweep" $sweep_args --jobs=1 \
+        --cache-file="$sweep_dir/ser.cache" \
+        --json="$sweep_dir/ser.json" > /dev/null
+sort "$sweep_dir/par.cache" > "$sweep_dir/par.sorted"
+sort "$sweep_dir/ser.cache" > "$sweep_dir/ser.sorted"
+cmp "$sweep_dir/par.sorted" "$sweep_dir/ser.sorted" || {
+    echo "parallel sweep diverged from serial sweep" >&2
+    exit 1
+}
+# the JSON must at least be non-empty and brace-balanced
+test -s "$sweep_dir/par.json"
+echo "sanitizer build + tier-1 tests + parallel sweep smoke: OK"
