@@ -7,6 +7,8 @@
 
 #include "common/log.hh"
 #include "core/worker.hh"
+#include "fault/failure.hh"
+#include "fault/fault.hh"
 #include "sim/system.hh"
 
 namespace bigtiny::bench
@@ -42,6 +44,11 @@ RunSpec::fromFlags(const cli::Flags &flags)
     s.params.seed = static_cast<uint64_t>(
         flags.getInt("seed", static_cast<int64_t>(s.params.seed)));
     s.checkCoherence = flags.has("check");
+    s.faultSpec = flags.get("faults", "");
+    s.maxCycles =
+        static_cast<Cycle>(flags.getInt("max-cycles", 0));
+    s.runTimeoutMs =
+        static_cast<uint64_t>(flags.getInt("run-timeout-ms", 0));
     return s;
 }
 
@@ -96,6 +103,27 @@ RunSpec::checked(bool on)
     return *this;
 }
 
+RunSpec &
+RunSpec::faults(const std::string &spec)
+{
+    faultSpec = spec;
+    return *this;
+}
+
+RunSpec &
+RunSpec::cycleBudget(Cycle maxC)
+{
+    maxCycles = maxC;
+    return *this;
+}
+
+RunSpec &
+RunSpec::timeoutMs(uint64_t ms)
+{
+    runTimeoutMs = ms;
+    return *this;
+}
+
 std::string
 RunSpec::key() const
 {
@@ -106,14 +134,30 @@ RunSpec::key() const
        << (serialElision ? "serial" : "parallel");
     if (checkCoherence)
         os << "|check";
+    // Canonicalize the fault spec so equivalent spellings share a
+    // cache entry. runTimeoutMs is host-dependent and deliberately
+    // excluded (see the field's doc).
+    if (!faultSpec.empty())
+        os << "|f=" << fault::FaultPlan::parse(faultSpec).canonical();
+    if (maxCycles)
+        os << "|mc=" << maxCycles;
     return os.str();
 }
 
+namespace
+{
+
+/** The body of runOne; throws fault::SimFailure on detected failure. */
 RunResult
-runOne(const RunSpec &spec)
+runOneInner(const RunSpec &spec)
 {
     sim::SystemConfig cfg = sim::configByName(spec.configName);
     cfg.checkCoherence = spec.checkCoherence;
+    if (!spec.faultSpec.empty())
+        cfg.faults = fault::FaultPlan::parse(spec.faultSpec);
+    if (spec.maxCycles)
+        cfg.watchdogCycles = spec.maxCycles;
+    cfg.wallClockLimitMs = spec.runTimeoutMs;
     sim::System sys(cfg);
     auto app = apps::makeApp(spec.app, spec.params);
     app->setup(sys);
@@ -163,7 +207,35 @@ runOne(const RunSpec &spec)
     }
     if (!r.valid)
         warn("run %s FAILED VALIDATION", spec.key().c_str());
+    r.faultsInjected = sys.injector().log().size();
     return r;
+}
+
+} // namespace
+
+RunResult
+runOne(const RunSpec &spec)
+{
+    // Crash isolation: a watchdog kill, coherence violation, deque
+    // corruption, ... becomes a structured "failed" result instead of
+    // tearing down the whole sweep. The throwing System has already
+    // unwound its guest fibers, so everything stack-local in
+    // runOneInner is destroyed cleanly before we build the result.
+    try {
+        return runOneInner(spec);
+    } catch (const fault::SimFailure &f) {
+        const fault::FailureReport &rep = f.report();
+        RunResult r;
+        r.failed = true;
+        r.valid = false;
+        r.cycles = rep.cycle;
+        r.verdict = fault::verdictName(rep.verdict);
+        r.failCycle = rep.cycle;
+        r.faultsInjected = rep.faultLog.size();
+        r.failureReport = rep.render();
+        warn("run %s FAILED: %s", spec.key().c_str(), f.what());
+        return r;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -186,6 +258,11 @@ serialize(const RunResult &r)
         os << ' ' << t;
     for (auto b : r.nocBytes)
         os << ' ' << b;
+    // Failure outcome fields (v6). verdict is a single token from
+    // fault::verdictName; "-" keeps the empty case one token.
+    os << ' ' << r.failed << ' '
+       << (r.verdict.empty() ? "-" : r.verdict) << ' ' << r.failCycle
+       << ' ' << r.faultsInjected;
     return os.str();
 }
 
@@ -203,6 +280,11 @@ deserialize(const std::string &line, RunResult &r)
     for (auto &b : r.nocBytes)
         if (!(is >> b))
             return false;
+    if (!(is >> r.failed >> r.verdict >> r.failCycle >>
+          r.faultsInjected))
+        return false;
+    if (r.verdict == "-")
+        r.verdict.clear();
     return true;
 }
 
@@ -303,8 +385,28 @@ void
 ResultCache::append(const std::string &key, const RunResult &r)
 {
     std::lock_guard<std::mutex> lk(fileMu);
+    if (writeFailed)
+        return; // already degraded; don't spam one warn per run
     std::ofstream out(path, std::ios::app);
     out << key << '\t' << serialize(r) << '\n';
+    out.flush();
+    if (!out) {
+        // Disk full, read-only path, deleted directory, ... The
+        // in-memory entries stay authoritative; the sweep completes
+        // and its summary is marked cache-degraded.
+        writeFailed = true;
+        warn("%s: cache append failed (disk full or unwritable); "
+             "keeping results in memory only — this sweep is "
+             "cache-degraded",
+             path.c_str());
+    }
+}
+
+bool
+ResultCache::degraded() const
+{
+    std::lock_guard<std::mutex> lk(fileMu);
+    return writeFailed;
 }
 
 bool
@@ -351,7 +453,12 @@ ResultCache::run(const RunSpec &spec)
     }
     std::fprintf(stderr, "[bench] simulating %s ...\n", key.c_str());
     RunResult r = runOne(spec);
-    append(key, r);
+    // Wall-clock timeouts depend on host load, not on the model;
+    // persisting one would poison the cache for faster hosts. Still
+    // memoized in memory so this process doesn't re-run it.
+    if (r.verdict != fault::verdictName(
+            fault::Verdict::WallClockTimeout))
+        append(key, r);
     {
         std::lock_guard<std::mutex> lk(sh.mu);
         sh.entries[key] = r;

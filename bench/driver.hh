@@ -43,7 +43,7 @@ using cli::benchParams;
 using cli::geomean;
 
 /** Bump when the timing model changes to invalidate cached results. */
-constexpr int modelVersion = 5;
+constexpr int modelVersion = 6;
 
 /**
  * One experiment: an app, a machine configuration, and parameters.
@@ -65,14 +65,24 @@ struct RunSpec
     bool serialElision = false; //!< serial elision, not the runtime
     bool checkCoherence = false; //!< shadow-memory checker on
 
+    /** Fault-injection spec (fault::FaultPlan grammar); "" = none. */
+    std::string faultSpec;
+    /** Per-run cycle budget (SystemConfig::watchdogCycles); 0 = default. */
+    Cycle maxCycles = 0;
+    /** Per-run wall-clock timeout in ms; 0 = none. Host-dependent, so
+     *  it is deliberately not part of key() and timed-out results are
+     *  never persisted to the disk cache. */
+    uint64_t runTimeoutMs = 0;
+
     /** Spec for @p app with the paper-default (scale 1.0) params. */
     static RunSpec forApp(const std::string &app);
 
     /**
      * Spec from --app, --config, --scale, --n, --grain, --seed,
-     * --serial, --check. Without --scale, n/grain default to 0 (=
-     * each app's own default size) as btsim always did; --n/--grain/
-     * --seed override either way.
+     * --serial, --check, --faults, --max-cycles, --run-timeout-ms.
+     * Without --scale, n/grain default to 0 (= each app's own default
+     * size) as btsim always did; --n/--grain/--seed override either
+     * way.
      */
     static RunSpec fromFlags(const cli::Flags &flags);
 
@@ -83,6 +93,9 @@ struct RunSpec
     RunSpec &seed(uint64_t s);
     RunSpec &serial(bool on = true);
     RunSpec &checked(bool on = true);
+    RunSpec &faults(const std::string &spec);
+    RunSpec &cycleBudget(Cycle maxC);
+    RunSpec &timeoutMs(uint64_t ms);
 
     std::string key() const;
 };
@@ -91,6 +104,17 @@ struct RunResult
 {
     bool valid = false;
     Cycle cycles = 0;
+
+    // Failure outcome (crash isolation). A failed run carries a
+    // verdict string (fault::verdictName) instead of hanging the
+    // sweep; faultsInjected counts fault-plan firings either way.
+    bool failed = false;
+    std::string verdict;
+    Cycle failCycle = 0;
+    uint64_t faultsInjected = 0;
+    /** Full FailureReport::render() text. In-memory only — not
+     *  serialized to the result cache. */
+    std::string failureReport;
 
     // Cilkview-analog profile (parallel runs only)
     uint64_t work = 0;
@@ -186,6 +210,13 @@ class ResultCache
     size_t size() const;
     const LoadStats &loadStats() const { return loadInfo; }
 
+    /**
+     * True once any disk append has failed (disk full, read-only
+     * path, ...). Results stay correct in memory; sweeps surface this
+     * as "cacheDegraded" in their JSON summary.
+     */
+    bool degraded() const;
+
   private:
     struct Shard
     {
@@ -205,7 +236,8 @@ class ResultCache
     bool enabled;
     LoadStats loadInfo;
     mutable std::array<Shard, numShards> shards;
-    std::mutex fileMu;
+    mutable std::mutex fileMu;
+    bool writeFailed = false; //!< guarded by fileMu; see degraded()
 };
 
 } // namespace bigtiny::bench

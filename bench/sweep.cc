@@ -85,7 +85,29 @@ Sweep::run()
     }
     parallelFor(unique.size(), jobs, [&](size_t u) {
         size_t i = unique[u];
-        results[i] = cache.run(pending[i]);
+        RunResult r = cache.run(pending[i]);
+        if (r.failed && r.faultsInjected > 0) {
+            // The simulator is deterministic, so an injected-fault
+            // death must reproduce exactly. One uncached retry
+            // confirms that (and guards against the failure having
+            // been a stale cache entry from an older fault plan).
+            warn("sweep: %s died (%s at cycle %llu); retrying once "
+                 "to confirm determinism",
+                 pending[i].key().c_str(), r.verdict.c_str(),
+                 (unsigned long long)r.failCycle);
+            RunResult retry = runOne(pending[i]);
+            if (retry.verdict != r.verdict ||
+                retry.failCycle != r.failCycle) {
+                warn("sweep: retry verdict diverged (%s@%llu vs "
+                     "%s@%llu) — keeping the retry",
+                     r.verdict.c_str(),
+                     (unsigned long long)r.failCycle,
+                     retry.verdict.c_str(),
+                     (unsigned long long)retry.failCycle);
+            }
+            r = retry;
+        }
+        results[i] = r;
     });
     for (size_t i = 0; i < pending.size(); ++i)
         if (aliasOf[i] != i)
@@ -144,7 +166,8 @@ jsonArray(std::ofstream &out, const char *name, const T &xs)
 void
 writeSweepJson(const std::string &path,
                const std::vector<RunSpec> &specs,
-               const std::vector<RunResult> &results)
+               const std::vector<RunResult> &results,
+               bool cacheDegraded)
 {
     panic_if(specs.size() != results.size(),
              "writeSweepJson: %zu specs vs %zu results", specs.size(),
@@ -155,6 +178,8 @@ writeSweepJson(const std::string &path,
         return;
     }
     out << "{\n\"modelVersion\": " << modelVersion << ",\n";
+    out << "\"cacheDegraded\": " << (cacheDegraded ? "true" : "false")
+        << ",\n";
     out << "\"runs\": [\n";
     for (size_t i = 0; i < specs.size(); ++i) {
         const RunSpec &s = specs[i];
@@ -168,8 +193,16 @@ writeSweepJson(const std::string &path,
             << ","
             << "\"check\":" << (s.checkCoherence ? "true" : "false")
             << ","
+            << "\"faults\":\"" << jsonEscape(s.faultSpec) << "\","
+            << "\"maxCycles\":" << s.maxCycles << ","
             << "\"key\":\"" << jsonEscape(s.key()) << "\","
             << "\"valid\":" << (r.valid ? "true" : "false") << ","
+            << "\"failed\":" << (r.failed ? "true" : "false") << ","
+            << "\"verdict\":\""
+            << jsonEscape(r.verdict.empty() ? "-" : r.verdict)
+            << "\","
+            << "\"failCycle\":" << r.failCycle << ","
+            << "\"faultsInjected\":" << r.faultsInjected << ","
             << "\"cycles\":" << r.cycles << ","
             << "\"work\":" << r.work << ","
             << "\"span\":" << r.span << ","

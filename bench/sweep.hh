@@ -51,6 +51,12 @@ class Sweep
     /**
      * Simulate every pending spec (cache hits are free; distinct
      * cold keys run concurrently) and return results in add() order.
+     *
+     * Degrades gracefully: a run that dies under the watchdog or a
+     * detected fault comes back as a structured failed RunResult and
+     * the rest of the sweep completes. A run failing with injected
+     * faults is retried once (uncached) to confirm the verdict is
+     * deterministic, not a casualty of host scheduling.
      */
     std::vector<RunResult> run();
 
@@ -64,11 +70,15 @@ class Sweep
 
 /**
  * Write a finished sweep as a machine-readable JSON document:
- * {"modelVersion": N, "runs": [{spec fields, key, result fields}]}.
+ * {"modelVersion": N, "cacheDegraded": b, "runs": [{spec fields,
+ * key, result fields}]}. Failed runs carry "failed":true plus their
+ * verdict/failCycle; fault-free runs serialize identically whether or
+ * not other runs in the sweep failed, so their lines are byte-stable.
  */
 void writeSweepJson(const std::string &path,
                     const std::vector<RunSpec> &specs,
-                    const std::vector<RunResult> &results);
+                    const std::vector<RunResult> &results,
+                    bool cacheDegraded = false);
 
 } // namespace bigtiny::bench
 

@@ -96,6 +96,8 @@ CoherenceChecker::report(Violation v)
         log.push_back(v);
     panic_if(panicOnViolation, "coherence violation: %s",
              v.describe().c_str());
+    if (onViolation)
+        onViolation(v);
 }
 
 bool

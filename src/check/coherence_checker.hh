@@ -42,6 +42,7 @@
 #include <array>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -164,6 +165,13 @@ class CoherenceChecker
 
     /** Abort the simulation on the first violation (tests/debug). */
     bool panicOnViolation = false;
+
+    /**
+     * Invoked after each violation is counted and recorded. The System
+     * wires this to raiseFailure when fault injection is active,
+     * turning the checker into a fail-fast detector; may throw.
+     */
+    std::function<void(const Violation &)> onViolation;
 
     /** Cap on fully recorded violations; counters keep counting. */
     size_t maxRecorded = 64;

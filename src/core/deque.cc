@@ -1,12 +1,37 @@
 #include "core/deque.hh"
 
 #include "common/log.hh"
+#include "fault/failure.hh"
+#include "sim/system.hh"
 
 namespace bigtiny::rt
 {
 
 using sim::Core;
 using sim::TimeCat;
+
+namespace
+{
+
+/** Head/tail sanity shared by both pop ends: a cursor pair that went
+ * backwards (tail < head) or spread wider than the ring means a lost
+ * or duplicated update corrupted the deque. */
+void
+checkCursors(Core &c, uint64_t head, uint64_t tail, uint32_t capacity)
+{
+    if (tail - head > capacity) {
+        c.system().raiseFailure(
+            fault::Verdict::DequeCorruption,
+            fault::format("task deque corrupted on worker %d at cycle "
+                          "%llu: head=%llu tail=%llu exceed capacity "
+                          "%u (underflow or lost cursor update)",
+                          c.id(), (unsigned long long)c.now(),
+                          (unsigned long long)head,
+                          (unsigned long long)tail, capacity));
+    }
+}
+
+} // namespace
 
 TaskDeque::TaskDeque(mem::ArenaAllocator &arena, uint32_t capacity)
     : capacity(capacity)
@@ -39,11 +64,17 @@ TaskDeque::enq(Core &c, Addr task)
 {
     uint64_t tail = c.ld<uint64_t>(tailA);
     uint64_t head = c.ld<uint64_t>(headA);
-    fatal_if(tail - head >= capacity,
-             "task deque overflow (capacity %u, head=%llu tail=%llu "
-             "core=%d); raise SystemConfig::dequeCapacity or coarsen "
-             "tasks", capacity, (unsigned long long)head,
-             (unsigned long long)tail, c.id());
+    if (tail - head >= capacity) {
+        c.system().raiseFailure(
+            fault::Verdict::DequeCorruption,
+            fault::format("task deque overflow on worker %d at cycle "
+                          "%llu (capacity %u, head=%llu tail=%llu); "
+                          "raise SystemConfig::dequeCapacity or "
+                          "coarsen tasks",
+                          c.id(), (unsigned long long)c.now(), capacity,
+                          (unsigned long long)head,
+                          (unsigned long long)tail));
+    }
     c.st<uint64_t>(bufA + (tail % capacity) * 8, task);
     c.st<uint64_t>(tailA, tail + 1);
     c.work(2);
@@ -55,6 +86,7 @@ TaskDeque::deqTail(Core &c)
     uint64_t tail = c.ld<uint64_t>(tailA);
     uint64_t head = c.ld<uint64_t>(headA);
     c.work(2);
+    checkCursors(c, head, tail, capacity);
     if (head == tail)
         return 0;
     c.st<uint64_t>(tailA, tail - 1);
@@ -67,6 +99,7 @@ TaskDeque::deqHead(Core &c)
     uint64_t head = c.ld<uint64_t>(headA);
     uint64_t tail = c.ld<uint64_t>(tailA);
     c.work(2);
+    checkCursors(c, head, tail, capacity);
     if (head == tail)
         return 0;
     c.st<uint64_t>(headA, head + 1);

@@ -51,6 +51,10 @@ class TaskDeque
     /** Owner-side emptiness probe (two loads). */
     bool empty(sim::Core &c);
 
+    /** Simulated addresses of the cursor words (tests/diagnostics). */
+    Addr headAddr() const { return headA; }
+    Addr tailAddr() const { return tailA; }
+
   private:
     Addr lockA;
     Addr headA;

@@ -2,6 +2,8 @@
 
 #include "common/log.hh"
 #include "core/worker.hh"
+#include "fault/failure.hh"
+#include "sim/system.hh"
 
 namespace bigtiny::rt
 {
@@ -77,12 +79,25 @@ Runtime::run(const std::function<void(Worker &)> &root)
     }
     sys.run();
 
-    // Post-run sanity: the task accounting must balance.
+    // Post-run quiescence: task conservation must balance — every
+    // spawned task executed, and every non-root task joined into its
+    // parent exactly once. A mismatch means the deque, mailbox, or
+    // join protocol lost or duplicated work; fail structurally rather
+    // than report silently wrong statistics.
     auto total = totalStats();
-    panic_if(total.tasksSpawned != total.tasksExecuted,
-             "task imbalance: %llu spawned vs %llu executed",
-             (unsigned long long)total.tasksSpawned,
-             (unsigned long long)total.tasksExecuted);
+    if (total.tasksSpawned != total.tasksExecuted ||
+        total.tasksJoined + 1 != total.tasksExecuted ||
+        executedTasks.size() != total.tasksExecuted) {
+        sys.raiseFailure(
+            fault::Verdict::Quiescence,
+            fault::format("task conservation broken: %llu spawned, "
+                          "%llu executed, %llu joined (+1 root), "
+                          "%zu unique",
+                          (unsigned long long)total.tasksSpawned,
+                          (unsigned long long)total.tasksExecuted,
+                          (unsigned long long)total.tasksJoined,
+                          executedTasks.size()));
+    }
 }
 
 sim::RuntimeStats

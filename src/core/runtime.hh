@@ -107,14 +107,19 @@ class Runtime
     bool dtsStealFromTail = false;
 
     /**
-     * Fault-injection knob for the coherence checker's regression
-     * test: elide the cache_invalidate pair in the HCC stealOnce path
-     * (the pre-pop invalidate and the post-steal invalidate before
+     * DEPRECATED alias for the rt-elide-steal-inv fault site: elide
+     * the cache_invalidate pair in the HCC stealOnce path (the
+     * pre-pop invalidate and the post-steal invalidate before
      * executing the stolen task). With these elided a thief keeps
      * stale clean copies of the victim's deque metadata and published
      * task data; the run usually still produces correct results (the
      * victim re-executes the work the thief could not see), which is
      * exactly the silent failure mode the checker exists to surface.
+     *
+     * New code should use `--faults=rt-elide-steal-inv@all` (or any
+     * other trigger) via SystemConfig::faults instead; this flag is
+     * kept so existing tests and tools keep working and behaves like
+     * rt-elide-steal-inv@all.
      */
     bool hccElideStealInvalidate = false;
 

@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "common/log.hh"
+#include "fault/failure.hh"
+#include "sim/system.hh"
 
 namespace bigtiny::rt
 {
@@ -117,12 +119,22 @@ Worker::execTask(Addr t)
 
     // Runtime invariant: every task executes exactly once (host-side
     // bookkeeping; a violation means the deque or join protocol broke).
-    panic_if(!rt.executedTasks.insert(t).second,
-             "task %#llx executed twice (worker %d)",
-             (unsigned long long)t, wid);
+    if (!rt.executedTasks.insert(t).second)
+        core.system().raiseFailure(
+            fault::Verdict::TaskProtocol,
+            fault::format("task %#llx executed twice (worker %d at "
+                          "cycle %llu)",
+                          (unsigned long long)t, wid,
+                          (unsigned long long)core.now()));
     auto fn = reinterpret_cast<TaskFn>(core.ld<uint64_t>(t + L::fnOff));
     core.work(dispatchCycles);
-    panic_if(!fn, "executing a task with no body");
+    if (!fn)
+        core.system().raiseFailure(
+            fault::Verdict::DequeCorruption,
+            fault::format("task %#llx has no body (worker %d at cycle "
+                          "%llu) — corrupted deque entry or mailbox",
+                          (unsigned long long)t, wid,
+                          (unsigned long long)core.now()));
     {
         SiteScope site(rt.sys.mem().checker(), wid, "task body");
         fn(*this, t);
@@ -139,6 +151,7 @@ void
 Worker::joinShared(Addr t)
 {
     SiteScope site(rt.sys.mem().checker(), wid, "Worker::joinShared");
+    ++stats.tasksJoined;
     Addr parent = core.ld<uint64_t>(t + L::parentOff);
     if (parent)
         core.amo(mem::AmoOp::Add, parent + L::rcOff,
@@ -161,6 +174,7 @@ Worker::joinDtsLocal(Addr t)
     // was stolen; otherwise the parent runs on this very core and a
     // plain read-modify-write is safe.
     SiteScope site(rt.sys.mem().checker(), wid, "Worker::joinDtsLocal");
+    ++stats.tasksJoined;
     Addr parent = core.ld<uint64_t>(t + L::parentOff);
     if (!parent)
         return;
@@ -395,9 +409,12 @@ Worker::stealOnce()
         return true;
       }
       case SchedVariant::Hcc: {
+        // One elision decision per steal attempt covers both
+        // invalidate points (they protect the same hand-off).
+        bool elide = elideStealInv();
         TaskDeque &vq = rt.deque(vid);
         vq.lockAq(core);
-        if (!rt.hccElideStealInvalidate)
+        if (!elide)
             core.cacheInvalidate();
         Addr t = vq.deqHead(core);
         core.cacheFlush();
@@ -406,7 +423,7 @@ Worker::stealOnce()
             break;
         ++stats.tasksStolen;
         failStreak = 0;
-        if (!rt.hccElideStealInvalidate)
+        if (!elide)
             core.cacheInvalidate(); // see the victim's published values
         execTask(t);
         core.cacheFlush();          // publish ours before the join
@@ -450,17 +467,42 @@ Worker::uliHandler(CoreId thief)
         core.uliSendResp(thief, true, 0);
         return;
     }
+    auto &inj = core.system().injector();
     Addr parent = core.ld<uint64_t>(t + L::parentOff);
-    if (parent)
-        core.st<uint64_t>(parent + L::stolenOff, 1);
+    if (parent) {
+        bool skip =
+            inj.armed(fault::FaultSite::RtSkipStolenMark) &&
+            inj.fire(fault::FaultSite::RtSkipStolenMark, wid,
+                     core.now(), parent);
+        if (!skip)
+            core.st<uint64_t>(parent + L::stolenOff, 1);
+    }
     // Publish every value the parent produced for the stolen task
     // before the thief can observe it, then hand the task pointer
     // over through the mailbox with a synchronizing store (the
     // thief's synchronizing read is never stale).
     core.cacheFlush();
-    core.amo(mem::AmoOp::Swap, rt.mailbox(thief), t, 8,
+    Addr publish = t;
+    if (inj.armed(fault::FaultSite::RtCorruptSteal) &&
+        inj.fire(fault::FaultSite::RtCorruptSteal, wid, core.now(), t))
+        publish = t ^ (1ull << 33); // points into unallocated memory
+    core.amo(mem::AmoOp::Swap, rt.mailbox(thief), publish, 8,
              TimeCat::Sync);
     core.uliSendResp(thief, true, 1);
+}
+
+bool
+Worker::elideStealInv()
+{
+    // Deprecated Runtime::hccElideStealInvalidate maps onto the
+    // rt-elide-steal-inv fault site: the flag behaves like
+    // rt-elide-steal-inv@all without needing a FaultPlan.
+    if (rt.hccElideStealInvalidate)
+        return true;
+    auto &inj = core.system().injector();
+    return inj.armed(fault::FaultSite::RtElideStealInv) &&
+           inj.fire(fault::FaultSite::RtElideStealInv, wid,
+                    core.now()) != nullptr;
 }
 
 // ---------------------------------------------------------------------

@@ -123,6 +123,9 @@ class Worker
     /** One steal attempt + execution; true if a task was executed. */
     bool stealOnce();
 
+    /** HCC steal-path invalidate elision (deprecated flag or fault). */
+    bool elideStealInv();
+
     /** Exponential backoff after a failed steal attempt. */
     void idleBackoff();
 

@@ -1,0 +1,83 @@
+#include "fault/failure.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace bigtiny::fault
+{
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::None: return "none";
+      case Verdict::Deadlock: return "deadlock";
+      case Verdict::CycleBudget: return "cycle-budget";
+      case Verdict::WallClockTimeout: return "wall-clock-timeout";
+      case Verdict::Quiescence: return "quiescence";
+      case Verdict::CoherenceViolation: return "coherence";
+      case Verdict::DequeCorruption: return "deque-corruption";
+      case Verdict::TaskProtocol: return "task-protocol";
+      case Verdict::UliProtocol: return "uli-protocol";
+      case Verdict::GuestError: return "guest-error";
+    }
+    panic("verdictName: bad verdict %d", static_cast<int>(v));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::string
+FailureReport::render() const
+{
+    std::string out;
+    out += format("=== simulation failure: %s ===\n", verdictName(verdict));
+    out += format("cycle:  %llu\n", static_cast<unsigned long long>(cycle));
+    out += format("reason: %s\n", reason.c_str());
+    out += format("cores (%zu):\n", cores.size());
+    for (const CoreState &c : cores) {
+        out += format("  core %3d %c %-7s t=%-12llu insts=%-12llu"
+                      " uli=%c%s%s%s\n",
+                      c.id, c.kind, c.done ? "done" : "running",
+                      static_cast<unsigned long long>(c.time),
+                      static_cast<unsigned long long>(c.insts),
+                      c.uliEnabled ? '+' : '-',
+                      c.inHandler ? " in-handler" : "",
+                      c.reqPending ? " req-pending" : "",
+                      c.respReady ? " resp-ready" : "");
+    }
+    out += format("pending events: %llu",
+                  static_cast<unsigned long long>(pendingEvents));
+    if (pendingEvents > 0)
+        out += format(" (next at cycle %llu)",
+                      static_cast<unsigned long long>(nextEventTime));
+    out += '\n';
+    out += format("faults injected (%zu):\n", faultLog.size());
+    for (const FaultEvent &e : faultLog) {
+        out += format("  %-20s occ=%-4llu core=%-3d cycle=%-12llu"
+                      " detail=%#llx\n",
+                      faultSiteName(e.site),
+                      static_cast<unsigned long long>(e.occurrence),
+                      e.core,
+                      static_cast<unsigned long long>(e.cycle),
+                      static_cast<unsigned long long>(e.detail));
+    }
+    return out;
+}
+
+} // namespace bigtiny::fault

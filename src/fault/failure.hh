@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Structured simulation failures.
+ *
+ * When the watchdog, the quiescence check, the coherence checker, or a
+ * hardened runtime invariant detects that a simulation has gone wrong,
+ * the System aborts cleanly (unwinding every guest fiber) and throws a
+ * SimFailure carrying a FailureReport: the verdict, the failing cycle,
+ * per-core state, pending-event summary, and the fault-injection log.
+ * Nothing in a report depends on host state (pointers, wall-clock), so
+ * the same failure renders byte-identically on every run.
+ */
+
+#ifndef BIGTINY_FAULT_FAILURE_HH
+#define BIGTINY_FAULT_FAILURE_HH
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "fault/fault.hh"
+
+namespace bigtiny::fault
+{
+
+/** Failure taxonomy (see DESIGN.md §8). */
+enum class Verdict : uint8_t
+{
+    None,               //!< run completed cleanly
+    Deadlock,           //!< no progress for deadlockCycles
+    CycleBudget,        //!< simulation exceeded the cycle budget
+    WallClockTimeout,   //!< host wall-clock limit exceeded
+    Quiescence,         //!< exit-state invariant violated
+    CoherenceViolation, //!< shadow checker caught a stale access
+    DequeCorruption,    //!< task deque over/underflow or bad entry
+    TaskProtocol,       //!< task executed twice / conservation broken
+    UliProtocol,        //!< ULI buffer overrun or message misuse
+    GuestError,         //!< guest code threw a std::exception
+};
+
+const char *verdictName(Verdict v);
+
+/** printf-style formatting into a std::string (for reason texts). */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Everything known about a failed simulation, renderable as text. */
+struct FailureReport
+{
+    Verdict verdict = Verdict::None;
+    Cycle cycle = 0;          //!< global time when the failure fired
+    std::string reason;       //!< one-line human-readable cause
+
+    struct CoreState
+    {
+        CoreId id;
+        char kind;            //!< 'B' big / 'T' tiny
+        bool done;
+        Cycle time;
+        uint64_t insts;
+        bool uliEnabled;
+        bool inHandler;
+        bool reqPending;
+        bool respReady;
+    };
+    std::vector<CoreState> cores;
+
+    uint64_t pendingEvents = 0; //!< events still queued at failure
+    Cycle nextEventTime = 0;    //!< earliest queued event (0 if none)
+
+    std::vector<FaultEvent> faultLog; //!< injected faults, in order
+
+    /** Deterministic multi-line rendering (no host state). */
+    std::string render() const;
+};
+
+/**
+ * Thrown out of System::run() / Runtime::run() on a detected failure.
+ * what() is "<verdict>: <reason>"; the full report rides along.
+ */
+class SimFailure : public std::exception
+{
+  public:
+    explicit SimFailure(FailureReport r)
+        : _report(std::move(r)),
+          msg(std::string(verdictName(_report.verdict)) + ": " +
+              _report.reason)
+    {}
+
+    const FailureReport &report() const { return _report; }
+    const char *what() const noexcept override { return msg.c_str(); }
+
+  private:
+    FailureReport _report;
+    std::string msg;
+};
+
+/**
+ * Internal unwind token thrown through guest fibers when the System is
+ * aborting. Deliberately NOT a std::exception so guest-level
+ * catch (const std::exception &) handlers cannot swallow it.
+ */
+struct FiberUnwind
+{};
+
+} // namespace bigtiny::fault
+
+#endif // BIGTINY_FAULT_FAILURE_HH

@@ -1,0 +1,198 @@
+#include "fault/fault.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace bigtiny::fault
+{
+
+namespace
+{
+
+constexpr const char *siteNames[numFaultSites] = {
+    "uli-drop-req",
+    "uli-drop-resp",
+    "uli-delay-req",
+    "uli-delay-resp",
+    "uli-dup-req",
+    "uli-dup-resp",
+    "mem-elide-flush",
+    "mem-elide-inv",
+    "mem-elide-wb",
+    "mem-delay-dram",
+    "rt-skip-stolen-mark",
+    "rt-corrupt-steal",
+    "rt-elide-steal-inv",
+    "sim-stall-core",
+};
+
+FaultSite
+siteByName(const std::string &name, const std::string &spec)
+{
+    for (size_t i = 0; i < numFaultSites; ++i)
+        if (name == siteNames[i])
+            return static_cast<FaultSite>(i);
+    fatal("--faults: unknown fault site '%s' in '%s'", name.c_str(),
+          spec.c_str());
+}
+
+uint64_t
+parseInt(const std::string &s, const std::string &spec)
+{
+    fatal_if(s.empty(), "--faults: missing integer in '%s'",
+             spec.c_str());
+    char *end = nullptr;
+    uint64_t v = std::strtoull(s.c_str(), &end, 0);
+    fatal_if(*end != '\0', "--faults: bad integer '%s' in '%s'",
+             s.c_str(), spec.c_str());
+    return v;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(sep, start);
+        out.push_back(s.substr(start, pos - start));
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite s)
+{
+    auto i = static_cast<size_t>(s);
+    panic_if(i >= numFaultSites, "faultSiteName: bad site %zu", i);
+    return siteNames[i];
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    if (spec.empty())
+        return plan;
+    for (const std::string &dir : split(spec, ',')) {
+        fatal_if(dir.empty(), "--faults: empty directive in '%s'",
+                 spec.c_str());
+        if (dir.rfind("seed=", 0) == 0) {
+            plan.seed = parseInt(dir.substr(5), spec);
+            continue;
+        }
+        FaultRule rule;
+        std::string head = dir;
+        // Peel off '=arg:arg:...' first, then '@trigger'.
+        if (size_t eq = head.find('='); eq != std::string::npos) {
+            auto args = split(head.substr(eq + 1), ':');
+            fatal_if(args.size() > rule.args.size(),
+                     "--faults: too many args in '%s' (max %zu)",
+                     dir.c_str(), rule.args.size());
+            for (size_t i = 0; i < args.size(); ++i)
+                rule.args[i] = parseInt(args[i], spec);
+            head = head.substr(0, eq);
+        }
+        if (size_t at = head.find('@'); at != std::string::npos) {
+            std::string trig = head.substr(at + 1);
+            head = head.substr(0, at);
+            if (trig == "all") {
+                rule.all = true;
+            } else if (!trig.empty() && trig[0] == 'p') {
+                char *end = nullptr;
+                rule.prob = std::strtod(trig.c_str() + 1, &end);
+                fatal_if(*end != '\0' || rule.prob <= 0.0 ||
+                             rule.prob > 1.0,
+                         "--faults: bad probability '%s' in '%s'",
+                         trig.c_str(), spec.c_str());
+            } else {
+                rule.nth = parseInt(trig, spec);
+                fatal_if(rule.nth == 0,
+                         "--faults: occurrence is 1-based in '%s'",
+                         dir.c_str());
+            }
+        }
+        rule.site = siteByName(head, spec);
+        plan.rules.push_back(rule);
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::canonical() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "seed=%llu",
+                  static_cast<unsigned long long>(seed));
+    std::string out = buf;
+    for (const FaultRule &r : rules) {
+        out += ',';
+        out += faultSiteName(r.site);
+        if (r.all) {
+            out += "@all";
+        } else if (r.prob > 0.0) {
+            std::snprintf(buf, sizeof(buf), "@p%g", r.prob);
+            out += buf;
+        } else {
+            std::snprintf(buf, sizeof(buf), "@%llu",
+                          static_cast<unsigned long long>(r.nth));
+            out += buf;
+        }
+        size_t nargs = r.args.size();
+        while (nargs > 0 && r.args[nargs - 1] == 0)
+            --nargs;
+        for (size_t i = 0; i < nargs; ++i) {
+            std::snprintf(buf, sizeof(buf), "%c%llu", i == 0 ? '=' : ':',
+                          static_cast<unsigned long long>(r.args[i]));
+            out += buf;
+        }
+    }
+    return out;
+}
+
+Injector::Injector(FaultPlan plan) : _plan(std::move(plan)), rng(_plan.seed)
+{
+    for (const FaultRule &r : _plan.rules)
+        armedMask[static_cast<size_t>(r.site)] = true;
+}
+
+const FaultRule *
+Injector::fire(FaultSite s, CoreId core, Cycle now, uint64_t detail)
+{
+    auto idx = static_cast<size_t>(s);
+    if (!armedMask[idx])
+        return nullptr;
+    uint64_t n = ++occ[idx];
+    for (const FaultRule &r : _plan.rules) {
+        if (r.site != s)
+            continue;
+        bool hit;
+        if (r.all)
+            hit = true;
+        else if (r.prob > 0.0)
+            hit = rng.nextBool(r.prob);
+        else
+            hit = n == r.nth;
+        if (hit) {
+            events.push_back({s, n, core, now, detail});
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+void
+Injector::record(FaultSite s, CoreId core, Cycle now, uint64_t detail)
+{
+    auto idx = static_cast<size_t>(s);
+    events.push_back({s, ++occ[idx], core, now, detail});
+}
+
+} // namespace bigtiny::fault

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection.
+ *
+ * A FaultPlan is a list of rules parsed from a `--faults=<spec>`
+ * string; an Injector evaluates the rules at fixed hook sites threaded
+ * through the simulator:
+ *
+ *   ULI     — drop/delay/duplicate steal requests and responses
+ *             (uli/uli.cc sendReq/sendResp)
+ *   memory  — elide cache_flush / cache_invalidate / write-backs,
+ *             delay DRAM responses (mem/memory_system.cc)
+ *   runtime — skip has_stolen_child bookkeeping, corrupt a stolen
+ *             task handoff, elide the HCC steal-path invalidates
+ *             (core/worker.cc)
+ *   sim     — stall a chosen core for N cycles (sim/system.cc)
+ *
+ * Spec grammar (directives separated by commas):
+ *
+ *   spec      := directive (',' directive)*
+ *   directive := 'seed=' INT
+ *              | site ['@' trigger] ['=' INT (':' INT)*]
+ *   trigger   := INT       fire on exactly the Nth dynamic occurrence
+ *                          of the site (1-based; the default is @1)
+ *              | 'all'     fire on every occurrence
+ *              | 'p' FLOAT fire per occurrence with this probability,
+ *                          drawn from the plan-seeded RNG
+ *
+ * Examples:
+ *   --faults=uli-drop-resp@1
+ *   --faults=mem-elide-flush@all
+ *   --faults=uli-delay-req@2=50000
+ *   --faults=sim-stall-core=0:5000:4000000      (core:at:cycles)
+ *   --faults=seed=7,uli-drop-req@p0.05
+ *
+ * Determinism: occurrence counters advance in simulated program order
+ * and all probabilistic draws come from one RNG seeded by the plan, so
+ * the same spec and seed injects the identical fault sequence on every
+ * run, regardless of host threading.
+ */
+
+#ifndef BIGTINY_FAULT_FAULT_HH
+#define BIGTINY_FAULT_FAULT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace bigtiny::fault
+{
+
+/** Every injection hook site in the simulator. */
+enum class FaultSite : uint8_t
+{
+    // ULI layer (uli/uli.cc)
+    UliDropReq,      //!< steal request vanishes in the mesh
+    UliDropResp,     //!< steal response vanishes in the mesh
+    UliDelayReq,     //!< request delivery delayed (args[0] cycles)
+    UliDelayResp,    //!< response delivery delayed (args[0] cycles)
+    UliDupReq,       //!< request delivered twice
+    UliDupResp,      //!< response delivered twice
+    // memory layer (mem/memory_system.cc)
+    MemElideFlush,   //!< cache_flush silently does nothing
+    MemElideInv,     //!< cache_invalidate silently does nothing
+    MemElideWb,      //!< one dirty-line write-back drops its data
+    MemDelayDram,    //!< DRAM response delayed (args[0] cycles)
+    // runtime layer (core/worker.cc)
+    RtSkipStolenMark, //!< victim skips the has_stolen_child store
+    RtCorruptSteal,   //!< victim publishes a corrupted task pointer
+    RtElideStealInv,  //!< HCC steal-path cache_invalidate pair elided
+    // sim layer (sim/system.cc)
+    SimStallCore,    //!< args = core : at-cycle : stall-cycles
+    NumSites,
+};
+
+constexpr size_t numFaultSites = static_cast<size_t>(FaultSite::NumSites);
+
+const char *faultSiteName(FaultSite s);
+
+/** One parsed directive. */
+struct FaultRule
+{
+    FaultSite site = FaultSite::NumSites;
+    uint64_t nth = 1;    //!< fire on this dynamic occurrence (1-based)
+    bool all = false;    //!< fire on every occurrence
+    double prob = 0.0;   //!< when > 0, fire per occurrence with prob
+    std::array<uint64_t, 3> args{}; //!< site-specific parameters
+};
+
+/** A full fault plan: seed plus rules, parsed from a spec string. */
+struct FaultPlan
+{
+    uint64_t seed = 0xfa017ull;
+    std::vector<FaultRule> rules;
+
+    /** Parse a spec (see the grammar above); fatal() on bad syntax. */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Round-trippable canonical spec string. */
+    std::string canonical() const;
+
+    bool empty() const { return rules.empty(); }
+};
+
+/** One injected fault, recorded for the FailureReport. */
+struct FaultEvent
+{
+    FaultSite site;
+    uint64_t occurrence; //!< dynamic occurrence index at the site
+    CoreId core;         //!< core the fault was attributed to
+    Cycle cycle;         //!< injection cycle
+    uint64_t detail;     //!< site-specific detail (victim, addr, ...)
+};
+
+/**
+ * Stateful rule evaluator; owned by sim::System, one per simulation.
+ * Hook sites call fire() with the current core/cycle; when a rule
+ * matches, the fault is logged and the rule returned so the site can
+ * read its parameters.
+ */
+class Injector
+{
+  public:
+    explicit Injector(FaultPlan plan);
+
+    /**
+     * Evaluate the rules for one dynamic occurrence of @p s.
+     * @return the matching rule when a fault fires, else nullptr.
+     */
+    const FaultRule *fire(FaultSite s, CoreId core, Cycle now,
+                          uint64_t detail = 0);
+
+    /** Log a fault applied outside fire() (sim-stall-core). */
+    void record(FaultSite s, CoreId core, Cycle now, uint64_t detail);
+
+    /** Fast path: false when no rule targets @p s. */
+    bool
+    armed(FaultSite s) const
+    {
+        return armedMask[static_cast<size_t>(s)];
+    }
+
+    /** Every fault injected so far, in injection order. */
+    const std::vector<FaultEvent> &log() const { return events; }
+
+    const FaultPlan &plan() const { return _plan; }
+
+  private:
+    FaultPlan _plan;
+    Rng rng;
+    std::array<uint64_t, numFaultSites> occ{};
+    std::array<bool, numFaultSites> armedMask{};
+    std::vector<FaultEvent> events;
+};
+
+} // namespace bigtiny::fault
+
+#endif // BIGTINY_FAULT_FAULT_HH

@@ -8,8 +8,9 @@ namespace bigtiny::mem
 using sim::MsgClass;
 using sim::Protocol;
 
-MemorySystem::MemorySystem(const sim::SystemConfig &cfg)
-    : cfg(cfg), l2c(cfg), nocModel(cfg), dramModel(cfg)
+MemorySystem::MemorySystem(const sim::SystemConfig &cfg,
+                           fault::Injector *inj)
+    : cfg(cfg), inj(inj), l2c(cfg), nocModel(cfg), dramModel(cfg)
 {
     l1s.reserve(cfg.numCores());
     for (CoreId c = 0; c < cfg.numCores(); ++c) {
@@ -110,6 +111,12 @@ MemorySystem::l2GetLine(Addr la, Cycle &t, bool count_traffic)
         nocModel.send(MsgClass::DramResp, nocModel.dataMsgBytes(), 1);
     }
     t += dramModel.access(bank, t, lineBytes);
+    if (inj && inj->armed(fault::FaultSite::MemDelayDram)) {
+        if (const auto *r =
+                inj->fire(fault::FaultSite::MemDelayDram, invalidCore,
+                          t, la))
+            t += r->args[0] ? r->args[0] : 1000;
+    }
 
     main.readLine(la, victim->data.data());
     victim->lineAddr = la;
@@ -340,6 +347,14 @@ MemorySystem::writeL1LineToL2(CoreId c, L1Line *line, uint64_t byte_mask,
 {
     if (byte_mask == 0)
         return;
+    // Elided write-back: the dirty data silently evaporates. The hook
+    // sits above the checker callback so the shadow image keeps the old
+    // bytes — a later read of the stale line is then a caught violation.
+    if (inj && inj->armed(fault::FaultSite::MemElideWb)) {
+        if (inj->fire(fault::FaultSite::MemElideWb, c, t,
+                      line->lineAddr))
+            return;
+    }
     if (chk)
         chk->onWriteBack(c, t, line->lineAddr, line->data.data(),
                          byte_mask);
@@ -797,6 +812,12 @@ MemorySystem::cacheInvalidate(CoreId c, Cycle now)
     if (cache.protocol() == Protocol::MESI)
         return {0, true}; // no-op: hardware keeps us coherent
 
+    // Elided self-invalidation: stale clean lines stay readable.
+    if (inj && inj->armed(fault::FaultSite::MemElideInv)) {
+        if (inj->fire(fault::FaultSite::MemElideInv, c, now))
+            return {cfg.invFlashLat, true};
+    }
+
     ++cache.stats.invOps;
     uint64_t dropped = 0;
     cache.forEachValid([&](L1Line &l) {
@@ -836,6 +857,12 @@ MemorySystem::cacheFlush(CoreId c, Cycle now)
     auto &cache = *l1s[c];
     if (cache.protocol() != Protocol::GpuWB)
         return {0, true}; // no dirty data to propagate (Table I)
+
+    // Elided flush: dirty bytes stay private to this L1.
+    if (inj && inj->armed(fault::FaultSite::MemElideFlush)) {
+        if (inj->fire(fault::FaultSite::MemElideFlush, c, now))
+            return {cfg.flushBaseLat, true};
+    }
 
     ++cache.stats.flushOps;
     uint64_t flushed = 0;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "check/coherence_checker.hh"
+#include "fault/fault.hh"
 #include "mem/address_space.hh"
 #include "mem/dram.hh"
 #include "mem/l1_cache.hh"
@@ -56,7 +57,12 @@ enum class AmoOp : uint8_t
 class MemorySystem
 {
   public:
-    explicit MemorySystem(const sim::SystemConfig &cfg);
+    /**
+     * @param inj fault injector for the mem-* hook sites (elide flush /
+     *            invalidate / write-back, delay DRAM); may be null.
+     */
+    explicit MemorySystem(const sim::SystemConfig &cfg,
+                          fault::Injector *inj = nullptr);
 
     struct Result
     {
@@ -176,6 +182,7 @@ class MemorySystem
                    uint64_t &old_out);
 
     const sim::SystemConfig &cfg;
+    fault::Injector *inj;
     MainMemory main;
     std::vector<std::unique_ptr<L1Cache>> l1s;
     L2Cache l2c;

@@ -36,6 +36,19 @@ SystemConfig::check() const
              "L2 bank size not divisible into sets");
     fatal_if(dequeCapacity == 0 || (dequeCapacity & (dequeCapacity - 1)),
              "deque capacity must be a power of two");
+    fatal_if(deadlockCycles == 0, "deadlockCycles must be > 0");
+    for (const auto &r : faults.rules) {
+        if (r.site != fault::FaultSite::SimStallCore)
+            continue;
+        fatal_if(r.args[0] >= static_cast<uint64_t>(numCores()),
+                 "--faults: sim-stall-core targets core %llu but config "
+                 "'%s' has %d cores",
+                 static_cast<unsigned long long>(r.args[0]), name.c_str(),
+                 numCores());
+        fatal_if(r.args[2] == 0,
+                 "--faults: sim-stall-core needs a nonzero stall length "
+                 "(args core:at:cycles)");
+    }
 }
 
 namespace

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 
 namespace bigtiny::sim
 {
@@ -104,6 +105,23 @@ struct SystemConfig
      * Functional only — adds host time, never simulated time.
      */
     bool checkCoherence = false;
+
+    // --- Fault injection / watchdog --------------------------------------
+    /** Fault plan evaluated by the System's injector (src/fault/). */
+    fault::FaultPlan faults;
+
+    /** Default cycle budget for System::run(0). */
+    Cycle watchdogCycles = 20ull * 1000 * 1000 * 1000;
+
+    /**
+     * Deadlock detector: abort when no instruction retires and no event
+     * executes for this many cycles. Large enough that any legitimate
+     * wait (ULI flight + handler, lock backoff) resolves well inside it.
+     */
+    Cycle deadlockCycles = 2'000'000;
+
+    /** Host wall-clock limit in ms; 0 disables. */
+    uint64_t wallClockLimitMs = 0;
 
     // --- Runtime ---------------------------------------------------------
     uint32_t dequeCapacity = 8192;

@@ -41,6 +41,7 @@ class Core
     CoreId id() const { return _id; }
     CoreKind kind() const { return _kind; }
     Cycle now() const { return time; }
+    System &system() { return sys; }
 
     // --- compute ------------------------------------------------------
     /** Charge @p cycles of non-memory work (scaled on big cores). */
@@ -158,6 +159,9 @@ class Core
     Cycle time = 0;
     uint64_t instCounter = 0;
     double workCarry = 0.0; //!< fractional big-core compute cycles
+
+    /** Injected stall (sim-stall-core), consumed at the next syncPoint. */
+    Cycle pendingStall = 0;
 };
 
 } // namespace bigtiny::sim

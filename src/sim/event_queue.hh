@@ -45,9 +45,16 @@ class EventQueue
             // Copy out before pop so the handler may schedule more.
             Fn fn = std::move(const_cast<Ev &>(heap.top()).fn);
             heap.pop();
+            ++executedCount;
             fn();
         }
     }
+
+    /** Events still queued (for failure reports). */
+    size_t pending() const { return heap.size(); }
+
+    /** Total events executed; part of the watchdog progress signature. */
+    uint64_t executed() const { return executedCount; }
 
     void
     clear()
@@ -73,6 +80,7 @@ class EventQueue
 
     std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap;
     uint64_t seq = 0;
+    uint64_t executedCount = 0;
 };
 
 } // namespace bigtiny::sim

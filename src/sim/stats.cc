@@ -104,6 +104,7 @@ RuntimeStats::add(const RuntimeStats &o)
 {
     tasksSpawned += o.tasksSpawned;
     tasksExecuted += o.tasksExecuted;
+    tasksJoined += o.tasksJoined;
     tasksStolen += o.tasksStolen;
     stealAttempts += o.stealAttempts;
     failedSteals += o.failedSteals;

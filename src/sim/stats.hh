@@ -140,6 +140,7 @@ struct RuntimeStats
 {
     uint64_t tasksSpawned = 0;
     uint64_t tasksExecuted = 0;
+    uint64_t tasksJoined = 0; //!< non-root tasks joined into a parent
     uint64_t tasksStolen = 0;
     uint64_t stealAttempts = 0;
     uint64_t failedSteals = 0;

@@ -8,12 +8,22 @@ namespace bigtiny::sim
 System::System(SystemConfig cfg_in) : cfg(std::move(cfg_in))
 {
     cfg.check();
-    memSys = std::make_unique<mem::MemorySystem>(cfg);
+    faultInjector = std::make_unique<fault::Injector>(cfg.faults);
+    memSys = std::make_unique<mem::MemorySystem>(cfg, faultInjector.get());
     uliNetwork = std::make_unique<uli::UliNetwork>(*this);
     cores.reserve(cfg.numCores());
     for (CoreId c = 0; c < cfg.numCores(); ++c)
         cores.push_back(std::make_unique<Core>(*this, c, cfg.cores[c]));
     fibers.resize(cfg.numCores());
+    // With faults armed, the shadow checker becomes a fail-fast
+    // detector: the first violation aborts with a structured report.
+    // Fault-free runs keep the passive count-and-report behavior.
+    if (auto *chk = memSys->checker(); chk && !cfg.faults.empty()) {
+        chk->onViolation = [this](const check::Violation &v) {
+            raiseFailure(fault::Verdict::CoherenceViolation,
+                         v.describe());
+        };
+    }
 }
 
 System::~System() = default;
@@ -25,12 +35,33 @@ System::attachGuest(CoreId c, std::function<void(Core &)> guest)
     panic_if(fibers[c] != nullptr, "core %d already has a guest", c);
     Core *core = cores[c].get();
     fibers[c] = std::make_unique<Fiber>(
-        [core, guest = std::move(guest)] { guest(*core); });
+        [this, core, guest = std::move(guest)] {
+            try {
+                guest(*core);
+            } catch (const fault::FiberUnwind &) {
+                // System is aborting; the fiber unwound cleanly.
+            } catch (const fault::SimFailure &f) {
+                if (!pendingFailure)
+                    pendingFailure =
+                        std::make_unique<fault::SimFailure>(f);
+                aborting = true;
+            } catch (const std::exception &e) {
+                if (!pendingFailure)
+                    pendingFailure = std::make_unique<fault::SimFailure>(
+                        buildFailureReport(
+                            fault::Verdict::GuestError, core->now(),
+                            fault::format("guest on core %d threw: %s",
+                                          core->id(), e.what())));
+                aborting = true;
+            }
+        });
 }
 
 void
 System::run(Cycle max_cycles)
 {
+    if (max_cycles == 0)
+        max_cycles = cfg.watchdogCycles;
     schedFiber = Fiber::current();
     watchdog = max_cycles;
     liveGuests = 0;
@@ -42,22 +73,71 @@ System::run(Cycle max_cycles)
         ++liveGuests;
     }
     fatal_if(liveGuests == 0, "System::run with no guests attached");
-    schedulerLoop(max_cycles);
+
+    // Arm sim-stall-core rules: an event at args[1] adds args[2] idle
+    // cycles to core args[0], consumed at its next syncPoint.
+    for (const fault::FaultRule &r : cfg.faults.rules) {
+        if (r.site != fault::FaultSite::SimStallCore)
+            continue;
+        Core *target = cores[r.args[0]].get();
+        Cycle stall = r.args[2];
+        eventQueue.schedule(r.args[1], [this, target, stall] {
+            target->pendingStall += stall;
+            faultInjector->record(fault::FaultSite::SimStallCore,
+                                  target->id(), target->time, stall);
+        });
+    }
+
+    insideRun = true;
+    aborting = false;
+    lastProgressSig = progressSignature();
+    lastProgressCycle = 0;
+    watchdogInterval = std::max<Cycle>(cfg.deadlockCycles / 16, 1);
+    nextWatchdogCheck = watchdogInterval;
+    nextWallCheck = 0;
+    wallLimited = cfg.wallClockLimitMs > 0;
+    if (wallLimited)
+        wallDeadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(cfg.wallClockLimitMs);
+
+    try {
+        schedulerLoop(max_cycles);
+    } catch (const fault::FiberUnwind &) {
+        // Failure raised on the scheduler stack (event handler or the
+        // scheduler's own budget check).
+        aborting = true;
+    }
+    insideRun = false;
+
+    if (aborting || pendingFailure) {
+        unwindGuests();
+        ready = {};
+        eventQueue.clear();
+        panic_if(!pendingFailure, "System aborted without a failure");
+        fault::SimFailure failure = *pendingFailure;
+        pendingFailure.reset();
+        aborting = false;
+        throw failure;
+    }
+    verifyQuiescence();
 }
 
 void
 System::schedulerLoop(Cycle max_cycles)
 {
     while (liveGuests > 0) {
+        if (aborting)
+            return;
         panic_if(ready.empty(), "scheduler: live guests but none ready");
         HeapEntry e = ready.top();
         ready.pop();
         Core &c = *cores[e.id];
         if (c.done || e.t != c.time || c.running)
             continue; // stale entry
-        panic_if(e.t > max_cycles,
-                 "watchdog: simulation exceeded %llu cycles",
-                 (unsigned long long)max_cycles);
+        if (e.t > max_cycles)
+            raiseFailure(fault::Verdict::CycleBudget,
+                         fault::format("simulation exceeded %llu cycles",
+                                       (unsigned long long)max_cycles));
         // Hardware events at or before this core's time fire first.
         eventQueue.runDue(e.t);
         if (e.t != c.time)
@@ -72,6 +152,8 @@ System::schedulerLoop(Cycle max_cycles)
             --liveGuests;
         }
     }
+    if (aborting)
+        return;
     // Drain any remaining events (e.g., in-flight ULI responses).
     eventQueue.runDue(EventQueue::maxCycle);
 }
@@ -79,12 +161,14 @@ System::schedulerLoop(Cycle max_cycles)
 void
 System::syncPoint(Core &c)
 {
+    if (aborting)
+        throw fault::FiberUnwind{};
     // Guest-side watchdog: a lone spinning core never yields to the
-    // scheduler, so the hang check must live here as well.
-    panic_if(c.time > watchdog,
-             "watchdog: core %d exceeded %llu cycles", c.id(),
-             (unsigned long long)watchdog);
+    // scheduler, so the hang checks must live here as well.
+    watchdogCheck(c);
     for (;;) {
+        if (aborting)
+            throw fault::FiberUnwind{};
         bool earlier_event = eventQueue.nextTime() <= c.time;
         bool earlier_core = false;
         while (!ready.empty()) {
@@ -103,7 +187,143 @@ System::syncPoint(Core &c)
         ready.push({c.time, c.id()});
         schedFiber->run(); // yield; scheduler resumes us in order
     }
+    if (c.pendingStall > 0)
+        applyStall(c);
     c.pollUli();
+}
+
+uint64_t
+System::progressSignature() const
+{
+    uint64_t sig = eventQueue.executed();
+    for (const auto &c : cores)
+        sig += c->instCounter;
+    return sig;
+}
+
+void
+System::watchdogCheck(Core &c)
+{
+    Cycle now = c.time;
+    if (now > watchdog)
+        raiseFailure(
+            fault::Verdict::CycleBudget,
+            fault::format("core %d exceeded the %llu-cycle budget",
+                          c.id(), (unsigned long long)watchdog));
+    // The wall-clock deadline gets its own, much finer cadence: short
+    // runs never reach the first deadlock granule, but a host-side
+    // timeout must still fire on them promptly.
+    if (wallLimited && now >= nextWallCheck) {
+        nextWallCheck = now + 4096;
+        if (std::chrono::steady_clock::now() > wallDeadline)
+            raiseFailure(
+                fault::Verdict::WallClockTimeout,
+                fault::format("host wall-clock limit of %llu ms "
+                              "exceeded",
+                              (unsigned long long)cfg.wallClockLimitMs));
+    }
+    if (now < nextWatchdogCheck)
+        return;
+    nextWatchdogCheck = now + watchdogInterval;
+    uint64_t sig = progressSignature();
+    if (sig != lastProgressSig) {
+        lastProgressSig = sig;
+        lastProgressCycle = now;
+    } else if (now > lastProgressCycle &&
+               now - lastProgressCycle >= cfg.deadlockCycles) {
+        raiseFailure(
+            fault::Verdict::Deadlock,
+            fault::format("no instruction retired and no event executed "
+                          "for %llu cycles (stuck since cycle %llu)",
+                          (unsigned long long)(now - lastProgressCycle),
+                          (unsigned long long)lastProgressCycle));
+    }
+}
+
+void
+System::applyStall(Core &c)
+{
+    // Charge the injected stall as idle time in workQuantum-sized steps
+    // so the watchdog keeps running: a stall longer than deadlockCycles
+    // on an otherwise-quiet system trips the deadlock detector at a
+    // predictable cycle.
+    while (c.pendingStall > 0) {
+        Cycle step = std::min<Cycle>(c.pendingStall, 200);
+        c.pendingStall -= step;
+        c.chargeRaw(step, TimeCat::Idle);
+        watchdogCheck(c);
+    }
+}
+
+void
+System::raiseFailure(fault::Verdict v, std::string reason)
+{
+    Cycle now = runningCore ? runningCore->now() : elapsed();
+    if (!pendingFailure)
+        pendingFailure = std::make_unique<fault::SimFailure>(
+            buildFailureReport(v, now, std::move(reason)));
+    if (insideRun) {
+        aborting = true;
+        throw fault::FiberUnwind{};
+    }
+    fault::SimFailure failure = *pendingFailure;
+    pendingFailure.reset();
+    throw failure;
+}
+
+void
+System::unwindGuests()
+{
+    // aborting is set, so every syncPoint throws FiberUnwind: resuming
+    // a fiber unwinds its guest stack (running destructors — keeps
+    // sanitizer runs leak-clean) until the fiber finishes.
+    for (CoreId c = 0; c < numCores(); ++c) {
+        if (!fibers[c] || cores[c]->done)
+            continue;
+        while (!fibers[c]->finished())
+            fibers[c]->run();
+        cores[c]->done = true;
+    }
+    liveGuests = 0;
+}
+
+void
+System::verifyQuiescence()
+{
+    for (const auto &c : cores) {
+        if (c->uliUnit.reqPending)
+            raiseFailure(fault::Verdict::Quiescence,
+                         fault::format("core %d exited with a pending "
+                                       "ULI request from core %d",
+                                       c->id(), c->uliUnit.reqSender));
+        if (c->uliUnit.respReady)
+            raiseFailure(fault::Verdict::Quiescence,
+                         fault::format("core %d exited with an unread "
+                                       "ULI response",
+                                       c->id()));
+    }
+}
+
+fault::FailureReport
+System::buildFailureReport(fault::Verdict v, Cycle cycle,
+                           std::string reason) const
+{
+    fault::FailureReport r;
+    r.verdict = v;
+    r.cycle = cycle;
+    r.reason = std::move(reason);
+    r.cores.reserve(cores.size());
+    for (const auto &c : cores) {
+        r.cores.push_back({c->id(),
+                           c->kind() == CoreKind::Big ? 'B' : 'T',
+                           c->done, c->time, c->instCounter,
+                           c->uliUnit.enabled, c->uliUnit.inHandler,
+                           c->uliUnit.reqPending, c->uliUnit.respReady});
+    }
+    r.pendingEvents = eventQueue.pending();
+    r.nextEventTime = eventQueue.empty() ? 0 : eventQueue.nextTime();
+    r.faultLog = faultInjector->log();
+    return r;
 }
 
 Cycle

@@ -15,9 +15,11 @@
 #ifndef BIGTINY_SIM_SYSTEM_HH
 #define BIGTINY_SIM_SYSTEM_HH
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
+#include "fault/failure.hh"
 #include "mem/address_space.hh"
 #include "mem/memory_system.hh"
 #include "sim/config.hh"
@@ -43,9 +45,27 @@ class System
 
     /**
      * Run every attached guest to completion.
-     * @param max_cycles watchdog; panics if exceeded (hang detector).
+     *
+     * @param max_cycles cycle budget; 0 uses SystemConfig::watchdogCycles.
+     *
+     * On any detected failure — cycle budget, deadlock (no retired
+     * instruction and no executed event for cfg.deadlockCycles), wall
+     * clock, coherence violation, or a structured runtime error — every
+     * guest fiber is unwound cleanly and a fault::SimFailure carrying a
+     * FailureReport is thrown; the simulation never hangs or exits with
+     * silently wrong statistics.
      */
-    void run(Cycle max_cycles = 20ull * 1000 * 1000 * 1000);
+    void run(Cycle max_cycles = 0);
+
+    /** The fault injector driving this run (empty plan when no faults). */
+    fault::Injector &injector() { return *faultInjector; }
+
+    /**
+     * Report a detected failure and abort the simulation. Callable from
+     * guest fibers, event handlers, and (for unit-level checks) outside
+     * run(); always throws.
+     */
+    [[noreturn]] void raiseFailure(fault::Verdict v, std::string reason);
 
     /** Largest core time (total execution cycles). */
     Cycle elapsed() const;
@@ -77,6 +97,24 @@ class System
     /** Scheduler-side: pick and resume the minimum-time core. */
     void schedulerLoop(Cycle max_cycles);
 
+    /** Cycle-budget + deadlock + wall-clock checks (from syncPoint). */
+    void watchdogCheck(Core &c);
+
+    /** Consume an injected sim-stall-core stall on @p c. */
+    void applyStall(Core &c);
+
+    /** Resume every unfinished fiber until it unwinds (abort path). */
+    void unwindGuests();
+
+    /** Exit-state invariants: no pending ULI state on any core. */
+    void verifyQuiescence();
+
+    /** Monotone counter; stable value == no forward progress. */
+    uint64_t progressSignature() const;
+
+    fault::FailureReport buildFailureReport(fault::Verdict v, Cycle cycle,
+                                            std::string reason) const;
+
     struct HeapEntry
     {
         Cycle t;
@@ -104,6 +142,22 @@ class System
     Cycle watchdog = ~static_cast<Cycle>(0);
     Fiber *schedFiber = nullptr;
     Core *runningCore = nullptr;
+
+    std::unique_ptr<fault::Injector> faultInjector;
+
+    // --- failure machinery (see raiseFailure) -------------------------
+    bool insideRun = false;  //!< between run() entry and exit
+    bool aborting = false;   //!< failure raised; fibers must unwind
+    std::unique_ptr<fault::SimFailure> pendingFailure; //!< first failure
+
+    // --- watchdog progress tracking -----------------------------------
+    uint64_t lastProgressSig = 0;
+    Cycle lastProgressCycle = 0;
+    Cycle nextWatchdogCheck = 0;
+    Cycle nextWallCheck = 0;
+    Cycle watchdogInterval = 1;
+    bool wallLimited = false;
+    std::chrono::steady_clock::time_point wallDeadline;
 };
 
 } // namespace bigtiny::sim

@@ -33,8 +33,25 @@ UliNetwork::sendReq(CoreId sender, CoreId victim, uint64_t payload,
     ++stats.reqs;
     stats.hopTraversals += hops(sender, victim);
     Cycle arrival = now + flightLat(sender, victim);
-    sys.events().schedule(arrival, [this, sender, victim, payload,
-                                    arrival] {
+
+    auto &inj = sys.injector();
+    int copies = 1;
+    if (inj.armed(fault::FaultSite::UliDropReq) &&
+        inj.fire(fault::FaultSite::UliDropReq, sender, now,
+                 static_cast<uint64_t>(victim)))
+        return; // the request vanishes in the mesh
+    if (inj.armed(fault::FaultSite::UliDelayReq)) {
+        if (const auto *r = inj.fire(fault::FaultSite::UliDelayReq,
+                                     sender, now,
+                                     static_cast<uint64_t>(victim)))
+            arrival += r->args[0] ? r->args[0] : 10000;
+    }
+    if (inj.armed(fault::FaultSite::UliDupReq) &&
+        inj.fire(fault::FaultSite::UliDupReq, sender, now,
+                 static_cast<uint64_t>(victim)))
+        copies = 2;
+
+    auto deliver = [this, sender, victim, payload, arrival] {
         sim::Core &v = sys.core(victim);
         bool deliverable = !v.done && v.uliUnit.enabled &&
                            !v.uliUnit.reqPending && !v.uliUnit.inHandler;
@@ -46,7 +63,9 @@ UliNetwork::sendReq(CoreId sender, CoreId victim, uint64_t payload,
         v.uliUnit.reqPending = true;
         v.uliUnit.reqSender = sender;
         v.uliUnit.reqPayload = payload;
-    });
+    };
+    for (int i = 0; i < copies; ++i)
+        sys.events().schedule(arrival, deliver);
 }
 
 void
@@ -60,14 +79,37 @@ UliNetwork::sendResp(CoreId sender, CoreId thief, bool ack,
         ++stats.nacks;
     stats.hopTraversals += hops(sender, thief);
     Cycle arrival = now + flightLat(sender, thief);
-    sys.events().schedule(arrival, [this, thief, ack, payload] {
+
+    auto &inj = sys.injector();
+    int copies = 1;
+    if (inj.armed(fault::FaultSite::UliDropResp) &&
+        inj.fire(fault::FaultSite::UliDropResp, sender, now,
+                 static_cast<uint64_t>(thief)))
+        return; // the response vanishes; the thief spins forever
+    if (inj.armed(fault::FaultSite::UliDelayResp)) {
+        if (const auto *r = inj.fire(fault::FaultSite::UliDelayResp,
+                                     sender, now,
+                                     static_cast<uint64_t>(thief)))
+            arrival += r->args[0] ? r->args[0] : 10000;
+    }
+    if (inj.armed(fault::FaultSite::UliDupResp) &&
+        inj.fire(fault::FaultSite::UliDupResp, sender, now,
+                 static_cast<uint64_t>(thief)))
+        copies = 2;
+
+    auto deliver = [this, thief, ack, payload] {
         sim::Core &t = sys.core(thief);
-        panic_if(t.uliUnit.respReady,
-                 "ULI response buffer overrun on core %d", thief);
+        if (t.uliUnit.respReady)
+            sys.raiseFailure(
+                fault::Verdict::UliProtocol,
+                fault::format("ULI response buffer overrun on core %d",
+                              thief));
         t.uliUnit.respReady = true;
         t.uliUnit.respAck = ack;
         t.uliUnit.respPayload = payload;
-    });
+    };
+    for (int i = 0; i < copies; ++i)
+        sys.events().schedule(arrival, deliver);
 }
 
 } // namespace bigtiny::uli

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Fault-injection framework tests (DESIGN.md §8).
+ *
+ * Three layers under test:
+ *  - the FaultPlan spec grammar and the Injector's deterministic
+ *    rule evaluation;
+ *  - detection: every fault site, when injected, produces a
+ *    structured SimFailure with the documented verdict — never a
+ *    hang, never silently wrong stats — and the same seed yields
+ *    byte-identical FailureReports across runs;
+ *  - bench-layer graceful degradation: failed runs become "failed"
+ *    entries while the rest of the sweep completes byte-identically,
+ *    cache write failures degrade to memory-only, and wall-clock
+ *    timeouts are never persisted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench/sweep.hh"
+#include "fault/failure.hh"
+#include "fault/fault.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+using fault::FaultPlan;
+using fault::FaultSite;
+using fault::Injector;
+using fault::SimFailure;
+using fault::Verdict;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    std::string p = testing::TempDir() + name;
+    std::remove(p.c_str());
+    return p;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Small DTS run that exercises steals, ULI traffic, and joins. */
+bench::RunSpec
+dtsSpec(const std::string &faults)
+{
+    return bench::RunSpec::forApp("cilk5-nq")
+        .config("bt-hcc-gwb-dts").n(6).faults(faults);
+}
+
+/** Same workload on the non-DTS HCC machine (lock-based steals). */
+bench::RunSpec
+hccSpec(const std::string &faults)
+{
+    return bench::RunSpec::forApp("cilk5-nq")
+        .config("bt-hcc-gwb").n(6).faults(faults);
+}
+
+/** A two-core GPU-WB machine for synthetic guest scenarios. */
+sim::SystemConfig
+tiny2()
+{
+    sim::SystemConfig cfg;
+    cfg.name = "fault-tiny2";
+    cfg.meshRows = 1;
+    cfg.meshCols = 2;
+    cfg.cores.assign(2, sim::CoreKind::Tiny);
+    cfg.tinyProtocol = sim::Protocol::GpuWB;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// FaultPlan grammar
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, ParseDefaultsAndCanonicalRoundTrip)
+{
+    FaultPlan p = FaultPlan::parse("uli-drop-resp");
+    ASSERT_EQ(p.rules.size(), 1u);
+    EXPECT_EQ(p.rules[0].site, FaultSite::UliDropResp);
+    EXPECT_EQ(p.rules[0].nth, 1u); // @1 is the default trigger
+    EXPECT_FALSE(p.rules[0].all);
+    EXPECT_EQ(p.rules[0].prob, 0.0);
+
+    std::string c = p.canonical();
+    EXPECT_NE(c.find("seed="), std::string::npos);
+    EXPECT_NE(c.find("uli-drop-resp@1"), std::string::npos);
+    EXPECT_EQ(FaultPlan::parse(c).canonical(), c);
+}
+
+TEST(FaultPlan, ParseFullGrammarRoundTrip)
+{
+    FaultPlan p = FaultPlan::parse(
+        "seed=7,uli-drop-req@p0.25,sim-stall-core@2=0:5000:1000,"
+        "mem-delay-dram@all=77");
+    EXPECT_EQ(p.seed, 7u);
+    ASSERT_EQ(p.rules.size(), 3u);
+    EXPECT_EQ(p.rules[0].prob, 0.25);
+    EXPECT_EQ(p.rules[1].nth, 2u);
+    EXPECT_EQ(p.rules[1].args[0], 0u);
+    EXPECT_EQ(p.rules[1].args[1], 5000u);
+    EXPECT_EQ(p.rules[1].args[2], 1000u);
+    EXPECT_TRUE(p.rules[2].all);
+    EXPECT_EQ(p.rules[2].args[0], 77u);
+
+    std::string c = p.canonical();
+    EXPECT_EQ(FaultPlan::parse(c).canonical(), c);
+}
+
+TEST(FaultPlan, BadSpecIsFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("no-such-site@1"),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(FaultPlan::parse("uli-drop-req@p1.5"),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(FaultPlan, InjectorNthTriggerFiresExactlyOnce)
+{
+    Injector inj(FaultPlan::parse("uli-drop-req@2"));
+    EXPECT_TRUE(inj.armed(FaultSite::UliDropReq));
+    EXPECT_FALSE(inj.armed(FaultSite::UliDropResp));
+    EXPECT_EQ(inj.fire(FaultSite::UliDropReq, 0, 100), nullptr);
+    EXPECT_NE(inj.fire(FaultSite::UliDropReq, 1, 200), nullptr);
+    EXPECT_EQ(inj.fire(FaultSite::UliDropReq, 2, 300), nullptr);
+    ASSERT_EQ(inj.log().size(), 1u);
+    EXPECT_EQ(inj.log()[0].occurrence, 2u);
+    EXPECT_EQ(inj.log()[0].core, 1);
+    EXPECT_EQ(inj.log()[0].cycle, 200u);
+}
+
+TEST(FaultPlan, ProbabilisticTriggerIsSeedDeterministic)
+{
+    FaultPlan plan = FaultPlan::parse("seed=99,uli-drop-req@p0.5");
+    Injector a(plan), b(plan);
+    int fired = 0;
+    for (int i = 0; i < 200; ++i) {
+        const fault::FaultRule *ra =
+            a.fire(FaultSite::UliDropReq, 0, i);
+        const fault::FaultRule *rb =
+            b.fire(FaultSite::UliDropReq, 0, i);
+        EXPECT_EQ(ra != nullptr, rb != nullptr) << "draw " << i;
+        fired += ra != nullptr;
+    }
+    // p=0.5 over 200 draws: some fire, some don't.
+    EXPECT_GT(fired, 0);
+    EXPECT_LT(fired, 200);
+}
+
+// ---------------------------------------------------------------------
+// Detection: every site produces its documented structured verdict
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Run @p spec twice; assert both die with @p verdict and that the
+ *  two FailureReports are byte-identical (injection determinism). */
+void
+expectDeterministicFailure(const bench::RunSpec &spec,
+                           const char *verdict)
+{
+    bench::RunResult a = bench::runOne(spec);
+    ASSERT_TRUE(a.failed) << spec.key() << ": run did not fail";
+    EXPECT_EQ(a.verdict, verdict) << a.failureReport;
+    EXPECT_GE(a.faultsInjected, 1u);
+    EXPECT_FALSE(a.failureReport.empty());
+
+    bench::RunResult b = bench::runOne(spec);
+    ASSERT_TRUE(b.failed);
+    EXPECT_EQ(b.verdict, a.verdict);
+    EXPECT_EQ(b.failCycle, a.failCycle);
+    EXPECT_EQ(b.failureReport, a.failureReport); // byte-identical
+}
+
+} // namespace
+
+TEST(FaultDetect, UliDropReqDeadlocks)
+{
+    expectDeterministicFailure(dtsSpec("uli-drop-req@1"), "deadlock");
+}
+
+TEST(FaultDetect, UliDropRespDeadlocks)
+{
+    expectDeterministicFailure(dtsSpec("uli-drop-resp@1"),
+                               "deadlock");
+}
+
+TEST(FaultDetect, UliDelayRespBeyondWatchdogDeadlocks)
+{
+    expectDeterministicFailure(dtsSpec("uli-delay-resp@1=60000000"),
+                               "deadlock");
+}
+
+TEST(FaultDetect, UliDupRespTripsProtocolCheck)
+{
+    // Both copies arrive at the same cycle; the second delivery finds
+    // the one-deep response buffer still full.
+    expectDeterministicFailure(dtsSpec("uli-dup-resp@1"),
+                               "uli-protocol");
+}
+
+TEST(FaultDetect, UliDupReqBreaksQuiescence)
+{
+    // The duplicated steal request produces a second response that is
+    // never consumed; quiescence verification at exit catches it.
+    expectDeterministicFailure(dtsSpec("uli-dup-req@1"),
+                               "quiescence");
+}
+
+TEST(FaultDetect, MemDelayDramBlowsCycleBudget)
+{
+    expectDeterministicFailure(
+        dtsSpec("mem-delay-dram@all=100000").cycleBudget(30000),
+        "cycle-budget");
+}
+
+TEST(FaultDetect, ElidedCoherenceOpsAreCaughtByChecker)
+{
+    // The tentpole's "verified detector" requirement: every class of
+    // injected coherence fault must be caught by the shadow-memory
+    // checker, fail-fast, with a coherence verdict.
+    for (const char *f : {"mem-elide-flush@all", "mem-elide-inv@all",
+                          "mem-elide-wb@all",
+                          "rt-elide-steal-inv@all"}) {
+        SCOPED_TRACE(f);
+        expectDeterministicFailure(hccSpec(f).checked(), "coherence");
+    }
+}
+
+TEST(FaultDetect, SkippedStolenMarkCaughtByChecker)
+{
+    // DTS-only site: the victim's ULI handler skips the
+    // has_stolen_child store, so the parent later joins on stale
+    // bookkeeping — observed as a stale read at joinShared.
+    expectDeterministicFailure(
+        dtsSpec("rt-skip-stolen-mark@all").checked(), "coherence");
+}
+
+TEST(FaultDetect, CorruptedStealPublishesDeadTask)
+{
+    expectDeterministicFailure(dtsSpec("rt-corrupt-steal@1"),
+                               "deque-corruption");
+    bench::RunResult r = bench::runOne(dtsSpec("rt-corrupt-steal@1"));
+    EXPECT_NE(r.failureReport.find("no body"), std::string::npos);
+}
+
+TEST(FaultDetect, SyntheticElidedFlushCaughtExactly)
+{
+    // Fully controlled two-core scenario: writer flushes, reader
+    // invalidates then reads. With the flush elided the reader must
+    // see stale zeros — and the checker must convert that into a
+    // CoherenceViolation verdict whose fault log holds exactly the
+    // injected flush elisions.
+    sim::SystemConfig cfg = tiny2();
+    cfg.checkCoherence = true;
+    cfg.faults = FaultPlan::parse("mem-elide-flush@all");
+    sim::System sys(cfg);
+    Addr data = sys.arena().allocLines(lineBytes);
+    sys.attachGuest(0, [&](sim::Core &c) {
+        c.st<uint64_t>(data, 42);
+        c.cacheFlush();
+        c.work(4000);
+    });
+    sys.attachGuest(1, [&](sim::Core &c) {
+        c.work(2000);
+        c.cacheInvalidate();
+        (void)c.ld<uint64_t>(data);
+    });
+    try {
+        sys.run();
+        FAIL() << "elided flush not detected";
+    } catch (const SimFailure &f) {
+        EXPECT_EQ(f.report().verdict, Verdict::CoherenceViolation);
+        ASSERT_FALSE(f.report().faultLog.empty());
+        for (const auto &e : f.report().faultLog)
+            EXPECT_EQ(e.site, FaultSite::MemElideFlush);
+    }
+}
+
+TEST(FaultDetect, StalledCoreTripsDeadlockAtPredictableCycle)
+{
+    // Core 1 stalls at cycle 10000 for far longer than the deadlock
+    // budget; core 0 finishes early. No instruction can retire during
+    // the stall, so the watchdog must fire within one detection
+    // granule of stall-start + deadlockCycles.
+    auto once = [] {
+        sim::SystemConfig cfg = tiny2();
+        cfg.deadlockCycles = 50000;
+        cfg.faults =
+            FaultPlan::parse("sim-stall-core=1:10000:10000000");
+        sim::System sys(cfg);
+        sys.attachGuest(0, [](sim::Core &c) { c.work(1000); });
+        sys.attachGuest(1, [](sim::Core &c) {
+            for (int i = 0; i < 1000000; ++i)
+                c.work(10);
+        });
+        try {
+            sys.run();
+            ADD_FAILURE() << "stall not detected";
+            return std::string();
+        } catch (const SimFailure &f) {
+            EXPECT_EQ(f.report().verdict, Verdict::Deadlock);
+            EXPECT_GE(f.report().cycle, 60000u);
+            EXPECT_LE(f.report().cycle, 70000u);
+            return f.report().render();
+        }
+    };
+    std::string a = once(), b = once();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b); // byte-identical report, run to run
+}
+
+TEST(FaultDetect, UnfiredPlanPerturbsNothing)
+{
+    // A plan whose rules never trigger must leave the run identical
+    // to a fault-free one (the machinery itself is timing-neutral).
+    bench::RunResult clean =
+        bench::runOne(bench::RunSpec::forApp("cilk5-nq")
+                          .config("bt-mesi").n(6));
+    bench::RunResult armed = bench::runOne(
+        bench::RunSpec::forApp("cilk5-nq")
+            .config("bt-mesi").n(6).faults("uli-drop-resp@999999"));
+    EXPECT_FALSE(armed.failed);
+    EXPECT_EQ(armed.faultsInjected, 0u);
+    EXPECT_EQ(armed.cycles, clean.cycles);
+    EXPECT_EQ(armed.work, clean.work);
+    EXPECT_EQ(armed.steals, clean.steals);
+}
+
+// ---------------------------------------------------------------------
+// Bench layer: keys, crash isolation, cache degradation
+// ---------------------------------------------------------------------
+
+TEST(FaultBench, KeyCoversFaultsAndBudgetButNotTimeout)
+{
+    bench::RunSpec base = dtsSpec("");
+    std::string k = base.key();
+    EXPECT_EQ(k.find("|f="), std::string::npos);
+    EXPECT_EQ(k.find("|mc="), std::string::npos);
+
+    bench::RunSpec f = dtsSpec("uli-drop-resp@1");
+    EXPECT_NE(f.key().find("|f=seed="), std::string::npos);
+    // Equivalent spellings canonicalize to one cache key.
+    EXPECT_EQ(f.key(), dtsSpec("uli-drop-resp").key());
+
+    EXPECT_NE(dtsSpec("").cycleBudget(30000).key().find("|mc=30000"),
+              std::string::npos);
+    // The wall-clock timeout is host-dependent: never part of the key.
+    EXPECT_EQ(dtsSpec("").timeoutMs(5000).key(), k);
+}
+
+TEST(FaultBench, FailedResultRoundTripsThroughCache)
+{
+    std::string path = tmpPath("bt_fault_roundtrip.cache");
+    bench::RunSpec spec = dtsSpec("uli-dup-resp@1");
+    bench::RunResult r1;
+    {
+        bench::ResultCache cache(path);
+        r1 = cache.run(spec);
+        ASSERT_TRUE(r1.failed);
+        EXPECT_FALSE(cache.degraded());
+    }
+    bench::ResultCache reload(path);
+    ASSERT_TRUE(reload.contains(spec.key()));
+    bench::RunResult r2 = reload.run(spec); // disk hit, no simulate
+    EXPECT_TRUE(r2.failed);
+    EXPECT_EQ(r2.verdict, r1.verdict);
+    EXPECT_EQ(r2.failCycle, r1.failCycle);
+    EXPECT_EQ(r2.faultsInjected, r1.faultsInjected);
+    EXPECT_TRUE(r2.failureReport.empty()); // in-memory only
+    std::remove(path.c_str());
+}
+
+TEST(FaultBench, SweepIsolatesCrashAndKeepsOthersByteIdentical)
+{
+    // A sweep containing a dying run must still emit its JSON with
+    // the failure recorded, and every fault-free run's JSON line must
+    // be byte-identical to the line a fully fault-free sweep writes.
+    std::vector<bench::RunSpec> base;
+    base.push_back(
+        bench::RunSpec::forApp("cilk5-nq").config("bt-mesi").n(6));
+    base.push_back(bench::RunSpec::forApp("cilk5-nq")
+                       .config("bt-mesi").n(6).seed(2));
+
+    std::string jsonClean = tmpPath("bt_fault_clean.json");
+    std::string jsonFaulty = tmpPath("bt_fault_faulty.json");
+    {
+        bench::ResultCache cache("", false);
+        bench::Sweep sweep(cache, 2);
+        sweep.addAll(base);
+        bench::writeSweepJson(jsonClean, sweep.specs(), sweep.run());
+    }
+    {
+        bench::ResultCache cache("", false);
+        bench::Sweep sweep(cache, 2);
+        sweep.addAll(base);
+        sweep.add(dtsSpec("uli-dup-resp@1"));
+        auto results = sweep.run();
+        ASSERT_EQ(results.size(), 3u);
+        EXPECT_FALSE(results[0].failed);
+        EXPECT_FALSE(results[1].failed);
+        EXPECT_TRUE(results[2].failed);
+        bench::writeSweepJson(jsonFaulty, sweep.specs(), results);
+    }
+    std::string faulty = slurp(jsonFaulty);
+    EXPECT_NE(faulty.find("\"failed\":true"), std::string::npos);
+    EXPECT_NE(faulty.find("\"verdict\":\"uli-protocol\""),
+              std::string::npos);
+
+    // Every run line of the clean sweep appears verbatim in the
+    // faulty sweep's document.
+    std::ifstream in(jsonClean);
+    std::string line;
+    size_t runLines = 0;
+    while (std::getline(in, line)) {
+        if (line.find("\"app\"") == std::string::npos)
+            continue;
+        ++runLines;
+        // Strip the trailing ',' line separator before matching.
+        if (!line.empty() && line.back() == ',')
+            line.pop_back();
+        EXPECT_NE(faulty.find(line), std::string::npos)
+            << "missing byte-identical line: " << line;
+    }
+    EXPECT_EQ(runLines, base.size());
+    std::remove(jsonClean.c_str());
+    std::remove(jsonFaulty.c_str());
+}
+
+TEST(FaultBench, FailureIdenticalAcrossJobCounts)
+{
+    // --jobs must not leak into results: serial and 4-thread sweeps
+    // of the same specs produce byte-identical JSON, including the
+    // failed run.
+    auto sweepJson = [&](int jobs, const std::string &path) {
+        bench::ResultCache cache("", false);
+        bench::Sweep sweep(cache, jobs);
+        sweep.add(dtsSpec("uli-dup-resp@1"));
+        sweep.add(
+            bench::RunSpec::forApp("cilk5-nq").config("bt-mesi").n(6));
+        sweep.add(dtsSpec("rt-corrupt-steal@1"));
+        auto results = sweep.run();
+        bench::writeSweepJson(path, sweep.specs(), results);
+        return results;
+    };
+    std::string p1 = tmpPath("bt_fault_jobs1.json");
+    std::string p4 = tmpPath("bt_fault_jobs4.json");
+    auto r1 = sweepJson(1, p1);
+    auto r4 = sweepJson(4, p4);
+    EXPECT_EQ(slurp(p1), slurp(p4));
+    ASSERT_EQ(r1.size(), r4.size());
+    for (size_t i = 0; i < r1.size(); ++i)
+        EXPECT_EQ(r1[i].failureReport, r4[i].failureReport);
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+}
+
+TEST(FaultBench, CacheAppendFailureDegradesGracefully)
+{
+    // A cache file in a directory that does not exist: every append
+    // fails, but results stay available in memory and the sweep
+    // summary records the degradation.
+    std::string path =
+        testing::TempDir() + "bt_no_such_dir/sub/results.cache";
+    bench::ResultCache cache(path);
+    bench::RunSpec spec = bench::RunSpec::forApp("cilk5-nq")
+                              .config("serial-io").n(5).serial();
+    bench::RunResult r = cache.run(spec);
+    EXPECT_FALSE(r.failed);
+    EXPECT_TRUE(cache.degraded());
+    EXPECT_TRUE(cache.contains(spec.key())); // memory still serves
+
+    std::string json = tmpPath("bt_fault_degraded.json");
+    bench::writeSweepJson(json, {spec}, {r}, cache.degraded());
+    EXPECT_NE(slurp(json).find("\"cacheDegraded\": true"),
+              std::string::npos);
+    std::remove(json.c_str());
+}
+
+TEST(FaultBench, WallClockTimeoutIsNeverPersisted)
+{
+    // A 1 ms limit on a multi-thousand-cycle 64-core run always
+    // expires. The verdict is host-dependent by nature, so the cache
+    // must memoize it for this process but never write it to disk.
+    std::string path = tmpPath("bt_fault_wallclock.cache");
+    bench::RunSpec spec = bench::RunSpec::forApp("cilk5-nq")
+                              .config("bt-mesi").n(7).timeoutMs(1);
+    {
+        bench::ResultCache cache(path);
+        bench::RunResult r = cache.run(spec);
+        ASSERT_TRUE(r.failed);
+        EXPECT_EQ(r.verdict, "wall-clock-timeout");
+        EXPECT_TRUE(cache.contains(spec.key()));
+    }
+    bench::ResultCache reload(path);
+    EXPECT_FALSE(reload.contains(spec.key()));
+    std::remove(path.c_str());
+}

@@ -15,6 +15,7 @@
 
 #include "apps/registry.hh"
 #include "core/worker.hh"
+#include "fault/failure.hh"
 #include "sim/system.hh"
 
 using namespace bigtiny;
@@ -167,7 +168,14 @@ TEST(Fidelity, WatchdogCatchesRunaway)
         for (;;)
             c.work(1000);
     });
-    EXPECT_DEATH(sys.run(100000), "watchdog");
+    try {
+        sys.run(100000);
+        FAIL() << "runaway guest not caught";
+    } catch (const fault::SimFailure &f) {
+        EXPECT_EQ(f.report().verdict, fault::Verdict::CycleBudget);
+        EXPECT_GT(f.report().cycle, 100000u);
+        EXPECT_FALSE(f.report().cores.empty());
+    }
 }
 
 TEST(Fidelity, TaskImbalancePanics)
@@ -175,7 +183,7 @@ TEST(Fidelity, TaskImbalancePanics)
     // Executing a task frame twice trips the exactly-once invariant.
     System sys(gwb8());
     Runtime rt(sys);
-    EXPECT_DEATH(
+    try {
         rt.run([&](Worker &w) {
             Addr t = w.newTask(
                 [](Worker &ww, Addr) { ww.work(1); });
@@ -183,6 +191,11 @@ TEST(Fidelity, TaskImbalancePanics)
             w.spawn(t);
             w.wait();
             w.execTask(t); // illegal second execution
-        }),
-        "executed twice");
+        });
+        FAIL() << "double execution not caught";
+    } catch (const fault::SimFailure &f) {
+        EXPECT_EQ(f.report().verdict, fault::Verdict::TaskProtocol);
+        EXPECT_NE(f.report().reason.find("executed twice"),
+                  std::string::npos);
+    }
 }

@@ -12,6 +12,7 @@
 
 #include "common/rng.hh"
 #include "core/worker.hh"
+#include "fault/failure.hh"
 #include "sim/system.hh"
 
 using namespace bigtiny;
@@ -136,18 +137,49 @@ TEST(TaskDeque, WrapAroundInterleaved)
 
 TEST(TaskDequeDeathTest, OverflowIsFatal)
 {
-    auto overflow = [] {
-        System sys(tinyN(1));
-        TaskDeque q(sys.arena(), 8);
-        sys.attachGuest(0, [&](Core &c) {
-            for (Addr t = 1; t <= 9; ++t)
-                q.enq(c, t * 16);
-        });
+    System sys(tinyN(1));
+    TaskDeque q(sys.arena(), 8);
+    sys.attachGuest(0, [&](Core &c) {
+        for (Addr t = 1; t <= 9; ++t)
+            q.enq(c, t * 16);
+    });
+    try {
         sys.run();
-    };
-    // fatal() (user error: deque sized too small) exits with code 1
-    EXPECT_EXIT(overflow(), testing::ExitedWithCode(1),
-                "task deque overflow");
+        FAIL() << "deque overflow not caught";
+    } catch (const bigtiny::fault::SimFailure &f) {
+        EXPECT_EQ(f.report().verdict,
+                  bigtiny::fault::Verdict::DequeCorruption);
+        // The structured report names the worker and the cycle.
+        EXPECT_NE(f.report().reason.find("worker 0"), std::string::npos);
+        EXPECT_NE(f.report().reason.find("cycle"), std::string::npos);
+        EXPECT_NE(f.report().reason.find("task deque overflow"),
+                  std::string::npos);
+    }
+}
+
+TEST(TaskDequeDeathTest, UnderflowIsFatal)
+{
+    // Force the cursors past each other (tail behind head): both pop
+    // ends must detect the corruption instead of silently wrapping.
+    System sys(tinyN(1));
+    TaskDeque q(sys.arena(), 8);
+    sys.attachGuest(0, [&](Core &c) {
+        q.enq(c, 0x40);
+        q.deqTail(c);
+        q.deqTail(c); // empty: returns 0, no cursor change
+        // Corrupt the tail cursor architecturally (simulates a lost
+        // cursor update): tail = head - 1.
+        c.st<uint64_t>(q.tailAddr(), static_cast<uint64_t>(-1));
+        q.deqHead(c);
+    });
+    try {
+        sys.run();
+        FAIL() << "deque underflow not caught";
+    } catch (const bigtiny::fault::SimFailure &f) {
+        EXPECT_EQ(f.report().verdict,
+                  bigtiny::fault::Verdict::DequeCorruption);
+        EXPECT_NE(f.report().reason.find("worker 0"), std::string::npos);
+    }
 }
 
 TEST(TaskDeque, LockMutualExclusion)

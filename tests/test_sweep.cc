@@ -224,7 +224,9 @@ TEST(Sweep, WriteSweepJsonRoundTrips)
     std::stringstream ss;
     ss << in.rdbuf();
     std::string doc = ss.str();
-    EXPECT_NE(doc.find("\"modelVersion\": 5"), std::string::npos);
+    EXPECT_NE(doc.find("\"modelVersion\": " +
+                       std::to_string(modelVersion)),
+              std::string::npos);
     EXPECT_NE(doc.find(nqSpec(1).key()), std::string::npos);
     EXPECT_NE(doc.find(nqSpec(2).key()), std::string::npos);
     EXPECT_NE(doc.find("\"cycles\":"), std::string::npos);

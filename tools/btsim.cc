@@ -21,6 +21,8 @@
 #include "bench/driver.hh"
 #include "common/cli.hh"
 #include "core/worker.hh"
+#include "fault/failure.hh"
+#include "fault/fault.hh"
 #include "sim/system.hh"
 
 using namespace bigtiny;
@@ -150,34 +152,50 @@ main(int argc, char **argv)
     if (flags.has("help") || !flags.has("app")) {
         std::printf("usage: btsim --app=NAME [--config=NAME] [--n=N] "
                     "[--grain=G] [--seed=S] [--scale=X] [--serial] "
-                    "[--check] [--list]\n");
+                    "[--check] [--faults=SPEC] [--max-cycles=N] "
+                    "[--run-timeout-ms=MS] [--list]\n"
+                    "exit codes: 0 ok, 1 validation failed, 2 "
+                    "coherence violations, 3 simulation failure "
+                    "(watchdog / fault verdict)\n");
         return flags.has("help") ? 0 : 1;
     }
 
     bench::RunSpec spec = bench::RunSpec::fromFlags(flags);
     sim::SystemConfig cfg = sim::configByName(spec.configName);
     cfg.checkCoherence = spec.checkCoherence;
+    if (!spec.faultSpec.empty())
+        cfg.faults = fault::FaultPlan::parse(spec.faultSpec);
+    if (spec.maxCycles)
+        cfg.watchdogCycles = spec.maxCycles;
+    cfg.wallClockLimitMs = spec.runTimeoutMs;
 
-    sim::System sys(cfg);
-    auto app = apps::makeApp(spec.app, spec.params);
-    app->setup(sys);
+    try {
+        sim::System sys(cfg);
+        auto app = apps::makeApp(spec.app, spec.params);
+        app->setup(sys);
 
-    if (spec.serialElision) {
-        sys.attachGuest(0, [&](sim::Core &c) { app->runSerial(c); });
-        sys.run();
-        sys.mem().drainAll();
-        printReport(sys, nullptr, app->validate(sys));
-    } else {
-        rt::Runtime runtime(sys);
-        runtime.run([&](rt::Worker &w) { app->runParallel(w); });
-        sys.mem().drainAll();
-        printReport(sys, &runtime, app->validate(sys));
-    }
-    if (auto *chk = sys.mem().checker()) {
-        std::printf("\n-- coherence check\n");
-        chk->printReport(stdout);
-        if (chk->totalViolations() > 0)
-            return 2;
+        if (spec.serialElision) {
+            sys.attachGuest(0,
+                            [&](sim::Core &c) { app->runSerial(c); });
+            sys.run();
+            sys.mem().drainAll();
+            printReport(sys, nullptr, app->validate(sys));
+        } else {
+            rt::Runtime runtime(sys);
+            runtime.run([&](rt::Worker &w) { app->runParallel(w); });
+            sys.mem().drainAll();
+            printReport(sys, &runtime, app->validate(sys));
+        }
+        if (auto *chk = sys.mem().checker()) {
+            std::printf("\n-- coherence check\n");
+            chk->printReport(stdout);
+            if (chk->totalViolations() > 0)
+                return 2;
+        }
+    } catch (const fault::SimFailure &f) {
+        // Watchdog / fault verdict: structured report, never a hang.
+        std::fprintf(stderr, "%s", f.report().render().c_str());
+        return 3;
     }
     return 0;
 }

@@ -62,11 +62,17 @@ main(int argc, char **argv)
             "[--scales=1.0,2.0] [--jobs=N]\n"
             "               [--n=N] [--grain=G] [--seed=S] [--check] "
             "[--serial]\n"
+            "               [--faults=SPEC] [--max-cycles=N] "
+            "[--run-timeout-ms=MS]\n"
             "               [--cache-file=PATH] [--no-cache] "
             "[--json=PATH] [--list]\n"
             "defaults: all apps, the paper's 10-config sweep, scale "
             "1.0, all host\n"
-            "threads, JSON to BENCH_sweep.json\n");
+            "threads, JSON to BENCH_sweep.json\n"
+            "--faults applies the same fault plan to every run; "
+            "failed runs are\n"
+            "recorded in the JSON with their verdict and the sweep "
+            "completes.\n");
         return 0;
     }
 
@@ -105,6 +111,14 @@ main(int argc, char **argv)
                 if (flags.has("seed"))
                     spec.seed(static_cast<uint64_t>(
                         flags.getInt("seed", 0)));
+                if (flags.has("faults"))
+                    spec.faults(flags.get("faults"));
+                if (flags.has("max-cycles"))
+                    spec.cycleBudget(static_cast<Cycle>(
+                        flags.getInt("max-cycles", 0)));
+                if (flags.has("run-timeout-ms"))
+                    spec.timeoutMs(static_cast<uint64_t>(
+                        flags.getInt("run-timeout-ms", 0)));
                 sweep.add(spec);
             }
         }
@@ -119,13 +133,14 @@ main(int argc, char **argv)
 
     std::string json = flags.get("json", "BENCH_sweep.json");
     if (json != "none") {
-        writeSweepJson(json, sweep.specs(), results);
+        writeSweepJson(json, sweep.specs(), results,
+                       cache.degraded());
         std::fprintf(stderr, "[btsweep] wrote %s\n", json.c_str());
     }
 
-    std::printf("%-12s %-16s %6s %8s %5s %14s %8s %8s\n", "App",
+    std::printf("%-12s %-16s %6s %8s %5s %14s %8s %8s %s\n", "App",
                 "Config", "Scale", "n", "ok", "Cycles", "Para",
-                "HitRate");
+                "HitRate", "Verdict");
     size_t i = 0;
     int failures = 0;
     for (const auto &app : flags.appList()) {
@@ -136,13 +151,14 @@ main(int argc, char **argv)
                     ++failures;
                 std::printf(
                     "%-12s %-16s %6.2f %8lld %5s %14llu %8.1f "
-                    "%7.1f%%\n",
+                    "%7.1f%% %s\n",
                     app.c_str(), cfg.c_str(), scale,
                     static_cast<long long>(
                         sweep.specs()[i - 1].params.n),
-                    r.valid ? "ok" : "FAIL",
+                    r.failed ? "DIED" : (r.valid ? "ok" : "FAIL"),
                     static_cast<unsigned long long>(r.cycles),
-                    r.parallelism(), 100.0 * r.hitRate());
+                    r.parallelism(), 100.0 * r.hitRate(),
+                    r.verdict.empty() ? "-" : r.verdict.c_str());
             }
         }
     }

@@ -51,4 +51,42 @@ cmp "$sweep_dir/par.sorted" "$sweep_dir/ser.sorted" || {
 }
 # the JSON must at least be non-empty and brace-balanced
 test -s "$sweep_dir/par.json"
-echo "sanitizer build + tier-1 tests + parallel sweep smoke: OK"
+
+# Fault-injection smoke under a UBSan-only build (faster than the
+# full ASan config; the fault paths unwind guest fibers and re-throw
+# across stacks, exactly where UB would hide). Each injected fault
+# must produce its documented structured verdict and a nonzero exit —
+# never a hang (the `timeout` is the anti-hang backstop, the watchdog
+# is what actually fires) and never a silent pass.
+ubsan_dir="$src_dir/build-ubsan"
+cmake -B "$ubsan_dir" -S "$src_dir" -DBIGTINY_UBSAN=ON
+cmake --build "$ubsan_dir" -j "$(nproc)" --target btsim
+
+# timeout(1) would exit 124; the watchdog must beat it to exit 3.
+expect_verdict() {
+    faults=$1; verdict=$2; shift 2
+    set +e
+    out=$(UBSAN_OPTIONS=halt_on_error=1 timeout 120 \
+          "$ubsan_dir/tools/btsim" "$@" "--faults=$faults" 2>&1)
+    rc=$?
+    set -e
+    if [ "$rc" -ne 3 ]; then
+        echo "fault smoke: $faults exited $rc, want 3" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    echo "$out" | grep -q "simulation failure: $verdict" || {
+        echo "fault smoke: $faults missing '$verdict' verdict" >&2
+        echo "$out" >&2
+        exit 1
+    }
+}
+# one dropped ULI response: the deadlock watchdog must catch it
+expect_verdict uli-drop-resp@1 deadlock \
+    --app=cilk5-nq --config=bt-hcc-gwb-dts --n=6
+# one elided flush under the checker: caught as a coherence verdict
+expect_verdict mem-elide-flush@all coherence \
+    --app=cilk5-nq --config=bt-hcc-gwb --n=6 --check
+
+echo "sanitizer build + tier-1 tests + parallel sweep smoke +" \
+     "fault smoke: OK"
