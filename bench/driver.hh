@@ -141,12 +141,17 @@ struct RunResult
     uint64_t uliReqs = 0;
     uint64_t uliNacks = 0;
 
+    bool hasAccesses() const { return l1Accesses != 0; }
+
+    /** L1 hit rate; NaN when the run made no L1 accesses (matches
+     *  sim::CacheStats::hitRate — idle configs must not average in as
+     *  perfect caches). */
     double
     hitRate() const
     {
         return l1Accesses
             ? 1.0 - static_cast<double>(l1Misses) / l1Accesses
-            : 1.0;
+            : std::numeric_limits<double>::quiet_NaN();
     }
 
     double

@@ -51,7 +51,13 @@ main(int argc, char **argv)
         for (const auto &cfg : cfgs) {
             auto r = cache.run(
                 RunSpec::forApp(app).scale(scale).config(cfg));
-            std::printf(" %12.1f", 100.0 * r.hitRate());
+            // hitRate() is NaN for a run with zero L1 accesses;
+            // print a sentinel instead of letting NaN (or the old
+            // fake 100%) distort the table.
+            if (r.hasAccesses())
+                std::printf(" %12.1f", 100.0 * r.hitRate());
+            else
+                std::printf(" %12s", "n/a");
         }
         std::printf("\n");
         std::fflush(stdout);

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "trace/exporter.hh"
 
 namespace bigtiny::bench
 {
@@ -122,29 +123,7 @@ Sweep::run()
 namespace
 {
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+using trace::jsonEscape;
 
 template <typename T>
 void
@@ -177,7 +156,8 @@ writeSweepJson(const std::string &path,
         warn("cannot write sweep JSON to '%s'", path.c_str());
         return;
     }
-    out << "{\n\"modelVersion\": " << modelVersion << ",\n";
+    out << "{\n\"schemaVersion\": " << trace::statsSchemaVersion
+        << ",\n\"modelVersion\": " << modelVersion << ",\n";
     out << "\"cacheDegraded\": " << (cacheDegraded ? "true" : "false")
         << ",\n";
     out << "\"runs\": [\n";
@@ -211,7 +191,9 @@ writeSweepJson(const std::string &path,
             << "\"stealAttempts\":" << r.stealAttempts << ","
             << "\"l1Accesses\":" << r.l1Accesses << ","
             << "\"l1Misses\":" << r.l1Misses << ","
-            << "\"hitRate\":" << r.hitRate() << ","
+            << "\"hitRate\":";
+        trace::jsonNumber(out, r.hitRate());
+        out << ","
             << "\"invLines\":" << r.invLines << ","
             << "\"flushLines\":" << r.flushLines << ","
             << "\"uliReqs\":" << r.uliReqs << ","

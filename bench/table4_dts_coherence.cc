@@ -53,7 +53,9 @@ main(int argc, char **argv)
                     ? 100.0 * (1.0 - static_cast<double>(dts.invLines) /
                                          base.invLines)
                     : 0.0;
-            hit_inc[i] = 100.0 * (dts.hitRate() - base.hitRate());
+            hit_inc[i] = base.hasAccesses() && dts.hasAccesses()
+                             ? 100.0 * (dts.hitRate() - base.hitRate())
+                             : 0.0;
             if (protos[i] == "gwb") {
                 fls_dec = base.flushLines
                               ? 100.0 *

@@ -39,7 +39,7 @@ runOn(const std::string &cfg_name, const std::string &app_name,
     std::printf("  %-16s %12llu cycles  L1 hit %5.1f%%  "
                 "NoC %6.2f MB  steals %llu  %s\n",
                 cfg_name.c_str(), (unsigned long long)sys.elapsed(),
-                100.0 * cache.hitRate(),
+                cache.hasAccesses() ? 100.0 * cache.hitRate() : 0.0,
                 static_cast<double>(noc.totalBytes()) / 1e6,
                 (unsigned long long)runtime.totalStats().tasksStolen,
                 app->validate(sys) ? "ok" : "INVALID");

@@ -46,6 +46,63 @@ class SiteScope
     CoreId c;
     const char *prev = nullptr;
 };
+
+/**
+ * Scoped trace span on the worker's core track: records the begin
+ * cycle at construction and emits one complete event covering the
+ * region at destruction. Emitting from the destructor means spans
+ * close correctly even when a FiberUnwind exception tears the guest
+ * stack down mid-region.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(sim::Core &core, uint32_t cat, const char *name,
+              const char *k0 = nullptr, uint64_t v0 = 0,
+              const char *k1 = nullptr, uint64_t v1 = 0)
+        : core(core), tr(core.system().tracer()), cat(cat), name(name),
+          k0(k0), k1(k1), v0(v0), v1(v1), t0(core.now())
+    {}
+    ~TraceSpan()
+    {
+        if (BT_TRACE_ON(tr, cat))
+            tr->complete(cat, core.id(), t0, core.now(), name, k0, v0,
+                         k1, v1);
+    }
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Update the second argument (e.g. a steal's outcome). */
+    void setArg1(uint64_t v) { v1 = v; }
+
+  private:
+    sim::Core &core;
+    trace::Tracer *tr;
+    uint32_t cat;
+    const char *name;
+    const char *k0;
+    const char *k1;
+    uint64_t v0;
+    uint64_t v1;
+    Cycle t0;
+};
+
+/**
+ * Sample the deque-depth counter for @p owner's deque on its track.
+ * Reads the cursor words functionally (zero simulated time), so the
+ * sample cannot perturb the model.
+ */
+void
+traceDequeDepth(Runtime &rt, int owner, Cycle at)
+{
+    trace::Tracer *tr = rt.sys.tracer();
+    if (!BT_TRACE_ON(tr, trace::CatTask))
+        return;
+    TaskDeque &q = rt.deque(owner);
+    auto head = rt.sys.mem().funcRead<uint64_t>(q.headAddr());
+    auto tail = rt.sys.mem().funcRead<uint64_t>(q.tailAddr());
+    tr->counter(trace::CatTask, owner, at, "deque-depth", tail - head);
+}
 } // namespace
 
 Worker::Worker(Runtime &rt, Core &core, int wid)
@@ -126,6 +183,7 @@ Worker::execTask(Addr t)
                           "cycle %llu)",
                           (unsigned long long)t, wid,
                           (unsigned long long)core.now()));
+    TraceSpan span(core, trace::CatTask, "task", "frame", t);
     auto fn = reinterpret_cast<TaskFn>(core.ld<uint64_t>(t + L::fnOff));
     core.work(dispatchCycles);
     if (!fn)
@@ -261,6 +319,10 @@ Worker::spawn(Addr t)
         core.work(1, TimeCat::Sync);
         break;
     }
+    if (BT_TRACE_ON(rt.sys.tracer(), trace::CatTask))
+        rt.sys.tracer()->instant(trace::CatTask, core.id(), core.now(),
+                                 "spawn", "frame", t);
+    traceDequeDepth(rt, wid, core.now());
 }
 
 // ---------------------------------------------------------------------
@@ -303,6 +365,7 @@ Worker::waitBaseline(Addr p)
         Addr t = q.deqTail(core);
         q.lockRl(core);
         if (t) {
+            traceDequeDepth(rt, wid, core.now());
             failStreak = 0;
             execTask(t);
             joinShared(t);
@@ -324,6 +387,7 @@ Worker::waitHcc(Addr p)
         core.cacheFlush();
         q.lockRl(core);
         if (t) {
+            traceDequeDepth(rt, wid, core.now());
             failStreak = 0;
             execTask(t);
             joinShared(t);
@@ -349,6 +413,7 @@ Worker::waitDts(Addr p)
         core.uliEnable();
         core.work(1, TimeCat::Sync);
         if (t) {
+            traceDequeDepth(rt, wid, core.now());
             failStreak = 0;
             execTask(t);
             joinDtsLocal(t);
@@ -393,6 +458,8 @@ Worker::stealOnce()
         ++stats.failedSteals;
         return false;
     }
+    TraceSpan span(core, trace::CatSteal, "steal", "victim",
+                   static_cast<uint64_t>(vid), "got", 0);
     switch (rt.variant) {
       case SchedVariant::Baseline: {
         TaskDeque &vq = rt.deque(vid);
@@ -401,8 +468,10 @@ Worker::stealOnce()
         vq.lockRl(core);
         if (!t)
             break;
+        traceDequeDepth(rt, vid, core.now());
         ++stats.tasksStolen;
         failStreak = 0;
+        span.setArg1(1);
         execTask(t);
         joinShared(t);
         retire(t);
@@ -421,8 +490,10 @@ Worker::stealOnce()
         vq.lockRl(core);
         if (!t)
             break;
+        traceDequeDepth(rt, vid, core.now());
         ++stats.tasksStolen;
         failStreak = 0;
+        span.setArg1(1);
         if (!elide)
             core.cacheInvalidate(); // see the victim's published values
         execTask(t);
@@ -440,6 +511,7 @@ Worker::stealOnce()
             break;
         ++stats.tasksStolen;
         failStreak = 0;
+        span.setArg1(1);
         core.cacheInvalidate();
         execTask(t);
         core.cacheFlush();
@@ -467,6 +539,7 @@ Worker::uliHandler(CoreId thief)
         core.uliSendResp(thief, true, 0);
         return;
     }
+    traceDequeDepth(rt, wid, core.now());
     auto &inj = core.system().injector();
     Addr parent = core.ld<uint64_t>(t + L::parentOff);
     if (parent) {

@@ -182,6 +182,10 @@ Injector::fire(FaultSite s, CoreId core, Cycle now, uint64_t detail)
             hit = n == r.nth;
         if (hit) {
             events.push_back({s, n, core, now, detail});
+            if (BT_TRACE_ON(tracer, trace::CatFault))
+                tracer->instant(trace::CatFault, core, now,
+                                faultSiteName(s), "occurrence", n,
+                                "detail", detail);
             return &r;
         }
     }
@@ -193,6 +197,9 @@ Injector::record(FaultSite s, CoreId core, Cycle now, uint64_t detail)
 {
     auto idx = static_cast<size_t>(s);
     events.push_back({s, ++occ[idx], core, now, detail});
+    if (BT_TRACE_ON(tracer, trace::CatFault))
+        tracer->instant(trace::CatFault, core, now, faultSiteName(s),
+                        "occurrence", occ[idx], "detail", detail);
 }
 
 } // namespace bigtiny::fault

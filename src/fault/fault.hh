@@ -48,6 +48,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace bigtiny::fault
 {
@@ -148,12 +149,19 @@ class Injector
 
     const FaultPlan &plan() const { return _plan; }
 
+    /**
+     * Mirror every injected fault as a CatFault instant on the
+     * attributed core's track; null disables (the default).
+     */
+    void setTracer(trace::Tracer *t) { tracer = t; }
+
   private:
     FaultPlan _plan;
     Rng rng;
     std::array<uint64_t, numFaultSites> occ{};
     std::array<bool, numFaultSites> armedMask{};
     std::vector<FaultEvent> events;
+    trace::Tracer *tracer = nullptr;
 };
 
 } // namespace bigtiny::fault

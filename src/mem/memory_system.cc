@@ -9,8 +9,9 @@ using sim::MsgClass;
 using sim::Protocol;
 
 MemorySystem::MemorySystem(const sim::SystemConfig &cfg,
-                           fault::Injector *inj)
-    : cfg(cfg), inj(inj), l2c(cfg), nocModel(cfg), dramModel(cfg)
+                           fault::Injector *inj, trace::Tracer *tr)
+    : cfg(cfg), inj(inj), tr(tr), l2c(cfg), nocModel(cfg),
+      dramModel(cfg)
 {
     l1s.reserve(cfg.numCores());
     for (CoreId c = 0; c < cfg.numCores(); ++c) {
@@ -29,6 +30,9 @@ MemorySystem::Result
 MemorySystem::load(CoreId c, Cycle now, Addr a, void *out, uint32_t len)
 {
     Result r = loadImpl(c, now, a, out, len);
+    if (!r.hit && BT_TRACE_ON(tr, trace::CatMem))
+        tr->instant(trace::CatMem, c, now, "l1-load-miss", "addr", a,
+                    "lat", r.lat);
     if (chk) {
         uint64_t dirty = 0;
         if (L1Line *l = l1s[c]->find(lineAlign(a)))
@@ -43,6 +47,9 @@ MemorySystem::store(CoreId c, Cycle now, Addr a, const void *in,
                     uint32_t len)
 {
     Result r = storeImpl(c, now, a, in, len);
+    if (!r.hit && BT_TRACE_ON(tr, trace::CatMem))
+        tr->instant(trace::CatMem, c, now, "l1-store-miss", "addr", a,
+                    "lat", r.lat);
     if (chk)
         chk->onStore(c, now, a, in, len);
     return r;
@@ -228,6 +235,10 @@ MemorySystem::invalidateMesiCopies(L2Line *m, CoreId requester,
         }
         if (ol)
             ol->reset();
+        if (BT_TRACE_ON(tr, trace::CatCoh))
+            tr->instant(trace::CatCoh, o, t, "mesi-recall", "addr",
+                        la, "requester",
+                        static_cast<uint64_t>(requester));
         t += ctrlRoundTrip(bank, o) + 2;
         m->sharers.clear(o);
         m->mesiOwner = invalidCore;
@@ -241,6 +252,10 @@ MemorySystem::invalidateMesiCopies(L2Line *m, CoreId requester,
             L1Line *sl = l1s[s]->find(la);
             if (sl)
                 sl->reset();
+            if (BT_TRACE_ON(tr, trace::CatCoh))
+                tr->instant(trace::CatCoh, s, t, "mesi-inv", "addr",
+                            la, "requester",
+                            static_cast<uint64_t>(requester));
             nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
                           nocModel.hopsCoreToBank(s, bank));
             nocModel.send(MsgClass::CohResp, cfg.ctrlMsgBytes,
@@ -280,6 +295,10 @@ MemorySystem::l2FreshenForRead(L2Line *m, CoreId requester, Cycle &t)
             ol->mesi = MesiState::S; // downgrade
             ol->dirtyMask = 0;
         }
+        if (BT_TRACE_ON(tr, trace::CatCoh))
+            tr->instant(trace::CatCoh, o, t, "mesi-downgrade", "addr",
+                        la, "requester",
+                        static_cast<uint64_t>(requester));
         t += ctrlRoundTrip(bank, o) + 2;
         m->mesiOwner = invalidCore; // still a sharer
     }
@@ -293,6 +312,10 @@ MemorySystem::l2FreshenForRead(L2Line *m, CoreId requester, Cycle &t)
         // stale forever.
         CoreId o = m->dnvOwner;
         L1Line *ol = l1s[o]->find(la);
+        if (BT_TRACE_ON(tr, trace::CatCoh))
+            tr->instant(trace::CatCoh, o, t, "dnv-forward", "addr",
+                        la, "requester",
+                        static_cast<uint64_t>(requester));
         nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
                       nocModel.hopsCoreToBank(o, bank));
         nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),

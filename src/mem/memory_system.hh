@@ -37,6 +37,7 @@
 #include "mem/l2_cache.hh"
 #include "mem/noc.hh"
 #include "sim/config.hh"
+#include "trace/trace.hh"
 
 namespace bigtiny::mem
 {
@@ -60,9 +61,12 @@ class MemorySystem
     /**
      * @param inj fault injector for the mem-* hook sites (elide flush /
      *            invalidate / write-back, delay DRAM); may be null.
+     * @param tr event tracer for mem/coh category events (L1 misses,
+     *           MESI invalidations and recalls); may be null.
      */
     explicit MemorySystem(const sim::SystemConfig &cfg,
-                          fault::Injector *inj = nullptr);
+                          fault::Injector *inj = nullptr,
+                          trace::Tracer *tr = nullptr);
 
     struct Result
     {
@@ -183,6 +187,7 @@ class MemorySystem
 
     const sim::SystemConfig &cfg;
     fault::Injector *inj;
+    trace::Tracer *tr;
     MainMemory main;
     std::vector<std::unique_ptr<L1Cache>> l1s;
     L2Cache l2c;

@@ -98,6 +98,22 @@ struct SystemConfig
     Cycle uliDrainTiny = 4;   //!< cycles to drain in-order pipe
     Cycle uliDrainBig = 30;   //!< cycles to drain OoO pipe (paper: 10-50)
 
+    // --- Observability (src/trace/) --------------------------------------
+    /**
+     * Trace-event category mask (trace::CatTask | ...); 0 disables
+     * tracing entirely (no Tracer is constructed, zero overhead).
+     */
+    uint32_t traceCategories = 0;
+
+    /** Interval-sampler period in cycles; 0 disables sampling. */
+    Cycle sampleCycles = 0;
+
+    /**
+     * Progress-heartbeat period in cycles; 0 disables. Each beat calls
+     * System::progressHook (stderr reporting lives in btsim).
+     */
+    Cycle progressCycles = 0;
+
     // --- Debug / validation ----------------------------------------------
     /**
      * Enable the shadow-memory coherence checker (src/check/): golden

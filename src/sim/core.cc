@@ -119,6 +119,9 @@ Core::cacheInvalidate()
 {
     syncPoint();
     auto r = sys.mem().cacheInvalidate(_id, time);
+    if (BT_TRACE_ON(sys.tracer(), trace::CatMem))
+        sys.tracer()->complete(trace::CatMem, _id, time, time + r.lat,
+                               "cache-invalidate", "lat", r.lat);
     chargeRaw(r.lat, TimeCat::Flush);
     ++instCounter;
 }
@@ -128,6 +131,9 @@ Core::cacheFlush()
 {
     syncPoint();
     auto r = sys.mem().cacheFlush(_id, time);
+    if (BT_TRACE_ON(sys.tracer(), trace::CatMem))
+        sys.tracer()->complete(trace::CatMem, _id, time, time + r.lat,
+                               "cache-flush", "lat", r.lat);
     chargeRaw(r.lat, TimeCat::Flush);
     ++instCounter;
 }
@@ -177,6 +183,11 @@ Core::pollUli()
     Cycle h0 = time;
     uliUnit.handler(sender, payload);
     sys.uliNet().stats.handlerCycles += time - h0;
+    if (BT_TRACE_ON(sys.tracer(), trace::CatUli))
+        sys.tracer()->complete(trace::CatUli, _id, h0, time,
+                               "uli-handler", "sender",
+                               static_cast<uint64_t>(sender),
+                               "payload", payload);
     uliUnit.inHandler = false;
 }
 

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "common/types.hh"
@@ -72,13 +73,21 @@ struct CacheStats
 
     uint64_t accesses() const { return loads + stores; }
     uint64_t misses() const { return loadMisses + storeMisses; }
+    bool hasAccesses() const { return accesses() != 0; }
 
-    /** L1 data hit rate in [0,1]; 1.0 when there were no accesses. */
+    /**
+     * L1 data hit rate in [0,1]; NaN when there were no accesses, so
+     * idle cores cannot masquerade as perfect caches. Consumers must
+     * check hasAccesses() (or std::isnan) before averaging, and JSON
+     * writers must emit null (NaN is not valid JSON) — see
+     * trace::jsonNumber.
+     */
     double
     hitRate() const
     {
         uint64_t a = accesses();
-        return a ? 1.0 - static_cast<double>(misses()) / a : 1.0;
+        return a ? 1.0 - static_cast<double>(misses()) / a
+                 : std::numeric_limits<double>::quiet_NaN();
     }
 
     void add(const CacheStats &o);

@@ -9,7 +9,23 @@ System::System(SystemConfig cfg_in) : cfg(std::move(cfg_in))
 {
     cfg.check();
     faultInjector = std::make_unique<fault::Injector>(cfg.faults);
-    memSys = std::make_unique<mem::MemorySystem>(cfg, faultInjector.get());
+    if (cfg.traceCategories != 0) {
+        // One track per core plus one for the ULI network counters.
+        eventTracer = std::make_unique<trace::Tracer>(
+            cfg.numCores() + 1, cfg.traceCategories);
+        for (CoreId c = 0; c < cfg.numCores(); ++c)
+            eventTracer->setTrackName(
+                c, "core " + std::to_string(c) +
+                       (cfg.cores[c] == CoreKind::Big ? " (big)"
+                                                      : " (tiny)"));
+        eventTracer->setTrackName(cfg.numCores(), "network");
+        faultInjector->setTracer(eventTracer.get());
+    }
+    if (cfg.sampleCycles != 0)
+        intervalSampler =
+            std::make_unique<trace::IntervalSampler>(cfg.sampleCycles);
+    memSys = std::make_unique<mem::MemorySystem>(cfg, faultInjector.get(),
+                                                 eventTracer.get());
     uliNetwork = std::make_unique<uli::UliNetwork>(*this);
     cores.reserve(cfg.numCores());
     for (CoreId c = 0; c < cfg.numCores(); ++c)
@@ -90,6 +106,7 @@ System::run(Cycle max_cycles)
 
     insideRun = true;
     aborting = false;
+    nextProgressBeat = cfg.progressCycles;
     lastProgressSig = progressSignature();
     lastProgressCycle = 0;
     watchdogInterval = std::max<Cycle>(cfg.deadlockCycles / 16, 1);
@@ -113,12 +130,18 @@ System::run(Cycle max_cycles)
         unwindGuests();
         ready = {};
         eventQueue.clear();
+        // Close the time-series on the failure path too, so a partial
+        // run's samples survive into the written artifacts.
+        if (intervalSampler)
+            intervalSampler->finish(*this);
         panic_if(!pendingFailure, "System aborted without a failure");
         fault::SimFailure failure = *pendingFailure;
         pendingFailure.reset();
         aborting = false;
         throw failure;
     }
+    if (intervalSampler)
+        intervalSampler->finish(*this);
     verifyQuiescence();
 }
 
@@ -138,6 +161,11 @@ System::schedulerLoop(Cycle max_cycles)
             raiseFailure(fault::Verdict::CycleBudget,
                          fault::format("simulation exceeded %llu cycles",
                                        (unsigned long long)max_cycles));
+        // Interval sampling hooks the deterministic min-time pop: the
+        // global order of boundary crossings is identical for every
+        // host and --jobs count.
+        if (intervalSampler && e.t >= intervalSampler->nextDue())
+            intervalSampler->sampleUpTo(*this, e.t);
         // Hardware events at or before this core's time fire first.
         eventQueue.runDue(e.t);
         if (e.t != c.time)
@@ -221,6 +249,11 @@ System::watchdogCheck(Core &c)
                 fault::format("host wall-clock limit of %llu ms "
                               "exceeded",
                               (unsigned long long)cfg.wallClockLimitMs));
+    }
+    if (cfg.progressCycles && progressHook && now >= nextProgressBeat) {
+        while (nextProgressBeat <= now)
+            nextProgressBeat += cfg.progressCycles;
+        progressHook(now);
     }
     if (now < nextWatchdogCheck)
         return;

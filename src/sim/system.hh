@@ -26,6 +26,8 @@
 #include "sim/core.hh"
 #include "sim/event_queue.hh"
 #include "sim/fiber.hh"
+#include "trace/sampler.hh"
+#include "trace/trace.hh"
 #include "uli/uli.hh"
 
 namespace bigtiny::sim
@@ -84,6 +86,31 @@ class System
 
     /** Aggregate L1 cache stats over all cores (or tiny only). */
     CacheStats aggregateCacheStats(bool tiny_only) const;
+
+    /**
+     * Event tracer; non-null only when SystemConfig::traceCategories
+     * is non-zero. One track per core plus a network track (ULI
+     * in-flight counter). Host-side only — never charges simulated
+     * cycles, so enabling it cannot perturb the model.
+     */
+    trace::Tracer *tracer() { return eventTracer.get(); }
+
+    /** The network counter track's id (== numCores()). */
+    int networkTrack() const { return numCores(); }
+
+    /**
+     * Interval sampler; non-null only when SystemConfig::sampleCycles
+     * is non-zero. Driven from the scheduler loop, finalized at the
+     * end of run().
+     */
+    trace::IntervalSampler *sampler() { return intervalSampler.get(); }
+
+    /**
+     * Progress heartbeat: called every SystemConfig::progressCycles
+     * cycles from the watchdog path with the current cycle. btsim
+     * installs a closure that prints cycle/tasks/steals to stderr.
+     */
+    std::function<void(Cycle)> progressHook;
 
   private:
     friend class Core;
@@ -144,6 +171,9 @@ class System
     Core *runningCore = nullptr;
 
     std::unique_ptr<fault::Injector> faultInjector;
+    std::unique_ptr<trace::Tracer> eventTracer;
+    std::unique_ptr<trace::IntervalSampler> intervalSampler;
+    Cycle nextProgressBeat = 0;
 
     // --- failure machinery (see raiseFailure) -------------------------
     bool insideRun = false;  //!< between run() entry and exit

@@ -1,0 +1,216 @@
+#include "trace/exporter.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/runtime.hh"
+#include "fault/failure.hh"
+#include "sim/system.hh"
+
+namespace bigtiny::trace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    os << buf;
+}
+
+namespace
+{
+
+void
+writeCacheStats(std::ostream &os, const sim::CacheStats &c)
+{
+    os << "{\"loads\":" << c.loads
+       << ",\"loadMisses\":" << c.loadMisses
+       << ",\"stores\":" << c.stores
+       << ",\"storeMisses\":" << c.storeMisses
+       << ",\"amos\":" << c.amos << ",\"hitRate\":";
+    jsonNumber(os, c.hitRate());
+    os << ",\"invOps\":" << c.invOps << ",\"invLines\":" << c.invLines
+       << ",\"flushOps\":" << c.flushOps
+       << ",\"flushLines\":" << c.flushLines
+       << ",\"evictions\":" << c.evictions
+       << ",\"wbLines\":" << c.wbLines << "}";
+}
+
+void
+writeTimeByCat(std::ostream &os,
+               const std::array<Cycle, sim::numTimeCats> &t)
+{
+    os << "{";
+    for (size_t i = 0; i < sim::numTimeCats; ++i) {
+        os << (i ? "," : "") << "\""
+           << sim::timeCatName(static_cast<sim::TimeCat>(i))
+           << "\":" << t[i];
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+writeRunStatsJson(std::ostream &os, sim::System &sys, rt::Runtime *rt,
+                  bool validated, const fault::FailureReport *failure)
+{
+    const sim::SystemConfig &cfg = sys.config();
+    int big = 0;
+    for (auto k : cfg.cores)
+        big += k == sim::CoreKind::Big;
+    bool tiny_only = big < cfg.numCores();
+
+    os << "{\n\"schemaVersion\": " << statsSchemaVersion << ",\n";
+
+    os << "\"config\": {\"name\":\"" << jsonEscape(cfg.name)
+       << "\",\"cores\":" << cfg.numCores() << ",\"bigCores\":" << big
+       << ",\"tinyProtocol\":\"" << sim::protocolName(cfg.tinyProtocol)
+       << "\",\"dts\":" << (cfg.dts ? "true" : "false")
+       << ",\"seed\":" << cfg.seed << "},\n";
+
+    os << "\"run\": {\"cycles\":" << sys.elapsed()
+       << ",\"validated\":" << (validated ? "true" : "false")
+       << ",\"failed\":" << (failure ? "true" : "false") << "},\n";
+
+    if (rt) {
+        auto &prof = rt->profiler;
+        os << "\"dag\": {\"work\":" << prof.work()
+           << ",\"span\":" << prof.span() << ",\"parallelism\":";
+        jsonNumber(os, prof.parallelism());
+        os << ",\"tasks\":" << prof.numTasks() << ",\"instsPerTask\":";
+        jsonNumber(os, prof.instsPerTask());
+        os << "},\n";
+        auto rs = rt->totalStats();
+        os << "\"runtime\": {\"variant\":\""
+           << rt::schedVariantName(rt->variant)
+           << "\",\"tasksSpawned\":" << rs.tasksSpawned
+           << ",\"tasksExecuted\":" << rs.tasksExecuted
+           << ",\"tasksJoined\":" << rs.tasksJoined
+           << ",\"tasksStolen\":" << rs.tasksStolen
+           << ",\"stealAttempts\":" << rs.stealAttempts
+           << ",\"failedSteals\":" << rs.failedSteals << "},\n";
+    } else {
+        os << "\"dag\": null,\n\"runtime\": null,\n";
+    }
+
+    auto cache = sys.aggregateCacheStats(tiny_only);
+    auto cores = sys.aggregateCoreStats(tiny_only);
+    os << "\"tinyCores\": {\"cache\":";
+    writeCacheStats(os, cache);
+    os << ",\"time\":";
+    writeTimeByCat(os, cores.timeByCat);
+    os << ",\"memOps\":" << cores.memOps << "},\n";
+
+    auto &l2 = sys.mem().l2();
+    os << "\"l2\": {\"hits\":" << l2.hits
+       << ",\"misses\":" << l2.misses << "},\n";
+
+    auto &dram = sys.mem().dram();
+    os << "\"dram\": {\"accesses\":" << dram.accesses()
+       << ",\"bytes\":" << dram.bytes()
+       << ",\"queueCycles\":" << dram.queueCycles() << "},\n";
+
+    const auto &noc = sys.mem().noc().stats();
+    os << "\"noc\": {\"totalBytes\":" << noc.totalBytes()
+       << ",\"hopTraversals\":" << noc.hopTraversals
+       << ",\"msgs\":{";
+    for (size_t i = 0; i < sim::numMsgClasses; ++i) {
+        os << (i ? "," : "") << "\""
+           << sim::msgClassName(static_cast<sim::MsgClass>(i))
+           << "\":" << noc.msgs[i];
+    }
+    os << "},\"bytes\":{";
+    for (size_t i = 0; i < sim::numMsgClasses; ++i) {
+        os << (i ? "," : "") << "\""
+           << sim::msgClassName(static_cast<sim::MsgClass>(i))
+           << "\":" << noc.bytes[i];
+    }
+    os << "}},\n";
+
+    const auto &u = sys.uliNet().stats;
+    os << "\"uli\": {\"reqs\":" << u.reqs << ",\"acks\":" << u.acks
+       << ",\"nacks\":" << u.nacks << ",\"resps\":" << u.resps
+       << ",\"hopTraversals\":" << u.hopTraversals
+       << ",\"handlerCycles\":" << u.handlerCycles << "},\n";
+
+    os << "\"perCore\": [\n";
+    for (CoreId c = 0; c < sys.numCores(); ++c) {
+        sim::Core &core = sys.core(c);
+        os << "{\"id\":" << c << ",\"kind\":\""
+           << (core.kind() == sim::CoreKind::Big ? "big" : "tiny")
+           << "\",\"cycles\":" << core.now()
+           << ",\"insts\":" << core.instCount() << ",\"time\":";
+        writeTimeByCat(os, core.stats.timeByCat);
+        os << ",\"cache\":";
+        writeCacheStats(os, sys.mem().l1(c).stats);
+        os << "}" << (c + 1 < sys.numCores() ? ",\n" : "\n");
+    }
+    os << "],\n";
+
+    const auto &faults = sys.injector().log();
+    os << "\"faults\": [";
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const fault::FaultEvent &e = faults[i];
+        os << (i ? "," : "") << "{\"site\":\""
+           << fault::faultSiteName(e.site)
+           << "\",\"occurrence\":" << e.occurrence
+           << ",\"core\":" << e.core << ",\"cycle\":" << e.cycle
+           << ",\"detail\":" << e.detail << "}";
+    }
+    os << "],\n";
+
+    if (failure) {
+        os << "\"failure\": {\"verdict\":\""
+           << fault::verdictName(failure->verdict)
+           << "\",\"cycle\":" << failure->cycle << ",\"reason\":\""
+           << jsonEscape(failure->reason)
+           << "\",\"pendingEvents\":" << failure->pendingEvents
+           << "}\n";
+    } else {
+        os << "\"failure\": null\n";
+    }
+    os << "}\n";
+}
+
+} // namespace bigtiny::trace

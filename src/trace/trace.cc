@@ -1,0 +1,174 @@
+#include "trace/trace.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace bigtiny::trace
+{
+
+const char *
+catName(uint32_t bit)
+{
+    switch (bit) {
+      case CatTask:
+        return "task";
+      case CatSteal:
+        return "steal";
+      case CatUli:
+        return "uli";
+      case CatMem:
+        return "mem";
+      case CatCoh:
+        return "coh";
+      case CatFault:
+        return "fault";
+      default:
+        return "?";
+    }
+}
+
+uint32_t
+parseCategories(const std::string &csv)
+{
+    if (csv.empty() || csv == "all")
+        return CatAll;
+    uint32_t mask = 0;
+    std::istringstream is(csv);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (tok.empty())
+            continue;
+        uint32_t bit = 0;
+        for (uint32_t b = 1; b < CatAll + 1; b <<= 1) {
+            if (tok == catName(b)) {
+                bit = b;
+                break;
+            }
+        }
+        fatal_if(bit == 0,
+                 "unknown trace category '%s' (valid: task, steal, "
+                 "uli, mem, coh, fault, all)",
+                 tok.c_str());
+        mask |= bit;
+    }
+    fatal_if(mask == 0, "empty trace category list '%s'", csv.c_str());
+    return mask;
+}
+
+std::string
+categoriesToString(uint32_t mask)
+{
+    std::string out;
+    for (uint32_t b = 1; b <= CatFault; b <<= 1) {
+        if (!(mask & b))
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += catName(b);
+    }
+    return out;
+}
+
+Tracer::Tracer(int num_tracks, uint32_t mask)
+    : mask(mask), tracks(static_cast<size_t>(num_tracks)),
+      names(static_cast<size_t>(num_tracks))
+{
+    panic_if(num_tracks <= 0, "Tracer with %d tracks", num_tracks);
+}
+
+void
+Tracer::setTrackName(int track, std::string name)
+{
+    names[static_cast<size_t>(track)] = std::move(name);
+}
+
+void
+Tracer::push(uint32_t cat, int track, Event e)
+{
+    if (!wants(cat))
+        return;
+    tracks[static_cast<size_t>(track)].push_back(e);
+}
+
+void
+Tracer::instant(uint32_t cat, int track, Cycle ts, const char *name,
+                const char *k0, uint64_t v0, const char *k1,
+                uint64_t v1)
+{
+    push(cat, track, {name, k0, k1, v0, v1, ts, 0, cat, 'i'});
+}
+
+void
+Tracer::complete(uint32_t cat, int track, Cycle t0, Cycle t1,
+                 const char *name, const char *k0, uint64_t v0,
+                 const char *k1, uint64_t v1)
+{
+    push(cat, track,
+         {name, k0, k1, v0, v1, t0, t1 >= t0 ? t1 - t0 : 0, cat, 'X'});
+}
+
+void
+Tracer::counter(uint32_t cat, int track, Cycle ts, const char *name,
+                uint64_t value)
+{
+    push(cat, track,
+         {name, "value", nullptr, value, 0, ts, 0, cat, 'C'});
+}
+
+size_t
+Tracer::eventCount() const
+{
+    size_t n = 0;
+    for (const auto &t : tracks)
+        n += t.size();
+    return n;
+}
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    os << "{\n\"displayTimeUnit\": \"ns\",\n";
+    os << "\"otherData\": {\"clock\": \"1 trace us = 1 simulated "
+          "cycle\", \"categories\": \""
+       << categoriesToString(mask) << "\"},\n";
+    os << "\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"bigtiny\"}}";
+    for (size_t t = 0; t < tracks.size(); ++t) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << names[t] << "\"}}";
+    }
+    for (size_t t = 0; t < tracks.size(); ++t) {
+        for (const Event &e : tracks[t]) {
+            sep();
+            os << "{\"ph\":\"" << e.ph << "\",\"pid\":0,\"tid\":" << t
+               << ",\"ts\":" << e.ts;
+            if (e.ph == 'X')
+                os << ",\"dur\":" << e.dur;
+            if (e.ph == 'i')
+                os << ",\"s\":\"t\"";
+            os << ",\"cat\":\"" << catName(e.cat) << "\",\"name\":\""
+               << e.name << "\"";
+            if (e.k0) {
+                os << ",\"args\":{\"" << e.k0 << "\":" << e.v0;
+                if (e.k1)
+                    os << ",\"" << e.k1 << "\":" << e.v1;
+                os << "}";
+            }
+            os << "}";
+        }
+    }
+    os << "\n]\n}\n";
+}
+
+} // namespace bigtiny::trace

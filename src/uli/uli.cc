@@ -27,6 +27,16 @@ UliNetwork::flightLat(CoreId a, CoreId b) const
 }
 
 void
+UliNetwork::traceInflight(int delta, Cycle at)
+{
+    // Tracing-only bookkeeping: the counter tracks messages physically
+    // in the mesh (dropped-by-fault messages never enter it).
+    inflight += static_cast<uint64_t>(delta);
+    sys.tracer()->counter(trace::CatUli, sys.networkTrack(), at,
+                          "uli-inflight", inflight);
+}
+
+void
 UliNetwork::sendReq(CoreId sender, CoreId victim, uint64_t payload,
                     Cycle now)
 {
@@ -51,15 +61,33 @@ UliNetwork::sendReq(CoreId sender, CoreId victim, uint64_t payload,
                  static_cast<uint64_t>(victim)))
         copies = 2;
 
-    auto deliver = [this, sender, victim, payload, arrival] {
+    bool tracing = BT_TRACE_ON(sys.tracer(), trace::CatUli);
+    if (tracing) {
+        sys.tracer()->instant(trace::CatUli, sender, now, "uli-req",
+                              "victim", static_cast<uint64_t>(victim),
+                              "payload", payload);
+        traceInflight(copies, now);
+    }
+    auto deliver = [this, sender, victim, payload, arrival, tracing] {
+        if (tracing)
+            traceInflight(-1, arrival);
         sim::Core &v = sys.core(victim);
         bool deliverable = !v.done && v.uliUnit.enabled &&
                            !v.uliUnit.reqPending && !v.uliUnit.inHandler;
         if (!deliverable) {
+            if (tracing)
+                sys.tracer()->instant(
+                    trace::CatUli, victim, arrival, "uli-req-nack",
+                    "thief", static_cast<uint64_t>(sender));
             // Hardware-generated NACK; no software involvement.
             sendResp(victim, sender, false, 0, arrival);
             return;
         }
+        if (tracing)
+            sys.tracer()->instant(trace::CatUli, victim, arrival,
+                                  "uli-req-arrive", "thief",
+                                  static_cast<uint64_t>(sender),
+                                  "payload", payload);
         v.uliUnit.reqPending = true;
         v.uliUnit.reqSender = sender;
         v.uliUnit.reqPayload = payload;
@@ -97,7 +125,20 @@ UliNetwork::sendResp(CoreId sender, CoreId thief, bool ack,
                  static_cast<uint64_t>(thief)))
         copies = 2;
 
-    auto deliver = [this, thief, ack, payload] {
+    bool tracing = BT_TRACE_ON(sys.tracer(), trace::CatUli);
+    if (tracing) {
+        sys.tracer()->instant(trace::CatUli, sender, now, "uli-resp",
+                              "thief", static_cast<uint64_t>(thief),
+                              "ack", ack ? 1 : 0);
+        traceInflight(copies, now);
+    }
+    auto deliver = [this, thief, ack, payload, arrival, tracing] {
+        if (tracing) {
+            traceInflight(-1, arrival);
+            sys.tracer()->instant(trace::CatUli, thief, arrival,
+                                  "uli-resp-arrive", "ack",
+                                  ack ? 1 : 0, "payload", payload);
+        }
         sim::Core &t = sys.core(thief);
         if (t.uliUnit.respReady)
             sys.raiseFailure(

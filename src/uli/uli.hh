@@ -80,7 +80,11 @@ class UliNetwork
     sim::UliStats stats;
 
   private:
+    /** Bump the in-flight message count and emit a counter sample. */
+    void traceInflight(int delta, Cycle at);
+
     sim::System &sys;
+    uint64_t inflight = 0; //!< messages in the mesh (tracing only)
 };
 
 } // namespace bigtiny::uli

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for sim/stats.{hh,cc}: enum-name coverage (no "?"
+ * placeholder leaks into reports), add() associativity across all
+ * five stat structs (aggregation order must not matter when btsweep
+ * merges shards), overflow-free totalBytes/totalTime accumulation,
+ * and the NaN hit-rate sentinel for idle caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "sim/stats.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::sim;
+
+namespace
+{
+
+CacheStats
+mkCache(uint64_t b)
+{
+    CacheStats s;
+    s.loads = 4 * b + 1;
+    s.loadMisses = b;
+    s.stores = 2 * b + 3;
+    s.storeMisses = b / 2;
+    s.amos = b + 5;
+    s.invOps = b + 6;
+    s.invLines = b + 7;
+    s.flushOps = b + 8;
+    s.flushLines = b + 9;
+    s.evictions = b + 10;
+    s.wbLines = b + 11;
+    return s;
+}
+
+void
+expectEq(const CacheStats &a, const CacheStats &b)
+{
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.loadMisses, b.loadMisses);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.storeMisses, b.storeMisses);
+    EXPECT_EQ(a.amos, b.amos);
+    EXPECT_EQ(a.invOps, b.invOps);
+    EXPECT_EQ(a.invLines, b.invLines);
+    EXPECT_EQ(a.flushOps, b.flushOps);
+    EXPECT_EQ(a.flushLines, b.flushLines);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.wbLines, b.wbLines);
+}
+
+CoreStats
+mkCore(uint64_t b)
+{
+    CoreStats s;
+    for (size_t i = 0; i < numTimeCats; ++i)
+        s.timeByCat[i] = b * (i + 1);
+    s.memOps = 3 * b + 2;
+    s.cache = mkCache(b);
+    return s;
+}
+
+void
+expectEq(const CoreStats &a, const CoreStats &b)
+{
+    EXPECT_EQ(a.timeByCat, b.timeByCat);
+    EXPECT_EQ(a.memOps, b.memOps);
+    expectEq(a.cache, b.cache);
+}
+
+NocStats
+mkNoc(uint64_t b)
+{
+    NocStats s;
+    for (size_t i = 0; i < numMsgClasses; ++i) {
+        s.msgs[i] = b * (i + 1);
+        s.bytes[i] = b * (i + 2) + 1;
+    }
+    s.hopTraversals = 7 * b;
+    return s;
+}
+
+void
+expectEq(const NocStats &a, const NocStats &b)
+{
+    EXPECT_EQ(a.msgs, b.msgs);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.hopTraversals, b.hopTraversals);
+}
+
+UliStats
+mkUli(uint64_t b)
+{
+    UliStats s;
+    s.reqs = b + 1;
+    s.acks = b + 2;
+    s.nacks = b + 3;
+    s.resps = b + 4;
+    s.hopTraversals = b + 5;
+    s.handlerCycles = b + 6;
+    return s;
+}
+
+void
+expectEq(const UliStats &a, const UliStats &b)
+{
+    EXPECT_EQ(a.reqs, b.reqs);
+    EXPECT_EQ(a.acks, b.acks);
+    EXPECT_EQ(a.nacks, b.nacks);
+    EXPECT_EQ(a.resps, b.resps);
+    EXPECT_EQ(a.hopTraversals, b.hopTraversals);
+    EXPECT_EQ(a.handlerCycles, b.handlerCycles);
+}
+
+RuntimeStats
+mkRuntime(uint64_t b)
+{
+    RuntimeStats s;
+    s.tasksSpawned = b + 1;
+    s.tasksExecuted = b + 2;
+    s.tasksJoined = b + 3;
+    s.tasksStolen = b + 4;
+    s.stealAttempts = b + 5;
+    s.failedSteals = b + 6;
+    return s;
+}
+
+void
+expectEq(const RuntimeStats &a, const RuntimeStats &b)
+{
+    EXPECT_EQ(a.tasksSpawned, b.tasksSpawned);
+    EXPECT_EQ(a.tasksExecuted, b.tasksExecuted);
+    EXPECT_EQ(a.tasksJoined, b.tasksJoined);
+    EXPECT_EQ(a.tasksStolen, b.tasksStolen);
+    EXPECT_EQ(a.stealAttempts, b.stealAttempts);
+    EXPECT_EQ(a.failedSteals, b.failedSteals);
+}
+
+/** (a + b) + c must equal a + (b + c) field-for-field. */
+template <typename S, typename Mk>
+void
+checkAssociativity(Mk mk)
+{
+    S left = mk(3);
+    S b1 = mk(1000000007ull);
+    left.add(b1);
+    left.add(mk(77));
+
+    S right_bc = mk(1000000007ull);
+    right_bc.add(mk(77));
+    S right = mk(3);
+    right.add(right_bc);
+
+    expectEq(left, right);
+}
+
+} // namespace
+
+TEST(Stats, MsgClassNamesAreDistinctAndNamed)
+{
+    std::set<std::string> seen;
+    for (size_t i = 0; i < numMsgClasses; ++i) {
+        const char *n = msgClassName(static_cast<MsgClass>(i));
+        ASSERT_NE(n, nullptr);
+        EXPECT_STRNE(n, "?") << "msg class " << i << " unnamed";
+        EXPECT_FALSE(std::string(n).empty());
+        seen.insert(n);
+    }
+    EXPECT_EQ(seen.size(), numMsgClasses);
+}
+
+TEST(Stats, TimeCatNamesAreDistinctAndNamed)
+{
+    std::set<std::string> seen;
+    for (size_t i = 0; i < numTimeCats; ++i) {
+        const char *n = timeCatName(static_cast<TimeCat>(i));
+        ASSERT_NE(n, nullptr);
+        EXPECT_STRNE(n, "?") << "time cat " << i << " unnamed";
+        EXPECT_FALSE(std::string(n).empty());
+        seen.insert(n);
+    }
+    EXPECT_EQ(seen.size(), numTimeCats);
+}
+
+TEST(Stats, AddIsAssociativeAcrossAllStructs)
+{
+    checkAssociativity<CacheStats>(mkCache);
+    checkAssociativity<CoreStats>(mkCore);
+    checkAssociativity<NocStats>(mkNoc);
+    checkAssociativity<UliStats>(mkUli);
+    checkAssociativity<RuntimeStats>(mkRuntime);
+}
+
+TEST(Stats, TotalBytesAccumulatesWithoutOverflow)
+{
+    NocStats s;
+    // Per-class byte counts far past 32 bits; the sum must be exact.
+    constexpr uint64_t perClass = 1000000000000000ull; // 1e15
+    for (size_t i = 0; i < numMsgClasses; ++i)
+        s.bytes[i] = perClass;
+    EXPECT_EQ(s.totalBytes(), perClass * numMsgClasses);
+}
+
+TEST(Stats, TotalTimeAccumulatesWithoutOverflow)
+{
+    CoreStats s;
+    constexpr Cycle perCat = 600000000000ull; // 6e11 cycles
+    for (size_t i = 0; i < numTimeCats; ++i)
+        s.timeByCat[i] = perCat;
+    EXPECT_EQ(s.totalTime(), perCat * numTimeCats);
+}
+
+TEST(Stats, HitRateIsNanWithZeroAccesses)
+{
+    CacheStats idle;
+    EXPECT_FALSE(idle.hasAccesses());
+    EXPECT_TRUE(std::isnan(idle.hitRate()));
+
+    // AMOs alone do not count as L1 load/store accesses.
+    CacheStats amos_only;
+    amos_only.amos = 17;
+    EXPECT_FALSE(amos_only.hasAccesses());
+    EXPECT_TRUE(std::isnan(amos_only.hitRate()));
+}
+
+TEST(Stats, HitRateComputesOnRealAccesses)
+{
+    CacheStats s;
+    s.loads = 3;
+    s.loadMisses = 1;
+    s.stores = 1;
+    EXPECT_TRUE(s.hasAccesses());
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.75);
+
+    CacheStats all_miss;
+    all_miss.loads = 2;
+    all_miss.loadMisses = 2;
+    EXPECT_DOUBLE_EQ(all_miss.hitRate(), 0.0);
+}
+
+TEST(Stats, HitRateRecoversAfterAggregatingIdleCore)
+{
+    // An idle core's NaN must not poison a merged aggregate: add()
+    // sums raw counters, so the merged rate is well-defined again.
+    CacheStats idle;
+    CacheStats busy;
+    busy.loads = 10;
+    busy.loadMisses = 5;
+    idle.add(busy);
+    EXPECT_TRUE(idle.hasAccesses());
+    EXPECT_DOUBLE_EQ(idle.hitRate(), 0.5);
+}

@@ -12,18 +12,29 @@
  *   btsim --app=cilk5-nq --check       # shadow-memory coherence check
  *   btsim --list
  *   btsim --app=cilk5-cs --config=serial-io --serial
+ *
+ * Observability (see DESIGN.md section 9):
+ *   btsim --app=cilk5-mm --trace=out.json --trace-categories=task,uli
+ *   btsim --app=ligra-bfs --timeseries=ts.csv --sample-cycles=10000
+ *   btsim --app=cilk5-nq --stats-json=stats.json --progress=500000
  */
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "apps/registry.hh"
 #include "bench/driver.hh"
 #include "common/cli.hh"
+#include "common/log.hh"
 #include "core/worker.hh"
 #include "fault/failure.hh"
 #include "fault/fault.hh"
 #include "sim/system.hh"
+#include "trace/exporter.hh"
+#include "trace/sampler.hh"
+#include "trace/trace.hh"
 
 using namespace bigtiny;
 
@@ -74,7 +85,11 @@ printReport(sim::System &sys, rt::Runtime *rt, bool valid)
                 (unsigned long long)cache.loads,
                 (unsigned long long)cache.stores,
                 (unsigned long long)cache.amos);
-    std::printf("hit rate          %.2f%%\n", 100 * cache.hitRate());
+    if (cache.hasAccesses())
+        std::printf("hit rate          %.2f%%\n",
+                    100 * cache.hitRate());
+    else
+        std::printf("hit rate          n/a\n");
     std::printf("inv ops/lines     %llu / %llu\n",
                 (unsigned long long)cache.invOps,
                 (unsigned long long)cache.invLines);
@@ -133,6 +148,15 @@ printReport(sim::System &sys, rt::Runtime *rt, bool valid)
     }
 }
 
+/** True when @p s ends with @p suffix (for .json vs .csv choice). */
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
 } // namespace
 
 int
@@ -153,7 +177,12 @@ main(int argc, char **argv)
         std::printf("usage: btsim --app=NAME [--config=NAME] [--n=N] "
                     "[--grain=G] [--seed=S] [--scale=X] [--serial] "
                     "[--check] [--faults=SPEC] [--max-cycles=N] "
-                    "[--run-timeout-ms=MS] [--list]\n"
+                    "[--run-timeout-ms=MS] [--trace=FILE "
+                    "[--trace-categories=CSV]] [--timeseries=FILE "
+                    "[--sample-cycles=N]] [--stats-json=FILE] "
+                    "[--progress[=N]] [--list]\n"
+                    "trace categories: task,steal,uli,mem,coh,fault "
+                    "(default all)\n"
                     "exit codes: 0 ok, 1 validation failed, 2 "
                     "coherence violations, 3 simulation failure "
                     "(watchdog / fault verdict)\n");
@@ -169,31 +198,103 @@ main(int argc, char **argv)
         cfg.watchdogCycles = spec.maxCycles;
     cfg.wallClockLimitMs = spec.runTimeoutMs;
 
+    const std::string tracePath = flags.get("trace");
+    const std::string timeseriesPath = flags.get("timeseries");
+    const std::string statsJsonPath = flags.get("stats-json");
+    if (!tracePath.empty())
+        cfg.traceCategories =
+            trace::parseCategories(flags.get("trace-categories"));
+    if (!timeseriesPath.empty())
+        cfg.sampleCycles =
+            static_cast<Cycle>(flags.getInt("sample-cycles", 10000));
+    if (flags.has("progress")) {
+        auto n = flags.getInt("progress", 1);
+        // A bare --progress parses as 1; use the default cadence.
+        cfg.progressCycles = n > 1 ? static_cast<Cycle>(n) : 1000000;
+    }
+
+    sim::System sys(cfg);
+    std::unique_ptr<rt::Runtime> runtime;
+
+    if (cfg.progressCycles)
+        sys.progressHook = [&sys, &runtime](Cycle now) {
+            uint64_t tasks = 0, steals = 0;
+            if (runtime) {
+                auto rs = runtime->totalStats();
+                tasks = rs.tasksExecuted;
+                steals = rs.tasksStolen;
+            }
+            std::fprintf(stderr,
+                         "btsim: cycle %llu, %llu tasks executed, "
+                         "%llu steals\n",
+                         (unsigned long long)now,
+                         (unsigned long long)tasks,
+                         (unsigned long long)steals);
+        };
+
+    // Artifacts are written on the failure path too: a watchdog or
+    // fault-verdict abort leaves the trace, time-series and stats of
+    // the partial run behind for debugging.
+    auto writeArtifacts = [&](bool validated,
+                              const fault::FailureReport *fr) {
+        if (!tracePath.empty() && sys.tracer()) {
+            std::ofstream os(tracePath, std::ios::binary);
+            fatal_if(!os, "cannot open trace file %s",
+                     tracePath.c_str());
+            sys.tracer()->writeJson(os);
+            inform("wrote %llu trace events to %s",
+                   (unsigned long long)sys.tracer()->eventCount(),
+                   tracePath.c_str());
+        }
+        if (!timeseriesPath.empty() && sys.sampler()) {
+            std::ofstream os(timeseriesPath, std::ios::binary);
+            fatal_if(!os, "cannot open time-series file %s",
+                     timeseriesPath.c_str());
+            if (endsWith(timeseriesPath, ".json"))
+                sys.sampler()->writeJson(os);
+            else
+                sys.sampler()->writeCsv(os);
+        }
+        if (!statsJsonPath.empty()) {
+            std::ofstream os(statsJsonPath, std::ios::binary);
+            fatal_if(!os, "cannot open stats file %s",
+                     statsJsonPath.c_str());
+            trace::writeRunStatsJson(os, sys, runtime.get(), validated,
+                                     fr);
+        }
+    };
+
     try {
-        sim::System sys(cfg);
         auto app = apps::makeApp(spec.app, spec.params);
         app->setup(sys);
 
+        bool valid;
         if (spec.serialElision) {
             sys.attachGuest(0,
                             [&](sim::Core &c) { app->runSerial(c); });
             sys.run();
             sys.mem().drainAll();
-            printReport(sys, nullptr, app->validate(sys));
+            valid = app->validate(sys);
+            printReport(sys, nullptr, valid);
         } else {
-            rt::Runtime runtime(sys);
-            runtime.run([&](rt::Worker &w) { app->runParallel(w); });
+            runtime = std::make_unique<rt::Runtime>(sys);
+            runtime->run([&](rt::Worker &w) { app->runParallel(w); });
             sys.mem().drainAll();
-            printReport(sys, &runtime, app->validate(sys));
+            valid = app->validate(sys);
+            printReport(sys, runtime.get(), valid);
         }
+        writeArtifacts(valid, nullptr);
         if (auto *chk = sys.mem().checker()) {
             std::printf("\n-- coherence check\n");
             chk->printReport(stdout);
             if (chk->totalViolations() > 0)
                 return 2;
         }
+        if (!valid)
+            return 1;
     } catch (const fault::SimFailure &f) {
         // Watchdog / fault verdict: structured report, never a hang.
+        writeArtifacts(false, &f.report());
         std::fprintf(stderr, "%s", f.report().render().c_str());
         return 3;
     }

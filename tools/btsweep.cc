@@ -149,15 +149,21 @@ main(int argc, char **argv)
                 const RunResult &r = results[i++];
                 if (!r.valid)
                     ++failures;
+                char hit[16];
+                if (r.hasAccesses())
+                    std::snprintf(hit, sizeof(hit), "%7.1f%%",
+                                  100.0 * r.hitRate());
+                else
+                    std::snprintf(hit, sizeof(hit), "%8s", "-");
                 std::printf(
                     "%-12s %-16s %6.2f %8lld %5s %14llu %8.1f "
-                    "%7.1f%% %s\n",
+                    "%s %s\n",
                     app.c_str(), cfg.c_str(), scale,
                     static_cast<long long>(
                         sweep.specs()[i - 1].params.n),
                     r.failed ? "DIED" : (r.valid ? "ok" : "FAIL"),
                     static_cast<unsigned long long>(r.cycles),
-                    r.parallelism(), 100.0 * r.hitRate(),
+                    r.parallelism(), hit,
                     r.verdict.empty() ? "-" : r.verdict.c_str());
             }
         }

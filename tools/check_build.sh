@@ -88,5 +88,40 @@ expect_verdict uli-drop-resp@1 deadlock \
 expect_verdict mem-elide-flush@all coherence \
     --app=cilk5-nq --config=bt-hcc-gwb --n=6 --check
 
+# Trace smoke (DESIGN.md section 9): two identical traced runs must
+# produce byte-identical, parseable Chrome trace JSON, and a run
+# without --trace must not leave a trace file behind.
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$sweep_dir" "$trace_dir"' EXIT
+trace_args="--app=cilk5-mm --config=bt-hcc-gwb-dts --n=16"
+"$ubsan_dir/tools/btsim" $trace_args \
+    --trace="$trace_dir/a.json" --trace-categories=task,steal,uli \
+    --timeseries="$trace_dir/a.csv" --sample-cycles=10000 \
+    --stats-json="$trace_dir/a.stats.json" > /dev/null
+"$ubsan_dir/tools/btsim" $trace_args \
+    --trace="$trace_dir/b.json" --trace-categories=task,steal,uli \
+    > /dev/null
+cmp "$trace_dir/a.json" "$trace_dir/b.json" || {
+    echo "trace smoke: traced runs are not byte-identical" >&2
+    exit 1
+}
+python3 -m json.tool "$trace_dir/a.json" > /dev/null || {
+    echo "trace smoke: trace output is not valid JSON" >&2
+    exit 1
+}
+python3 -m json.tool "$trace_dir/a.stats.json" > /dev/null || {
+    echo "trace smoke: stats output is not valid JSON" >&2
+    exit 1
+}
+test -s "$trace_dir/a.csv"
+# A run without --trace must add no artifact (exactly the four files
+# from above: a.json, a.csv, a.stats.json, b.json).
+"$ubsan_dir/tools/btsim" $trace_args > /dev/null
+[ "$(ls "$trace_dir" | wc -l)" -eq 4 ] || {
+    echo "trace smoke: unexpected artifact without --trace" >&2
+    ls "$trace_dir" >&2
+    exit 1
+}
+
 echo "sanitizer build + tier-1 tests + parallel sweep smoke +" \
-     "fault smoke: OK"
+     "fault smoke + trace smoke: OK"
