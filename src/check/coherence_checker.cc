@@ -57,8 +57,7 @@ CoherenceChecker::CoherenceChecker(const sim::SystemConfig &cfg)
 const CoherenceChecker::ShadowLine *
 CoherenceChecker::findLine(Addr la) const
 {
-    auto it = shadow.find(la);
-    return it == shadow.end() ? nullptr : &it->second;
+    return shadow.find(la);
 }
 
 void

@@ -45,9 +45,9 @@
 #include <functional>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hh"
 #include "common/types.hh"
 #include "sim/config.hh"
 
@@ -197,7 +197,7 @@ class CoherenceChecker
     /** True when @p a falls inside a frame marked freed. */
     bool inFreedFrame(Addr a) const;
 
-    std::unordered_map<Addr, ShadowLine> shadow;
+    common::FlatMap<Addr, ShadowLine> shadow;
     std::map<Addr, std::pair<uint32_t, bool>> frames; // addr->{sz,freed}
     std::vector<const char *> sites;                  // per core
     std::vector<Violation> log;

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared arena allocators (DESIGN.md section 12).
+ *
+ * Two allocation patterns recur across the simulator and both used to
+ * be reimplemented ad hoc at each site:
+ *
+ *  - BumpAllocator: a monotone cursor over the *simulated* address
+ *    space. Guest data (task frames, deques, mailboxes, application
+ *    arrays) is laid out by bumping; nothing is ever freed during a
+ *    run, which keeps simulated addresses — and therefore cache-set
+ *    mapping, bank interleaving, and every downstream statistic —
+ *    deterministic. mem::ArenaAllocator is an alias of this type.
+ *
+ *  - SlabArena: a chunked pool of fixed-size *host* blocks. Backing
+ *    pages for MainMemory are carved from it, so first-touch of a
+ *    fresh page on the spawn path (new task frame -> new page) no
+ *    longer performs a per-page heap allocation; blocks live until
+ *    the arena dies.
+ */
+
+#ifndef BIGTINY_COMMON_ARENA_HH
+#define BIGTINY_COMMON_ARENA_HH
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace bigtiny::common
+{
+
+/**
+ * Bump allocator over the simulated address space. Address 0 is kept
+ * unmapped so that Addr 0 can serve as a null task/list pointer.
+ *
+ * Allocation is a host-side operation (no simulated cycles): it models
+ * memory that was set up by the loader or a malloc whose cost the
+ * paper's measurements exclude. reset() recycles the arena between
+ * runs.
+ */
+class BumpAllocator
+{
+  public:
+    explicit BumpAllocator(Addr base = 0x1000) : base(base), next(base)
+    {}
+
+    /** Allocate @p bytes aligned to @p align (power of two). */
+    Addr
+    alloc(uint64_t bytes, uint64_t align = 8)
+    {
+        panic_if(align == 0 || (align & (align - 1)),
+                 "bad alignment %llu", (unsigned long long)align);
+        next = (next + align - 1) & ~(align - 1);
+        Addr a = next;
+        next += bytes;
+        return a;
+    }
+
+    /** Allocate line-aligned storage padded to whole lines. */
+    Addr
+    allocLines(uint64_t bytes)
+    {
+        uint64_t padded =
+            (bytes + lineBytes - 1) & ~static_cast<uint64_t>(
+                lineBytes - 1);
+        return alloc(padded, lineBytes);
+    }
+
+    void reset() { next = base; }
+
+    Addr bytesUsed() const { return next - base; }
+
+  private:
+    Addr base;
+    Addr next;
+};
+
+/**
+ * Chunked pool of fixed-size, zero-initialized host memory blocks.
+ * Blocks are handed out by bumping through chunks of @p blocksPerChunk
+ * at a time and are never individually freed; everything is released
+ * when the arena is destroyed. Pointers returned by allocBlock() are
+ * stable for the arena's lifetime.
+ */
+class SlabArena
+{
+  public:
+    explicit SlabArena(size_t block_bytes, size_t blocks_per_chunk = 64)
+        : blockBytes(block_bytes), blocksPerChunk(blocks_per_chunk)
+    {
+        panic_if(block_bytes == 0 || blocks_per_chunk == 0,
+                 "SlabArena with zero geometry");
+    }
+
+    /** Hand out one zeroed block (amortized: one malloc per chunk). */
+    uint8_t *
+    allocBlock()
+    {
+        if (usedInChunk == blocksPerChunk || chunks.empty()) {
+            chunks.push_back(std::make_unique<uint8_t[]>(
+                blockBytes * blocksPerChunk));
+            usedInChunk = 0;
+        }
+        uint8_t *b = chunks.back().get() + usedInChunk * blockBytes;
+        ++usedInChunk;
+        ++blockCount;
+        return b;
+    }
+
+    size_t blocksAllocated() const { return blockCount; }
+
+  private:
+    size_t blockBytes;
+    size_t blocksPerChunk;
+    size_t usedInChunk = 0;
+    size_t blockCount = 0;
+    std::vector<std::unique_ptr<uint8_t[]>> chunks;
+};
+
+} // namespace bigtiny::common
+
+#endif // BIGTINY_COMMON_ARENA_HH

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Open-addressed hash containers for integral keys (DESIGN.md
+ * section 12).
+ *
+ * std::unordered_map/set pay a heap allocation per element and a
+ * pointer chase per lookup; the simulator's address-keyed tables
+ * (coherence-checker shadow lines, exactly-once task bookkeeping,
+ * invariant sweeps) are hit on hot paths where that costs real
+ * throughput. FlatMap/FlatSet store slots contiguously with linear
+ * probing and a multiplicative mix hash, so a lookup is one or two
+ * adjacent cache-line touches and insertion never allocates except
+ * to double the table.
+ *
+ * Constraints (deliberate, keep them): keys are integral, erase is
+ * not supported (no users need it; tombstones would slow probes),
+ * and iteration order is table order — callers must not depend on it
+ * for anything model-visible.
+ */
+
+#ifndef BIGTINY_COMMON_FLAT_HASH_HH
+#define BIGTINY_COMMON_FLAT_HASH_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bigtiny::common
+{
+
+/** splitmix64 finalizer: full-avalanche mix of an integral key. */
+inline uint64_t
+hashMix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Open-addressed map from an integral key to V. No erase. */
+template <typename K, typename V>
+class FlatMap
+{
+    static_assert(std::is_integral_v<K>, "FlatMap keys are integral");
+
+  public:
+    FlatMap() { rehash(initialCap); }
+
+    /** Find-or-default-insert, as std::unordered_map::operator[]. */
+    V &
+    operator[](K key)
+    {
+        if ((count + 1) * 4 > slots.size() * 3)
+            rehash(slots.size() * 2);
+        size_t i = probe(key);
+        if (!used[i]) {
+            used[i] = 1;
+            slots[i].first = key;
+            slots[i].second = V{};
+            ++count;
+        }
+        return slots[i].second;
+    }
+
+    V *
+    find(K key)
+    {
+        size_t i = probe(key);
+        return used[i] ? &slots[i].second : nullptr;
+    }
+
+    const V *
+    find(K key) const
+    {
+        size_t i = probe(key);
+        return used[i] ? &slots[i].second : nullptr;
+    }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    void
+    clear()
+    {
+        std::fill(used.begin(), used.end(), 0);
+        count = 0;
+    }
+
+    /** Visit every (key, value); table order, not insertion order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (size_t i = 0; i < slots.size(); ++i) {
+            if (used[i])
+                fn(slots[i].first, slots[i].second);
+        }
+    }
+
+  private:
+    static constexpr size_t initialCap = 64;
+
+    size_t
+    probe(K key) const
+    {
+        size_t mask = slots.size() - 1;
+        size_t i = hashMix64(static_cast<uint64_t>(key)) & mask;
+        while (used[i] && slots[i].first != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void
+    rehash(size_t cap)
+    {
+        std::vector<std::pair<K, V>> old = std::move(slots);
+        std::vector<uint8_t> old_used = std::move(used);
+        slots.assign(cap, {});
+        used.assign(cap, 0);
+        for (size_t i = 0; i < old.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            size_t j = probe(old[i].first);
+            used[j] = 1;
+            slots[j] = std::move(old[i]);
+        }
+    }
+
+    std::vector<std::pair<K, V>> slots;
+    std::vector<uint8_t> used;
+    size_t count = 0;
+};
+
+/** Open-addressed set of integral keys. No erase. */
+template <typename K>
+class FlatSet
+{
+    static_assert(std::is_integral_v<K>, "FlatSet keys are integral");
+
+  public:
+    FlatSet() { rehash(initialCap); }
+
+    /** @return true iff @p key was newly inserted. */
+    bool
+    insert(K key)
+    {
+        if ((count + 1) * 4 > keys.size() * 3)
+            rehash(keys.size() * 2);
+        size_t i = probe(key);
+        if (used[i])
+            return false;
+        used[i] = 1;
+        keys[i] = key;
+        ++count;
+        return true;
+    }
+
+    bool
+    contains(K key) const
+    {
+        return used[probe(key)];
+    }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    void
+    clear()
+    {
+        std::fill(used.begin(), used.end(), 0);
+        count = 0;
+    }
+
+  private:
+    static constexpr size_t initialCap = 64;
+
+    size_t
+    probe(K key) const
+    {
+        size_t mask = keys.size() - 1;
+        size_t i = hashMix64(static_cast<uint64_t>(key)) & mask;
+        while (used[i] && keys[i] != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void
+    rehash(size_t cap)
+    {
+        std::vector<K> old = std::move(keys);
+        std::vector<uint8_t> old_used = std::move(used);
+        keys.assign(cap, K{});
+        used.assign(cap, 0);
+        for (size_t i = 0; i < old.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            size_t j = probe(old[i]);
+            used[j] = 1;
+            keys[j] = old[i];
+        }
+    }
+
+    std::vector<K> keys;
+    std::vector<uint8_t> used;
+    size_t count = 0;
+};
+
+} // namespace bigtiny::common
+
+#endif // BIGTINY_COMMON_FLAT_HASH_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A move-only, small-buffer-optimized callable: the event-storage type
+ * of the sim::EventQueue timing wheel (DESIGN.md section 12).
+ *
+ * std::function performs a heap allocation for any capture list larger
+ * than two pointers, and ULI delivery closures (the dominant event
+ * type) capture ~40 bytes. InlineFn stores captures up to bufBytes
+ * in-place, falling back to the heap only for oversized callables, so
+ * the schedule/deliver path normally performs zero host allocations.
+ */
+
+#ifndef BIGTINY_COMMON_INLINE_FN_HH
+#define BIGTINY_COMMON_INLINE_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bigtiny::common
+{
+
+class InlineFn
+{
+  public:
+    /** Captures up to this many bytes are stored without allocating. */
+    static constexpr size_t bufBytes = 48;
+
+    InlineFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn>>>
+    InlineFn(F &&f) // NOLINT: intentional converting constructor
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= bufBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            vt = &vtableInline<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf) =
+                new Fn(std::forward<F>(f));
+            vt = &vtableHeap<Fn>;
+        }
+    }
+
+    InlineFn(InlineFn &&o) noexcept : vt(o.vt)
+    {
+        if (vt) {
+            vt->relocate(buf, o.buf);
+            o.vt = nullptr;
+        }
+    }
+
+    InlineFn &
+    operator=(InlineFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            vt = o.vt;
+            if (vt) {
+                vt->relocate(buf, o.buf);
+                o.vt = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    void operator()() { vt->call(buf); }
+
+    explicit operator bool() const { return vt != nullptr; }
+
+    void
+    reset()
+    {
+        if (vt) {
+            vt->destroy(buf);
+            vt = nullptr;
+        }
+    }
+
+  private:
+    struct VTable
+    {
+        void (*call)(void *);
+        /** Move-construct into @p dst from @p src, then destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static inline const VTable vtableInline = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *dst, void *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+    };
+
+    template <typename Fn>
+    static inline const VTable vtableHeap = {
+        [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
+        [](void *dst, void *src) {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+        [](void *p) { delete *reinterpret_cast<Fn **>(p); },
+    };
+
+    alignas(std::max_align_t) unsigned char buf[bufBytes];
+    const VTable *vt = nullptr;
+};
+
+} // namespace bigtiny::common
+
+#endif // BIGTINY_COMMON_INLINE_FN_HH

@@ -1,0 +1,155 @@
+#include "common/sha256.hh"
+
+#include <cstring>
+
+namespace bigtiny::common
+{
+
+namespace
+{
+
+constexpr uint32_t K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t
+rotr(uint32_t x, int n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+} // namespace
+
+void
+Sha256::reset()
+{
+    static constexpr uint32_t init[8] = {
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+    };
+    std::memcpy(h, init, sizeof(h));
+    bufLen = 0;
+    totalBytes = 0;
+}
+
+void
+Sha256::compress(const uint8_t *block)
+{
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
+               static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+               static_cast<uint32_t>(block[4 * i + 2]) << 8 |
+               static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+        uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                      (w[i - 15] >> 3);
+        uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                      (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+        uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        uint32_t ch = (e & f) ^ (~e & g);
+        uint32_t t1 = hh + s1 + ch + K[i] + w[i];
+        uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = s0 + maj;
+        hh = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+}
+
+void
+Sha256::update(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    totalBytes += len;
+    if (bufLen > 0) {
+        size_t take = std::min(len, sizeof(buf) - bufLen);
+        std::memcpy(buf + bufLen, p, take);
+        bufLen += take;
+        p += take;
+        len -= take;
+        if (bufLen == sizeof(buf)) {
+            compress(buf);
+            bufLen = 0;
+        }
+    }
+    while (len >= sizeof(buf)) {
+        compress(p);
+        p += sizeof(buf);
+        len -= sizeof(buf);
+    }
+    if (len > 0) {
+        std::memcpy(buf, p, len);
+        bufLen = len;
+    }
+}
+
+std::string
+Sha256::hexDigest()
+{
+    uint64_t bits = totalBytes * 8;
+    uint8_t pad[72] = {0x80};
+    size_t pad_len =
+        (bufLen < 56 ? 56 - bufLen : 120 - bufLen); // to 56 mod 64
+    uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i)
+        len_be[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+    update(pad, pad_len);
+    // update() counted the padding; the length block is appended raw.
+    std::memcpy(buf + bufLen, len_be, 8);
+    compress(buf);
+
+    static const char hex[] = "0123456789abcdef";
+    std::string out(64, '0');
+    for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            uint8_t byte = static_cast<uint8_t>(h[i] >> (24 - 8 * j));
+            out[8 * i + 2 * j] = hex[byte >> 4];
+            out[8 * i + 2 * j + 1] = hex[byte & 0xf];
+        }
+    }
+    return out;
+}
+
+std::string
+sha256Hex(const std::string &s)
+{
+    Sha256 ctx;
+    ctx.update(s.data(), s.size());
+    return ctx.hexDigest();
+}
+
+} // namespace bigtiny::common

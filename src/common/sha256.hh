@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal SHA-256 (FIPS 180-4) for artifact fingerprinting.
+ *
+ * The hot-path fidelity suite (tests/test_hotpath.cc) and the perf
+ * smoke step compare simulator output against the seed goldens by
+ * digest; tests/golden/MANIFEST.sha256 stores one `<hex>  <name>`
+ * line per artifact, the format `sha256sum` emits. This is a plain
+ * portable implementation — fingerprinting only, never a security
+ * boundary.
+ */
+
+#ifndef BIGTINY_COMMON_SHA256_HH
+#define BIGTINY_COMMON_SHA256_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bigtiny::common
+{
+
+/** Streaming SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const void *data, size_t len);
+
+    /** Finish and return the digest as 64 lowercase hex characters. */
+    std::string hexDigest();
+
+  private:
+    void compress(const uint8_t *block);
+
+    uint32_t h[8];
+    uint8_t buf[64];
+    size_t bufLen;
+    uint64_t totalBytes;
+};
+
+/** One-shot digest of @p s as 64 lowercase hex characters. */
+std::string sha256Hex(const std::string &s);
+
+} // namespace bigtiny::common
+
+#endif // BIGTINY_COMMON_SHA256_HH

@@ -21,9 +21,9 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.hh"
 #include "common/rng.hh"
 #include "core/dag_profiler.hh"
 #include "core/deque.hh"
@@ -129,7 +129,7 @@ class Runtime
     DagProfiler profiler;
 
     /** Exactly-once execution check (host-side debug bookkeeping). */
-    std::unordered_set<Addr> executedTasks;
+    common::FlatSet<Addr> executedTasks;
 
     SchedVariant variant;
     sim::System &sys;

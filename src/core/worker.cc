@@ -1,7 +1,5 @@
 #include "core/worker.hh"
 
-#include <unordered_set>
-
 #include "common/log.hh"
 #include "fault/failure.hh"
 #include "sim/system.hh"
@@ -176,7 +174,7 @@ Worker::execTask(Addr t)
 
     // Runtime invariant: every task executes exactly once (host-side
     // bookkeeping; a violation means the deque or join protocol broke).
-    if (!rt.executedTasks.insert(t).second)
+    if (!rt.executedTasks.insert(t))
         core.system().raiseFailure(
             fault::Verdict::TaskProtocol,
             fault::format("task %#llx executed twice (worker %d at "
@@ -601,7 +599,7 @@ Worker::guestMain(const std::function<void(Worker &)> *root)
         ++stats.tasksExecuted;
         // The root participates in the execute-exactly-once invariant
         // like any other task, so a stray re-entry panics.
-        panic_if(!rt.executedTasks.insert(t).second,
+        panic_if(!rt.executedTasks.insert(t),
                  "root task %#llx executed twice (worker %d)",
                  (unsigned long long)t, wid);
         (*root)(*this);

@@ -63,7 +63,7 @@ FailureReport::render() const
     }
     out += format("pending events: %llu",
                   static_cast<unsigned long long>(pendingEvents));
-    if (pendingEvents > 0)
+    if (hasNextEvent)
         out += format(" (next at cycle %llu)",
                       static_cast<unsigned long long>(nextEventTime));
     out += '\n';

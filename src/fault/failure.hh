@@ -67,7 +67,13 @@ struct FailureReport
     std::vector<CoreState> cores;
 
     uint64_t pendingEvents = 0; //!< events still queued at failure
-    Cycle nextEventTime = 0;    //!< earliest queued event (0 if none)
+    bool hasNextEvent = false;  //!< nextEventTime below is meaningful
+    /**
+     * Earliest queued event. Only valid when hasNextEvent is true; a
+     * queued event at cycle 0 is thus distinguishable from an empty
+     * queue (the old 0-sentinel conflated the two).
+     */
+    Cycle nextEventTime = 0;
 
     std::vector<FaultEvent> faultLog; //!< injected faults, in order
 

@@ -1,24 +1,22 @@
 #include "mem/address_space.hh"
 
+#include <algorithm>
+
 namespace bigtiny::mem
 {
 
 uint8_t *
 MainMemory::pageFor(Addr addr)
 {
-    Addr page = addr / pageBytes;
-    auto it = pages.find(page);
-    if (it == pages.end())
-        it = pages.emplace(page,
-                           std::vector<uint8_t>(pageBytes, 0)).first;
-    return it->second.data();
-}
-
-const uint8_t *
-MainMemory::pageForConst(Addr addr) const
-{
-    auto it = pages.find(addr / pageBytes);
-    return it == pages.end() ? nullptr : it->second.data();
+    size_t page = addr / pageBytes;
+    if (page >= pageTable.size())
+        pageTable.resize(std::max<size_t>(page + 1,
+                                          pageTable.size() * 2),
+                         nullptr);
+    uint8_t *&slot = pageTable[page];
+    if (!slot)
+        slot = pageArena.allocBlock();
+    return slot;
 }
 
 void
@@ -56,28 +54,19 @@ MainMemory::write(Addr addr, const void *buf, uint32_t len)
 }
 
 void
-MainMemory::readLine(Addr addr, uint8_t *line) const
-{
-    panic_if(lineOffset(addr) != 0, "readLine: unaligned %#llx",
-             (unsigned long long)addr);
-    read(addr, line, lineBytes);
-}
-
-void
 MainMemory::writeLineMasked(Addr addr, const uint8_t *line,
                             uint64_t byte_mask)
 {
     panic_if(lineOffset(addr) != 0, "writeLineMasked: unaligned %#llx",
              (unsigned long long)addr);
+    uint8_t *dst = pageFor(addr) + addr % pageBytes;
     if (byte_mask == ~0ull) {
-        write(addr, line, lineBytes);
+        std::memcpy(dst, line, lineBytes);
         return;
     }
-    uint8_t *page = pageFor(addr);
-    Addr off = addr % pageBytes;
     for (uint32_t i = 0; i < lineBytes; ++i) {
         if (byte_mask & (1ull << i))
-            page[off + i] = line[i];
+            dst[i] = line[i];
     }
 }
 

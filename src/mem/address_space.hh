@@ -11,9 +11,9 @@
 #define BIGTINY_MEM_ADDRESS_SPACE_HH
 
 #include <cstring>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -23,11 +23,19 @@ namespace bigtiny::mem
 /**
  * Sparse byte-addressable main memory. Pages are allocated on first
  * touch; reads of untouched memory return zero.
+ *
+ * Guest addresses come from a bump arena, so page numbers are small
+ * and dense: the page store is a direct-indexed table (one load per
+ * lookup — this sits under every L2 miss fill and writeback) with
+ * page storage carved from a common::SlabArena rather than allocated
+ * per page.
  */
 class MainMemory
 {
   public:
     static constexpr Addr pageBytes = 4096;
+
+    MainMemory() : pageArena(pageBytes) {}
 
     /** Read @p len bytes at @p addr into @p buf. */
     void read(Addr addr, void *buf, uint32_t len) const;
@@ -36,66 +44,43 @@ class MainMemory
     void write(Addr addr, const void *buf, uint32_t len);
 
     /** Read one full cache line (addr must be line-aligned). */
-    void readLine(Addr addr, uint8_t *line) const;
+    void
+    readLine(Addr addr, uint8_t *line) const
+    {
+        panic_if(lineOffset(addr) != 0, "readLine: unaligned %#llx",
+                 (unsigned long long)addr);
+        // A line never straddles a page (pageBytes % lineBytes == 0).
+        if (const uint8_t *page = pageForConst(addr))
+            std::memcpy(line, page + addr % pageBytes, lineBytes);
+        else
+            std::memset(line, 0, lineBytes);
+    }
 
     /** Write selected bytes of one cache line per @p byte_mask. */
     void writeLineMasked(Addr addr, const uint8_t *line,
                          uint64_t byte_mask);
 
-    size_t numPages() const { return pages.size(); }
+    size_t numPages() const { return pageArena.blocksAllocated(); }
 
   private:
     uint8_t *pageFor(Addr addr);
-    const uint8_t *pageForConst(Addr addr) const;
 
-    std::unordered_map<Addr, std::vector<uint8_t>> pages;
+    const uint8_t *
+    pageForConst(Addr addr) const
+    {
+        size_t page = addr / pageBytes;
+        return page < pageTable.size() ? pageTable[page] : nullptr;
+    }
+
+    std::vector<uint8_t *> pageTable; //!< by page number; null untouched
+    common::SlabArena pageArena;
 };
 
 /**
- * Bump allocator over the simulated address space. Address 0 is kept
- * unmapped so that Addr 0 can serve as a null task/list pointer.
- *
- * Allocation is a host-side operation (no simulated cycles): it models
- * memory that was set up by the loader or a malloc whose cost the
- * paper's measurements exclude. reset() recycles the arena between
- * runs.
+ * Simulated-address bump arena (see common/arena.hh). Kept as an
+ * alias so mem:: call sites read naturally.
  */
-class ArenaAllocator
-{
-  public:
-    explicit ArenaAllocator(Addr base = 0x1000) : base(base), next(base)
-    {}
-
-    /** Allocate @p bytes aligned to @p align (power of two). */
-    Addr
-    alloc(uint64_t bytes, uint64_t align = 8)
-    {
-        panic_if(align == 0 || (align & (align - 1)),
-                 "bad alignment %llu", (unsigned long long)align);
-        next = (next + align - 1) & ~(align - 1);
-        Addr a = next;
-        next += bytes;
-        return a;
-    }
-
-    /** Allocate line-aligned storage padded to whole lines. */
-    Addr
-    allocLines(uint64_t bytes)
-    {
-        uint64_t padded =
-            (bytes + lineBytes - 1) & ~static_cast<uint64_t>(
-                lineBytes - 1);
-        return alloc(padded, lineBytes);
-    }
-
-    void reset() { next = base; }
-
-    Addr bytesUsed() const { return next - base; }
-
-  private:
-    Addr base;
-    Addr next;
-};
+using ArenaAllocator = common::BumpAllocator;
 
 } // namespace bigtiny::mem
 

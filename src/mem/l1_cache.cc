@@ -5,41 +5,12 @@ namespace bigtiny::mem
 
 L1Cache::L1Cache(sim::Protocol proto, uint32_t size_bytes, uint32_t ways)
     : proto(proto), sets(size_bytes / (lineBytes * ways)), ways(ways),
-      lines(static_cast<size_t>(sets) * ways)
+      lines(static_cast<size_t>(sets) * ways),
+      dataPlane(static_cast<size_t>(sets) * ways * lineBytes, 0),
+      tagPlane(static_cast<size_t>(sets) * ways, invalidTag)
 {
     panic_if(sets == 0, "L1 with zero sets");
     panic_if(sets & (sets - 1), "L1 set count must be a power of two");
-}
-
-L1Line *
-L1Cache::find(Addr line_addr)
-{
-    L1Line *base = &lines[static_cast<size_t>(setOf(line_addr)) * ways];
-    for (uint32_t w = 0; w < ways; ++w) {
-        if (base[w].valid && base[w].lineAddr == line_addr)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const L1Line *
-L1Cache::find(Addr line_addr) const
-{
-    return const_cast<L1Cache *>(this)->find(line_addr);
-}
-
-L1Line *
-L1Cache::victimFor(Addr line_addr)
-{
-    L1Line *base = &lines[static_cast<size_t>(setOf(line_addr)) * ways];
-    L1Line *victim = &base[0];
-    for (uint32_t w = 0; w < ways; ++w) {
-        if (!base[w].valid)
-            return &base[w];
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
-    }
-    return victim;
 }
 
 } // namespace bigtiny::mem

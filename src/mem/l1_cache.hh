@@ -18,6 +18,7 @@
 #ifndef BIGTINY_MEM_L1_CACHE_HH
 #define BIGTINY_MEM_L1_CACHE_HH
 
+#include <algorithm>
 #include <array>
 #include <vector>
 
@@ -32,6 +33,13 @@ namespace bigtiny::mem
 /** MESI stable states. */
 enum class MesiState : uint8_t { I, S, E, M };
 
+/**
+ * Per-line metadata only. Line data lives in a separate per-cache
+ * plane (L1Cache::dataOf): the tag/state walk in find()/victimFor()
+ * is the hottest loop in the simulator, and keeping the 64-byte
+ * payload out of the way-scan stride cuts the metadata for a whole
+ * set to one or two host cache lines.
+ */
 struct L1Line
 {
     Addr lineAddr = 0;
@@ -41,7 +49,6 @@ struct L1Line
     uint64_t validMask = 0;      //!< per-byte validity
     uint64_t dirtyMask = 0;      //!< per-byte dirtiness
     uint64_t lru = 0;
-    std::array<uint8_t, lineBytes> data{};
 
     void
     reset()
@@ -65,23 +72,92 @@ struct L1Line
 class L1Cache
 {
   public:
+    /** Tag-plane value for an invalid way (never a real line addr). */
+    static constexpr Addr invalidTag = ~static_cast<Addr>(0);
+
     L1Cache(sim::Protocol proto, uint32_t size_bytes, uint32_t ways);
 
     sim::Protocol protocol() const { return proto; }
 
-    /** Find a valid line; updates nothing. */
-    L1Line *find(Addr line_addr);
-    const L1Line *find(Addr line_addr) const;
+    /**
+     * Find a valid line; updates nothing. The walk reads only the
+     * packed tag plane (8 bytes per way, one host cache line for a
+     * whole set) — invalid ways hold invalidTag, so a single compare
+     * replaces the valid+addr pair.
+     */
+    L1Line *
+    find(Addr line_addr)
+    {
+        size_t base = static_cast<size_t>(setOf(line_addr)) * ways;
+        const Addr *tags = tagPlane.data() + base;
+        for (uint32_t w = 0; w < ways; ++w) {
+            if (tags[w] == line_addr)
+                return &lines[base + w];
+        }
+        return nullptr;
+    }
+
+    const L1Line *
+    find(Addr line_addr) const
+    {
+        return const_cast<L1Cache *>(this)->find(line_addr);
+    }
 
     /**
      * Pick a victim way for @p line_addr (invalid way preferred, else
      * LRU). The caller must handle write-back of the returned line's
      * previous contents before reusing it.
      */
-    L1Line *victimFor(Addr line_addr);
+    L1Line *
+    victimFor(Addr line_addr)
+    {
+        size_t base = static_cast<size_t>(setOf(line_addr)) * ways;
+        const Addr *tags = tagPlane.data() + base;
+        L1Line *victim = &lines[base];
+        for (uint32_t w = 0; w < ways; ++w) {
+            if (tags[w] == invalidTag)
+                return &lines[base + w];
+            if (lines[base + w].lru < victim->lru)
+                victim = &lines[base + w];
+        }
+        return victim;
+    }
 
     /** Bump LRU for a line on access. */
     void touch(L1Line *line) { line->lru = ++lruTick; }
+
+    /** Invalidate @p line and clear its tag-plane entry. */
+    void
+    resetLine(L1Line *line)
+    {
+        line->reset();
+        tagPlane[static_cast<size_t>(line - lines.data())] =
+            invalidTag;
+    }
+
+    /** Publish @p line as valid in the tag plane (lineAddr is set). */
+    void
+    markPresent(L1Line *line)
+    {
+        line->valid = true;
+        tagPlane[static_cast<size_t>(line - lines.data())] =
+            line->lineAddr;
+    }
+
+    /** Data payload of @p line (SoA plane parallel to the line array). */
+    uint8_t *
+    dataOf(const L1Line *line)
+    {
+        return dataPlane.data() +
+               static_cast<size_t>(line - lines.data()) * lineBytes;
+    }
+
+    const uint8_t *
+    dataOf(const L1Line *line) const
+    {
+        return dataPlane.data() +
+               static_cast<size_t>(line - lines.data()) * lineBytes;
+    }
 
     /** Apply fn to every valid line (invalidate/flush/drain walks). */
     template <typename Fn>
@@ -100,6 +176,7 @@ class L1Cache
     {
         for (auto &l : lines)
             l.reset();
+        std::fill(tagPlane.begin(), tagPlane.end(), invalidTag);
     }
 
     uint32_t numSets() const { return sets; }
@@ -118,6 +195,8 @@ class L1Cache
     uint32_t ways;
     uint64_t lruTick = 0;
     std::vector<L1Line> lines; // sets x ways, row-major
+    std::vector<uint8_t> dataPlane; // lines.size() x lineBytes
+    std::vector<Addr> tagPlane; //!< lineAddr if valid, else invalidTag
 };
 
 } // namespace bigtiny::mem

@@ -8,34 +8,10 @@ L2Cache::L2Cache(const sim::SystemConfig &cfg)
       setsPerBank(cfg.l2BankBytes / (lineBytes * cfg.l2Ways)),
       ways(cfg.l2Ways), occupancy(cfg.l2Occupancy),
       lines(static_cast<size_t>(banks) * setsPerBank * cfg.l2Ways),
-      bankFree(banks, 0)
+      dataPlane(lines.size() * lineBytes, 0), sharerDir(lines.size()),
+      tagPlane(lines.size(), invalidTag), bankFree(banks, 0)
 {
     panic_if(setsPerBank == 0, "L2 bank with zero sets");
-}
-
-L2Line *
-L2Cache::find(Addr line_addr)
-{
-    L2Line *base = &lines[slotBase(line_addr)];
-    for (uint32_t w = 0; w < ways; ++w) {
-        if (base[w].valid && base[w].lineAddr == line_addr)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-L2Line *
-L2Cache::victimFor(Addr line_addr)
-{
-    L2Line *base = &lines[slotBase(line_addr)];
-    L2Line *victim = &base[0];
-    for (uint32_t w = 0; w < ways; ++w) {
-        if (!base[w].valid)
-            return &base[w];
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
-    }
-    return victim;
 }
 
 void
@@ -44,8 +20,9 @@ L2Cache::reset()
     for (auto &l : lines) {
         l.valid = false;
         l.dirty = false;
-        l.resetDirectory();
+        resetDirectory(&l);
     }
+    std::fill(tagPlane.begin(), tagPlane.end(), invalidTag);
     std::fill(bankFree.begin(), bankFree.end(), 0);
     hits = misses = 0;
 }

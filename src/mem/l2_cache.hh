@@ -67,24 +67,21 @@ struct SharerSet
     }
 };
 
+/**
+ * Per-line metadata only. The 64-byte data payload and the 32-byte
+ * sharer bitset live in separate per-cache planes (L2Cache::dataOf /
+ * sharersOf): the tag walk in find() touches every way of a set, and
+ * with 8 ways the metadata-only stride keeps a whole set inside two
+ * host cache lines instead of twelve.
+ */
 struct L2Line
 {
     Addr lineAddr = 0;
     bool valid = false;
     bool dirty = false;            //!< with respect to main memory
     CoreId mesiOwner = invalidCore; //!< core holding E/M, if any
-    SharerSet sharers;             //!< MESI sharers (includes owner)
     CoreId dnvOwner = invalidCore; //!< DeNovo registration owner
     uint64_t lru = 0;
-    std::array<uint8_t, lineBytes> data{};
-
-    void
-    resetDirectory()
-    {
-        mesiOwner = invalidCore;
-        sharers.clearAll();
-        dnvOwner = invalidCore;
-    }
 };
 
 class L2Cache
@@ -99,7 +96,25 @@ class L2Cache
         return static_cast<int>((line_addr >> lineShift) % banks);
     }
 
-    L2Line *find(Addr line_addr);
+    /** Tag-plane value for an invalid way (never a real line addr). */
+    static constexpr Addr invalidTag = ~static_cast<Addr>(0);
+
+    /**
+     * Find a valid line. The walk reads only the packed tag plane
+     * (8 bytes per way, one host cache line for an 8-way set) —
+     * invalid ways hold invalidTag, so one compare per way suffices.
+     */
+    L2Line *
+    find(Addr line_addr)
+    {
+        size_t base = slotBase(line_addr);
+        const Addr *tags = tagPlane.data() + base;
+        for (uint32_t w = 0; w < ways; ++w) {
+            if (tags[w] == line_addr)
+                return &lines[base + w];
+        }
+        return nullptr;
+    }
 
     /**
      * Pick a victim way in the set of @p line_addr (invalid way
@@ -107,9 +122,72 @@ class L2Cache
      * (write-back, inclusive-invalidate of MESI sharers, DeNovo owner
      * recall).
      */
-    L2Line *victimFor(Addr line_addr);
+    L2Line *
+    victimFor(Addr line_addr)
+    {
+        size_t base = slotBase(line_addr);
+        const Addr *tags = tagPlane.data() + base;
+        L2Line *victim = &lines[base];
+        for (uint32_t w = 0; w < ways; ++w) {
+            if (tags[w] == invalidTag)
+                return &lines[base + w];
+            if (lines[base + w].lru < victim->lru)
+                victim = &lines[base + w];
+        }
+        return victim;
+    }
 
     void touch(L2Line *line) { line->lru = ++lruTick; }
+
+    /** Install @p la in @p line and publish it in the tag plane. */
+    void
+    setLine(L2Line *line, Addr la)
+    {
+        line->lineAddr = la;
+        line->valid = true;
+        tagPlane[slotOf(line)] = la;
+    }
+
+    /** Invalidate @p line and clear its tag-plane entry. */
+    void
+    invalidateLine(L2Line *line)
+    {
+        line->valid = false;
+        tagPlane[slotOf(line)] = invalidTag;
+    }
+
+    /** Data payload of @p line (SoA plane parallel to the line array). */
+    uint8_t *
+    dataOf(const L2Line *line)
+    {
+        return dataPlane.data() + slotOf(line) * lineBytes;
+    }
+
+    const uint8_t *
+    dataOf(const L2Line *line) const
+    {
+        return dataPlane.data() + slotOf(line) * lineBytes;
+    }
+
+    /** MESI sharer set of @p line (includes the E/M owner). */
+    SharerSet &sharersOf(const L2Line *line)
+    {
+        return sharerDir[slotOf(line)];
+    }
+
+    const SharerSet &sharersOf(const L2Line *line) const
+    {
+        return sharerDir[slotOf(line)];
+    }
+
+    /** Drop all directory state (owners + sharers) for @p line. */
+    void
+    resetDirectory(L2Line *line)
+    {
+        line->mesiOwner = invalidCore;
+        line->dnvOwner = invalidCore;
+        sharersOf(line).clearAll();
+    }
 
     /**
      * Bank service queueing: reserve the bank at or after @p t.
@@ -153,12 +231,21 @@ class L2Cache
         return (bank * setsPerBank + setOf(line_addr)) * ways;
     }
 
+    size_t
+    slotOf(const L2Line *line) const
+    {
+        return static_cast<size_t>(line - lines.data());
+    }
+
     int banks;
     uint32_t setsPerBank;
     uint32_t ways;
     Cycle occupancy;
     uint64_t lruTick = 0;
-    std::vector<L2Line> lines;   // banks x sets x ways
+    std::vector<L2Line> lines;      // banks x sets x ways
+    std::vector<uint8_t> dataPlane; // lines.size() x lineBytes
+    std::vector<SharerSet> sharerDir; // parallel to lines
+    std::vector<Addr> tagPlane; //!< lineAddr if valid, else invalidTag
     std::vector<Cycle> bankFree;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/flat_hash.hh"
+
 namespace bigtiny::mem
 {
 
@@ -27,7 +29,8 @@ MemorySystem::MemorySystem(const sim::SystemConfig &cfg,
 // ---------------------------------------------------------------------
 
 MemorySystem::Result
-MemorySystem::load(CoreId c, Cycle now, Addr a, void *out, uint32_t len)
+MemorySystem::loadCold(CoreId c, Cycle now, Addr a, void *out,
+                       uint32_t len)
 {
     Result r = loadImpl(c, now, a, out, len);
     if (!r.hit && BT_TRACE_ON(tr, trace::CatMem))
@@ -77,7 +80,7 @@ MemorySystem::ctrlRoundTrip(int bank, CoreId c) const
 }
 
 void
-MemorySystem::fillL1(L1Line *slot, Addr la, const L2Line *m)
+MemorySystem::fillL1(CoreId c, L1Line *slot, Addr la, const L2Line *m)
 {
     // Preserve locally dirty bytes on refill (GPU-WB partial lines).
     uint64_t keep = (slot->valid && slot->lineAddr == la)
@@ -86,11 +89,17 @@ MemorySystem::fillL1(L1Line *slot, Addr la, const L2Line *m)
         slot->reset();
         slot->lineAddr = la;
     }
-    for (uint32_t i = 0; i < lineBytes; ++i) {
-        if (!(keep & (1ull << i)))
-            slot->data[i] = m->data[i];
+    uint8_t *dst = l1s[c]->dataOf(slot);
+    const uint8_t *src = l2c.dataOf(m);
+    if (keep == 0) {
+        std::memcpy(dst, src, lineBytes);
+    } else {
+        for (uint32_t i = 0; i < lineBytes; ++i) {
+            if (!(keep & (1ull << i)))
+                dst[i] = src[i];
+        }
     }
-    slot->valid = true;
+    l1s[c]->markPresent(slot);
     slot->validMask = ~0ull;
 }
 
@@ -125,11 +134,10 @@ MemorySystem::l2GetLine(Addr la, Cycle &t, bool count_traffic)
             t += r->args[0] ? r->args[0] : 1000;
     }
 
-    main.readLine(la, victim->data.data());
-    victim->lineAddr = la;
-    victim->valid = true;
+    main.readLine(la, l2c.dataOf(victim));
+    l2c.setLine(victim, la);
     victim->dirty = false;
-    victim->resetDirectory();
+    l2c.resetDirectory(victim);
     l2c.touch(victim);
     return victim;
 }
@@ -139,6 +147,7 @@ MemorySystem::l2Evict(L2Line *victim, Cycle &t)
 {
     Addr la = victim->lineAddr;
     int bank = l2c.bankOf(la);
+    SharerSet &sharers = l2c.sharersOf(victim);
 
     // Inclusive invalidation of MESI L1 copies; recall dirty data.
     if (victim->mesiOwner != invalidCore) {
@@ -147,7 +156,8 @@ MemorySystem::l2Evict(L2Line *victim, Cycle &t)
         nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
                       nocModel.hopsCoreToBank(o, bank));
         if (ol && ol->mesi == MesiState::M) {
-            victim->data = ol->data;
+            std::memcpy(l2c.dataOf(victim), l1s[o]->dataOf(ol),
+                        lineBytes);
             victim->dirty = true;
             nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
                           nocModel.hopsCoreToBank(o, bank));
@@ -156,25 +166,34 @@ MemorySystem::l2Evict(L2Line *victim, Cycle &t)
                           nocModel.hopsCoreToBank(o, bank));
         }
         if (ol)
-            ol->reset();
+            l1s[o]->resetLine(ol);
         t += ctrlRoundTrip(bank, o);
         victim->mesiOwner = invalidCore;
-        victim->sharers.clear(o);
+        sharers.clear(o);
     }
-    if (victim->sharers.any()) {
+    if (sharers.any()) {
         Cycle max_rt = 0;
-        victim->sharers.forEach([&](CoreId s) {
+        uint32_t n = 0;
+        uint64_t hop_sum = 0;
+        sharers.forEach([&](CoreId s) {
             L1Line *sl = l1s[s]->find(la);
             if (sl)
-                sl->reset();
-            nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
-                          nocModel.hopsCoreToBank(s, bank));
-            nocModel.send(MsgClass::CohResp, cfg.ctrlMsgBytes,
-                          nocModel.hopsCoreToBank(s, bank));
-            max_rt = std::max(max_rt, ctrlRoundTrip(bank, s));
+                l1s[s]->resetLine(sl);
+            uint32_t hops = nocModel.hopsCoreToBank(s, bank);
+            ++n;
+            hop_sum += hops;
+            max_rt = std::max(max_rt,
+                              2 * (static_cast<Cycle>(hops) *
+                                   cfg.hopLat));
         });
+        // Invalidations and acks travel in parallel; account them as
+        // one batch and charge the slowest round trip.
+        nocModel.sendBatch(MsgClass::CohReq, cfg.ctrlMsgBytes, n,
+                           hop_sum);
+        nocModel.sendBatch(MsgClass::CohResp, cfg.ctrlMsgBytes, n,
+                           hop_sum);
         t += max_rt;
-        victim->sharers.clearAll();
+        sharers.clearAll();
     }
     // Recall DeNovo registration (write back owned data).
     if (victim->dnvOwner != invalidCore) {
@@ -185,7 +204,8 @@ MemorySystem::l2Evict(L2Line *victim, Cycle &t)
         nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
                       nocModel.hopsCoreToBank(o, bank));
         if (ol) {
-            victim->data = ol->data;
+            std::memcpy(l2c.dataOf(victim), l1s[o]->dataOf(ol),
+                        lineBytes);
             victim->dirty = true;
             ol->owned = false;
             ol->dirtyMask = 0;
@@ -200,9 +220,9 @@ MemorySystem::l2Evict(L2Line *victim, Cycle &t)
     if (victim->dirty) {
         nocModel.send(MsgClass::DramReq, nocModel.dataMsgBytes(), 1);
         dramModel.access(l2c.bankOf(la), t, lineBytes);
-        main.writeLineMasked(la, victim->data.data(), ~0ull);
+        main.writeLineMasked(la, l2c.dataOf(victim), ~0ull);
     }
-    victim->valid = false;
+    l2c.invalidateLine(victim);
     victim->dirty = false;
 }
 
@@ -219,13 +239,14 @@ MemorySystem::invalidateMesiCopies(L2Line *m, CoreId requester,
 {
     Addr la = m->lineAddr;
     int bank = l2c.bankOf(la);
+    SharerSet &sharers = l2c.sharersOf(m);
     if (m->mesiOwner != invalidCore && m->mesiOwner != requester) {
         CoreId o = m->mesiOwner;
         L1Line *ol = l1s[o]->find(la);
         nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
                       nocModel.hopsCoreToBank(o, bank));
         if (ol && ol->mesi == MesiState::M) {
-            m->data = ol->data;
+            std::memcpy(l2c.dataOf(m), l1s[o]->dataOf(ol), lineBytes);
             m->dirty = true;
             nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
                           nocModel.hopsCoreToBank(o, bank));
@@ -234,38 +255,47 @@ MemorySystem::invalidateMesiCopies(L2Line *m, CoreId requester,
                           nocModel.hopsCoreToBank(o, bank));
         }
         if (ol)
-            ol->reset();
+            l1s[o]->resetLine(ol);
         if (BT_TRACE_ON(tr, trace::CatCoh))
             tr->instant(trace::CatCoh, o, t, "mesi-recall", "addr",
                         la, "requester",
                         static_cast<uint64_t>(requester));
         t += ctrlRoundTrip(bank, o) + 2;
-        m->sharers.clear(o);
+        sharers.clear(o);
         m->mesiOwner = invalidCore;
     }
-    if (m->sharers.any()) {
+    if (sharers.any()) {
         Cycle max_rt = 0;
-        bool requester_was_sharer = m->sharers.test(requester);
-        m->sharers.forEach([&](CoreId s) {
+        uint32_t n = 0;
+        uint64_t hop_sum = 0;
+        bool requester_was_sharer = sharers.test(requester);
+        sharers.forEach([&](CoreId s) {
             if (s == requester)
                 return;
             L1Line *sl = l1s[s]->find(la);
             if (sl)
-                sl->reset();
+                l1s[s]->resetLine(sl);
             if (BT_TRACE_ON(tr, trace::CatCoh))
                 tr->instant(trace::CatCoh, s, t, "mesi-inv", "addr",
                             la, "requester",
                             static_cast<uint64_t>(requester));
-            nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
-                          nocModel.hopsCoreToBank(s, bank));
-            nocModel.send(MsgClass::CohResp, cfg.ctrlMsgBytes,
-                          nocModel.hopsCoreToBank(s, bank));
-            max_rt = std::max(max_rt, ctrlRoundTrip(bank, s));
+            uint32_t hops = nocModel.hopsCoreToBank(s, bank);
+            ++n;
+            hop_sum += hops;
+            max_rt = std::max(max_rt,
+                              2 * (static_cast<Cycle>(hops) *
+                                   cfg.hopLat));
         });
+        // Invalidations and acks travel in parallel; account them as
+        // one batch and charge the slowest round trip.
+        nocModel.sendBatch(MsgClass::CohReq, cfg.ctrlMsgBytes, n,
+                           hop_sum);
+        nocModel.sendBatch(MsgClass::CohResp, cfg.ctrlMsgBytes, n,
+                           hop_sum);
         t += max_rt;
-        m->sharers.clearAll();
+        sharers.clearAll();
         if (requester_was_sharer)
-            m->sharers.set(requester);
+            sharers.set(requester);
     }
 }
 
@@ -283,7 +313,7 @@ MemorySystem::l2FreshenForRead(L2Line *m, CoreId requester, Cycle &t)
         nocModel.send(MsgClass::CohReq, cfg.ctrlMsgBytes,
                       nocModel.hopsCoreToBank(o, bank));
         if (ol && ol->mesi == MesiState::M) {
-            m->data = ol->data;
+            std::memcpy(l2c.dataOf(m), l1s[o]->dataOf(ol), lineBytes);
             m->dirty = true;
             nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
                           nocModel.hopsCoreToBank(o, bank));
@@ -321,7 +351,7 @@ MemorySystem::l2FreshenForRead(L2Line *m, CoreId requester, Cycle &t)
         nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
                       nocModel.hopsCoreToBank(o, bank));
         if (ol) {
-            m->data = ol->data;
+            std::memcpy(l2c.dataOf(m), l1s[o]->dataOf(ol), lineBytes);
             m->dirty = true;
         }
         if (requester_mesi) {
@@ -351,9 +381,9 @@ MemorySystem::l2ExclusiveForWrite(L2Line *m, CoreId requester, Cycle &t)
         nocModel.send(MsgClass::CohResp, nocModel.dataMsgBytes(),
                       nocModel.hopsCoreToBank(o, bank));
         if (ol) {
-            m->data = ol->data;
+            std::memcpy(l2c.dataOf(m), l1s[o]->dataOf(ol), lineBytes);
             m->dirty = true;
-            ol->reset();
+            l1s[o]->resetLine(ol);
         }
         t += ctrlRoundTrip(bank, o) + 2;
         m->dnvOwner = invalidCore;
@@ -364,22 +394,22 @@ MemorySystem::l2ExclusiveForWrite(L2Line *m, CoreId requester, Cycle &t)
 // L1 eviction / write-back
 // ---------------------------------------------------------------------
 
-void
+L2Line *
 MemorySystem::writeL1LineToL2(CoreId c, L1Line *line, uint64_t byte_mask,
                               Cycle &t, bool charge_latency)
 {
     if (byte_mask == 0)
-        return;
+        return nullptr;
     // Elided write-back: the dirty data silently evaporates. The hook
     // sits above the checker callback so the shadow image keeps the old
     // bytes — a later read of the stale line is then a caught violation.
     if (inj && inj->armed(fault::FaultSite::MemElideWb)) {
         if (inj->fire(fault::FaultSite::MemElideWb, c, t,
                       line->lineAddr))
-            return;
+            return nullptr;
     }
     if (chk)
-        chk->onWriteBack(c, t, line->lineAddr, line->data.data(),
+        chk->onWriteBack(c, t, line->lineAddr, l1s[c]->dataOf(line),
                          byte_mask);
     Addr la = line->lineAddr;
     int bank = l2c.bankOf(la);
@@ -393,13 +423,20 @@ MemorySystem::writeL1LineToL2(CoreId c, L1Line *line, uint64_t byte_mask,
     // A write-back landing in the L2 from outside the MESI domain is
     // a write: MESI copies must be invalidated (writer-initiated).
     invalidateMesiCopies(m, c, t2);
-    for (uint32_t i = 0; i < lineBytes; ++i) {
-        if (byte_mask & (1ull << i))
-            m->data[i] = line->data[i];
+    uint8_t *dst = l2c.dataOf(m);
+    const uint8_t *src = l1s[c]->dataOf(line);
+    if (byte_mask == ~0ull) {
+        std::memcpy(dst, src, lineBytes);
+    } else {
+        for (uint32_t i = 0; i < lineBytes; ++i) {
+            if (byte_mask & (1ull << i))
+                dst[i] = src[i];
+        }
     }
     m->dirty = true;
     if (charge_latency)
         t = t2;
+    return m;
 }
 
 void
@@ -412,26 +449,31 @@ MemorySystem::evictL1Line(CoreId c, L1Line *line, Cycle &t)
     Addr la = line->lineAddr;
 
     switch (cache.protocol()) {
-      case Protocol::MESI:
+      case Protocol::MESI: {
+        L2Line *m = nullptr;
         if (line->mesi == MesiState::M) {
-            // Write back the whole line; directory drops us.
-            writeL1LineToL2(c, line, ~0ull, t, false);
+            // Write back the whole line; directory drops us. Reuse
+            // the write-back's tag walk for the directory update.
+            m = writeL1LineToL2(c, line, ~0ull, t, false);
             ++cache.stats.wbLines;
         }
-        if (L2Line *m = l2c.find(la)) {
-            m->sharers.clear(c);
+        if (!m)
+            m = l2c.find(la);
+        if (m) {
+            l2c.sharersOf(m).clear(c);
             if (m->mesiOwner == c)
                 m->mesiOwner = invalidCore;
         }
         break;
+      }
       case Protocol::DeNovo:
         if (line->owned) {
-            writeL1LineToL2(c, line, ~0ull, t, false);
+            L2Line *m = writeL1LineToL2(c, line, ~0ull, t, false);
             ++cache.stats.wbLines;
-            if (L2Line *m = l2c.find(la)) {
-                if (m->dnvOwner == c)
-                    m->dnvOwner = invalidCore;
-            }
+            if (!m)
+                m = l2c.find(la);
+            if (m && m->dnvOwner == c)
+                m->dnvOwner = invalidCore;
         }
         break;
       case Protocol::GpuWT:
@@ -443,7 +485,7 @@ MemorySystem::evictL1Line(CoreId c, L1Line *line, Cycle &t)
         }
         break;
     }
-    line->reset();
+    cache.resetLine(line);
 }
 
 // ---------------------------------------------------------------------
@@ -469,7 +511,7 @@ MemorySystem::loadImpl(CoreId c, Cycle now, Addr a, void *out,
                          : (l->validMask & mask) == mask);
     if (hit) {
         cache.touch(l);
-        std::memcpy(out, l->data.data() + off, len);
+        copySmall(out, cache.dataOf(l) + off, len);
         return {cfg.l1HitLat, true};
     }
 
@@ -487,19 +529,21 @@ MemorySystem::loadImpl(CoreId c, Cycle now, Addr a, void *out,
         evictL1Line(c, slot, t);
     L2Line *m = l2GetLine(la, t);
     l2FreshenForRead(m, c, t);
-    fillL1(slot, la, m);
+    fillL1(c, slot, la, m);
     cache.touch(slot);
 
     switch (cache.protocol()) {
-      case Protocol::MESI:
-        if (!m->sharers.any() && m->mesiOwner == invalidCore) {
+      case Protocol::MESI: {
+        SharerSet &sharers = l2c.sharersOf(m);
+        if (!sharers.any() && m->mesiOwner == invalidCore) {
             slot->mesi = MesiState::E;
             m->mesiOwner = c;
         } else {
             slot->mesi = MesiState::S;
         }
-        m->sharers.set(c);
+        sharers.set(c);
         break;
+      }
       case Protocol::DeNovo:
       case Protocol::GpuWT:
       case Protocol::GpuWB:
@@ -508,7 +552,7 @@ MemorySystem::loadImpl(CoreId c, Cycle now, Addr a, void *out,
 
     t += nocModel.send(MsgClass::DataResp, nocModel.dataMsgBytes(),
                        nocModel.hopsCoreToBank(c, bank));
-    std::memcpy(out, slot->data.data() + off, len);
+    copySmall(out, cache.dataOf(slot) + off, len);
     return {t - now, false};
 }
 
@@ -535,14 +579,14 @@ MemorySystem::storeImpl(CoreId c, Cycle now, Addr a, const void *in,
       case Protocol::MESI: {
         if (l && l->mesi == MesiState::M) {
             cache.touch(l);
-            std::memcpy(l->data.data() + off, in, len);
+            copySmall(cache.dataOf(l) + off, in, len);
             l->dirtyMask |= mask;
             return {cfg.l1HitLat, true};
         }
         if (l && l->mesi == MesiState::E) {
             cache.touch(l);
             l->mesi = MesiState::M; // silent upgrade
-            std::memcpy(l->data.data() + off, in, len);
+            copySmall(cache.dataOf(l) + off, in, len);
             l->dirtyMask |= mask;
             return {cfg.l1HitLat, true};
         }
@@ -557,17 +601,18 @@ MemorySystem::storeImpl(CoreId c, Cycle now, Addr a, const void *in,
         L2Line *m = l2GetLine(la, t);
         l2ExclusiveForWrite(m, c, t);
         bool upgrade = l != nullptr; // S -> M, data already present
-        fillL1(slot, la, m);
+        fillL1(c, slot, la, m);
         cache.touch(slot);
         slot->mesi = MesiState::M;
         m->mesiOwner = c;
-        m->sharers.clearAll();
-        m->sharers.set(c);
+        SharerSet &sharers = l2c.sharersOf(m);
+        sharers.clearAll();
+        sharers.set(c);
         t += nocModel.send(MsgClass::DataResp,
                            upgrade ? cfg.ctrlMsgBytes
                                    : nocModel.dataMsgBytes(),
                            nocModel.hopsCoreToBank(c, bank));
-        std::memcpy(slot->data.data() + off, in, len);
+        copySmall(cache.dataOf(slot) + off, in, len);
         slot->dirtyMask |= mask;
         return {t - now, false};
       }
@@ -575,7 +620,7 @@ MemorySystem::storeImpl(CoreId c, Cycle now, Addr a, const void *in,
       case Protocol::DeNovo: {
         if (l && l->owned) {
             cache.touch(l);
-            std::memcpy(l->data.data() + off, in, len);
+            copySmall(cache.dataOf(l) + off, in, len);
             l->dirtyMask |= mask;
             l->validMask |= mask;
             return {cfg.l1HitLat, true};
@@ -591,13 +636,13 @@ MemorySystem::storeImpl(CoreId c, Cycle now, Addr a, const void *in,
             evictL1Line(c, slot, t); // before the L2 transaction
         L2Line *m = l2GetLine(la, t);
         l2ExclusiveForWrite(m, c, t);
-        fillL1(slot, la, m);
+        fillL1(c, slot, la, m);
         cache.touch(slot);
         slot->owned = true;
         m->dnvOwner = c;
         t += nocModel.send(MsgClass::DataResp, nocModel.dataMsgBytes(),
                            nocModel.hopsCoreToBank(c, bank));
-        std::memcpy(slot->data.data() + off, in, len);
+        copySmall(cache.dataOf(slot) + off, in, len);
         slot->dirtyMask |= mask;
         return {t - now, false};
       }
@@ -614,7 +659,7 @@ MemorySystem::storeImpl(CoreId c, Cycle now, Addr a, const void *in,
         Cycle t = start + cfg.l2AccessLat;
         L2Line *m = l2GetLine(la, t);
         l2ExclusiveForWrite(m, c, t);
-        std::memcpy(m->data.data() + lineOffset(a), in, len);
+        copySmall(l2c.dataOf(m) + lineOffset(a), in, len);
         m->dirty = true;
         bool hit = false;
         if (l) {
@@ -639,7 +684,7 @@ MemorySystem::storeImpl(CoreId c, Cycle now, Addr a, const void *in,
       case Protocol::GpuWB: {
         if (l && l->valid) {
             cache.touch(l);
-            std::memcpy(l->data.data() + off, in, len);
+            copySmall(cache.dataOf(l) + off, in, len);
             l->dirtyMask |= mask;
             l->validMask |= mask;
             return {cfg.l1HitLat, true};
@@ -654,11 +699,11 @@ MemorySystem::storeImpl(CoreId c, Cycle now, Addr a, const void *in,
         evictL1Line(c, slot, t); // before the L2 transaction
         L2Line *m = l2GetLine(la, t);
         l2FreshenForRead(m, c, t);
-        fillL1(slot, la, m);
+        fillL1(c, slot, la, m);
         cache.touch(slot);
         t += nocModel.send(MsgClass::DataResp, nocModel.dataMsgBytes(),
                            nocModel.hopsCoreToBank(c, bank));
-        std::memcpy(slot->data.data() + off, in, len);
+        copySmall(cache.dataOf(slot) + off, in, len);
         slot->dirtyMask |= mask;
         return {t - now, false};
       }
@@ -749,12 +794,13 @@ MemorySystem::amoAtL1(CoreId c, Cycle now, AmoOp op, Addr a,
             evictL1Line(c, slot, t); // before the L2 transaction
         L2Line *m = l2GetLine(la, t);
         l2ExclusiveForWrite(m, c, t);
-        fillL1(slot, la, m);
+        fillL1(c, slot, la, m);
         if (cache.protocol() == Protocol::MESI) {
             slot->mesi = MesiState::M;
             m->mesiOwner = c;
-            m->sharers.clearAll();
-            m->sharers.set(c);
+            SharerSet &sharers = l2c.sharersOf(m);
+            sharers.clearAll();
+            sharers.set(c);
         } else {
             slot->owned = true;
             m->dnvOwner = c;
@@ -767,10 +813,11 @@ MemorySystem::amoAtL1(CoreId c, Cycle now, AmoOp op, Addr a,
     if (cache.protocol() == Protocol::MESI)
         l->mesi = MesiState::M;
 
+    uint8_t *ldata = cache.dataOf(l) + off;
     uint64_t old = 0;
-    std::memcpy(&old, l->data.data() + off, len);
+    copySmall(&old, ldata, len);
     uint64_t next = amoApply(op, old, operand, cas_expect, len);
-    std::memcpy(l->data.data() + off, &next, len);
+    copySmall(ldata, &next, len);
     l->dirtyMask |= mask;
     l->validMask |= mask;
     old_out = old;
@@ -805,16 +852,17 @@ MemorySystem::amoAtL2(CoreId c, Cycle now, AmoOp op, Addr a,
     L2Line *m = l2GetLine(la, t);
     l2ExclusiveForWrite(m, c, t);
 
+    uint8_t *mdata = l2c.dataOf(m) + off;
     uint64_t old = 0;
-    std::memcpy(&old, m->data.data() + off, len);
+    copySmall(&old, mdata, len);
     uint64_t next = amoApply(op, old, operand, cas_expect, len);
-    std::memcpy(m->data.data() + off, &next, len);
+    copySmall(mdata, &next, len);
     m->dirty = true;
 
     // Write-update our cached copy so locally visible data stays
     // consistent (kept clean; the L2 holds the authoritative value).
     if (l && l->valid) {
-        std::memcpy(l->data.data() + off, &next, len);
+        copySmall(cache.dataOf(l) + off, &next, len);
         l->validMask |= mask;
     }
 
@@ -847,17 +895,17 @@ MemorySystem::cacheInvalidate(CoreId c, Cycle now)
         switch (cache.protocol()) {
           case Protocol::DeNovo:
             if (!l.owned) {
-                l.reset();
+                cache.resetLine(&l);
                 ++dropped;
             }
             break;
           case Protocol::GpuWT:
-            l.reset();
+            cache.resetLine(&l);
             ++dropped;
             break;
           case Protocol::GpuWB:
             if (l.dirtyMask == 0) {
-                l.reset();
+                cache.resetLine(&l);
                 ++dropped;
             } else if (l.validMask != l.dirtyMask) {
                 // Keep only our own dirty bytes valid.
@@ -920,7 +968,7 @@ MemorySystem::funcRead(Addr a, void *out, uint64_t len)
         uint8_t line[lineBytes];
         main.readLine(la, line);
         if (L2Line *m = l2c.find(la)) {
-            std::memcpy(line, m->data.data(), lineBytes);
+            std::memcpy(line, l2c.dataOf(m), lineBytes);
         }
         // Overlay the freshest private data: M/owned lines win whole-
         // line; GPU-WB dirty bytes win per byte.
@@ -932,12 +980,13 @@ MemorySystem::funcRead(Addr a, void *out, uint64_t len)
                           l->mesi == MesiState::M) ||
                          (l1p->protocol() == Protocol::DeNovo &&
                           l->owned);
+            const uint8_t *ld = l1p->dataOf(l);
             if (whole) {
-                std::memcpy(line, l->data.data(), lineBytes);
+                std::memcpy(line, ld, lineBytes);
             } else if (l->dirtyMask) {
                 for (uint32_t i = 0; i < lineBytes; ++i) {
                     if (l->dirtyMask & (1ull << i))
-                        line[i] = l->data[i];
+                        line[i] = ld[i];
                 }
             }
         }
@@ -962,10 +1011,10 @@ MemorySystem::funcWrite(Addr a, const void *in, uint64_t len)
                                                      lineBytes - off));
         main.write(a, src, chunk);
         if (L2Line *m = l2c.find(la))
-            std::memcpy(m->data.data() + off, src, chunk);
+            std::memcpy(l2c.dataOf(m) + off, src, chunk);
         for (auto &l1p : l1s) {
             if (L1Line *l = l1p->find(la))
-                std::memcpy(l->data.data() + off, src, chunk);
+                std::memcpy(l1p->dataOf(l) + off, src, chunk);
         }
         src += chunk;
         a += chunk;
@@ -987,26 +1036,27 @@ MemorySystem::drainAll()
                           l.owned);
             uint64_t mask = whole ? ~0ull : l.dirtyMask;
             if (mask) {
+                const uint8_t *src = cache.dataOf(&l);
                 if (L2Line *m = l2c.find(l.lineAddr)) {
+                    uint8_t *dst = l2c.dataOf(m);
                     for (uint32_t i = 0; i < lineBytes; ++i) {
                         if (mask & (1ull << i))
-                            m->data[i] = l.data[i];
+                            dst[i] = src[i];
                     }
                     m->dirty = true;
                 } else {
-                    main.writeLineMasked(l.lineAddr, l.data.data(),
-                                         mask);
+                    main.writeLineMasked(l.lineAddr, src, mask);
                 }
             }
-            l.reset();
+            cache.resetLine(&l);
         });
     }
     l2c.forEachValid([&](L2Line &m) {
         if (m.dirty)
-            main.writeLineMasked(m.lineAddr, m.data.data(), ~0ull);
-        m.valid = false;
+            main.writeLineMasked(m.lineAddr, l2c.dataOf(&m), ~0ull);
+        l2c.invalidateLine(&m);
         m.dirty = false;
-        m.resetDirectory();
+        l2c.resetDirectory(&m);
     });
 }
 
@@ -1015,7 +1065,7 @@ MemorySystem::checkCoherenceInvariants() const
 {
     int violations = 0;
     // SWMR over MESI lines: collect every valid MESI L1 line.
-    std::unordered_map<Addr, std::pair<int, int>> state; // (M/E, S)
+    common::FlatMap<Addr, std::pair<int, int>> state; // (M/E, S)
     for (const auto &l1p : l1s) {
         if (l1p->protocol() != Protocol::MESI)
             continue;
@@ -1027,7 +1077,7 @@ MemorySystem::checkCoherenceInvariants() const
                 ++st.second;
         });
     }
-    for (auto &[la, st] : state) {
+    state.forEach([&](Addr la, std::pair<int, int> &st) {
         if (st.first > 1)
             ++violations; // two exclusive owners
         if (st.first >= 1 && st.second >= 1)
@@ -1035,7 +1085,7 @@ MemorySystem::checkCoherenceInvariants() const
         // Inclusion: every cached MESI line must be present in L2.
         if (!const_cast<L2Cache &>(l2c).find(la))
             ++violations;
-    }
+    });
     return violations;
 }
 

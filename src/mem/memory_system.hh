@@ -26,6 +26,7 @@
 #ifndef BIGTINY_MEM_MEMORY_SYSTEM_HH
 #define BIGTINY_MEM_MEMORY_SYSTEM_HH
 
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -83,6 +84,8 @@ class MemorySystem
     Result load(CoreId c, Cycle now, Addr a, void *out, uint32_t len);
     Result store(CoreId c, Cycle now, Addr a, const void *in,
                  uint32_t len);
+    // (load is defined inline below the class: the L1 hit path runs
+    // ~2 of every 3 guest loads and inlines into Core::load.)
     Result amo(CoreId c, Cycle now, AmoOp op, Addr a, uint64_t operand,
                uint64_t cas_expect, uint32_t len, uint64_t &old_out);
 
@@ -156,14 +159,17 @@ class MemorySystem
     void l2FreshenForRead(L2Line *m, CoreId requester, Cycle &t);
     void l2ExclusiveForWrite(L2Line *m, CoreId requester, Cycle &t);
     void evictL1Line(CoreId c, L1Line *line, Cycle &t);
-    void writeL1LineToL2(CoreId c, L1Line *line, uint64_t byte_mask,
-                         Cycle &t, bool charge_latency);
+    /** @return the L2 line written to, or null if the write-back was
+     *  a no-op (empty mask / injected elision) — callers on the
+     *  eviction path reuse it to skip a second tag walk. */
+    L2Line *writeL1LineToL2(CoreId c, L1Line *line, uint64_t byte_mask,
+                            Cycle &t, bool charge_latency);
 
     /** Round-trip NoC latency bank<->core for control messages. */
     Cycle ctrlRoundTrip(int bank, CoreId c) const;
 
-    // Fill an L1 slot from an L2 line (functional).
-    void fillL1(L1Line *slot, Addr la, const L2Line *m);
+    // Fill core @p c's L1 slot from an L2 line (functional).
+    void fillL1(CoreId c, L1Line *slot, Addr la, const L2Line *m);
 
     static uint64_t amoApply(AmoOp op, uint64_t old, uint64_t operand,
                              uint64_t cas_expect, uint32_t len);
@@ -177,6 +183,8 @@ class MemorySystem
 
     // The public load/store/amo wrap these with the coherence-checker
     // hooks (the bodies have many protocol-specific return paths).
+    Result loadCold(CoreId c, Cycle now, Addr a, void *out,
+                    uint32_t len);
     Result loadImpl(CoreId c, Cycle now, Addr a, void *out,
                     uint32_t len);
     Result storeImpl(CoreId c, Cycle now, Addr a, const void *in,
@@ -195,6 +203,58 @@ class MemorySystem
     Dram dramModel;
     std::unique_ptr<check::CoherenceChecker> chk;
 };
+
+/**
+ * Guest accesses are overwhelmingly 4 or 8 bytes; the fixed-size
+ * cases let the compiler emit a single load/store pair instead of a
+ * variable-length memcpy call on the hit path.
+ */
+inline void
+copySmall(void *dst, const void *src, uint32_t len)
+{
+    switch (len) {
+      case 8:
+        std::memcpy(dst, src, 8);
+        return;
+      case 4:
+        std::memcpy(dst, src, 4);
+        return;
+      default:
+        std::memcpy(dst, src, len);
+        return;
+    }
+}
+
+inline MemorySystem::Result
+MemorySystem::load(CoreId c, Cycle now, Addr a, void *out, uint32_t len)
+{
+    // L1 hit fast path, inlined into the issuing core: one tag-plane
+    // probe, touch, copy. Mirrors the head of loadImpl exactly — a
+    // hit here produces the same stats (loads++, LRU touch) and the
+    // same {l1HitLat, hit} result, and traces nothing (only misses
+    // emit trace events). With the checker on, every load takes the
+    // cold path so the shadow image sees the dirty mask.
+    if (!chk) {
+        panic_if(lineOffset(a) + len > lineBytes,
+                 "load crosses line: %#llx len %u",
+                 (unsigned long long)a, len);
+        L1Cache &cache = *l1s[c];
+        if (L1Line *l = cache.find(lineAlign(a))) {
+            bool hit = cache.protocol() == sim::Protocol::MESI
+                ? l->mesi != MesiState::I
+                : (l->validMask &
+                   L1Line::maskFor(lineOffset(a), len)) ==
+                      L1Line::maskFor(lineOffset(a), len);
+            if (hit) {
+                ++cache.stats.loads;
+                cache.touch(l);
+                copySmall(out, cache.dataOf(l) + lineOffset(a), len);
+                return {cfg.l1HitLat, true};
+            }
+        }
+    }
+    return loadCold(c, now, a, out, len);
+}
 
 } // namespace bigtiny::mem
 

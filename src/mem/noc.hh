@@ -15,6 +15,9 @@
 #ifndef BIGTINY_MEM_NOC_HH
 #define BIGTINY_MEM_NOC_HH
 
+#include <cstdlib>
+#include <vector>
+
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
@@ -24,7 +27,21 @@ namespace bigtiny::mem
 class Noc
 {
   public:
-    explicit Noc(const sim::SystemConfig &cfg) : cfg(cfg) {}
+    explicit Noc(const sim::SystemConfig &cfg) : cfg(cfg)
+    {
+        // Core->bank hop counts are looked up on every memory
+        // transaction; precompute the XY-routing arithmetic once.
+        numBanks = cfg.numBanks();
+        bankHops.resize(static_cast<size_t>(cfg.numCores()) * numBanks);
+        for (CoreId c = 0; c < cfg.numCores(); ++c) {
+            for (int b = 0; b < numBanks; ++b) {
+                int dx = std::abs(tileCol(c) - bankCol(b));
+                int dy = cfg.meshRows - tileRow(c); // banks below bottom
+                bankHops[static_cast<size_t>(c) * numBanks + b] =
+                    static_cast<uint16_t>(dx + dy);
+            }
+        }
+    }
 
     int tileRow(CoreId c) const { return c / cfg.meshCols; }
     int tileCol(CoreId c) const { return c % cfg.meshCols; }
@@ -36,9 +53,7 @@ class Noc
     uint32_t
     hopsCoreToBank(CoreId c, int bank) const
     {
-        int dx = std::abs(tileCol(c) - bankCol(bank));
-        int dy = cfg.meshRows - tileRow(c); // banks below bottom row
-        return static_cast<uint32_t>(dx + dy);
+        return bankHops[static_cast<size_t>(c) * numBanks + bank];
     }
 
     /** XY-routed hop count between two core tiles. */
@@ -70,6 +85,22 @@ class Noc
         return latency(hops, bytes);
     }
 
+    /**
+     * Account @p count same-class messages of @p bytes_each whose hop
+     * counts sum to @p total_hops, in one stats update (batched sharer
+     * invalidation loops). Latency is not returned: batched messages
+     * travel in parallel, the caller charges the max round trip.
+     */
+    void
+    sendBatch(sim::MsgClass cls, uint32_t bytes_each, uint32_t count,
+              uint64_t total_hops)
+    {
+        auto i = static_cast<size_t>(cls);
+        _stats.msgs[i] += count;
+        _stats.bytes[i] += static_cast<uint64_t>(bytes_each) * count;
+        _stats.hopTraversals += total_hops;
+    }
+
     /** Payload size of a data-bearing message (header + one line). */
     uint32_t dataMsgBytes() const { return cfg.ctrlMsgBytes + lineBytes; }
 
@@ -88,6 +119,8 @@ class Noc
   private:
     const sim::SystemConfig &cfg;
     sim::NocStats _stats;
+    std::vector<uint16_t> bankHops; //!< [core][bank] hop counts
+    int numBanks = 0;
 };
 
 } // namespace bigtiny::mem

@@ -17,6 +17,21 @@
 namespace bigtiny::sim
 {
 
+/**
+ * Compute-cycle quantum between scheduler sync points. Core::work
+ * charges raw work in steps of this size, and System::applyStall
+ * consumes injected stalls at the same granularity so the watchdog
+ * observes both at the same cadence.
+ */
+constexpr Cycle workQuantum = 200;
+
+/**
+ * Simulated-cycle granule between host wall-clock deadline checks
+ * (System::watchdogCheck). Much finer than the deadlock granule so a
+ * host-side timeout fires promptly even on short runs.
+ */
+constexpr Cycle wallCheckGranule = 4096;
+
 /** Private-cache coherence protocol (paper Table I). */
 enum class Protocol
 {

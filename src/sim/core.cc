@@ -8,12 +8,6 @@
 namespace bigtiny::sim
 {
 
-namespace
-{
-/** Compute-cycle quantum between scheduler sync points. */
-constexpr uint64_t workQuantum = 200;
-} // namespace
-
 Core::Core(System &sys, CoreId id, CoreKind kind)
     : sys(sys), _id(id), _kind(kind)
 {}
@@ -166,10 +160,8 @@ Core::uliSendResp(CoreId thief, bool ack, uint64_t payload)
 }
 
 void
-Core::pollUli()
+Core::deliverUli()
 {
-    if (!uliUnit.reqPending || !uliUnit.enabled || uliUnit.inHandler)
-        return;
     panic_if(!uliUnit.handler, "ULI delivered with no handler");
     uliUnit.inHandler = true;
     uliUnit.reqPending = false;

@@ -119,8 +119,16 @@ class Core
     void uliSendResp(CoreId thief, bool ack, uint64_t payload = 0);
 
     /** Deliver a pending ULI if reception is possible (called at
-     * instruction boundaries). */
-    void pollUli();
+     * instruction boundaries). Inline fast path: no request pending
+     * (the overwhelmingly common case on the syncPoint path). */
+    void
+    pollUli()
+    {
+        if (!uliUnit.reqPending || !uliUnit.enabled ||
+            uliUnit.inHandler) [[likely]]
+            return;
+        deliverUli();
+    }
 
     uli::UliUnit uliUnit;
 
@@ -152,6 +160,9 @@ class Core
 
     /** Block until this core is the globally minimum-time agent. */
     void syncPoint();
+
+    /** Slow path of pollUli: vector to the software ULI handler. */
+    void deliverUli();
 
     System &sys;
     CoreId _id;

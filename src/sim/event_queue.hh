@@ -1,17 +1,33 @@
 /**
  * @file
- * A small discrete-event queue used for asynchronous hardware events
- * (ULI message delivery). Events are host-side closures ordered by
- * (time, insertion sequence) so simulation stays deterministic.
+ * Discrete-event queue for asynchronous hardware events (ULI message
+ * delivery), implemented as a timing wheel (DESIGN.md section 12).
+ *
+ * Events are host-side closures ordered by (cycle, insertion sequence)
+ * so simulation stays deterministic. Near events — within wheelSize
+ * cycles of the cursor — go to a per-cycle bucket where vector append
+ * order IS sequence order; far events go to an overflow min-heap keyed
+ * (cycle, seq). Because the cursor only moves forward, every overflow
+ * event pending for cycle n was scheduled before every bucket event
+ * for n, so draining overflow-then-bucket preserves global (cycle,
+ * seq) order exactly (the invariant is proven in DESIGN.md §12 and
+ * pinned by tests). Closures are stored as common::InlineFn, so
+ * scheduling a ULI delivery performs no host allocation.
+ *
+ * The overflow heap pops by value through std::pop_heap — replacing
+ * the previous priority_queue implementation's const_cast move out of
+ * heap.top(), which mutated an element through a const reference.
  */
 
 #ifndef BIGTINY_SIM_EVENT_QUEUE_HH
 #define BIGTINY_SIM_EVENT_QUEUE_HH
 
-#include <functional>
-#include <queue>
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
 
+#include "common/inline_fn.hh"
 #include "common/types.hh"
 
 namespace bigtiny::sim
@@ -20,38 +36,58 @@ namespace bigtiny::sim
 class EventQueue
 {
   public:
-    using Fn = std::function<void()>;
+    using Fn = common::InlineFn;
 
+    /** One-cycle buckets covered by the wheel; must be a power of 2. */
+    static constexpr size_t wheelSize = 1024;
+
+    static constexpr Cycle maxCycle = ~static_cast<Cycle>(0);
+
+    EventQueue() : buckets(wheelSize) {}
+
+    /**
+     * Queue @p fn at cycle @p t. Scheduling in the past (t below the
+     * cursor, i.e. before an already-drained cycle) clamps to the
+     * cursor: the event runs at the current drain point, after events
+     * already executed — the same "no time travel" behavior the old
+     * heap gave such events.
+     */
     void
     schedule(Cycle t, Fn fn)
     {
-        heap.push(Ev{t, seq++, std::move(fn)});
+        if (t < cursor)
+            t = cursor;
+        if (t - cursor < wheelSize) {
+            buckets[t & (wheelSize - 1)].push_back(std::move(fn));
+            bitmap[(t & (wheelSize - 1)) >> 6] |=
+                uint64_t{1} << (t & 63);
+        } else {
+            overflow.push_back(OvEv{t, seq, std::move(fn)});
+            std::push_heap(overflow.begin(), overflow.end(),
+                           OvEv::later);
+        }
+        ++seq;
+        ++pendingCount;
+        if (t < cachedNext)
+            cachedNext = t;
     }
 
-    bool empty() const { return heap.empty(); }
+    bool empty() const { return pendingCount == 0; }
 
-    /** Time of the earliest event; maxCycle when empty. */
-    Cycle
-    nextTime() const
-    {
-        return heap.empty() ? maxCycle : heap.top().t;
-    }
+    /** Time of the earliest event; maxCycle when empty. O(1). */
+    Cycle nextTime() const { return cachedNext; }
 
     /** Run every event scheduled at or before @p t. */
     void
     runDue(Cycle t)
     {
-        while (!heap.empty() && heap.top().t <= t) {
-            // Copy out before pop so the handler may schedule more.
-            Fn fn = std::move(const_cast<Ev &>(heap.top()).fn);
-            heap.pop();
-            ++executedCount;
-            fn();
-        }
+        if (cachedNext > t) // common case: nothing due
+            return;
+        drainTo(t);
     }
 
     /** Events still queued (for failure reports). */
-    size_t pending() const { return heap.size(); }
+    size_t pending() const { return pendingCount; }
 
     /** Total events executed; part of the watchdog progress signature. */
     uint64_t executed() const { return executedCount; }
@@ -59,27 +95,110 @@ class EventQueue
     void
     clear()
     {
-        heap = {};
+        for (auto &b : buckets)
+            b.clear();
+        bitmap.fill(0);
+        overflow.clear();
+        pendingCount = 0;
+        cachedNext = maxCycle;
     }
 
-    static constexpr Cycle maxCycle = ~static_cast<Cycle>(0);
-
   private:
-    struct Ev
+    struct OvEv
     {
         Cycle t;
         uint64_t seq;
         Fn fn;
 
-        bool
-        operator>(const Ev &o) const
+        /** std::push_heap greater-comparator: max-heap of "later". */
+        static bool
+        later(const OvEv &a, const OvEv &b)
         {
-            return t != o.t ? t > o.t : seq > o.seq;
+            return a.t != b.t ? a.t > b.t : a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap;
+    void
+    drainTo(Cycle t)
+    {
+        while (pendingCount > 0 && cachedNext <= t) {
+            // Jump straight to the next pending cycle: every bucket in
+            // between is empty by definition of cachedNext.
+            const Cycle n = cachedNext;
+            cursor = n;
+            // Overflow first: all overflow events pending for n carry
+            // smaller seq than bucket-n events (cursor monotonicity).
+            while (!overflow.empty() && overflow.front().t == n) {
+                std::pop_heap(overflow.begin(), overflow.end(),
+                              OvEv::later);
+                Fn fn = std::move(overflow.back().fn);
+                overflow.pop_back();
+                --pendingCount;
+                ++executedCount;
+                fn();
+            }
+            // Bucket n in append (== seq) order. Handlers may append
+            // more same-cycle events while we iterate: index-based
+            // walk with size() re-read stays valid across growth.
+            auto &b = buckets[n & (wheelSize - 1)];
+            for (size_t i = 0; i < b.size(); ++i) {
+                Fn fn = std::move(b[i]);
+                --pendingCount;
+                ++executedCount;
+                fn();
+            }
+            b.clear();
+            bitmap[(n & (wheelSize - 1)) >> 6] &=
+                ~(uint64_t{1} << (n & 63));
+            cursor = n + 1;
+            recomputeNext();
+        }
+    }
+
+    /** Recompute cachedNext by bitmap scan + overflow top. */
+    void
+    recomputeNext()
+    {
+        cachedNext = maxCycle;
+        if (pendingCount == 0)
+            return;
+        if (!overflow.empty())
+            cachedNext = overflow.front().t;
+        // Scan the wheel from the cursor: wheel events all live in
+        // [cursor, cursor + wheelSize), so the first set bit in that
+        // circular window is the earliest wheel event.
+        const size_t base = cursor & (wheelSize - 1);
+        size_t scanned = 0;
+        size_t word = base >> 6;
+        // Mask off bits below the cursor within its word.
+        uint64_t bits = bitmap[word] & (~uint64_t{0} << (base & 63));
+        while (scanned < wheelSize) {
+            if (bits) {
+                const size_t bit =
+                    (word << 6) +
+                    static_cast<size_t>(__builtin_ctzll(bits));
+                // Bucket index -> absolute cycle in the window.
+                const Cycle at =
+                    cursor + ((bit - (cursor & (wheelSize - 1)) +
+                               wheelSize) &
+                              (wheelSize - 1));
+                if (at < cachedNext)
+                    cachedNext = at;
+                return;
+            }
+            scanned += 64 - (scanned == 0 ? (base & 63) : 0);
+            word = (word + 1) & (wheelSize / 64 - 1);
+            bits = bitmap[word];
+        }
+    }
+
+    std::vector<std::vector<Fn>> buckets; //!< wheel: one per cycle
+    std::array<uint64_t, wheelSize / 64> bitmap{}; //!< non-empty buckets
+    std::vector<OvEv> overflow; //!< min-heap of far-future events
+    Cycle cursor = 0;           //!< all cycles < cursor fully drained
+    Cycle cachedNext = maxCycle;
     uint64_t seq = 0;
+    size_t pendingCount = 0;
     uint64_t executedCount = 0;
 };
 

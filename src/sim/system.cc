@@ -70,6 +70,16 @@ System::attachGuest(CoreId c, std::function<void(Core &)> guest)
                                           core->id(), e.what())));
                 aborting = true;
             }
+            // Finish bookkeeping happens here (not in schedulerLoop):
+            // with direct fiber chaining the scheduler no longer
+            // observes every switch, only the onFinish return.
+            core->running = false;
+            if (runningCore == core)
+                runningCore = nullptr;
+            if (!core->done) {
+                core->done = true;
+                --liveGuests;
+            }
         });
 }
 
@@ -81,11 +91,12 @@ System::run(Cycle max_cycles)
     schedFiber = Fiber::current();
     watchdog = max_cycles;
     liveGuests = 0;
+    ready.init(numCores());
     for (CoreId c = 0; c < numCores(); ++c) {
         if (!fibers[c])
             continue;
         fibers[c]->setOnFinish(schedFiber);
-        ready.push({cores[c]->time, c});
+        ready.insert(c, cores[c]->time);
         ++liveGuests;
     }
     fatal_if(liveGuests == 0, "System::run with no guests attached");
@@ -116,9 +127,10 @@ System::run(Cycle max_cycles)
     if (wallLimited)
         wallDeadline = std::chrono::steady_clock::now() +
                        std::chrono::milliseconds(cfg.wallClockLimitMs);
+    armWatchdogChecks();
 
     try {
-        schedulerLoop(max_cycles);
+        schedulerLoop();
     } catch (const fault::FiberUnwind &) {
         // Failure raised on the scheduler stack (event handler or the
         // scheduler's own budget check).
@@ -128,7 +140,7 @@ System::run(Cycle max_cycles)
 
     if (aborting || pendingFailure) {
         unwindGuests();
-        ready = {};
+        ready.clear();
         eventQueue.clear();
         // Close the time-series on the failure path too, so a partial
         // run's samples survive into the written artifacts.
@@ -145,40 +157,44 @@ System::run(Cycle max_cycles)
     verifyQuiescence();
 }
 
-void
-System::schedulerLoop(Cycle max_cycles)
+Fiber *
+System::pickNext()
 {
+    // ReadyQueue entries are valid by construction — the popped
+    // (time, id) is always the minimum over live suspended cores,
+    // exactly the old structure's first non-stale pop.
+    auto [t, id] = ready.popMin();
+    Core &c = *cores[id];
+    if (t > watchdog) [[unlikely]]
+        raiseFailure(fault::Verdict::CycleBudget,
+                     fault::format("simulation exceeded %llu cycles",
+                                   (unsigned long long)watchdog));
+    // Interval sampling hooks the deterministic min-time pop: the
+    // global order of boundary crossings is identical for every
+    // host and --jobs count.
+    if (intervalSampler && t >= intervalSampler->nextDue()) [[unlikely]]
+        intervalSampler->sampleUpTo(*this, t);
+    // Hardware events at or before this core's time fire first.
+    eventQueue.runDue(t);
+    if (t != c.time) [[unlikely]]
+        panic("event changed a core's local time");
+    runningCore = &c;
+    c.running = true;
+    return fibers[id].get();
+}
+
+void
+System::schedulerLoop()
+{
+    // Guest fibers chain to each other directly at yield points
+    // (syncPoint); control only returns here when a guest finishes
+    // (Fiber::setOnFinish) or the run aborts, so this loop re-seeds
+    // the chain rather than mediating every switch.
     while (liveGuests > 0) {
         if (aborting)
             return;
         panic_if(ready.empty(), "scheduler: live guests but none ready");
-        HeapEntry e = ready.top();
-        ready.pop();
-        Core &c = *cores[e.id];
-        if (c.done || e.t != c.time || c.running)
-            continue; // stale entry
-        if (e.t > max_cycles)
-            raiseFailure(fault::Verdict::CycleBudget,
-                         fault::format("simulation exceeded %llu cycles",
-                                       (unsigned long long)max_cycles));
-        // Interval sampling hooks the deterministic min-time pop: the
-        // global order of boundary crossings is identical for every
-        // host and --jobs count.
-        if (intervalSampler && e.t >= intervalSampler->nextDue())
-            intervalSampler->sampleUpTo(*this, e.t);
-        // Hardware events at or before this core's time fire first.
-        eventQueue.runDue(e.t);
-        if (e.t != c.time)
-            panic("event changed a core's local time");
-        runningCore = &c;
-        c.running = true;
-        fibers[e.id]->run(); // returns on yield or guest completion
-        c.running = false;
-        runningCore = nullptr;
-        if (fibers[e.id]->finished() && !c.done) {
-            c.done = true;
-            --liveGuests;
-        }
+        pickNext()->run();
     }
     if (aborting)
         return;
@@ -194,26 +210,29 @@ System::syncPoint(Core &c)
     // Guest-side watchdog: a lone spinning core never yields to the
     // scheduler, so the hang checks must live here as well.
     watchdogCheck(c);
+    Fiber *self = nullptr;
     for (;;) {
-        if (aborting)
-            throw fault::FiberUnwind{};
         bool earlier_event = eventQueue.nextTime() <= c.time;
-        bool earlier_core = false;
-        while (!ready.empty()) {
-            const HeapEntry &e = ready.top();
-            Core &o = *cores[e.id];
-            if (o.done || e.t != o.time || o.running) {
-                ready.pop();
-                continue;
-            }
-            earlier_core = e.t < c.time ||
-                           (e.t == c.time && e.id < c.id());
-            break;
-        }
+        bool earlier_core = ready.hasEarlierThan(c.time, c.id());
         if (!earlier_event && !earlier_core)
             break;
-        ready.push({c.time, c.id()});
-        schedFiber->run(); // yield; scheduler resumes us in order
+        // Yield: hand off straight to the next scheduled core's fiber
+        // (one context switch, no scheduler-fiber round trip). The
+        // model-visible sequence — queue ourselves, pop the global
+        // minimum, fire its due events, resume it — is exactly the
+        // scheduler's.
+        ready.insert(c.id(), c.time);
+        c.running = false;
+        runningCore = nullptr;
+        Fiber *next = pickNext();
+        if (!self)
+            self = fibers[c.id()].get();
+        if (next != self)
+            next->run(); // resumed when we are the minimum again
+        // else: only an event was due; pickNext ran it and re-picked
+        // this core, so just re-evaluate.
+        if (aborting)
+            throw fault::FiberUnwind{};
     }
     if (c.pendingStall > 0)
         applyStall(c);
@@ -230,7 +249,25 @@ System::progressSignature() const
 }
 
 void
-System::watchdogCheck(Core &c)
+System::armWatchdogChecks()
+{
+    // The budget check fires at the first syncPoint with time beyond
+    // the watchdog; the others at their own cadences. Guests whose
+    // time stays below all of them take the one-compare fast path.
+    Cycle next = watchdog == EventQueue::maxCycle ? watchdog
+                                                  : watchdog + 1;
+    if (wallLimited && nextWallCheck < next)
+        next = nextWallCheck;
+    if (cfg.progressCycles && progressHook &&
+        nextProgressBeat < next)
+        next = nextProgressBeat;
+    if (nextWatchdogCheck < next)
+        next = nextWatchdogCheck;
+    nextAnyCheck = next;
+}
+
+void
+System::watchdogCheckSlow(Core &c)
 {
     Cycle now = c.time;
     if (now > watchdog)
@@ -242,7 +279,7 @@ System::watchdogCheck(Core &c)
     // runs never reach the first deadlock granule, but a host-side
     // timeout must still fire on them promptly.
     if (wallLimited && now >= nextWallCheck) {
-        nextWallCheck = now + 4096;
+        nextWallCheck = now + wallCheckGranule;
         if (std::chrono::steady_clock::now() > wallDeadline)
             raiseFailure(
                 fault::Verdict::WallClockTimeout,
@@ -255,22 +292,24 @@ System::watchdogCheck(Core &c)
             nextProgressBeat += cfg.progressCycles;
         progressHook(now);
     }
-    if (now < nextWatchdogCheck)
-        return;
-    nextWatchdogCheck = now + watchdogInterval;
-    uint64_t sig = progressSignature();
-    if (sig != lastProgressSig) {
-        lastProgressSig = sig;
-        lastProgressCycle = now;
-    } else if (now > lastProgressCycle &&
-               now - lastProgressCycle >= cfg.deadlockCycles) {
-        raiseFailure(
-            fault::Verdict::Deadlock,
-            fault::format("no instruction retired and no event executed "
-                          "for %llu cycles (stuck since cycle %llu)",
-                          (unsigned long long)(now - lastProgressCycle),
-                          (unsigned long long)lastProgressCycle));
+    if (now >= nextWatchdogCheck) {
+        nextWatchdogCheck = now + watchdogInterval;
+        uint64_t sig = progressSignature();
+        if (sig != lastProgressSig) {
+            lastProgressSig = sig;
+            lastProgressCycle = now;
+        } else if (now > lastProgressCycle &&
+                   now - lastProgressCycle >= cfg.deadlockCycles) {
+            raiseFailure(
+                fault::Verdict::Deadlock,
+                fault::format(
+                    "no instruction retired and no event executed "
+                    "for %llu cycles (stuck since cycle %llu)",
+                    (unsigned long long)(now - lastProgressCycle),
+                    (unsigned long long)lastProgressCycle));
+        }
     }
+    armWatchdogChecks();
 }
 
 void
@@ -281,7 +320,7 @@ System::applyStall(Core &c)
     // on an otherwise-quiet system trips the deadlock detector at a
     // predictable cycle.
     while (c.pendingStall > 0) {
-        Cycle step = std::min<Cycle>(c.pendingStall, 200);
+        Cycle step = std::min<Cycle>(c.pendingStall, workQuantum);
         c.pendingStall -= step;
         c.chargeRaw(step, TimeCat::Idle);
         watchdogCheck(c);
@@ -354,7 +393,8 @@ System::buildFailureReport(fault::Verdict v, Cycle cycle,
                            c->uliUnit.reqPending, c->uliUnit.respReady});
     }
     r.pendingEvents = eventQueue.pending();
-    r.nextEventTime = eventQueue.empty() ? 0 : eventQueue.nextTime();
+    r.hasNextEvent = !eventQueue.empty();
+    r.nextEventTime = r.hasNextEvent ? eventQueue.nextTime() : 0;
     r.faultLog = faultInjector->log();
     return r;
 }

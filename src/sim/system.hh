@@ -26,6 +26,7 @@
 #include "sim/core.hh"
 #include "sim/event_queue.hh"
 #include "sim/fiber.hh"
+#include "sim/ready_queue.hh"
 #include "trace/sampler.hh"
 #include "trace/trace.hh"
 #include "uli/uli.hh"
@@ -117,15 +118,39 @@ class System
 
     /**
      * Called from a core's fiber: yield until this core is the
-     * minimum-time agent, running due events along the way.
+     * minimum-time agent, running due events along the way. Yields
+     * chain directly to the next scheduled core's fiber; the
+     * scheduler fiber is re-entered only when a guest finishes.
      */
     void syncPoint(Core &c);
 
-    /** Scheduler-side: pick and resume the minimum-time core. */
-    void schedulerLoop(Cycle max_cycles);
+    /**
+     * Pop the minimum-time core, run its due events, check the cycle
+     * budget / sampler, and return its fiber marked running. The one
+     * scheduling decision, shared by schedulerLoop and syncPoint.
+     */
+    Fiber *pickNext();
 
-    /** Cycle-budget + deadlock + wall-clock checks (from syncPoint). */
-    void watchdogCheck(Core &c);
+    /** Scheduler-side: seed the fiber chain until all guests finish. */
+    void schedulerLoop();
+
+    /**
+     * Cycle-budget + deadlock + wall-clock checks (from syncPoint).
+     * One compare on the fast path: nextAnyCheck is the earliest cycle
+     * at which any of the individual checks is due.
+     */
+    void
+    watchdogCheck(Core &c)
+    {
+        if (c.time < nextAnyCheck) [[likely]]
+            return;
+        watchdogCheckSlow(c);
+    }
+
+    void watchdogCheckSlow(Core &c);
+
+    /** Recompute nextAnyCheck from the per-check due cycles. */
+    void armWatchdogChecks();
 
     /** Consume an injected sim-stall-core stall on @p c. */
     void applyStall(Core &c);
@@ -142,18 +167,6 @@ class System
     fault::FailureReport buildFailureReport(fault::Verdict v, Cycle cycle,
                                             std::string reason) const;
 
-    struct HeapEntry
-    {
-        Cycle t;
-        CoreId id;
-
-        bool
-        operator>(const HeapEntry &o) const
-        {
-            return t != o.t ? t > o.t : id > o.id;
-        }
-    };
-
     SystemConfig cfg;
     std::unique_ptr<mem::MemorySystem> memSys;
     mem::ArenaAllocator allocator;
@@ -163,8 +176,13 @@ class System
     std::vector<std::unique_ptr<Core>> cores;
     std::vector<std::unique_ptr<Fiber>> fibers;
 
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<>> ready;
+    /**
+     * Live, suspended cores keyed (time, id); at most one entry per
+     * core and keys always current (a core's time only advances while
+     * it runs, and a running core is never queued), so every pop is
+     * valid — no stale entries to skip.
+     */
+    ReadyQueue ready;
     int liveGuests = 0;
     Cycle watchdog = ~static_cast<Cycle>(0);
     Fiber *schedFiber = nullptr;
@@ -185,6 +203,7 @@ class System
     Cycle lastProgressCycle = 0;
     Cycle nextWatchdogCheck = 0;
     Cycle nextWallCheck = 0;
+    Cycle nextAnyCheck = 0; //!< min of all due cycles (fast-path gate)
     Cycle watchdogInterval = 1;
     bool wallLimited = false;
     std::chrono::steady_clock::time_point wallDeadline;

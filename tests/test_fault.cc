@@ -327,6 +327,37 @@ TEST(FaultDetect, StalledCoreTripsDeadlockAtPredictableCycle)
     EXPECT_EQ(a, b); // byte-identical report, run to run
 }
 
+TEST(FaultDetect, ReportDistinguishesCycleZeroEventFromEmptyQueue)
+{
+    // nextEventTime used to be 0 both for an empty queue and for a
+    // real event queued at cycle 0; hasNextEvent disambiguates. Also
+    // pins the renderer: the "next at cycle" clause appears exactly
+    // when an event is queued.
+    auto failWith = [](bool queueEvent) {
+        sim::System sys(tiny2());
+        if (queueEvent)
+            sys.events().schedule(0, [] {});
+        try {
+            sys.raiseFailure(Verdict::GuestError, "synthetic");
+        } catch (const SimFailure &f) {
+            return f.report();
+        }
+        ADD_FAILURE() << "raiseFailure did not throw";
+        return fault::FailureReport{};
+    };
+
+    fault::FailureReport with = failWith(true);
+    EXPECT_TRUE(with.hasNextEvent);
+    EXPECT_EQ(with.nextEventTime, 0u);
+    EXPECT_EQ(with.pendingEvents, 1u);
+    EXPECT_NE(with.render().find("next at cycle 0"), std::string::npos);
+
+    fault::FailureReport without = failWith(false);
+    EXPECT_FALSE(without.hasNextEvent);
+    EXPECT_EQ(without.pendingEvents, 0u);
+    EXPECT_EQ(without.render().find("next at cycle"), std::string::npos);
+}
+
 TEST(FaultDetect, UnfiredPlanPerturbsNothing)
 {
     // A plan whose rules never trigger must leave the run identical

@@ -154,8 +154,8 @@ TEST(L1Cache, FindAndVictimize)
         L1Line *slot = c.victimFor(la);
         ASSERT_NE(slot, nullptr);
         EXPECT_FALSE(slot->valid);
-        slot->valid = true;
         slot->lineAddr = la;
+        c.markPresent(slot); // publishes the tag-plane entry
         c.touch(slot);
     }
     EXPECT_NE(c.find(a), nullptr);

@@ -123,5 +123,16 @@ test -s "$trace_dir/a.csv"
     exit 1
 }
 
+# Perf smoke (DESIGN.md section 12): an optimized build must pass the
+# hot-path fidelity harness (24 artifacts byte-identical to the seed
+# goldens) and record its throughput on the reference workload in
+# BENCH_hotpath.json at the repo root. Throughput is informational
+# here (CI hosts vary); the fidelity verdict is the gate.
+perf_dir="$src_dir/build-perf"
+cmake -B "$perf_dir" -S "$src_dir" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$perf_dir" -j "$(nproc)" --target btsim
+ITERS=3 "$src_dir/tools/hotpath_perf.sh" "$perf_dir/tools/btsim" \
+    "$src_dir/BENCH_hotpath.json"
+
 echo "sanitizer build + tier-1 tests + parallel sweep smoke +" \
-     "fault smoke + trace smoke: OK"
+     "fault smoke + trace smoke + perf smoke: OK"

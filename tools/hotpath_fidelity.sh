@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Fidelity checker for the hot-path overhaul (DESIGN.md section 12).
+#
+# Re-runs the twelve golden scenarios (3 apps x 4 configs, captured at
+# the seed commit into tests/golden/) with the given btsim binary and
+# verifies that --stats-json and --trace output is byte-identical to
+# the goldens by comparing SHA-256 digests against
+# tests/golden/MANIFEST.sha256.
+#
+#   tools/hotpath_fidelity.sh build/btsim [outdir]
+#
+# Exit 0 when all 24 artifacts match, 1 otherwise.
+set -u
+
+BTSIM=${1:?usage: hotpath_fidelity.sh <btsim-binary> [outdir]}
+OUT=${2:-$(mktemp -d)}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+MANIFEST="$ROOT/tests/golden/MANIFEST.sha256"
+mkdir -p "$OUT"
+
+# name app config n grain
+SCENARIOS="
+cilk5_mm_bt_mesi        cilk5-mm  bt-mesi        64  16
+cilk5_mm_bt_hcc_dnv     cilk5-mm  bt-hcc-dnv     64  16
+cilk5_mm_bt_hcc_gwb     cilk5-mm  bt-hcc-gwb     64  16
+cilk5_mm_bt_hcc_gwb_dts cilk5-mm  bt-hcc-gwb-dts 64  16
+cilk5_nq_bt_mesi        cilk5-nq  bt-mesi        7   2
+cilk5_nq_bt_hcc_dnv     cilk5-nq  bt-hcc-dnv     7   2
+cilk5_nq_bt_hcc_gwb     cilk5-nq  bt-hcc-gwb     7   2
+cilk5_nq_bt_hcc_gwb_dts cilk5-nq  bt-hcc-gwb-dts 7   2
+ligra_bfs_bt_mesi       ligra-bfs bt-mesi        512 16
+ligra_bfs_bt_hcc_dnv    ligra-bfs bt-hcc-dnv     512 16
+ligra_bfs_bt_hcc_gwb    ligra-bfs bt-hcc-gwb     512 16
+ligra_bfs_bt_hcc_gwb_dts ligra-bfs bt-hcc-gwb-dts 512 16
+"
+
+fail=0
+while read -r name app config n grain; do
+    [ -z "$name" ] && continue
+    "$BTSIM" --app="$app" --config="$config" --n="$n" --grain="$grain" \
+        --stats-json="$OUT/$name.stats.json" \
+        --trace="$OUT/$name.trace.json" \
+        --trace-categories=task,steal,uli >/dev/null 2>&1
+    rc=$?
+    if [ $rc -ne 0 ]; then
+        echo "FIDELITY FAIL: $name exited $rc"
+        fail=1
+        continue
+    fi
+    for kind in stats trace; do
+        want=$(grep " $name.$kind.json\$" "$MANIFEST" | cut -d' ' -f1)
+        got=$(sha256sum "$OUT/$name.$kind.json" | cut -d' ' -f1)
+        if [ "$want" != "$got" ]; then
+            echo "FIDELITY FAIL: $name.$kind.json digest mismatch"
+            echo "  want $want"
+            echo "  got  $got"
+            fail=1
+        fi
+    done
+done <<EOF
+$SCENARIOS
+EOF
+
+if [ $fail -eq 0 ]; then
+    echo "fidelity: all 24 artifacts byte-identical to seed goldens"
+fi
+exit $fail
