@@ -32,7 +32,7 @@ struct Knobs
     Cycle drainTiny = 4;
     Cycle drainBig = 30;
     Cycle backoff = 50;
-    rt::VictimPolicy policy = rt::VictimPolicy::Random;
+    const char *policy = "random";
 };
 
 Cycle
@@ -48,7 +48,7 @@ runWith(const std::string &app_name, const Knobs &k, double scale)
     app->setup(sys);
     rt::Runtime runtime(sys);
     runtime.dtsStealFromTail = k.stealFromTail;
-    runtime.victimPolicy = k.policy;
+    runtime.setStealPolicy(k.policy);
     runtime.run([&](rt::Worker &w) { app->runParallel(w); });
     sys.mem().drainAll();
     if (!app->validate(sys))
@@ -101,12 +101,12 @@ main(int argc, char **argv)
     }
     {
         Knobs k;
-        k.policy = rt::VictimPolicy::RoundRobin;
+        k.policy = "rr";
         variants.push_back({"round-robin victim selection", k});
     }
     {
         Knobs k;
-        k.policy = rt::VictimPolicy::BigFirst;
+        k.policy = "big-first";
         variants.push_back({"big-biased victim selection", k});
     }
 

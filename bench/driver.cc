@@ -45,6 +45,7 @@ RunSpec::fromFlags(const cli::Flags &flags)
         flags.getInt("seed", static_cast<int64_t>(s.params.seed)));
     s.checkCoherence = flags.has("check");
     s.faultSpec = flags.get("faults", "");
+    s.stealPolicy = flags.get("steal", "");
     s.maxCycles =
         static_cast<Cycle>(flags.getInt("max-cycles", 0));
     s.runTimeoutMs =
@@ -111,6 +112,13 @@ RunSpec::faults(const std::string &spec)
 }
 
 RunSpec &
+RunSpec::steal(const std::string &policy)
+{
+    stealPolicy = policy;
+    return *this;
+}
+
+RunSpec &
 RunSpec::cycleBudget(Cycle maxC)
 {
     maxCycles = maxC;
@@ -139,6 +147,9 @@ RunSpec::key() const
     // excluded (see the field's doc).
     if (!faultSpec.empty())
         os << "|f=" << fault::FaultPlan::parse(faultSpec).canonical();
+    // Appended only when set so pre-existing cache keys stay valid.
+    if (!stealPolicy.empty())
+        os << "|sp=" << stealPolicy;
     if (maxCycles)
         os << "|mc=" << maxCycles;
     return os.str();
@@ -169,6 +180,8 @@ runOneInner(const RunSpec &spec)
         sys.run();
     } else {
         rt::Runtime runtime(sys);
+        if (!spec.stealPolicy.empty())
+            runtime.setStealPolicy(spec.stealPolicy);
         runtime.run([&](rt::Worker &w) { app->runParallel(w); });
         r.work = runtime.profiler.work();
         r.span = runtime.profiler.span();

@@ -67,6 +67,9 @@ struct RunSpec
 
     /** Fault-injection spec (fault::FaultPlan grammar); "" = none. */
     std::string faultSpec;
+    /** Steal-policy name (core/steal.hh makeStealPolicy grammar);
+     *  "" = runtime default (random). */
+    std::string stealPolicy;
     /** Per-run cycle budget (SystemConfig::watchdogCycles); 0 = default. */
     Cycle maxCycles = 0;
     /** Per-run wall-clock timeout in ms; 0 = none. Host-dependent, so
@@ -79,7 +82,8 @@ struct RunSpec
 
     /**
      * Spec from --app, --config, --scale, --n, --grain, --seed,
-     * --serial, --check, --faults, --max-cycles, --run-timeout-ms.
+     * --serial, --check, --faults, --steal, --max-cycles,
+     * --run-timeout-ms.
      * Without --scale, n/grain default to 0 (= each app's own default
      * size) as btsim always did; --n/--grain/--seed override either
      * way.
@@ -94,6 +98,7 @@ struct RunSpec
     RunSpec &serial(bool on = true);
     RunSpec &checked(bool on = true);
     RunSpec &faults(const std::string &spec);
+    RunSpec &steal(const std::string &policy);
     RunSpec &cycleBudget(Cycle maxC);
     RunSpec &timeoutMs(uint64_t ms);
 

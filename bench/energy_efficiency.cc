@@ -24,11 +24,10 @@ main(int argc, char **argv)
     ResultCache cache(flags.get("cache-file", "bench_results.cache"),
                       !flags.has("no-cache"));
 
-    const std::vector<std::string> cfgs = {
-        "bt-mesi",        "bt-hcc-dnv",     "bt-hcc-gwt",
-        "bt-hcc-gwb",     "bt-hcc-dnv-dts", "bt-hcc-gwt-dts",
-        "bt-hcc-gwb-dts",
-    };
+    const std::vector<std::string> cfgs = flags.list(
+        "configs",
+        "bt-mesi,bt-hcc-dnv,bt-hcc-gwt,bt-hcc-gwb,"
+        "bt-hcc-dnv-dts,bt-hcc-gwt-dts,bt-hcc-gwb-dts");
 
     // One host-parallel sweep populates the cache; the print
     // loops below replay from it.
@@ -60,7 +59,9 @@ main(int argc, char **argv)
             auto e = estimateEnergy(r);
             std::printf("%-12s %-14s %6.2f | %5.2f %5.2f %5.2f "
                         "%5.2f %5.2f\n",
-                        app.c_str(), cfg.c_str() + 3,
+                        app.c_str(),
+                        cfg.rfind("bt-", 0) == 0 ? cfg.c_str() + 3
+                                                 : cfg.c_str(),
                         e.total() / base, e.l1 / base, e.l2 / base,
                         e.noc / base, e.dram / base, e.core / base);
             geo[cfg].push_back(e.total() / base);
@@ -69,7 +70,9 @@ main(int argc, char **argv)
     }
     std::printf("\n%-12s %-14s\n", "geomean", "");
     for (const auto &cfg : cfgs)
-        std::printf("  %-14s %6.2f\n", cfg.c_str() + 3,
+        std::printf("  %-14s %6.2f\n",
+                    cfg.rfind("bt-", 0) == 0 ? cfg.c_str() + 3
+                                             : cfg.c_str(),
                     geomean(geo[cfg]));
     std::printf("\nPaper claim: HCC-DTS-gwb reaches similar energy "
                 "efficiency to full-system hardware coherence "

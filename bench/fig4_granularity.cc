@@ -10,7 +10,6 @@
  */
 
 #include <cstdio>
-#include <sstream>
 
 #include "bench/sweep.hh"
 
@@ -26,13 +25,8 @@ main(int argc, char **argv)
                       !flags.has("no-cache"));
     std::string config = flags.get("config", "tiny64-mesi");
 
-    std::vector<int64_t> grains;
-    {
-        std::istringstream is(flags.get("grains", "1,2,4,8,16,32,64,128,256"));
-        std::string tok;
-        while (std::getline(is, tok, ','))
-            grains.push_back(std::stoll(tok));
-    }
+    std::vector<int64_t> grains =
+        flags.intList("grains", "1,2,4,8,16,32,64,128,256");
 
     // One host-parallel sweep populates the cache; the print loop
     // below replays from it.

@@ -5,7 +5,8 @@
  * as one row per app x config series). Shares the Table III sweep via
  * the result cache.
  *
- * Flags: --apps=...  --scale=...  --no-cache  --cache-file=PATH
+ * Flags: --apps=...  --configs=...  --scale=...  --no-cache
+ *        --cache-file=PATH
  */
 
 #include <cstdio>
@@ -23,10 +24,10 @@ main(int argc, char **argv)
     ResultCache cache(flags.get("cache-file", "bench_results.cache"),
                       !flags.has("no-cache"));
 
-    const std::vector<std::string> cfgs = {
-        "bt-hcc-dnv",     "bt-hcc-gwt",     "bt-hcc-gwb",
-        "bt-hcc-dnv-dts", "bt-hcc-gwt-dts", "bt-hcc-gwb-dts",
-    };
+    const std::vector<std::string> cfgs = flags.list(
+        "configs",
+        "bt-hcc-dnv,bt-hcc-gwt,bt-hcc-gwb,"
+        "bt-hcc-dnv-dts,bt-hcc-gwt-dts,bt-hcc-gwb-dts");
 
     // One host-parallel sweep populates the cache; the print
     // loops below replay from it.
@@ -44,7 +45,9 @@ main(int argc, char **argv)
                 "(scale=%.2f)\n", scale);
     std::printf("%-12s", "App");
     for (const auto &c : cfgs)
-        std::printf(" %14s", c.c_str() + 3); // strip "bt-"
+        std::printf(" %14s",
+                    c.rfind("bt-", 0) == 0 ? c.c_str() + 3
+                                           : c.c_str());
     std::printf("\n");
 
     std::map<std::string, std::vector<double>> geo;

@@ -21,11 +21,10 @@ main(int argc, char **argv)
     ResultCache cache(flags.get("cache-file", "bench_results.cache"),
                       !flags.has("no-cache"));
 
-    const std::vector<std::string> cfgs = {
-        "bt-mesi",        "bt-hcc-dnv",     "bt-hcc-gwt",
-        "bt-hcc-gwb",     "bt-hcc-dnv-dts", "bt-hcc-gwt-dts",
-        "bt-hcc-gwb-dts",
-    };
+    const std::vector<std::string> cfgs = flags.list(
+        "configs",
+        "bt-mesi,bt-hcc-dnv,bt-hcc-gwt,bt-hcc-gwb,"
+        "bt-hcc-dnv-dts,bt-hcc-gwt-dts,bt-hcc-gwb-dts");
 
     // One host-parallel sweep populates the cache; the print
     // loops below replay from it.
@@ -43,7 +42,9 @@ main(int argc, char **argv)
                 "(scale=%.2f)\n", scale);
     std::printf("%-12s", "App");
     for (const auto &c : cfgs)
-        std::printf(" %12s", c.c_str() + 3);
+        std::printf(" %12s",
+                    c.rfind("bt-", 0) == 0 ? c.c_str() + 3
+                                           : c.c_str());
     std::printf("\n");
 
     for (const auto &app : flags.appList()) {

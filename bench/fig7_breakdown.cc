@@ -20,11 +20,10 @@ main(int argc, char **argv)
     ResultCache cache(flags.get("cache-file", "bench_results.cache"),
                       !flags.has("no-cache"));
 
-    const std::vector<std::string> cfgs = {
-        "bt-mesi",        "bt-hcc-dnv",     "bt-hcc-gwt",
-        "bt-hcc-gwb",     "bt-hcc-dnv-dts", "bt-hcc-gwt-dts",
-        "bt-hcc-gwb-dts",
-    };
+    const std::vector<std::string> cfgs = flags.list(
+        "configs",
+        "bt-mesi,bt-hcc-dnv,bt-hcc-gwt,bt-hcc-gwb,"
+        "bt-hcc-dnv-dts,bt-hcc-gwt-dts,bt-hcc-gwb-dts");
 
     // One host-parallel sweep populates the cache; the print
     // loops below replay from it.
@@ -62,7 +61,9 @@ main(int argc, char **argv)
             for (auto t : r.tinyTime)
                 total += static_cast<double>(t);
             std::printf("%-12s %-14s %6.2f", app.c_str(),
-                        cfg.c_str() + 3, total / base);
+                        cfg.rfind("bt-", 0) == 0 ? cfg.c_str() + 3
+                                                 : cfg.c_str(),
+                        total / base);
             for (auto t : r.tinyTime)
                 std::printf(" %6.2f", static_cast<double>(t) / base);
             std::printf("\n");

@@ -21,11 +21,10 @@ main(int argc, char **argv)
     ResultCache cache(flags.get("cache-file", "bench_results.cache"),
                       !flags.has("no-cache"));
 
-    const std::vector<std::string> cfgs = {
-        "bt-mesi",        "bt-hcc-dnv",     "bt-hcc-gwt",
-        "bt-hcc-gwb",     "bt-hcc-dnv-dts", "bt-hcc-gwt-dts",
-        "bt-hcc-gwb-dts",
-    };
+    const std::vector<std::string> cfgs = flags.list(
+        "configs",
+        "bt-mesi,bt-hcc-dnv,bt-hcc-gwt,bt-hcc-gwb,"
+        "bt-hcc-dnv-dts,bt-hcc-gwt-dts,bt-hcc-gwb-dts");
 
     // One host-parallel sweep populates the cache; the print
     // loops below replay from it.
@@ -58,7 +57,8 @@ main(int argc, char **argv)
             auto r = cache.run(
                 RunSpec::forApp(app).scale(scale).config(cfg));
             std::printf("%-12s %-14s %6.2f", app.c_str(),
-                        cfg.c_str() + 3,
+                        cfg.rfind("bt-", 0) == 0 ? cfg.c_str() + 3
+                                                 : cfg.c_str(),
                         static_cast<double>(r.nocTotalBytes()) / base);
             for (auto b : r.nocBytes)
                 std::printf(" %9.3f", static_cast<double>(b) / base);

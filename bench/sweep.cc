@@ -174,6 +174,7 @@ writeSweepJson(const std::string &path,
             << "\"check\":" << (s.checkCoherence ? "true" : "false")
             << ","
             << "\"faults\":\"" << jsonEscape(s.faultSpec) << "\","
+            << "\"steal\":\"" << jsonEscape(s.stealPolicy) << "\","
             << "\"maxCycles\":" << s.maxCycles << ","
             << "\"key\":\"" << jsonEscape(s.key()) << "\","
             << "\"valid\":" << (r.valid ? "true" : "false") << ","

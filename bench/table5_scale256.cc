@@ -5,12 +5,16 @@
  * kernels with larger inputs. Reports speedup of big.TINY/MESI over
  * O3x1 and of HCC-gwb / HCC-DTS-gwb relative to big.TINY/MESI.
  *
- * Flags: --scale= (multiplies the enlarged inputs)  --no-cache
+ * Flags: --scale= (multiplies the enlarged inputs)  --apps=...
+ *        --configs=O3,MESI,HCC,DTS (exactly four, in that role
+ *        order — e.g. swap in spec-grammar topologies like
+ *        bt-4b252t@8x32/banks=32/proto=gwb)  --no-cache
  */
 
 #include <cstdio>
 
 #include "bench/sweep.hh"
+#include "common/log.hh"
 
 using namespace bigtiny;
 using namespace bigtiny::bench;
@@ -24,16 +28,21 @@ main(int argc, char **argv)
     ResultCache cache(flags.get("cache-file", "bench_results.cache"),
                       !flags.has("no-cache"));
 
-    const std::vector<std::string> apps5 = {
-        "cilk5-cs", "ligra-bc", "ligra-bfs", "ligra-cc", "ligra-tc",
-    };
+    const std::vector<std::string> apps5 = flags.list(
+        "apps", "cilk5-cs,ligra-bc,ligra-bfs,ligra-cc,ligra-tc");
+    const std::vector<std::string> cfgs = flags.list(
+        "configs",
+        "o3x1,bt256-mesi,bt256-hcc-gwb,bt256-hcc-gwb-dts");
+    fatal_if(cfgs.size() != 4,
+             "--configs needs exactly four entries "
+             "(O3 baseline, MESI, HCC, HCC-DTS), got %zu",
+             cfgs.size());
 
     // One host-parallel sweep populates the cache; the print loop
     // below replays from it.
     Sweep sweep(cache, flags.getInt("jobs", 0));
     for (const auto &app : apps5)
-        for (const char *cfg : {"o3x1", "bt256-mesi", "bt256-hcc-gwb",
-                                "bt256-hcc-gwb-dts"})
+        for (const auto &cfg : cfgs)
             sweep.add(RunSpec::forApp(app).scale(scale).config(cfg));
     sweep.run();
 
@@ -44,12 +53,10 @@ main(int argc, char **argv)
     for (const auto &app : apps5) {
         auto params = benchParams(app, scale);
         auto base = RunSpec::forApp(app).scale(scale);
-        auto o31 = cache.run(RunSpec(base).config("o3x1"));
-        auto mesi = cache.run(RunSpec(base).config("bt256-mesi"));
-        auto gwb =
-            cache.run(RunSpec(base).config("bt256-hcc-gwb"));
-        auto dts =
-            cache.run(RunSpec(base).config("bt256-hcc-gwb-dts"));
+        auto o31 = cache.run(RunSpec(base).config(cfgs[0]));
+        auto mesi = cache.run(RunSpec(base).config(cfgs[1]));
+        auto gwb = cache.run(RunSpec(base).config(cfgs[2]));
+        auto dts = cache.run(RunSpec(base).config(cfgs[3]));
         std::printf("%-12s %10lld | %12.1f | %10.2f %14.2f\n",
                     app.c_str(), (long long)params.n,
                     static_cast<double>(o31.cycles) / mesi.cycles,

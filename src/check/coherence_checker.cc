@@ -52,6 +52,7 @@ Violation::describe() const
 CoherenceChecker::CoherenceChecker(const sim::SystemConfig &cfg)
 {
     sites.resize(cfg.numCores(), nullptr);
+    racyRead.resize(cfg.numCores(), 0);
 }
 
 const CoherenceChecker::ShadowLine *
@@ -114,6 +115,11 @@ CoherenceChecker::onLoad(CoreId c, Cycle now, Addr a,
                          const void *observed, uint32_t len,
                          uint64_t reader_dirty_mask)
 {
+    // Annotated racy reads (setSite's sibling setRacy) are outside
+    // the DRF contract the golden image validates.
+    if (c >= 0 && c < static_cast<CoreId>(racyRead.size()) &&
+        racyRead[c])
+        return;
     const auto *obs = static_cast<const uint8_t *>(observed);
     Addr la = lineAlign(a);
     uint32_t off = lineOffset(a);
@@ -199,10 +205,18 @@ CoherenceChecker::onAmo(CoreId c, Cycle now, Addr a,
                         const void *observed_old, const void *stored,
                         uint32_t len)
 {
-    // AMOs execute at the coherence point (exclusive L1 copy or the
-    // L2 itself), so the old value must match golden regardless of
-    // software-coherence discipline; a divergence is a protocol-model
-    // bug and is reported like a stale read.
+    // An annotated racy AMO (setRacy) is a value-preserving read
+    // (amoLoad): its old value may legally lag golden — a plain store
+    // can still sit dirty in a remote L1 — and writing that stale
+    // value back into the golden image would corrupt it for every
+    // later well-ordered access. Skip both the check and the write.
+    if (c >= 0 && c < static_cast<CoreId>(racyRead.size()) &&
+        racyRead[c])
+        return;
+    // Otherwise AMOs execute at the coherence point (exclusive L1
+    // copy or the L2 itself), so under the DRF + invalidate/flush
+    // discipline the old value must match golden; a divergence is a
+    // protocol-model bug and is reported like a stale read.
     onLoad(c, now, a, observed_old, len, 0);
     goldenWrite(c, now, a, stored, len);
 }
@@ -278,6 +292,16 @@ CoherenceChecker::setSite(CoreId c, const char *site)
         return nullptr;
     const char *prev = sites[c];
     sites[c] = site;
+    return prev;
+}
+
+bool
+CoherenceChecker::setRacy(CoreId c, bool racy)
+{
+    if (c < 0 || c >= static_cast<CoreId>(racyRead.size()))
+        return false;
+    bool prev = racyRead[c];
+    racyRead[c] = racy;
     return prev;
 }
 

@@ -146,6 +146,21 @@ class CoherenceChecker
      */
     const char *setSite(CoreId c, const char *site);
 
+    /**
+     * Mark core @p c as inside a deliberately-racy read (returns the
+     * previous flag). The checker's golden image globally orders every
+     * plain store at execution time, so it can only validate reads
+     * that honor the DRF + invalidate/flush discipline; a heuristic
+     * read that intentionally races a remote writer — the thief's
+     * lock-free deque-emptiness probe (TaskDeque::emptySync), whose
+     * staleness at worst costs a failed steal attempt — would be
+     * flagged as a stale read. While the flag is set, load validation
+     * for @p c is skipped, and AMOs neither validate nor update the
+     * golden image — a racy AMO must therefore be a value-preserving
+     * read (amoLoad), never a mutating operation.
+     */
+    bool setRacy(CoreId c, bool racy);
+
     // --- results ------------------------------------------------------
 
     /** Total violations detected (recorded or not). */
@@ -200,6 +215,7 @@ class CoherenceChecker
     common::FlatMap<Addr, ShadowLine> shadow;
     std::map<Addr, std::pair<uint32_t, bool>> frames; // addr->{sz,freed}
     std::vector<const char *> sites;                  // per core
+    std::vector<uint8_t> racyRead;                    // per core
     std::vector<Violation> log;
     std::array<uint64_t, numViolationKinds> counts{};
     uint64_t total = 0;

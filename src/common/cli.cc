@@ -87,6 +87,22 @@ Flags::list(const std::string &key, const std::string &def) const
     return out;
 }
 
+std::vector<int64_t>
+Flags::intList(const std::string &key, const std::string &def) const
+{
+    std::vector<int64_t> out;
+    for (const auto &tok : list(key, def)) {
+        const char *s = tok.c_str();
+        char *end = nullptr;
+        errno = 0;
+        int64_t v = std::strtoll(s, &end, 0);
+        fatal_if(end == s || *end != '\0' || errno == ERANGE,
+                 "--%s: '%s' is not an integer", key.c_str(), s);
+        out.push_back(v);
+    }
+    return out;
+}
+
 std::vector<std::string>
 Flags::appList() const
 {

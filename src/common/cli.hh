@@ -53,6 +53,11 @@ class Flags
     std::vector<std::string> list(const std::string &key,
                                   const std::string &def = "") const;
 
+    /** Comma-separated integers; a malformed element is a fatal()
+     *  user error, matching getInt. */
+    std::vector<int64_t> intList(const std::string &key,
+                                 const std::string &def = "") const;
+
     /** Comma-separated --apps list (default: all registered apps). */
     std::vector<std::string> appList() const;
 

@@ -114,4 +114,12 @@ TaskDeque::empty(Core &c)
     return head == tail;
 }
 
+bool
+TaskDeque::emptySync(Core &c)
+{
+    uint64_t tail = c.amoLoad(tailA, 8, TimeCat::Sync);
+    uint64_t head = c.amoLoad(headA, 8, TimeCat::Sync);
+    return head == tail;
+}
+
 } // namespace bigtiny::rt

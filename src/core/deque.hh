@@ -51,6 +51,16 @@ class TaskDeque
     /** Owner-side emptiness probe (two loads). */
     bool empty(sim::Core &c);
 
+    /**
+     * Thief-side lock-free emptiness probe: two synchronizing loads,
+     * read at the coherence point. Plain loads would do under MESI,
+     * but under the software-centric protocols the owner's cursor
+     * updates are plain stores that linger dirty in its L1 until the
+     * pre-unlock flush — a plain probe would observe genuinely stale
+     * cursors (and trip the coherence checker).
+     */
+    bool emptySync(sim::Core &c);
+
     /** Simulated addresses of the cursor words (tests/diagnostics). */
     Addr headAddr() const { return headA; }
     Addr tailAddr() const { return tailA; }

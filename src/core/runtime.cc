@@ -1,6 +1,7 @@
 #include "core/runtime.hh"
 
 #include "common/log.hh"
+#include "core/steal.hh"
 #include "core/worker.hh"
 #include "fault/failure.hh"
 #include "sim/system.hh"
@@ -52,9 +53,24 @@ Runtime::Runtime(sim::System &sys, SchedVariant variant)
     for (int w = 0; w < n; ++w)
         workers.push_back(
             std::make_unique<Worker>(*this, sys.core(w), w));
+    policy = std::make_unique<RandomSteal>();
 }
 
 Runtime::~Runtime() = default;
+
+void
+Runtime::setStealPolicy(std::unique_ptr<StealPolicy> p)
+{
+    panic_if(!p, "setStealPolicy(nullptr)");
+    panic_if(ran, "setStealPolicy after run()");
+    policy = std::move(p);
+}
+
+void
+Runtime::setStealPolicy(const std::string &name)
+{
+    setStealPolicy(makeStealPolicy(name));
+}
 
 Addr
 Runtime::allocTaskFrame()

@@ -46,16 +46,7 @@ enum class SchedVariant
 
 const char *schedVariantName(SchedVariant v);
 
-/** Victim-selection policy for steal attempts. */
-enum class VictimPolicy
-{
-    Random,     //!< classic uniform-random victim (paper default)
-    RoundRobin, //!< cycle through victims (deterministic sweep)
-    BigFirst,   //!< bias half the probes toward big cores
-                //!< (asymmetry-aware flavor of Torng et al. [71]:
-                //!< big cores drain their deques fastest, so their
-                //!< surplus is the freshest steal target)
-};
+class StealPolicy;
 
 class Runtime
 {
@@ -107,24 +98,15 @@ class Runtime
     bool dtsStealFromTail = false;
 
     /**
-     * DEPRECATED alias for the rt-elide-steal-inv fault site: elide
-     * the cache_invalidate pair in the HCC stealOnce path (the
-     * pre-pop invalidate and the post-steal invalidate before
-     * executing the stolen task). With these elided a thief keeps
-     * stale clean copies of the victim's deque metadata and published
-     * task data; the run usually still produces correct results (the
-     * victim re-executes the work the thief could not see), which is
-     * exactly the silent failure mode the checker exists to surface.
-     *
-     * New code should use `--faults=rt-elide-steal-inv@all` (or any
-     * other trigger) via SystemConfig::faults instead; this flag is
-     * kept so existing tests and tools keep working and behaves like
-     * rt-elide-steal-inv@all.
+     * Victim-selection policy (src/core/steal.hh). Defaults to
+     * uniform random, the paper's configuration. Replace before run()
+     * with setStealPolicy; policies are per-Runtime (they carry
+     * per-worker state).
      */
-    bool hccElideStealInvalidate = false;
-
-    /** Victim-selection policy (see bench/ablation_dts). */
-    VictimPolicy victimPolicy = VictimPolicy::Random;
+    StealPolicy &stealPolicy() { return *policy; }
+    void setStealPolicy(std::unique_ptr<StealPolicy> p);
+    /** Convenience: construct by name via makeStealPolicy. */
+    void setStealPolicy(const std::string &name);
 
     DagProfiler profiler;
 
@@ -143,6 +125,7 @@ class Runtime
     Addr doneA = 0;
     std::vector<Rng> rngs;
     std::vector<std::unique_ptr<Worker>> workers;
+    std::unique_ptr<StealPolicy> policy;
     bool ran = false;
 };
 

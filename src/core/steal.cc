@@ -1,0 +1,225 @@
+#include "core/steal.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "core/runtime.hh"
+
+namespace bigtiny::rt
+{
+
+namespace
+{
+
+/** Uniform victim != wid, replaying the classic draw sequence. */
+int
+uniformVictim(Runtime &rt, int wid)
+{
+    int n = rt.numWorkers();
+    auto v = static_cast<int>(rt.rng(wid).nextBounded(n - 1));
+    if (v >= wid)
+        ++v;
+    return v;
+}
+
+} // namespace
+
+int
+RandomSteal::chooseVictim(Runtime &rt, int wid)
+{
+    return uniformVictim(rt, wid);
+}
+
+int
+RoundRobinSteal::chooseVictim(Runtime &rt, int wid)
+{
+    int n = rt.numWorkers();
+    if (next.empty())
+        next.assign(n, 0);
+    int v = (next[wid] + 1) % n;
+    if (v == wid)
+        v = (v + 1) % n;
+    next[wid] = v;
+    return v;
+}
+
+int
+BigFirstSteal::chooseVictim(Runtime &rt, int wid)
+{
+    int n = rt.numWorkers();
+    if (probe.empty())
+        probe.assign(n, 0);
+    const auto &cores = rt.cfg.cores;
+    if (rt.rng(wid).nextBool(0.5)) {
+        for (int i = 0; i < n; ++i) {
+            probe[wid] = (probe[wid] + 1) % n;
+            if (probe[wid] != wid &&
+                cores[probe[wid]] == sim::CoreKind::Big)
+                return probe[wid];
+        }
+    }
+    return uniformVictim(rt, wid);
+}
+
+void
+HierarchicalSteal::ensure(Runtime &rt)
+{
+    if (!clusterOfW.empty())
+        return;
+    const auto &cfg = rt.cfg;
+    int n = rt.numWorkers();
+    clusterOfW.resize(n);
+    members.assign(cfg.numClusters(), {});
+    for (int w = 0; w < n; ++w) {
+        clusterOfW[w] = cfg.clusterOf(w);
+        members[clusterOfW[w]].push_back(w);
+    }
+    // Per-cluster escalation order: every other cluster sorted by
+    // Manhattan distance in the cluster grid (ties by index, so the
+    // order is deterministic). Steal-half diffuses work outward from
+    // wherever it was spawned, so a concentric search finds it with
+    // far shorter probe round-trips than a uniform draw over the
+    // whole mesh.
+    int nc = cfg.numClusters();
+    ring.assign(nc, {});
+    for (int c = 0; c < nc; ++c) {
+        for (int o = 0; o < nc; ++o)
+            if (o != c && !members[o].empty())
+                ring[c].push_back(o);
+        auto dist = [&](int a, int b) {
+            int ar = a / cfg.clusterCols, ac = a % cfg.clusterCols;
+            int br = b / cfg.clusterCols, bc = b % cfg.clusterCols;
+            return std::abs(ar - br) + std::abs(ac - bc);
+        };
+        std::stable_sort(ring[c].begin(), ring[c].end(),
+                         [&](int a, int b) {
+                             return dist(c, a) < dist(c, b);
+                         });
+    }
+    fails.assign(n, 0);
+    lastVictim.assign(n, -1);
+    board.assign(cfg.numClusters(), -1);
+}
+
+int
+HierarchicalSteal::chooseVictim(Runtime &rt, int wid)
+{
+    ensure(rt);
+    int cl = clusterOfW[wid];
+
+    // 1. Follow the cluster's hint board: somebody advertised work
+    //    here (an imported batch, or a spawn whose data homes near
+    //    us). The hint persists until a steal from it fails, so the
+    //    whole cluster converges on the batch instead of one lucky
+    //    peer.
+    int hint = board[cl];
+    if (hint >= 0 && hint != wid)
+        return hint;
+
+    // 2. Stick with the last productive victim: deques drain from
+    //    one end while thieves take the other, so a victim that had
+    //    surplus usually still has it (and its task data is warm on
+    //    the path between us).
+    if (lastVictim[wid] >= 0)
+        return lastVictim[wid];
+
+    // 3. Probe the local cluster while it looks alive.
+    const auto &local = members[cl];
+    if (fails[wid] < escalateAfter && local.size() > 1) {
+        auto i = static_cast<int>(
+            rt.rng(wid).nextBounded(local.size() - 1));
+        int v = local[i];
+        if (v == wid)
+            v = local[local.size() - 1];
+        return v;
+    }
+
+    // 4. Escalate concentrically: each further failure probes a
+    //    random member of the next-nearest cluster, wrapping so every
+    //    cluster is eventually covered (liveness). Success resets to
+    //    local probing.
+    const auto &order = ring[cl];
+    if (order.empty())
+        return uniformVictim(rt, wid); // single populated cluster
+    unsigned past = fails[wid] > escalateAfter
+                        ? fails[wid] - escalateAfter
+                        : 0; // reached via a 1-worker local cluster
+    auto step = static_cast<size_t>(past) % order.size();
+    const auto &remote = members[order[step]];
+    return remote[rt.rng(wid).nextBounded(remote.size())];
+}
+
+void
+HierarchicalSteal::onStealOutcome(Runtime &rt, int wid, int vid,
+                                  bool got)
+{
+    ensure(rt);
+    if (got) {
+        fails[wid] = 0;
+        lastVictim[wid] = vid;
+        // A cross-cluster success means we just imported half the
+        // victim's deque (stealHalf): advertise it so cluster mates
+        // skip the search and drain the fresh batch locally.
+        if (clusterOfW[wid] != clusterOfW[vid])
+            board[clusterOfW[wid]] = wid;
+    } else {
+        // Keeps counting past escalateAfter: the excess indexes the
+        // concentric cluster walk in chooseVictim.
+        if (fails[wid] < escalateAfter + 4096)
+            ++fails[wid];
+        lastVictim[wid] = -1;
+        // Drop a stale hint the moment the advertised deque is dry.
+        if (board[clusterOfW[wid]] == vid)
+            board[clusterOfW[wid]] = -1;
+    }
+}
+
+void
+HierarchicalSteal::noteSpawnAffinity(Runtime &rt, int wid, int cluster)
+{
+    ensure(rt);
+    if (cluster < 0 || cluster >= static_cast<int>(board.size()))
+        return;
+    if (cluster != clusterOfW[wid])
+        board[cluster] = wid;
+}
+
+bool
+HierarchicalSteal::stealHalf(const Runtime &rt, int wid, int vid) const
+{
+    // Batch every steal: cross-cluster to amortize the transfer
+    // distance, local so an imported batch diffuses through the
+    // cluster in log steps instead of one task per probe.
+    (void)rt;
+    (void)wid;
+    (void)vid;
+    return !clusterOfW.empty();
+}
+
+std::unique_ptr<StealPolicy>
+makeStealPolicy(const std::string &name)
+{
+    if (name.empty() || name == "random")
+        return std::make_unique<RandomSteal>();
+    if (name == "rr" || name == "round-robin")
+        return std::make_unique<RoundRobinSteal>();
+    if (name == "big-first")
+        return std::make_unique<BigFirstSteal>();
+    if (name == "hier" || name == "hierarchical")
+        return std::make_unique<HierarchicalSteal>();
+    if (name.rfind("hier:", 0) == 0) {
+        char *end = nullptr;
+        long e = strtol(name.c_str() + 5, &end, 10);
+        fatal_if(*end != '\0' || e < 0,
+                 "bad steal policy '%s' (want hier:<escalate>)",
+                 name.c_str());
+        return std::make_unique<HierarchicalSteal>(
+            static_cast<unsigned>(e));
+    }
+    fatal("unknown steal policy '%s' (want random, rr, big-first, or "
+          "hier[:<escalate>])",
+          name.c_str());
+}
+
+} // namespace bigtiny::rt

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Pluggable victim-selection (steal) policies.
+ *
+ * StealPolicy replaces the old closed VictimPolicy enum: a policy
+ * object owns all of its per-worker state and is consulted by
+ * Worker::stealOnce through three hooks — victim choice, outcome
+ * feedback, and the cross-cluster steal-half decision. Policies are
+ * host-side scheduling logic only: they never touch simulated memory,
+ * and every random draw they make comes from the per-worker
+ * deterministic streams (Runtime::rng), so a given policy produces
+ * byte-identical runs regardless of host threading (--jobs).
+ *
+ * The built-in policies:
+ *  - random:    classic uniform-random victim (the paper's default).
+ *  - rr:        deterministic round-robin sweep.
+ *  - big-first: bias half the probes toward big cores (Torng et al.).
+ *  - hier:      hierarchical locality-aware selection over the
+ *               config's cluster grid — probe the local cluster
+ *               first, escalate to remote clusters after repeated
+ *               local failures, stick with the last productive
+ *               victim, steal half of a remote victim's deque to
+ *               amortize the cross-cluster transfer, and honor
+ *               spawn-site task-to-data affinity hints
+ *               (Worker::spawnWithAffinity). See DESIGN.md section 13.
+ */
+
+#ifndef BIGTINY_CORE_STEAL_HH
+#define BIGTINY_CORE_STEAL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bigtiny::rt
+{
+
+class Runtime;
+
+class StealPolicy
+{
+  public:
+    virtual ~StealPolicy() = default;
+
+    /** Canonical policy name (what makeStealPolicy parses). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick a steal victim for thief @p wid, or -1 when there is none
+     * (the attempt then counts as failed). Must return a worker id
+     * != wid. The caller has already charged the constant
+     * victim-selection cost in simulated time; any randomness must
+     * come from rt.rng(wid).
+     */
+    virtual int chooseVictim(Runtime &rt, int wid) = 0;
+
+    /** Outcome feedback: thief @p wid got (or not) a task from @p vid. */
+    virtual void
+    onStealOutcome(Runtime &rt, int wid, int vid, bool got)
+    {
+        (void)rt;
+        (void)wid;
+        (void)vid;
+        (void)got;
+    }
+
+    /**
+     * Spawn-site affinity hint: worker @p wid spawned a task whose
+     * data homes in cluster @p cluster (see Worker::spawnWithAffinity).
+     */
+    virtual void
+    noteSpawnAffinity(Runtime &rt, int wid, int cluster)
+    {
+        (void)rt;
+        (void)wid;
+        (void)cluster;
+    }
+
+    /**
+     * Should thief @p wid, having successfully popped one task from
+     * @p vid, also transfer half of the victim's remaining deque onto
+     * its own (steal-half)? Only consulted on the shared-memory
+     * variants — DTS hands over exactly one task per ULI transaction.
+     */
+    virtual bool
+    stealHalf(const Runtime &rt, int wid, int vid) const
+    {
+        (void)rt;
+        (void)wid;
+        (void)vid;
+        return false;
+    }
+
+    /**
+     * True when stealHalf may ever answer true: thieves then also
+     * drain their own deque from the top-level loop (batch-stolen
+     * tasks outlive the stolen task's wait scope). Kept separate so
+     * the default policies add zero simulated work to the idle loop.
+     */
+    virtual bool stealsBatches() const { return false; }
+
+    /**
+     * Probe the victim's deque cursors (two synchronizing loads, read
+     * at the coherence point — see TaskDeque::emptySync) before
+     * acquiring its lock, and bail out of the attempt when it looks
+     * empty. Saves the two lock AMOs on the overwhelmingly common
+     * empty probe at large core counts — and, more importantly, keeps
+     * idle thieves off the locks of the few busy victims. Safe: a
+     * racy miss is just a failed attempt and the next probe re-reads
+     * fresh cursors.
+     */
+    virtual bool probeBeforeLock() const { return false; }
+};
+
+/** Classic uniform-random victim selection (paper default). */
+class RandomSteal : public StealPolicy
+{
+  public:
+    const char *name() const override { return "random"; }
+    int chooseVictim(Runtime &rt, int wid) override;
+};
+
+/** Deterministic round-robin sweep. */
+class RoundRobinSteal : public StealPolicy
+{
+  public:
+    const char *name() const override { return "rr"; }
+    int chooseVictim(Runtime &rt, int wid) override;
+
+  private:
+    std::vector<int> next; //!< per-worker sweep cursor
+};
+
+/**
+ * Asymmetry-aware flavor of Torng et al. [71]: big cores drain their
+ * deques fastest, so their surplus is the freshest steal target; half
+ * the probes go to big cores, the rest stay uniform so tiny-held work
+ * is still found.
+ */
+class BigFirstSteal : public StealPolicy
+{
+  public:
+    const char *name() const override { return "big-first"; }
+    int chooseVictim(Runtime &rt, int wid) override;
+
+  private:
+    std::vector<int> probe; //!< per-worker big-core sweep cursor
+};
+
+/**
+ * Hierarchical locality-aware selection over the cluster grid
+ * (SystemConfig::clusterRows/Cols). With a 1x1 grid it degenerates
+ * to uniform random.
+ */
+class HierarchicalSteal : public StealPolicy
+{
+  public:
+    /** @p escalate_after local failures before probing remotely. */
+    explicit HierarchicalSteal(unsigned escalate_after = 4)
+        : escalateAfter(escalate_after)
+    {}
+
+    const char *name() const override { return "hier"; }
+    int chooseVictim(Runtime &rt, int wid) override;
+    void onStealOutcome(Runtime &rt, int wid, int vid,
+                        bool got) override;
+    void noteSpawnAffinity(Runtime &rt, int wid, int cluster) override;
+    bool stealHalf(const Runtime &rt, int wid, int vid) const override;
+    bool stealsBatches() const override { return true; }
+    bool probeBeforeLock() const override { return true; }
+
+  private:
+    void ensure(Runtime &rt);
+
+    unsigned escalateAfter;
+    std::vector<int> clusterOfW;   //!< worker -> cluster
+    std::vector<std::vector<int>> members; //!< cluster -> workers
+    /** cluster -> other clusters sorted by grid distance. */
+    std::vector<std::vector<int>> ring;
+    std::vector<unsigned> fails;   //!< consecutive failed attempts
+    std::vector<int> lastVictim;   //!< last productive victim or -1
+    std::vector<int> board;        //!< cluster -> hinted spawner or -1
+};
+
+/**
+ * Policy factory: "random", "rr", "big-first", "hier" (optionally
+ * "hier:<escalate>" to tune the local-failure escalation threshold).
+ * fatal()s on unknown names.
+ */
+std::unique_ptr<StealPolicy> makeStealPolicy(const std::string &name);
+
+} // namespace bigtiny::rt
+
+#endif // BIGTINY_CORE_STEAL_HH

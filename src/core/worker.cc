@@ -46,6 +46,33 @@ class SiteScope
 };
 
 /**
+ * Scoped racy-read annotation (CoherenceChecker::setRacy): loads in
+ * the scope are deliberately racy heuristics, exempt from the
+ * checker's stale-read validation.
+ */
+class RacyScope
+{
+  public:
+    RacyScope(check::CoherenceChecker *chk, CoreId c) : chk(chk), c(c)
+    {
+        if (chk)
+            prev = chk->setRacy(c, true);
+    }
+    ~RacyScope()
+    {
+        if (chk)
+            chk->setRacy(c, prev);
+    }
+    RacyScope(const RacyScope &) = delete;
+    RacyScope &operator=(const RacyScope &) = delete;
+
+  private:
+    check::CoherenceChecker *chk;
+    CoreId c;
+    bool prev = false;
+};
+
+/**
  * Scoped trace span on the worker's core track: records the begin
  * cycle at construction and emits one complete event covering the
  * region at destruction. Emitting from the destructor means spans
@@ -249,41 +276,10 @@ Worker::chooseVictim()
     int n = rt.numWorkers();
     if (n < 2)
         return -1;
+    // Victim selection is modeled at a constant cost regardless of
+    // policy; the policy logic itself is host-side scheduling state.
     core.work(victimSelectCycles, TimeCat::Sync);
-    switch (rt.victimPolicy) {
-      case VictimPolicy::Random: {
-        auto v = static_cast<int>(rt.rng(wid).nextBounded(n - 1));
-        if (v >= wid)
-            ++v;
-        return v;
-      }
-      case VictimPolicy::RoundRobin: {
-        nextVictim = (nextVictim + 1) % n;
-        if (nextVictim == wid)
-            nextVictim = (nextVictim + 1) % n;
-        return nextVictim;
-      }
-      case VictimPolicy::BigFirst: {
-        // Biased sampling: half the probes target a big core (their
-        // higher throughput drains local work fastest, so their
-        // deques hold the freshest surplus), the rest stay uniform
-        // so tiny-held work is still found.
-        const auto &cores = rt.cfg.cores;
-        if (rt.rng(wid).nextBool(0.5)) {
-            for (int probe = 0; probe < n; ++probe) {
-                bigProbe = (bigProbe + 1) % n;
-                if (bigProbe != wid &&
-                    cores[bigProbe] == sim::CoreKind::Big)
-                    return bigProbe;
-            }
-        }
-        auto v = static_cast<int>(rt.rng(wid).nextBounded(n - 1));
-        if (v >= wid)
-            ++v;
-        return v;
-      }
-    }
-    return -1;
+    return rt.stealPolicy().chooseVictim(rt, wid);
 }
 
 // ---------------------------------------------------------------------
@@ -321,6 +317,20 @@ Worker::spawn(Addr t)
         rt.sys.tracer()->instant(trace::CatTask, core.id(), core.now(),
                                  "spawn", "frame", t);
     traceDequeDepth(rt, wid, core.now());
+}
+
+void
+Worker::spawnWithAffinity(Addr t, Addr data_addr)
+{
+    // The hint is pure scheduling metadata (no simulated work): map
+    // the data address to the L2 bank that homes it, then to the
+    // cluster holding that bank, and tell the steal policy that this
+    // worker has work affine to that cluster.
+    const auto &cfg = rt.cfg;
+    int bank =
+        static_cast<int>((data_addr >> lineShift) % cfg.numBanks());
+    rt.stealPolicy().noteSpawnAffinity(rt, wid, cfg.clusterOfBank(bank));
+    spawn(t);
 }
 
 // ---------------------------------------------------------------------
@@ -365,6 +375,7 @@ Worker::waitBaseline(Addr p)
         if (t) {
             traceDequeDepth(rt, wid, core.now());
             failStreak = 0;
+            takenRemotely(t); // host bookkeeping only under MESI
             execTask(t);
             joinShared(t);
             retire(t);
@@ -387,7 +398,10 @@ Worker::waitHcc(Addr p)
         if (t) {
             traceDequeDepth(rt, wid, core.now());
             failStreak = 0;
+            bool remote = takenRemotely(t);
             execTask(t);
+            if (remote)
+                core.cacheFlush(); // publish before the remote join
             joinShared(t);
             retire(t);
         } else if (!stealOnce()) {
@@ -461,8 +475,13 @@ Worker::stealOnce()
     switch (rt.variant) {
       case SchedVariant::Baseline: {
         TaskDeque &vq = rt.deque(vid);
+        if (rt.stealPolicy().probeBeforeLock() && vq.empty(core))
+            break;
+        std::vector<Addr> extras;
         vq.lockAq(core);
         Addr t = vq.deqHead(core);
+        if (t && rt.stealPolicy().stealHalf(rt, wid, vid))
+            grabHalf(vq, &extras);
         vq.lockRl(core);
         if (!t)
             break;
@@ -470,6 +489,9 @@ Worker::stealOnce()
         ++stats.tasksStolen;
         failStreak = 0;
         span.setArg1(1);
+        rt.stealPolicy().onStealOutcome(rt, wid, vid, true);
+        if (!extras.empty())
+            transferStolen(extras);
         execTask(t);
         joinShared(t);
         retire(t);
@@ -480,10 +502,25 @@ Worker::stealOnce()
         // invalidate points (they protect the same hand-off).
         bool elide = elideStealInv();
         TaskDeque &vq = rt.deque(vid);
+        if (rt.stealPolicy().probeBeforeLock()) {
+            // Synchronizing cursor reads (plain loads would be stale
+            // until the victim's pre-unlock flush), lock-free so an
+            // empty-looking deque costs no AMOs on the victim's lock
+            // line. Still racy — a concurrent plain cursor store may
+            // sit dirty in another thief's L1 — but a wrong answer
+            // only costs a failed attempt, so the probe is annotated
+            // out of the checker's DRF contract.
+            RacyScope racy(rt.sys.mem().checker(), core.id());
+            if (vq.emptySync(core))
+                break;
+        }
+        std::vector<Addr> extras;
         vq.lockAq(core);
         if (!elide)
             core.cacheInvalidate();
         Addr t = vq.deqHead(core);
+        if (t && rt.stealPolicy().stealHalf(rt, wid, vid))
+            grabHalf(vq, &extras);
         core.cacheFlush();
         vq.lockRl(core);
         if (!t)
@@ -492,6 +529,9 @@ Worker::stealOnce()
         ++stats.tasksStolen;
         failStreak = 0;
         span.setArg1(1);
+        rt.stealPolicy().onStealOutcome(rt, wid, vid, true);
+        if (!extras.empty())
+            transferStolen(extras);
         if (!elide)
             core.cacheInvalidate(); // see the victim's published values
         execTask(t);
@@ -510,6 +550,7 @@ Worker::stealOnce()
         ++stats.tasksStolen;
         failStreak = 0;
         span.setArg1(1);
+        rt.stealPolicy().onStealOutcome(rt, wid, vid, true);
         core.cacheInvalidate();
         execTask(t);
         core.cacheFlush();
@@ -518,8 +559,69 @@ Worker::stealOnce()
         return true;
       }
     }
+    rt.stealPolicy().onStealOutcome(rt, wid, vid, false);
     ++stats.failedSteals;
     return false;
+}
+
+void
+Worker::grabHalf(TaskDeque &vq, std::vector<Addr> *out)
+{
+    // Steal-half (cross-cluster transfers only; see StealPolicy):
+    // with the victim's lock held, take half of what remains beyond
+    // the task already popped, so the expensive remote round trip is
+    // amortized over a batch. The cursor reads are ordinary
+    // architectural loads of the deque metadata.
+    auto head = core.ld<uint64_t>(vq.headAddr());
+    auto tail = core.ld<uint64_t>(vq.tailAddr());
+    uint64_t take = (tail - head) / 2;
+    for (uint64_t i = 0; i < take; ++i) {
+        Addr e = vq.deqHead(core);
+        if (!e)
+            break;
+        out->push_back(e);
+    }
+}
+
+void
+Worker::transferStolen(const std::vector<Addr> &tasks)
+{
+    // Re-home batch-stolen tasks on our own deque with the spawn
+    // discipline of the variant (their producers already counted
+    // them as spawned). They keep remote parents, so remember them:
+    // the popper must publish its cache before the cross-core join
+    // under software-centric protocols (takenRemotely).
+    TaskDeque &q = rt.deque(wid);
+    switch (rt.variant) {
+      case SchedVariant::Baseline:
+        q.lockAq(core);
+        for (Addr t : tasks)
+            q.enq(core, t);
+        q.lockRl(core);
+        break;
+      case SchedVariant::Hcc:
+        q.lockAq(core);
+        core.cacheInvalidate();
+        for (Addr t : tasks)
+            q.enq(core, t);
+        core.cacheFlush();
+        q.lockRl(core);
+        break;
+      case SchedVariant::Dts:
+        panic("steal-half is not defined for the DTS variant");
+    }
+    for (Addr t : tasks)
+        remoteTasks.insert(t);
+    stats.tasksStolen += tasks.size();
+    traceDequeDepth(rt, wid, core.now());
+}
+
+bool
+Worker::takenRemotely(Addr t)
+{
+    if (remoteTasks.empty())
+        return false;
+    return remoteTasks.erase(t) != 0;
 }
 
 void
@@ -565,11 +667,6 @@ Worker::uliHandler(CoreId thief)
 bool
 Worker::elideStealInv()
 {
-    // Deprecated Runtime::hccElideStealInvalidate maps onto the
-    // rt-elide-steal-inv fault site: the flag behaves like
-    // rt-elide-steal-inv@all without needing a FaultPlan.
-    if (rt.hccElideStealInvalidate)
-        return true;
     auto &inj = core.system().injector();
     return inj.armed(fault::FaultSite::RtElideStealInv) &&
            inj.fire(fault::FaultSite::RtElideStealInv, wid,
@@ -621,13 +718,55 @@ void
 Worker::topLoop()
 {
     // Idle workers spin on the done flag with a synchronizing read
-    // (visible under every protocol) and steal in between. Their own
-    // deque is necessarily empty between top-level task executions:
-    // a stolen task only returns after all of its descendants joined.
+    // (visible under every protocol) and steal in between. With the
+    // single-task steal policies, their own deque is necessarily
+    // empty between top-level task executions (a stolen task only
+    // returns after all of its descendants joined), so probing it
+    // would be pure overhead. Batch-stealing policies break that
+    // invariant — transferStolen parks extra tasks on our deque — so
+    // those must drain the local deque before stealing again.
+    bool drain = rt.variant != SchedVariant::Dts &&
+                 rt.stealPolicy().stealsBatches();
     while (core.amoLoad(rt.doneFlag(), 8, TimeCat::Idle) == 0) {
+        if (drain && popOwnTask())
+            continue;
         if (!stealOnce())
             idleBackoff();
     }
+}
+
+bool
+Worker::popOwnTask()
+{
+    TaskDeque &q = rt.deque(wid);
+    Addr t = 0;
+    switch (rt.variant) {
+      case SchedVariant::Baseline:
+        q.lockAq(core);
+        t = q.deqTail(core);
+        q.lockRl(core);
+        break;
+      case SchedVariant::Hcc:
+        q.lockAq(core);
+        core.cacheInvalidate();
+        t = q.deqTail(core);
+        core.cacheFlush();
+        q.lockRl(core);
+        break;
+      case SchedVariant::Dts:
+        return false; // private deques never hold batch-stolen work
+    }
+    if (!t)
+        return false;
+    traceDequeDepth(rt, wid, core.now());
+    failStreak = 0;
+    bool remote = takenRemotely(t);
+    execTask(t);
+    if (remote && rt.variant == SchedVariant::Hcc)
+        core.cacheFlush(); // publish before the remote join
+    joinShared(t);
+    retire(t);
+    return true;
 }
 
 } // namespace bigtiny::rt

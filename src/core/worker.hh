@@ -12,8 +12,11 @@
 #define BIGTINY_CORE_WORKER_HH
 
 #include <functional>
+#include <unordered_set>
+#include <vector>
 
 #include "core/runtime.hh"
+#include "core/steal.hh"
 #include "core/task.hh"
 #include "sim/core.hh"
 
@@ -49,6 +52,15 @@ class Worker
 
     /** Enqueue @p task on this worker's deque (Figure 3 spawn). */
     void spawn(Addr task);
+
+    /**
+     * spawn() plus a task-to-data affinity hint: @p data_addr is
+     * where the task's working set lives, and locality-aware steal
+     * policies may advertise the task to thieves in the cluster that
+     * homes that data. Scheduling metadata only — identical simulated
+     * behavior to spawn() under policies that ignore hints.
+     */
+    void spawnWithAffinity(Addr task, Addr data_addr);
 
     /**
      * Wait until every spawned child of the current task has joined,
@@ -123,7 +135,19 @@ class Worker
     /** One steal attempt + execution; true if a task was executed. */
     bool stealOnce();
 
-    /** HCC steal-path invalidate elision (deprecated flag or fault). */
+    /** Pop + run one task from the own deque (batch-steal drain). */
+    bool popOwnTask();
+
+    /** Steal-half: pop half the victim's remainder into @p out. */
+    void grabHalf(TaskDeque &vq, std::vector<Addr> *out);
+
+    /** Enqueue batch-stolen tasks onto the own deque. */
+    void transferStolen(const std::vector<Addr> &tasks);
+
+    /** Consume the batch-stolen mark of @p t (remote parent). */
+    bool takenRemotely(Addr t);
+
+    /** HCC steal-path invalidate elision (fault injection). */
     bool elideStealInv();
 
     /** Exponential backoff after a failed steal attempt. */
@@ -148,8 +172,8 @@ class Worker
 
     int wid;
     unsigned failStreak = 0;
-    int nextVictim = 0; //!< RoundRobin policy state
-    int bigProbe = 0;   //!< BigFirst policy state
+    /** Batch-stolen tasks parked on our deque (remote parents). */
+    std::unordered_set<Addr> remoteTasks;
     Addr curTask = 0;
     DagProfiler::Idx curProf = DagProfiler::none;
     uint64_t lastInst = 0;

@@ -26,10 +26,17 @@
 namespace bigtiny::mem
 {
 
-/** Bitset of cores sized for up to 256 cores. */
+/**
+ * Bitset of cores sized for sim::maxCores (SystemConfig::check()
+ * enforces the ceiling). The word scans below vectorize and only run
+ * on miss/recall paths, so the fixed worst-case width does not touch
+ * the load-hit fast path.
+ */
 struct SharerSet
 {
-    std::array<uint64_t, 4> w{};
+    static constexpr int words = (sim::maxCores + 63) / 64;
+
+    std::array<uint64_t, words> w{};
 
     void set(CoreId c) { w[c >> 6] |= 1ull << (c & 63); }
     void clear(CoreId c) { w[c >> 6] &= ~(1ull << (c & 63)); }
@@ -38,7 +45,10 @@ struct SharerSet
     bool
     any() const
     {
-        return (w[0] | w[1] | w[2] | w[3]) != 0;
+        uint64_t acc = 0;
+        for (auto x : w)
+            acc |= x;
+        return acc != 0;
     }
 
     int
@@ -56,7 +66,7 @@ struct SharerSet
     void
     forEach(Fn &&fn) const
     {
-        for (int i = 0; i < 4; ++i) {
+        for (int i = 0; i < words; ++i) {
             uint64_t x = w[i];
             while (x) {
                 int b = __builtin_ctzll(x);

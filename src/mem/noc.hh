@@ -47,7 +47,7 @@ class Noc
     int tileCol(CoreId c) const { return c % cfg.meshCols; }
 
     /** Mesh column hosting L2 bank / memory controller @p bank. */
-    int bankCol(int bank) const { return bank % cfg.meshCols; }
+    int bankCol(int bank) const { return cfg.bankColumn(bank); }
 
     /** XY-routed hop count from core tile to an L2 bank. */
     uint32_t

@@ -1,5 +1,7 @@
 #include "sim/config.hh"
 
+#include <cstdlib>
+
 #include "common/log.hh"
 
 namespace bigtiny::sim
@@ -25,9 +27,31 @@ void
 SystemConfig::check() const
 {
     fatal_if(cores.empty(), "config '%s' has no cores", name.c_str());
+    fatal_if(meshRows < 1 || meshCols < 1,
+             "config '%s': invalid %dx%d mesh", name.c_str(), meshRows,
+             meshCols);
     fatal_if(numCores() > meshRows * meshCols,
-             "config '%s': %d cores exceed %dx%d mesh", name.c_str(),
-             numCores(), meshRows, meshCols);
+             "config '%s': %d cores do not fit a %dx%d mesh (%d "
+             "tiles); grow the mesh or drop cores",
+             name.c_str(), numCores(), meshRows, meshCols,
+             meshRows * meshCols);
+    fatal_if(numCores() > maxCores,
+             "config '%s': %d cores exceed the supported maximum of "
+             "%d (directory sharer sets are sized for %d cores)",
+             name.c_str(), numCores(), maxCores, maxCores);
+    fatal_if(numBanks() < 1, "config '%s': needs at least one L2 bank",
+             name.c_str());
+    fatal_if(clusterRows < 1 || clusterCols < 1,
+             "config '%s': invalid %dx%d cluster grid", name.c_str(),
+             clusterRows, clusterCols);
+    fatal_if(meshRows % clusterRows != 0 || meshCols % clusterCols != 0,
+             "config '%s': %dx%d cluster grid does not evenly divide "
+             "the %dx%d mesh",
+             name.c_str(), clusterRows, clusterCols, meshRows, meshCols);
+    fatal_if(numClusters() > 1 && numCores() != meshRows * meshCols,
+             "config '%s': clustering requires a fully occupied mesh "
+             "(%d cores on %dx%d tiles)",
+             name.c_str(), numCores(), meshRows, meshCols);
     fatal_if(tinyL1Bytes % (lineBytes * l1Ways) != 0,
              "tiny L1 size not divisible into sets");
     fatal_if(bigL1Bytes % (lineBytes * l1Ways) != 0,
@@ -74,91 +98,302 @@ bigTinyPlacement(int rows, int cols, int num_big)
 
 } // namespace
 
+std::string
+Topology::spec() const
+{
+    std::string s = "bt-" + std::to_string(bigCores) + "b" +
+                    std::to_string(tinyCores < 0 ? rows * cols - bigCores
+                                                 : tinyCores) +
+                    "t@" + std::to_string(rows) + "x" +
+                    std::to_string(cols);
+    if (clusterRows * clusterCols > 1)
+        s += "/clusters=" + std::to_string(clusterRows) + "x" +
+             std::to_string(clusterCols);
+    if (banks)
+        s += "/banks=" + std::to_string(banks);
+    s += std::string("/proto=") + protocolName(protocol);
+    if (dts)
+        s += "/dts";
+    return s;
+}
+
+SystemConfig
+fromTopology(const Topology &topo)
+{
+    SystemConfig cfg;
+    cfg.name = topo.name.empty() ? topo.spec() : topo.name;
+    cfg.meshRows = topo.rows;
+    cfg.meshCols = topo.cols;
+    if (!topo.placement.empty()) {
+        cfg.cores = topo.placement;
+    } else {
+        int tiles = topo.rows * topo.cols;
+        int tiny = topo.tinyCores < 0 ? tiles - topo.bigCores
+                                      : topo.tinyCores;
+        fatal_if(topo.bigCores < 0 || tiny < 0,
+                 "topology '%s': negative core count", cfg.name.c_str());
+        fatal_if(topo.bigCores + tiny != tiles,
+                 "topology '%s': %d big + %d tiny cores != %dx%d mesh "
+                 "(%d tiles)",
+                 cfg.name.c_str(), topo.bigCores, tiny, topo.rows,
+                 topo.cols, tiles);
+        cfg.cores = bigTinyPlacement(topo.rows, topo.cols, topo.bigCores);
+    }
+    cfg.tinyProtocol = topo.protocol;
+    cfg.dts = topo.dts;
+    cfg.l2Banks = static_cast<uint32_t>(topo.banks);
+    cfg.clusterRows = topo.clusterRows;
+    cfg.clusterCols = topo.clusterCols;
+    cfg.check();
+    return cfg;
+}
+
 SystemConfig
 bigTinyMesi()
 {
-    SystemConfig cfg;
-    cfg.name = "bt-mesi";
-    cfg.cores = bigTinyPlacement(8, 8, 4);
-    cfg.tinyProtocol = Protocol::MESI;
-    cfg.dts = false;
-    return cfg;
+    return ConfigBuilder().name("bt-mesi").mesh(8, 8).bigCores(4).build();
 }
 
 SystemConfig
 bigTinyHcc(Protocol tiny, bool dts)
 {
-    SystemConfig cfg;
-    cfg.name = std::string("bt-hcc-") + protocolName(tiny) +
-               (dts ? "-dts" : "");
-    cfg.cores = bigTinyPlacement(8, 8, 4);
-    cfg.tinyProtocol = tiny;
-    cfg.dts = dts;
-    return cfg;
+    return ConfigBuilder()
+        .name(std::string("bt-hcc-") + protocolName(tiny) +
+              (dts ? "-dts" : ""))
+        .mesh(8, 8)
+        .bigCores(4)
+        .protocol(tiny)
+        .dts(dts)
+        .build();
 }
 
 SystemConfig
 o3(int n)
 {
     fatal_if(n < 1 || n > 8, "o3(n) supports 1..8 big cores");
-    SystemConfig cfg;
-    cfg.name = "o3x" + std::to_string(n);
-    cfg.meshRows = 1;
-    cfg.meshCols = 8;
-    cfg.cores.assign(n, CoreKind::Big);
-    cfg.tinyProtocol = Protocol::MESI;
-    return cfg;
+    // Partially occupied 1x8 mesh: the paper's O3 baselines vary core
+    // count while keeping the 8-bank memory system (Table III).
+    return ConfigBuilder()
+        .name("o3x" + std::to_string(n))
+        .mesh(1, 8)
+        .placement(std::vector<CoreKind>(n, CoreKind::Big))
+        .build();
 }
 
 SystemConfig
 serialTiny()
 {
-    SystemConfig cfg;
-    cfg.name = "serial-io";
-    cfg.meshRows = 1;
-    cfg.meshCols = 8;
-    cfg.cores.assign(1, CoreKind::Tiny);
-    cfg.tinyProtocol = Protocol::MESI;
-    return cfg;
+    return ConfigBuilder()
+        .name("serial-io")
+        .mesh(1, 8)
+        .placement(std::vector<CoreKind>(1, CoreKind::Tiny))
+        .build();
 }
 
 SystemConfig
 tiny64(Protocol tiny, bool dts)
 {
-    SystemConfig cfg;
-    cfg.name = std::string("tiny64-") + protocolName(tiny) +
-               (dts ? "-dts" : "");
-    cfg.cores.assign(64, CoreKind::Tiny);
-    cfg.tinyProtocol = tiny;
-    cfg.dts = dts;
-    return cfg;
+    return ConfigBuilder()
+        .name(std::string("tiny64-") + protocolName(tiny) +
+              (dts ? "-dts" : ""))
+        .mesh(8, 8)
+        .bigCores(0)
+        .protocol(tiny)
+        .dts(dts)
+        .build();
 }
 
 SystemConfig
 bigTiny256(Protocol tiny, bool dts, bool hcc)
 {
-    SystemConfig cfg;
     if (!hcc) {
-        cfg.name = "bt256-mesi";
         tiny = Protocol::MESI;
         dts = false;
-    } else {
-        cfg.name = std::string("bt256-hcc-") + protocolName(tiny) +
-                   (dts ? "-dts" : "");
     }
-    cfg.meshRows = 8;
-    cfg.meshCols = 32;
-    cfg.cores = bigTinyPlacement(8, 32, 4);
-    cfg.tinyProtocol = tiny;
-    cfg.dts = dts;
     // 4x memory bandwidth via 4x the controllers (one per column);
     // per-controller bandwidth is unchanged.
-    return cfg;
+    return ConfigBuilder()
+        .name(!hcc ? "bt256-mesi"
+                   : std::string("bt256-hcc-") + protocolName(tiny) +
+                         (dts ? "-dts" : ""))
+        .mesh(8, 32)
+        .bigCores(4)
+        .protocol(tiny)
+        .dts(dts)
+        .build();
 }
+
+namespace
+{
+
+/**
+ * Topology spec grammar (see configByName doc comment):
+ *
+ *   spec := base ['@' RxC] ('/' opt)*
+ */
+
+Protocol
+protocolByName(const std::string &p, const std::string &spec)
+{
+    if (p == "mesi")
+        return Protocol::MESI;
+    if (p == "dnv")
+        return Protocol::DeNovo;
+    if (p == "gwt")
+        return Protocol::GpuWT;
+    if (p == "gwb")
+        return Protocol::GpuWB;
+    fatal("spec '%s': unknown protocol '%s' (want mesi|dnv|gwt|gwb)",
+          spec.c_str(), p.c_str());
+}
+
+/** Parse "RxC" into rows/cols; fatal()s on malformed dims. */
+void
+parseDims(const std::string &s, const std::string &spec, int *rows,
+          int *cols)
+{
+    size_t x = s.find('x');
+    fatal_if(x == std::string::npos || x == 0 || x + 1 >= s.size(),
+             "spec '%s': malformed dimensions '%s' (want RxC)",
+             spec.c_str(), s.c_str());
+    char *end = nullptr;
+    long r = strtol(s.c_str(), &end, 10);
+    fatal_if(end != s.c_str() + x,
+             "spec '%s': malformed dimensions '%s' (want RxC)",
+             spec.c_str(), s.c_str());
+    long c = strtol(s.c_str() + x + 1, &end, 10);
+    fatal_if(*end != '\0' || r < 1 || c < 1,
+             "spec '%s': malformed dimensions '%s' (want RxC)",
+             spec.c_str(), s.c_str());
+    *rows = static_cast<int>(r);
+    *cols = static_cast<int>(c);
+}
+
+/** Parse a "bt-<B>b<T>t" core-mix base; false if not of that shape. */
+bool
+parseMixBase(const std::string &base, int *big, int *tiny)
+{
+    if (base.rfind("bt-", 0) != 0)
+        return false;
+    const char *s = base.c_str() + 3;
+    char *end = nullptr;
+    long b = strtol(s, &end, 10);
+    if (end == s || *end != 'b')
+        return false;
+    s = end + 1;
+    long t = strtol(s, &end, 10);
+    if (end == s || end[0] != 't' || end[1] != '\0')
+        return false;
+    *big = static_cast<int>(b);
+    *tiny = static_cast<int>(t);
+    return true;
+}
+
+/**
+ * Resolve a spec base name to its topology skeleton (core mix,
+ * default mesh, protocol, dts). Returns false for unknown bases.
+ */
+bool
+parseBase(const std::string &base, Topology *t, bool *have_mix)
+{
+    *have_mix = parseMixBase(base, &t->bigCores, &t->tinyCores);
+    if (*have_mix)
+        return true;
+    // Legacy preset bases: reuse the factories so the skeleton
+    // (big-core count, default mesh, protocol, dts) can never drift
+    // from the presets themselves.
+    static const char *legacy[] = {
+        "bt-mesi",        "bt-hcc-dnv",     "bt-hcc-gwt",
+        "bt-hcc-gwb",     "bt-hcc-dnv-dts", "bt-hcc-gwt-dts",
+        "bt-hcc-gwb-dts", "bt256-mesi",     "bt256-hcc-gwb",
+        "bt256-hcc-gwb-dts",
+    };
+    bool known = base.rfind("tiny64-", 0) == 0;
+    for (const char *l : legacy)
+        known = known || base == l;
+    if (!known)
+        return false;
+    SystemConfig ref = configByName(base);
+    t->rows = ref.meshRows;
+    t->cols = ref.meshCols;
+    t->bigCores = 0;
+    for (CoreKind k : ref.cores)
+        t->bigCores += k == CoreKind::Big;
+    t->tinyCores = -1;
+    t->protocol = ref.tinyProtocol;
+    t->dts = ref.dts;
+    return true;
+}
+
+SystemConfig
+configFromSpec(const std::string &spec)
+{
+    // Split base[@RxC] from the /opt list.
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t slash = spec.find('/', pos);
+        if (slash == std::string::npos)
+            slash = spec.size();
+        parts.push_back(spec.substr(pos, slash - pos));
+        pos = slash + 1;
+    }
+    std::string base = parts[0];
+    std::string dims;
+    size_t at = base.find('@');
+    if (at != std::string::npos) {
+        dims = base.substr(at + 1);
+        base = base.substr(0, at);
+    }
+
+    Topology t;
+    bool have_mix = false;
+    fatal_if(!parseBase(base, &t, &have_mix),
+             "unknown config name or spec base '%s' in '%s' (want a "
+             "preset name, or bt-<B>b<T>t@RxC[/clusters=RxC][/banks=N]"
+             "[/proto=mesi|dnv|gwt|gwb][/dts])",
+             base.c_str(), spec.c_str());
+    fatal_if(have_mix && dims.empty(),
+             "spec '%s': core-mix base '%s' needs an explicit mesh "
+             "('%s@RxC')",
+             spec.c_str(), base.c_str(), base.c_str());
+    if (!dims.empty())
+        parseDims(dims, spec, &t.rows, &t.cols);
+
+    for (size_t i = 1; i < parts.size(); ++i) {
+        const std::string &opt = parts[i];
+        if (opt == "dts") {
+            t.dts = true;
+        } else if (opt.rfind("clusters=", 0) == 0) {
+            parseDims(opt.substr(9), spec, &t.clusterRows,
+                      &t.clusterCols);
+        } else if (opt.rfind("banks=", 0) == 0) {
+            char *end = nullptr;
+            long b = strtol(opt.c_str() + 6, &end, 10);
+            fatal_if(*end != '\0' || b < 1,
+                     "spec '%s': malformed option '%s'", spec.c_str(),
+                     opt.c_str());
+            t.banks = static_cast<int>(b);
+        } else if (opt.rfind("proto=", 0) == 0) {
+            t.protocol = protocolByName(opt.substr(6), spec);
+        } else {
+            fatal("spec '%s': unknown option '%s' (want clusters=RxC, "
+                  "banks=N, proto=..., or dts)",
+                  spec.c_str(), opt.c_str());
+        }
+    }
+
+    t.name = spec;
+    return fromTopology(t);
+}
+
+} // namespace
 
 SystemConfig
 configByName(const std::string &name)
 {
+    // Exact legacy preset names take the preset path so their configs
+    // can never drift (golden byte-identity).
     if (name == "bt-mesi")
         return bigTinyMesi();
     if (name == "bt-hcc-dnv")
@@ -173,6 +408,12 @@ configByName(const std::string &name)
         return bigTinyHcc(Protocol::GpuWT, true);
     if (name == "bt-hcc-gwb-dts")
         return bigTinyHcc(Protocol::GpuWB, true);
+    if (name == "bt256-mesi")
+        return bigTiny256(Protocol::MESI, false, false);
+    if (name == "bt256-hcc-gwb")
+        return bigTiny256(Protocol::GpuWB, false);
+    if (name == "bt256-hcc-gwb-dts")
+        return bigTiny256(Protocol::GpuWB, true);
     if (name == "o3x1")
         return o3(1);
     if (name == "o3x4")
@@ -182,7 +423,9 @@ configByName(const std::string &name)
     if (name == "serial-io")
         return serialTiny();
     // tiny64-<proto>[-dts] (Figure 4 granularity study)
-    if (name.rfind("tiny64-", 0) == 0) {
+    if (name.rfind("tiny64-", 0) == 0 &&
+        name.find('@') == std::string::npos &&
+        name.find('/') == std::string::npos) {
         std::string rest = name.substr(7);
         bool dts = false;
         if (rest.size() > 4 && rest.substr(rest.size() - 4) == "-dts") {
@@ -199,13 +442,8 @@ configByName(const std::string &name)
                  "unknown tiny64 protocol in '%s'", name.c_str());
         return tiny64(p, dts);
     }
-    if (name == "bt256-mesi")
-        return bigTiny256(Protocol::MESI, false, false);
-    if (name == "bt256-hcc-gwb")
-        return bigTiny256(Protocol::GpuWB, false);
-    if (name == "bt256-hcc-gwb-dts")
-        return bigTiny256(Protocol::GpuWB, true);
-    fatal("unknown config name '%s'", name.c_str());
+    // Everything else goes through the topology spec grammar.
+    return configFromSpec(name);
 }
 
 } // namespace bigtiny::sim

@@ -1,8 +1,12 @@
 /**
  * @file
  * System configuration: core mix, coherence protocols, cache/NoC/DRAM
- * parameters, and the named presets used throughout the paper's
- * evaluation (Section V, Table II).
+ * parameters, and the composable Topology / ConfigBuilder machine
+ * description underlying them. The named presets from the paper's
+ * evaluation (Section V, Table II) are thin wrappers over the builder,
+ * and configByName() additionally accepts a topology spec grammar
+ * ("bt-4b1020t@32x32/clusters=4x4/proto=gwb/dts") for machines beyond
+ * the paper's tables. See DESIGN.md section 13.
  */
 
 #ifndef BIGTINY_SIM_CONFIG_HH
@@ -32,6 +36,14 @@ constexpr Cycle workQuantum = 200;
  */
 constexpr Cycle wallCheckGranule = 4096;
 
+/**
+ * Hard ceiling on core count. Directory sharer sets (mem::SharerSet)
+ * and a handful of dense per-core tables are sized for this at compile
+ * time; SystemConfig::check() rejects anything larger with a clear
+ * error instead of corrupting directory state.
+ */
+constexpr int maxCores = 1024;
+
 /** Private-cache coherence protocol (paper Table I). */
 enum class Protocol
 {
@@ -59,11 +71,37 @@ struct SystemConfig
 {
     std::string name = "unnamed";
 
-    /** Core i lives at mesh tile i (row-major). */
+    /**
+     * Core i lives at mesh tile i (row-major). The vector may be
+     * shorter than meshRows*meshCols — trailing tiles are then empty
+     * (no core), which the o3x / serial-io presets use to keep the
+     * paper's fixed 8-bank memory system while varying core count.
+     * It may never be longer (check() rejects that: tile coordinates
+     * of the excess cores would fall off the mesh).
+     */
     std::vector<CoreKind> cores;
 
     int meshRows = 8;
     int meshCols = 8;
+
+    /**
+     * Scheduling-cluster grid overlaid on the mesh: the mesh is cut
+     * into clusterRows x clusterCols equal rectangular tiles of
+     * cores. 1x1 (the default) means no clustering. Cluster geometry
+     * is advisory — it feeds locality-aware steal policies and the
+     * stats/trace cluster annotations, never the memory system.
+     */
+    int clusterRows = 1;
+    int clusterCols = 1;
+
+    /**
+     * Number of L2 banks (and paired DRAM controllers). 0 — the
+     * default, and what every paper preset uses — means one bank per
+     * mesh column, the paper's Figure 1 floorplan. A nonzero value
+     * overrides that: banks sit along the bottom edge, spread evenly
+     * across the columns (Noc::bankCol).
+     */
+    uint32_t l2Banks = 0;
 
     /** Protocol of tiny-core L1s; big cores always run MESI. */
     Protocol tinyProtocol = Protocol::MESI;
@@ -77,7 +115,7 @@ struct SystemConfig
     uint32_t l1Ways = 2;
     Cycle l1HitLat = 1;
 
-    // --- L2 parameters (one bank per mesh column) ---------------------
+    // --- L2 parameters (bank count: see l2Banks / numBanks()) ---------
     uint32_t l2BankBytes = 512 * 1024;
     uint32_t l2Ways = 8;
     Cycle l2AccessLat = 8;
@@ -88,7 +126,7 @@ struct SystemConfig
     uint32_t flitBytes = 16;
     uint32_t ctrlMsgBytes = 8;   //!< control message payload size
 
-    // --- DRAM (one controller per mesh column) ------------------------
+    // --- DRAM (one controller per L2 bank) ----------------------------
     Cycle dramLat = 60;
     double mcBytesPerCycle = 2.0; //!< 16GB/s / 8 MCs at 1GHz
 
@@ -162,8 +200,52 @@ struct SystemConfig
     /** Number of cores (== worker threads). */
     int numCores() const { return static_cast<int>(cores.size()); }
 
-    /** Number of L2 banks / DRAM controllers (one per column). */
-    int numBanks() const { return meshCols; }
+    /** Number of L2 banks / DRAM controllers. */
+    int
+    numBanks() const
+    {
+        return l2Banks ? static_cast<int>(l2Banks) : meshCols;
+    }
+
+    /** Number of scheduling clusters (1 when clustering is off). */
+    int numClusters() const { return clusterRows * clusterCols; }
+
+    /** Mesh coordinates of core @p c. */
+    int tileRowOf(CoreId c) const { return c / meshCols; }
+    int tileColOf(CoreId c) const { return c % meshCols; }
+
+    /**
+     * Scheduling cluster of core @p c (row-major over the cluster
+     * grid). With the default 1x1 grid this is always 0.
+     */
+    int
+    clusterOf(CoreId c) const
+    {
+        int cr = tileRowOf(c) * clusterRows / meshRows;
+        int cc = tileColOf(c) * clusterCols / meshCols;
+        return cr * clusterCols + cc;
+    }
+
+    /**
+     * Mesh column hosting L2 bank / MC @p bank. Banks line the bottom
+     * edge: one per column with the default bank count, spread evenly
+     * when there are fewer, round-robin when there are more.
+     */
+    int
+    bankColumn(int bank) const
+    {
+        if (numBanks() <= meshCols)
+            return bank * meshCols / numBanks();
+        return bank % meshCols;
+    }
+
+    /** Scheduling cluster geometrically nearest to L2 bank @p bank. */
+    int
+    clusterOfBank(int bank) const
+    {
+        int cc = bankColumn(bank) * clusterCols / meshCols;
+        return (clusterRows - 1) * clusterCols + cc;
+    }
 
     Protocol
     protocolOf(CoreId c) const
@@ -179,6 +261,99 @@ struct SystemConfig
 
     /** Validate internal consistency; fatal() on user error. */
     void check() const;
+};
+
+/**
+ * Composable machine description: everything that varies between the
+ * paper's configurations (and beyond), independent of the timing
+ * knobs. fromTopology() turns it into a checked SystemConfig;
+ * ConfigBuilder wraps it in a fluent interface; the spec grammar in
+ * configByName() parses one from a string.
+ */
+struct Topology
+{
+    std::string name;  //!< config name; canonical spec when empty
+
+    int rows = 8;
+    int cols = 8;
+
+    /**
+     * Core mix. When placement is empty, bigCores big cores are laid
+     * out paper-Figure-1 style (bottom row, every other column) and
+     * tinyCores tiny cores fill the rest; tinyCores == -1 means
+     * "fill the mesh". A non-empty placement overrides both counts
+     * (row-major, may leave trailing tiles empty).
+     */
+    int bigCores = 0;
+    int tinyCores = -1;
+    std::vector<CoreKind> placement;
+
+    /** L2 bank / MC count; 0 = one per mesh column. */
+    int banks = 0;
+
+    /** Scheduling-cluster grid; 1x1 = no clustering. */
+    int clusterRows = 1;
+    int clusterCols = 1;
+
+    Protocol protocol = Protocol::MESI;
+    bool dts = false;
+
+    /** Canonical spec string ("bt-4b60t@8x8/..."), placement-less. */
+    std::string spec() const;
+};
+
+/** Materialize and check() a SystemConfig from a topology. */
+SystemConfig fromTopology(const Topology &topo);
+
+/**
+ * Fluent builder over Topology:
+ *
+ *   SystemConfig cfg = ConfigBuilder()
+ *       .mesh(32, 32).bigCores(4).clusters(4, 4)
+ *       .protocol(Protocol::GpuWB).dts().build();
+ */
+class ConfigBuilder
+{
+  public:
+    ConfigBuilder &name(const std::string &n) { return set(topo.name, n); }
+    ConfigBuilder &
+    mesh(int rows, int cols)
+    {
+        topo.rows = rows;
+        topo.cols = cols;
+        return *this;
+    }
+    ConfigBuilder &bigCores(int n) { return set(topo.bigCores, n); }
+    ConfigBuilder &tinyCores(int n) { return set(topo.tinyCores, n); }
+    ConfigBuilder &
+    placement(std::vector<CoreKind> kinds)
+    {
+        topo.placement = std::move(kinds);
+        return *this;
+    }
+    ConfigBuilder &banks(int n) { return set(topo.banks, n); }
+    ConfigBuilder &
+    clusters(int rows, int cols)
+    {
+        topo.clusterRows = rows;
+        topo.clusterCols = cols;
+        return *this;
+    }
+    ConfigBuilder &protocol(Protocol p) { return set(topo.protocol, p); }
+    ConfigBuilder &dts(bool on = true) { return set(topo.dts, on); }
+
+    SystemConfig build() const { return fromTopology(topo); }
+
+    Topology topo;
+
+  private:
+    template <typename T, typename V>
+    ConfigBuilder &
+    set(T &field, V &&v)
+    {
+        field = std::forward<V>(v);
+        return *this;
+    }
 };
 
 /**
@@ -204,7 +379,21 @@ SystemConfig tiny64(Protocol tiny = Protocol::MESI, bool dts = false);
 /** 256-core big.TINY (4 big + 252 tiny, 8x32 mesh, Table V). */
 SystemConfig bigTiny256(Protocol tiny, bool dts, bool hcc = true);
 
-/** Parse a config by canonical name ("bt-mesi", "bt-hcc-gwb-dts"...). */
+/**
+ * Parse a config by canonical preset name ("bt-mesi",
+ * "bt-hcc-gwb-dts", ...) or by topology spec. The grammar:
+ *
+ *   spec := base ['@' RxC] ('/' opt)*
+ *   base := legacy preset name | "bt-<B>b<T>t" (explicit core mix)
+ *   opt  := "clusters=" RxC | "banks=" N
+ *         | "proto=" (mesi|dnv|gwt|gwb) | "dts"
+ *
+ * A bare legacy name takes the exact preset path (byte-identical
+ * configs); '@RxC' re-derives the placement on a new mesh keeping the
+ * preset's big-core count; the mix base requires '@RxC'. Examples:
+ * "bt-mesi", "bt-hcc-gwb-dts@8x16", "bt-4b1020t@32x32/clusters=4x4/
+ * proto=gwb/dts". fatal()s on malformed specs.
+ */
 SystemConfig configByName(const std::string &name);
 
 /** @} */

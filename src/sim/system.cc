@@ -13,11 +13,17 @@ System::System(SystemConfig cfg_in) : cfg(std::move(cfg_in))
         // One track per core plus one for the ULI network counters.
         eventTracer = std::make_unique<trace::Tracer>(
             cfg.numCores() + 1, cfg.traceCategories);
-        for (CoreId c = 0; c < cfg.numCores(); ++c)
-            eventTracer->setTrackName(
-                c, "core " + std::to_string(c) +
-                       (cfg.cores[c] == CoreKind::Big ? " (big)"
-                                                      : " (tiny)"));
+        // Cluster tags appear only on explicitly clustered configs so
+        // traces of the classic presets stay byte-identical.
+        bool clustered = cfg.clusterRows * cfg.clusterCols > 1;
+        for (CoreId c = 0; c < cfg.numCores(); ++c) {
+            std::string name =
+                "core " + std::to_string(c) +
+                (cfg.cores[c] == CoreKind::Big ? " (big" : " (tiny");
+            if (clustered)
+                name += " cl" + std::to_string(cfg.clusterOf(c));
+            eventTracer->setTrackName(c, name + ")");
+        }
         eventTracer->setTrackName(cfg.numCores(), "network");
         faultInjector->setTracer(eventTracer.get());
     }

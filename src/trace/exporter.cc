@@ -103,11 +103,22 @@ writeRunStatsJson(std::ostream &os, sim::System &sys, rt::Runtime *rt,
 
     os << "{\n\"schemaVersion\": " << statsSchemaVersion << ",\n";
 
+    // Topology fields are emitted only for explicitly clustered /
+    // banked configs so stats of the classic presets stay
+    // byte-identical (golden-pinned) across this schema extension.
+    bool clustered =
+        cfg.clusterRows * cfg.clusterCols > 1 || cfg.l2Banks;
     os << "\"config\": {\"name\":\"" << jsonEscape(cfg.name)
        << "\",\"cores\":" << cfg.numCores() << ",\"bigCores\":" << big
        << ",\"tinyProtocol\":\"" << sim::protocolName(cfg.tinyProtocol)
        << "\",\"dts\":" << (cfg.dts ? "true" : "false")
-       << ",\"seed\":" << cfg.seed << "},\n";
+       << ",\"seed\":" << cfg.seed;
+    if (clustered) {
+        os << ",\"mesh\":\"" << cfg.meshRows << "x" << cfg.meshCols
+           << "\",\"clusters\":\"" << cfg.clusterRows << "x"
+           << cfg.clusterCols << "\",\"l2Banks\":" << cfg.numBanks();
+    }
+    os << "},\n";
 
     os << "\"run\": {\"cycles\":" << sys.elapsed()
        << ",\"validated\":" << (validated ? "true" : "false")
@@ -179,7 +190,10 @@ writeRunStatsJson(std::ostream &os, sim::System &sys, rt::Runtime *rt,
         sim::Core &core = sys.core(c);
         os << "{\"id\":" << c << ",\"kind\":\""
            << (core.kind() == sim::CoreKind::Big ? "big" : "tiny")
-           << "\",\"cycles\":" << core.now()
+           << "\"";
+        if (clustered)
+            os << ",\"cluster\":" << cfg.clusterOf(c);
+        os << ",\"cycles\":" << core.now()
            << ",\"insts\":" << core.instCount() << ",\"time\":";
         writeTimeByCat(os, core.stats.timeByCat);
         os << ",\"cache\":";

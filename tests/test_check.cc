@@ -11,12 +11,13 @@
  *     zero violations — the positive half of the paper's Figure 3
  *     correctness claim.
  *  3. Fault injection: eliding the cache_invalidate pair in the HCC
- *     steal path (Runtime::hccElideStealInvalidate) makes a thief
- *     keep a stale clean copy of the victim's deque tail. The run
- *     still completes with correct results — the victim pops the
- *     task the thief could not see — which is exactly the silent
- *     failure mode end-result validation misses and the checker must
- *     catch.
+ *     steal path (--faults=rt-elide-steal-inv@all) makes a thief
+ *     keep a stale clean copy of the victim's deque tail. With a
+ *     fault plan armed the checker is a fail-fast detector, so the
+ *     first stale deque-metadata read aborts the run with a
+ *     structured CoherenceViolation report naming the thief core and
+ *     the Worker::stealOnce site — the silent failure mode
+ *     end-result validation would miss.
  */
 
 #include <cstring>
@@ -25,6 +26,7 @@
 
 #include "check/coherence_checker.hh"
 #include "core/worker.hh"
+#include "fault/failure.hh"
 #include "sim/system.hh"
 
 using namespace bigtiny;
@@ -214,11 +216,22 @@ namespace
  * Returns the checker's violation count.
  */
 uint64_t
-cleanRun(sim::Protocol p, bool dts, SchedVariant want)
+cleanRun(sim::Protocol p, bool dts, SchedVariant want,
+         const char *steal = nullptr, int cores = 4)
 {
     constexpr int64_t n = 64;
-    System sys(checkCfg(4, p, dts));
+    SystemConfig cfg = checkCfg(cores, p, dts);
+    if (cores > 8) {
+        // A clustered mesh so hierarchical stealing exercises its
+        // cross-cluster (steal-half + probe) paths.
+        cfg.meshRows = cores / 8;
+        cfg.clusterRows = 2;
+        cfg.clusterCols = 2;
+    }
+    System sys(cfg);
     Runtime rt(sys);
+    if (steal)
+        rt.setStealPolicy(steal);
     EXPECT_EQ(rt.variant, want);
     Addr acc = sys.arena().allocLines(8);
     Addr arr = sys.arena().allocLines(n * 8);
@@ -276,6 +289,30 @@ TEST(CoherenceCheckRuns, DtsGpuWbClean)
               0u);
 }
 
+/**
+ * Hierarchical stealing's lock-free emptiness probe deliberately
+ * races the victim's cursor updates (TaskDeque::emptySync); the
+ * RacyScope annotation must keep exactly that probe out of the
+ * checker's DRF contract — a racy amoLoad must neither be flagged
+ * stale nor write its (legally lagging) value back into the golden
+ * image — while the steal-half batch path keeps the full
+ * invalidate/flush discipline. GPU-WB at 64 cores is where an
+ * unannotated probe demonstrably trips the checker.
+ */
+TEST(CoherenceCheckRuns, HierStealGpuWbClean)
+{
+    EXPECT_EQ(cleanRun(sim::Protocol::GpuWB, false, SchedVariant::Hcc,
+                       "hier", 64),
+              0u);
+}
+
+TEST(CoherenceCheckRuns, HierStealMesiClean)
+{
+    EXPECT_EQ(cleanRun(sim::Protocol::MESI, false,
+                       SchedVariant::Baseline, "hier", 64),
+              0u);
+}
+
 // ---------------------------------------------------------------------
 // Fault injection: elide the HCC steal-path invalidates
 // ---------------------------------------------------------------------
@@ -286,49 +323,48 @@ namespace
 struct ElisionResult
 {
     uint64_t violations = 0;
-    uint64_t staleReads = 0;
     uint64_t executed = 0;
-    uint64_t stolen = 0;
-    bool thiefStealSiteSeen = false;
+    bool aborted = false;
+    std::string reason;
 };
 
 ElisionResult
 elisionRun(bool elide)
 {
-    System sys(checkCfg(2, sim::Protocol::GpuWB));
+    auto cfg = checkCfg(2, sim::Protocol::GpuWB);
+    if (elide)
+        cfg.faults = fault::FaultPlan::parse("rt-elide-steal-inv@all");
+    System sys(cfg);
     Runtime rt(sys);
     EXPECT_EQ(rt.variant, SchedVariant::Hcc);
-    rt.hccElideStealInvalidate = elide;
-    rt.run([&](Worker &w) {
-        // Let the thief (worker 1) probe the still-empty deque and
-        // cache its head/tail metadata...
-        w.work(2000);
-        // ...then publish one task. With the steal-path invalidates
-        // elided the thief keeps reading its stale tail and never
-        // sees it; the root pops the task itself, so the run still
-        // finishes with correct bookkeeping ("survives by luck").
-        Addr t = w.newTask(noopTask);
-        w.setRefCount(1);
-        w.spawn(t);
-        w.work(4000);
-        w.wait();
-    });
+    ElisionResult r;
+    try {
+        rt.run([&](Worker &w) {
+            // Let the thief (worker 1) probe the still-empty deque
+            // and cache its head/tail metadata...
+            w.work(2000);
+            // ...then publish one task. With the steal-path
+            // invalidates elided the thief keeps reading its stale
+            // tail; the armed checker aborts on that first stale
+            // read.
+            Addr t = w.newTask(noopTask);
+            w.setRefCount(1);
+            w.spawn(t);
+            w.work(4000);
+            w.wait();
+        });
+    } catch (const fault::SimFailure &f) {
+        r.aborted = true;
+        r.reason = f.report().reason;
+        EXPECT_EQ(f.report().verdict,
+                  fault::Verdict::CoherenceViolation);
+        return r;
+    }
     auto *chk = sys.mem().checker();
     EXPECT_NE(chk, nullptr);
-    ElisionResult r;
-    auto total = rt.totalStats();
-    r.executed = total.tasksExecuted;
-    r.stolen = total.tasksStolen;
-    if (!chk)
-        return r;
-    r.violations = chk->totalViolations();
-    r.staleReads = chk->countOf(ViolationKind::StaleRead);
-    for (const auto &v : chk->violations()) {
-        if (v.kind == ViolationKind::StaleRead && v.core == 1 &&
-            v.site && std::strcmp(v.site, "Worker::stealOnce") == 0 &&
-            v.lastWriter == 0)
-            r.thiefStealSiteSeen = true;
-    }
+    r.executed = rt.totalStats().tasksExecuted;
+    if (chk)
+        r.violations = chk->totalViolations();
     return r;
 }
 
@@ -337,20 +373,22 @@ elisionRun(bool elide)
 TEST(CoherenceCheckRuns, HccStealWithoutInvalidateFiresStaleRead)
 {
     ElisionResult r = elisionRun(true);
-    // The run itself completes correctly — the end-result validation
-    // that the rest of the test suite relies on would pass...
-    EXPECT_EQ(r.executed, 2u); // root + child, child run by the root
-    EXPECT_EQ(r.stolen, 0u);   // the thief never saw it
-    // ...but the checker catches the stale deque-metadata reads.
-    EXPECT_GE(r.staleReads, 1u);
-    EXPECT_TRUE(r.thiefStealSiteSeen)
-        << "expected a StaleRead on core 1 at Worker::stealOnce "
-           "last written by core 0";
+    // The fault plan arms the checker as a fail-fast detector: the
+    // thief's first stale deque-metadata read aborts the run with a
+    // structured report naming the violation, the thief, and the
+    // steal site.
+    EXPECT_TRUE(r.aborted) << "elided invalidates went undetected";
+    EXPECT_NE(r.reason.find("stale-read"), std::string::npos)
+        << r.reason;
+    EXPECT_NE(r.reason.find("core 1"), std::string::npos) << r.reason;
+    EXPECT_NE(r.reason.find("Worker::stealOnce"), std::string::npos)
+        << r.reason;
 }
 
 TEST(CoherenceCheckRuns, HccStealWithInvalidateIsClean)
 {
     ElisionResult r = elisionRun(false);
+    EXPECT_FALSE(r.aborted);
     EXPECT_EQ(r.violations, 0u);
     EXPECT_EQ(r.executed, 2u);
 }

@@ -172,8 +172,7 @@ INSTANTIATE_TEST_SUITE_P(
 namespace
 {
 
-class VictimPolicies
-    : public testing::TestWithParam<rt::VictimPolicy>
+class VictimPolicies : public testing::TestWithParam<const char *>
 {};
 
 } // namespace
@@ -182,7 +181,7 @@ TEST_P(VictimPolicies, CorrectAndBalanced)
 {
     System sys(stressConfig(Protocol::GpuWB, true));
     Runtime rt(sys);
-    rt.victimPolicy = GetParam();
+    rt.setStealPolicy(GetParam());
     Addr acc = sys.arena().allocLines(8);
     rt.run([&](Worker &w) {
         w.parallelFor(0, 3000, 16, [&](Worker &ww, int64_t lo,
@@ -202,17 +201,12 @@ TEST_P(VictimPolicies, CorrectAndBalanced)
 
 INSTANTIATE_TEST_SUITE_P(
     AllPolicies, VictimPolicies,
-    testing::Values(rt::VictimPolicy::Random,
-                    rt::VictimPolicy::RoundRobin,
-                    rt::VictimPolicy::BigFirst),
+    testing::Values("random", "rr", "big-first", "hier"),
     [](const auto &info) {
-        switch (info.param) {
-          case rt::VictimPolicy::Random:
-            return "random";
-          case rt::VictimPolicy::RoundRobin:
-            return "roundrobin";
-          case rt::VictimPolicy::BigFirst:
-            return "bigfirst";
+        std::string n = info.param;
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
         }
-        return "?";
+        return n;
     });

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the composable topology API (sim/config.hh): the spec
+ * grammar reproduces every legacy preset's machine exactly, canonical
+ * specs round-trip through configByName, SystemConfig::check()
+ * rejects inconsistent machines with a fatal() exit, the NoC hop
+ * tables stay symmetric on non-square meshes and partial bank
+ * layouts, and the hierarchical steal policy is byte-deterministic
+ * across host parallelism (--jobs) at 256 cores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/sweep.hh"
+#include "core/steal.hh"
+#include "mem/noc.hh"
+#include "sim/config.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::sim;
+
+namespace
+{
+
+/**
+ * Machine equality: everything that defines the simulated hardware.
+ * Names intentionally differ (preset name vs. canonical spec), so
+ * they are not compared.
+ */
+void
+expectSameMachine(const SystemConfig &a, const SystemConfig &b)
+{
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_EQ(a.meshRows, b.meshRows);
+    EXPECT_EQ(a.meshCols, b.meshCols);
+    EXPECT_EQ(a.clusterRows, b.clusterRows);
+    EXPECT_EQ(a.clusterCols, b.clusterCols);
+    EXPECT_EQ(a.l2Banks, b.l2Banks);
+    EXPECT_EQ(a.tinyProtocol, b.tinyProtocol);
+    EXPECT_EQ(a.dts, b.dts);
+}
+
+} // namespace
+
+TEST(Topology, SpecGrammarMatchesEveryLegacyPreset)
+{
+    // Every legacy big.TINY preset has an explicit core-mix spec that
+    // must build the exact same machine (the presets are just thin
+    // wrappers over the same Topology path).
+    const struct
+    {
+        const char *preset;
+        const char *spec;
+    } cases[] = {
+        {"bt-mesi", "bt-4b60t@8x8"},
+        {"bt-hcc-dnv", "bt-4b60t@8x8/proto=dnv"},
+        {"bt-hcc-gwt", "bt-4b60t@8x8/proto=gwt"},
+        {"bt-hcc-gwb", "bt-4b60t@8x8/proto=gwb"},
+        {"bt-hcc-dnv-dts", "bt-4b60t@8x8/proto=dnv/dts"},
+        {"bt-hcc-gwt-dts", "bt-4b60t@8x8/proto=gwt/dts"},
+        {"bt-hcc-gwb-dts", "bt-4b60t@8x8/proto=gwb/dts"},
+        {"bt256-mesi", "bt-4b252t@8x32"},
+        {"bt256-hcc-gwb", "bt-4b252t@8x32/proto=gwb"},
+        {"bt256-hcc-gwb-dts", "bt-4b252t@8x32/proto=gwb/dts"},
+        {"tiny64-mesi", "bt-0b64t@8x8"},
+        {"tiny64-dnv", "bt-0b64t@8x8/proto=dnv"},
+        {"tiny64-gwb-dts", "bt-0b64t@8x8/proto=gwb/dts"},
+    };
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.preset);
+        expectSameMachine(configByName(c.preset), configByName(c.spec));
+    }
+}
+
+TEST(Topology, LegacyBaseWithMeshRederivesPlacement)
+{
+    // '@RxC' on a legacy base keeps the preset's skeleton (big-core
+    // count, protocol, dts) but re-lays it out on the new mesh.
+    SystemConfig cfg = configByName("bt-hcc-gwb-dts@4x16");
+    EXPECT_EQ(cfg.meshRows, 4);
+    EXPECT_EQ(cfg.meshCols, 16);
+    EXPECT_EQ(cfg.numCores(), 64);
+    EXPECT_EQ(cfg.tinyProtocol, Protocol::GpuWB);
+    EXPECT_TRUE(cfg.dts);
+    int big = 0;
+    for (CoreKind k : cfg.cores)
+        big += k == CoreKind::Big;
+    EXPECT_EQ(big, 4);
+    // Figure-1 placement: bottom row, every other column.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(cfg.cores[3 * 16 + 2 * i], CoreKind::Big);
+}
+
+TEST(Topology, MixSpecParsesEveryOption)
+{
+    SystemConfig cfg =
+        configByName("bt-0b1024t@32x32/clusters=4x4/banks=16/"
+                     "proto=gwb/dts");
+    EXPECT_EQ(cfg.numCores(), 1024);
+    EXPECT_EQ(cfg.meshRows, 32);
+    EXPECT_EQ(cfg.meshCols, 32);
+    EXPECT_EQ(cfg.clusterRows, 4);
+    EXPECT_EQ(cfg.clusterCols, 4);
+    EXPECT_EQ(cfg.numClusters(), 16);
+    EXPECT_EQ(cfg.l2Banks, 16u);
+    EXPECT_EQ(cfg.numBanks(), 16);
+    EXPECT_EQ(cfg.tinyProtocol, Protocol::GpuWB);
+    EXPECT_TRUE(cfg.dts);
+    for (CoreKind k : cfg.cores)
+        EXPECT_EQ(k, CoreKind::Tiny);
+}
+
+TEST(Topology, CanonicalSpecRoundTrips)
+{
+    Topology t;
+    t.rows = 16;
+    t.cols = 16;
+    t.bigCores = 4;
+    t.clusterRows = 2;
+    t.clusterCols = 2;
+    t.banks = 8;
+    t.protocol = Protocol::DeNovo;
+    t.dts = true;
+    SystemConfig direct = fromTopology(t);
+    // The canonical spec string embeds everything above, so parsing
+    // it back must rebuild the same machine — and a config built from
+    // a spec names itself canonically.
+    SystemConfig parsed = configByName(t.spec());
+    expectSameMachine(direct, parsed);
+    EXPECT_EQ(direct.name, t.spec());
+    EXPECT_EQ(parsed.name, t.spec());
+}
+
+TEST(Topology, BuilderMatchesPreset)
+{
+    SystemConfig built = ConfigBuilder()
+                             .mesh(8, 8)
+                             .bigCores(4)
+                             .protocol(Protocol::GpuWB)
+                             .dts()
+                             .build();
+    expectSameMachine(built, configByName("bt-hcc-gwb-dts"));
+}
+
+TEST(TopologyDeathTest, RejectsMalformedSpecs)
+{
+    // Core-mix base without a mesh.
+    EXPECT_EXIT(configByName("bt-4b60t"),
+                testing::ExitedWithCode(1), "needs an explicit mesh");
+    // Mix that does not fill the mesh.
+    EXPECT_EXIT(configByName("bt-4b64t@8x8"),
+                testing::ExitedWithCode(1), "!= 8x8 mesh");
+    // Unknown base / option / protocol, malformed numbers.
+    EXPECT_EXIT(configByName("frobnicator"),
+                testing::ExitedWithCode(1), "unknown config name");
+    EXPECT_EXIT(configByName("bt-0b64t@8x8/volume=11"),
+                testing::ExitedWithCode(1), "unknown option");
+    EXPECT_EXIT(configByName("bt-0b64t@8x8/proto=vi"),
+                testing::ExitedWithCode(1), "unknown protocol");
+    EXPECT_EXIT(configByName("bt-0b64t@8x8/banks=0"),
+                testing::ExitedWithCode(1), "malformed option");
+    EXPECT_EXIT(configByName("bt-0b64t@8xEIGHT"),
+                testing::ExitedWithCode(1), "malformed dimensions");
+}
+
+TEST(TopologyDeathTest, CheckRejectsInconsistentMachines)
+{
+    // More cores than mesh tiles.
+    EXPECT_EXIT(configByName("bt-0b128t@8x8"),
+                testing::ExitedWithCode(1), "mesh");
+    // Above the compile-time directory limit (maxCores = 1024).
+    EXPECT_EXIT(configByName("bt-0b2048t@32x64"),
+                testing::ExitedWithCode(1), "exceed the supported");
+    // Cluster grid that does not divide the mesh.
+    EXPECT_EXIT(configByName("bt-0b64t@8x8/clusters=3x3"),
+                testing::ExitedWithCode(1), "does not evenly divide");
+    // Clustering over a partially occupied mesh.
+    {
+        SystemConfig cfg = configByName("o3x4");
+        cfg.clusterCols = 2;
+        EXPECT_EXIT(cfg.check(), testing::ExitedWithCode(1),
+                    "fully occupied");
+    }
+}
+
+TEST(Topology, HopTablesSymmetricOnNonSquareMesh)
+{
+    SystemConfig cfg = configByName("bt-0b64t@4x16");
+    EXPECT_EQ(cfg.meshRows, 4);
+    EXPECT_EQ(cfg.meshCols, 16);
+    EXPECT_EQ(cfg.numBanks(), 16); // default: one bank per column
+    mem::Noc noc(cfg);
+    for (CoreId a = 0; a < cfg.numCores(); ++a) {
+        for (CoreId b = 0; b < cfg.numCores(); ++b) {
+            uint32_t manhattan = static_cast<uint32_t>(
+                std::abs(noc.tileRow(a) - noc.tileRow(b)) +
+                std::abs(noc.tileCol(a) - noc.tileCol(b)));
+            EXPECT_EQ(noc.hopsCoreToCore(a, b), manhattan);
+            EXPECT_EQ(noc.hopsCoreToCore(a, b),
+                      noc.hopsCoreToCore(b, a));
+        }
+        // Banks sit below the bottom row of their column.
+        for (int bk = 0; bk < cfg.numBanks(); ++bk) {
+            uint32_t want = static_cast<uint32_t>(
+                std::abs(noc.tileCol(a) - noc.bankCol(bk)) +
+                (cfg.meshRows - noc.tileRow(a)));
+            EXPECT_EQ(noc.hopsCoreToBank(a, bk), want);
+        }
+    }
+}
+
+TEST(Topology, BankColumnsCoverPartialAndOverfullLayouts)
+{
+    // Fewer banks than columns: spread evenly, strictly increasing.
+    SystemConfig sparse = configByName("bt-0b64t@4x16/banks=5");
+    EXPECT_EQ(sparse.numBanks(), 5);
+    int prev = -1;
+    for (int b = 0; b < sparse.numBanks(); ++b) {
+        int col = sparse.bankColumn(b);
+        EXPECT_GE(col, 0);
+        EXPECT_LT(col, sparse.meshCols);
+        EXPECT_GT(col, prev);
+        prev = col;
+    }
+    EXPECT_EQ(sparse.bankColumn(0), 0);
+    // More banks than columns: round-robin wrap, every column hit.
+    SystemConfig dense = configByName("bt-0b64t@4x16/banks=20");
+    std::vector<int> hits(dense.meshCols, 0);
+    for (int b = 0; b < dense.numBanks(); ++b)
+        ++hits[dense.bankColumn(b)];
+    for (int c = 0; c < dense.meshCols; ++c)
+        EXPECT_GE(hits[c], 1);
+}
+
+TEST(Topology, ClusterGridPartitionsCoresEvenly)
+{
+    SystemConfig cfg = configByName("bt-0b256t@16x16/clusters=2x2");
+    std::vector<int> sizes(cfg.numClusters(), 0);
+    for (CoreId c = 0; c < cfg.numCores(); ++c) {
+        int cl = cfg.clusterOf(c);
+        ASSERT_GE(cl, 0);
+        ASSERT_LT(cl, cfg.numClusters());
+        // Row-major 8x8 tiles: cluster = (row/8)*2 + col/8.
+        EXPECT_EQ(cl, (cfg.tileRowOf(c) / 8) * 2 + cfg.tileColOf(c) / 8);
+        ++sizes[cl];
+    }
+    for (int s : sizes)
+        EXPECT_EQ(s, 64);
+    for (int b = 0; b < cfg.numBanks(); ++b) {
+        int cl = cfg.clusterOfBank(b);
+        EXPECT_GE(cl, 0);
+        EXPECT_LT(cl, cfg.numClusters());
+        // Banks line the bottom edge: their cluster is in the last
+        // cluster row.
+        EXPECT_GE(cl, (cfg.clusterRows - 1) * cfg.clusterCols);
+    }
+}
+
+TEST(Topology, StealPolicyFactoryParses)
+{
+    EXPECT_STREQ(rt::makeStealPolicy("")->name(), "random");
+    EXPECT_STREQ(rt::makeStealPolicy("random")->name(), "random");
+    EXPECT_STREQ(rt::makeStealPolicy("rr")->name(), "rr");
+    EXPECT_STREQ(rt::makeStealPolicy("round-robin")->name(), "rr");
+    EXPECT_STREQ(rt::makeStealPolicy("big-first")->name(), "big-first");
+    EXPECT_STREQ(rt::makeStealPolicy("hier")->name(), "hier");
+    EXPECT_STREQ(rt::makeStealPolicy("hier:8")->name(), "hier");
+}
+
+TEST(TopologyDeathTest, StealPolicyFactoryRejects)
+{
+    EXPECT_EXIT(rt::makeStealPolicy("bogus"),
+                testing::ExitedWithCode(1), "unknown steal policy");
+    EXPECT_EXIT(rt::makeStealPolicy("hier:x"),
+                testing::ExitedWithCode(1), "bad steal policy");
+}
+
+TEST(Topology, HierStealDeterministicAcrossHostJobsAt256Cores)
+{
+    // The hierarchical policy keeps host-side state (hint boards,
+    // failure counters), but each simulation owns its policy object
+    // and draws only from the per-worker deterministic streams — so a
+    // --jobs=4 sweep must reproduce the serial sweep byte for byte,
+    // cluster-aware stealing included.
+    using namespace bigtiny::bench;
+    std::vector<RunSpec> specs;
+    for (uint64_t s : {1, 2})
+        specs.push_back(
+            RunSpec::forApp("cilk5-nq")
+                .config("bt-0b256t@16x16/clusters=2x2/proto=gwb")
+                .n(6)
+                .grain(2)
+                .seed(s)
+                .steal("hier"));
+    specs.push_back(RunSpec::forApp("cilk5-cs")
+                        .config("bt-0b256t@16x16/clusters=4x4")
+                        .n(1024)
+                        .grain(64)
+                        .seed(3)
+                        .steal("hier:2"));
+
+    std::string pathA = testing::TempDir() + "bt_topo_serial.cache";
+    std::string pathB = testing::TempDir() + "bt_topo_par.cache";
+    std::remove(pathA.c_str());
+    std::remove(pathB.c_str());
+    ResultCache cacheA(pathA);
+    ResultCache cacheB(pathB);
+    auto serial = Sweep(cacheA, 1).addAll(specs).run();
+    auto parallel = Sweep(cacheB, 4).addAll(specs).run();
+    ASSERT_EQ(serial.size(), specs.size());
+    ASSERT_EQ(parallel.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].key());
+        EXPECT_TRUE(serial[i].valid);
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles);
+        EXPECT_EQ(serial[i].steals, parallel[i].steals);
+        EXPECT_EQ(serial[i].stealAttempts, parallel[i].stealAttempts);
+        EXPECT_EQ(serial[i].l1Misses, parallel[i].l1Misses);
+        EXPECT_EQ(serial[i].nocBytes, parallel[i].nocBytes);
+    }
+    std::remove(pathA.c_str());
+    std::remove(pathB.c_str());
+}

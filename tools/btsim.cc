@@ -170,13 +170,20 @@ main(int argc, char **argv)
             std::printf("  %s\n", a.c_str());
         std::printf("configurations: serial-io o3x{1,4,8} bt-mesi "
                     "bt-hcc-{dnv,gwt,gwb}[-dts] tiny64-<p>[-dts] "
-                    "bt256-{mesi,hcc-gwb[-dts]}\n");
+                    "bt256-{mesi,hcc-gwb[-dts]}\n"
+                    "  or a topology spec: "
+                    "bt-<B>b<T>t@RxC[/clusters=RxC][/banks=N]"
+                    "[/proto=mesi|dnv|gwt|gwb][/dts]\n"
+                    "  (a legacy name with @/opts works too, e.g. "
+                    "bt-mesi@4x16)\n"
+                    "steal policies: random rr big-first hier[:N]\n");
         return 0;
     }
     if (flags.has("help") || !flags.has("app")) {
         std::printf("usage: btsim --app=NAME [--config=NAME] [--n=N] "
                     "[--grain=G] [--seed=S] [--scale=X] [--serial] "
-                    "[--check] [--faults=SPEC] [--max-cycles=N] "
+                    "[--check] [--faults=SPEC] [--steal=POLICY] "
+                    "[--max-cycles=N] "
                     "[--run-timeout-ms=MS] [--trace=FILE "
                     "[--trace-categories=CSV]] [--timeseries=FILE "
                     "[--sample-cycles=N]] [--stats-json=FILE] "
@@ -278,6 +285,8 @@ main(int argc, char **argv)
             printReport(sys, nullptr, valid);
         } else {
             runtime = std::make_unique<rt::Runtime>(sys);
+            if (!spec.stealPolicy.empty())
+                runtime->setStealPolicy(spec.stealPolicy);
             runtime->run([&](rt::Worker &w) { app->runParallel(w); });
             sys.mem().drainAll();
             valid = app->validate(sys);

@@ -53,7 +53,11 @@ main(int argc, char **argv)
             std::printf("  %s\n", a.c_str());
         std::printf("configurations: serial-io o3x{1,4,8} bt-mesi "
                     "bt-hcc-{dnv,gwt,gwb}[-dts] tiny64-<p>[-dts] "
-                    "bt256-{mesi,hcc-gwb[-dts]}\n");
+                    "bt256-{mesi,hcc-gwb[-dts]}\n"
+                    "  or a topology spec: "
+                    "bt-<B>b<T>t@RxC[/clusters=RxC][/banks=N]"
+                    "[/proto=mesi|dnv|gwt|gwb][/dts]\n"
+                    "steal policies: random rr big-first hier[:N]\n");
         return 0;
     }
     if (flags.has("help")) {
@@ -62,8 +66,8 @@ main(int argc, char **argv)
             "[--scales=1.0,2.0] [--jobs=N]\n"
             "               [--n=N] [--grain=G] [--seed=S] [--check] "
             "[--serial]\n"
-            "               [--faults=SPEC] [--max-cycles=N] "
-            "[--run-timeout-ms=MS]\n"
+            "               [--faults=SPEC] [--steal=POLICY] "
+            "[--max-cycles=N] [--run-timeout-ms=MS]\n"
             "               [--cache-file=PATH] [--no-cache] "
             "[--json=PATH] [--list]\n"
             "defaults: all apps, the paper's 10-config sweep, scale "
@@ -113,6 +117,8 @@ main(int argc, char **argv)
                         flags.getInt("seed", 0)));
                 if (flags.has("faults"))
                     spec.faults(flags.get("faults"));
+                if (flags.has("steal"))
+                    spec.steal(flags.get("steal"));
                 if (flags.has("max-cycles"))
                     spec.cycleBudget(static_cast<Cycle>(
                         flags.getInt("max-cycles", 0)));

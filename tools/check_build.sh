@@ -123,6 +123,39 @@ test -s "$trace_dir/a.csv"
     exit 1
 }
 
+# Topology smoke (DESIGN.md section 13): the spec grammar must drive
+# machines the preset zoo never had. A non-square mesh exercises the
+# generalized hop tables / bank placement end to end, and a 512-core
+# hier-vs-random pair checks the locality-aware steal policy: the
+# simulator is deterministic, so hierarchical stealing beating flat
+# random on this workload is a stable assertion, not a perf gate.
+"$ubsan_dir/tools/btsim" --app=cilk5-nq --config=bt-hcc-gwb-dts@4x16 \
+    --n=6 > /dev/null || {
+    echo "topology smoke: non-square 4x16 run failed" >&2
+    exit 1
+}
+cyc() {
+    "$ubsan_dir/tools/btsim" --app=cilk5-nq --steal="$2" \
+        --config="$1" | awk '/^cycles/ { print $2; exit }'
+}
+spec512="bt-0b512t@16x32/clusters=2x4/proto=mesi"
+rand_cyc=$(cyc "$spec512" random)
+hier_cyc=$(cyc "$spec512" hier)
+[ -n "$rand_cyc" ] && [ -n "$hier_cyc" ] && \
+    [ "$hier_cyc" -lt "$rand_cyc" ] || {
+    echo "topology smoke: 512-core hier ($hier_cyc cycles) not" \
+         "faster than random ($rand_cyc cycles)" >&2
+    exit 1
+}
+
+# Golden-manifest assertion (tests/golden/MANIFEST.sha256): the 12
+# scenarios x {stats,trace} must stay byte-identical to the seed
+# goldens under the redesigned config API. hotpath_perf.sh below also
+# runs this, but only on the Release build — this run pins the
+# sanitizer build too (UB that changes simulated behavior shows up
+# here as a hash mismatch).
+"$src_dir/tools/hotpath_fidelity.sh" "$ubsan_dir/tools/btsim"
+
 # Perf smoke (DESIGN.md section 12): an optimized build must pass the
 # hot-path fidelity harness (24 artifacts byte-identical to the seed
 # goldens) and record its throughput on the reference workload in
