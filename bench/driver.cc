@@ -255,11 +255,8 @@ runOne(const RunSpec &spec)
 // ResultCache
 // ---------------------------------------------------------------------
 
-namespace
-{
-
 std::string
-serialize(const RunResult &r)
+serializeResult(const RunResult &r)
 {
     std::ostringstream os;
     os << r.valid << ' ' << r.cycles << ' ' << r.work << ' ' << r.span
@@ -280,7 +277,7 @@ serialize(const RunResult &r)
 }
 
 bool
-deserialize(const std::string &line, RunResult &r)
+deserializeResult(const std::string &line, RunResult &r)
 {
     std::istringstream is(line);
     if (!(is >> r.valid >> r.cycles >> r.work >> r.span >> r.tasks >>
@@ -300,6 +297,9 @@ deserialize(const std::string &line, RunResult &r)
         r.verdict.clear();
     return true;
 }
+
+namespace
+{
 
 bool
 currentVersion(const std::string &key)
@@ -354,7 +354,7 @@ ResultCache::load()
             continue;
         }
         RunResult r;
-        if (!deserialize(line.substr(tab + 1), r)) {
+        if (!deserializeResult(line.substr(tab + 1), r)) {
             reject("unparseable");
             continue;
         }
@@ -387,7 +387,7 @@ ResultCache::compact()
         }
         for (const auto &sh : shards)
             for (const auto &[key, r] : sh.entries)
-                out << key << '\t' << serialize(r) << '\n';
+                out << key << '\t' << serializeResult(r) << '\n';
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         warn("%s: cannot compact cache (rename failed)",
@@ -401,7 +401,7 @@ ResultCache::append(const std::string &key, const RunResult &r)
     if (writeFailed)
         return; // already degraded; don't spam one warn per run
     std::ofstream out(path, std::ios::app);
-    out << key << '\t' << serialize(r) << '\n';
+    out << key << '\t' << serializeResult(r) << '\n';
     out.flush();
     if (!out) {
         // Disk full, read-only path, deleted directory, ... The
@@ -441,11 +441,49 @@ ResultCache::size() const
     return n;
 }
 
+namespace
+{
+
+/** The pieces of a (private) ResultCache::Shard the guard needs. */
+struct ResultCacheShardRef
+{
+    std::mutex &mu;
+    std::condition_variable &cv;
+    std::set<std::string> &inflight;
+};
+
+/**
+ * Releases a shard's in-flight claim on every exit path. Before this
+ * guard, a runner that unwound mid-flight (an exception escaping the
+ * SimFailure net in runOne, or anything a test runner throws) leaked
+ * its in-flight entry, and every waiter for that key slept forever on
+ * the shard's condition variable. Now any unwind evicts the entry and
+ * wakes the waiters; one of them re-claims the key and re-runs.
+ */
+struct InflightEviction
+{
+    ResultCacheShardRef sh;
+    const std::string &key;
+
+    ~InflightEviction()
+    {
+        {
+            std::lock_guard<std::mutex> lk(sh.mu);
+            sh.inflight.erase(key);
+        }
+        sh.cv.notify_all();
+    }
+};
+
+} // namespace
+
 RunResult
 ResultCache::run(const RunSpec &spec)
 {
-    if (!enabled)
-        return runOne(spec);
+    if (!enabled) {
+        ++coldRuns;
+        return runner ? runner(spec) : runOne(spec);
+    }
     std::string key = spec.key();
     Shard &sh = shardFor(key);
     {
@@ -465,7 +503,9 @@ ResultCache::run(const RunSpec &spec)
         }
     }
     std::fprintf(stderr, "[bench] simulating %s ...\n", key.c_str());
-    RunResult r = runOne(spec);
+    InflightEviction evict{{sh.mu, sh.cv, sh.inflight}, key};
+    ++coldRuns;
+    RunResult r = runner ? runner(spec) : runOne(spec);
     // Wall-clock timeouts depend on host load, not on the model;
     // persisting one would poison the cache for faster hosts. Still
     // memoized in memory so this process doesn't re-run it.
@@ -475,10 +515,39 @@ ResultCache::run(const RunSpec &spec)
     {
         std::lock_guard<std::mutex> lk(sh.mu);
         sh.entries[key] = r;
-        sh.inflight.erase(key);
+    }
+    // ~evict erases the in-flight entry and wakes the waiters.
+    return r;
+}
+
+void
+ResultCache::insert(const std::string &key, const RunResult &r)
+{
+    if (!enabled)
+        return;
+    Shard &sh = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        if (!sh.entries.emplace(key, r).second)
+            return; // already known (warm row or a duplicate merge)
     }
     sh.cv.notify_all();
-    return r;
+    if (r.verdict !=
+        fault::verdictName(fault::Verdict::WallClockTimeout))
+        append(key, r);
+}
+
+size_t
+ResultCache::simulatedRuns() const
+{
+    return coldRuns.load(std::memory_order_relaxed);
+}
+
+void
+ResultCache::setRunnerForTest(
+    std::function<RunResult(const RunSpec &)> r)
+{
+    runner = std::move(r);
 }
 
 } // namespace bigtiny::bench

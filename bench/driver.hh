@@ -22,7 +22,9 @@
 #define BIGTINY_BENCH_DRIVER_HH
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -186,6 +188,19 @@ struct RunResult
 RunResult runOne(const RunSpec &spec);
 
 /**
+ * Canonical single-line text form of a RunResult — the value half of
+ * a ResultCache line, also the payload of sweep-farm result records
+ * (bench/farm.cc). Space-separated integers plus the verdict token;
+ * round-trips exactly (every field is integral or a single token), so
+ * a result that crossed a farm directory serializes to JSON
+ * byte-identically to one that never left the process.
+ */
+std::string serializeResult(const RunResult &r);
+
+/** Inverse of serializeResult; false on a torn/garbled line. */
+bool deserializeResult(const std::string &line, RunResult &r);
+
+/**
  * File-backed, thread-safe result cache.
  *
  * In memory the entries live in 16 independently locked shards keyed
@@ -216,9 +231,32 @@ class ResultCache
      */
     RunResult run(const RunSpec &spec);
 
+    /**
+     * Adopt an externally produced result (a sweep-farm worker ran it
+     * in another process). No-op when the key is already present or
+     * the cache is disabled. Follows the same persistence rule as
+     * run(): wall-clock-timeout verdicts stay in memory only.
+     */
+    void insert(const std::string &key, const RunResult &r);
+
     bool contains(const std::string &key) const;
     size_t size() const;
     const LoadStats &loadStats() const { return loadInfo; }
+
+    /** Runs actually simulated by run() (cache misses), process-wide
+     *  across threads. Perf-trajectory entries use this to tell a
+     *  cold sweep's throughput from a warm replay's. */
+    size_t simulatedRuns() const;
+
+    /**
+     * Test hook: replace runOne() as the miss path (empty function
+     * restores the default). Lets tests inject a runner that throws,
+     * to pin the in-flight eviction guarantee: a run dying mid-flight
+     * must wake waiters and release the key for a re-run, never
+     * deadlock them behind a leaked in-flight entry.
+     */
+    void setRunnerForTest(
+        std::function<RunResult(const RunSpec &)> runner);
 
     /**
      * True once any disk append has failed (disk full, read-only
@@ -248,6 +286,8 @@ class ResultCache
     mutable std::array<Shard, numShards> shards;
     mutable std::mutex fileMu;
     bool writeFailed = false; //!< guarded by fileMu; see degraded()
+    std::atomic<size_t> coldRuns{0};
+    std::function<RunResult(const RunSpec &)> runner; //!< test-only
 };
 
 } // namespace bigtiny::bench

@@ -15,16 +15,29 @@
  * 1.5x throughput on cilk5-nq/GWB and 1.8x on cilk5-nq/MESI at
  * 1024 cores.
  *
+ * Every invocation also appends a git-SHA-stamped summary entry
+ * (total simulated cycles, wall time, sim-cycles/sec, a hier<=random
+ * fidelity verdict at the largest core count) to the perf trajectory
+ * at --trajectory (default BENCH_scale.json; see bench/trajectory.hh)
+ * so per-commit scaling throughput accumulates instead of being
+ * overwritten. The detailed per-run sweep JSON moved to --json
+ * (default BENCH_scale_runs.json).
+ *
  * Flags: --apps=cilk5-mt,cilk5-nq  --protos=gwb,mesi
  *        --steals=random,hier  --cores=64,256,512,1024
- *        --scale=  --jobs=  --json=BENCH_scale.json  --no-cache
+ *        --scale=  --jobs=  --json=BENCH_scale_runs.json
+ *        --trajectory=BENCH_scale.json  --no-cache
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/sweep.hh"
+#include "bench/trajectory.hh"
+#include "common/claim.hh"
 #include "common/log.hh"
 
 using namespace bigtiny;
@@ -102,13 +115,72 @@ main(int argc, char **argv)
                 for (const auto &steal : steals)
                     specs.push_back(makeSpec(app, proto, cores, steal));
     sweep.addAll(specs);
+    int64_t t0 = common::wallTimeMs();
     auto results = sweep.run();
+    int64_t wallMs = common::wallTimeMs() - t0;
 
-    std::string json = flags.get("json", "BENCH_scale.json");
+    std::string json = flags.get("json", "BENCH_scale_runs.json");
     if (json != "none") {
         writeSweepJson(json, sweep.specs(), results,
                        cache.degraded());
         std::fprintf(stderr, "[scale1024] wrote %s\n", json.c_str());
+    }
+
+    std::string traj = flags.get("trajectory", "BENCH_scale.json");
+    if (traj != "none") {
+        // Fidelity verdict: at the largest core count, hierarchical
+        // stealing must be no slower than the first (flat) policy for
+        // every app x proto where both completed — the property the
+        // PR 7 study established. "n/a" when the sweep has no such
+        // pair to compare.
+        int64_t maxCores = 0;
+        for (int64_t c : counts)
+            maxCores = std::max(maxCores, c);
+        std::string fidelity = "n/a";
+        uint64_t simCyclesTotal = 0;
+        for (const auto &r : results)
+            simCyclesTotal += r.cycles;
+        if (steals.size() >= 2) {
+            size_t i = 0;
+            for (size_t a = 0; a < apps.size(); ++a) {
+                for (size_t p = 0; p < protos.size(); ++p) {
+                    for (int64_t cores : counts) {
+                        const RunResult &flat = results[i];
+                        const RunResult &hier =
+                            results[i + steals.size() - 1];
+                        i += steals.size();
+                        if (cores != maxCores || !flat.valid ||
+                            !hier.valid)
+                            continue;
+                        if (fidelity == "n/a")
+                            fidelity = "pass";
+                        if (hier.cycles > flat.cycles)
+                            fidelity = "fail";
+                    }
+                }
+            }
+        }
+        std::ostringstream entry;
+        entry << "{\"benchmark\":\"scale1024\",\"sha\":\""
+              << gitHeadSha() << "\",\"apps\":" << apps.size()
+              << ",\"protos\":" << protos.size()
+              << ",\"steals\":" << steals.size()
+              << ",\"maxCores\":" << maxCores
+              << ",\"runs\":" << results.size()
+              << ",\"simulatedRuns\":" << cache.simulatedRuns()
+              << ",\"wallMs\":" << wallMs
+              << ",\"simCyclesTotal\":" << simCyclesTotal
+              << ",\"simCyclesPerSec\":"
+              << (wallMs > 0 ? static_cast<uint64_t>(
+                                   simCyclesTotal * 1000.0 / wallMs)
+                             : 0)
+              << ",\"fidelity\":\"" << fidelity << "\"}";
+        appendTrajectoryEntry(traj, entry.str());
+        std::fprintf(stderr,
+                     "[scale1024] appended trajectory entry to %s "
+                     "(fidelity=%s, %zu/%zu runs simulated cold)\n",
+                     traj.c_str(), fidelity.c_str(),
+                     cache.simulatedRuns(), results.size());
     }
 
     if (scaled)

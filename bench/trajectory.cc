@@ -1,0 +1,112 @@
+#include "bench/trajectory.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/claim.hh"
+#include "common/log.hh"
+
+namespace bigtiny::bench
+{
+
+namespace
+{
+
+/** First line of `cmd`'s stdout, or "" on any failure. */
+std::string
+commandLine(const char *cmd)
+{
+    FILE *p = ::popen(cmd, "r");
+    if (!p)
+        return "";
+    char buf[256] = {0};
+    std::string out;
+    if (std::fgets(buf, sizeof(buf), p))
+        out = buf;
+    bool ok = ::pclose(p) == 0;
+    if (!ok)
+        return "";
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out;
+}
+
+std::string
+stripped(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+std::string
+gitHeadSha()
+{
+    std::string sha =
+        commandLine("git rev-parse HEAD 2>/dev/null");
+    if (sha.empty())
+        return "unknown";
+    if (!commandLine("git status --porcelain 2>/dev/null || echo dirty")
+             .empty())
+        sha += "+dirty";
+    return sha;
+}
+
+bool
+readTrajectory(const std::string &path,
+               std::vector<std::string> &entries)
+{
+    entries.clear();
+    std::string text = stripped(common::readFile(path));
+    if (text.empty())
+        return true;
+    if (text.front() == '{') {
+        // Legacy pre-trajectory format: one multi-line object is the
+        // whole file. Collapse it onto one line so it becomes entry 0.
+        std::string flat;
+        for (char c : text)
+            if (c != '\n' && c != '\r')
+                flat += c;
+        entries.push_back(flat);
+        return true;
+    }
+    if (text.front() != '[')
+        return false;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        line = stripped(line);
+        if (line.empty() || line == "[" || line == "]")
+            continue;
+        if (line.back() == ',')
+            line.pop_back();
+        if (!line.empty())
+            entries.push_back(line);
+    }
+    return true;
+}
+
+void
+appendTrajectoryEntry(const std::string &path,
+                      const std::string &entryLine)
+{
+    std::vector<std::string> entries;
+    fatal_if(!readTrajectory(path, entries),
+             "trajectory: %s is neither a JSON array nor a legacy "
+             "single-object file; refusing to overwrite it",
+             path.c_str());
+    entries.push_back(stripped(entryLine));
+    std::ostringstream os;
+    os << "[\n";
+    for (size_t i = 0; i < entries.size(); ++i)
+        os << entries[i] << (i + 1 < entries.size() ? ",\n" : "\n");
+    os << "]\n";
+    fatal_if(!common::atomicWriteFile(path, os.str()),
+             "trajectory: cannot write %s", path.c_str());
+}
+
+} // namespace bigtiny::bench

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-commit performance trajectories.
+ *
+ * A trajectory file (BENCH_hotpath.json, BENCH_scale.json at the repo
+ * root) is a JSON array with exactly one entry object per line:
+ *
+ *   [
+ *   {"benchmark":"hotpath","sha":"1dc6a2f...","simCyclesPerSec":...},
+ *   {"benchmark":"hotpath","sha":"8c02b11...+dirty",...}
+ *   ]
+ *
+ * Appending NEVER rewrites prior entries' text — the array is
+ * re-assembled from the existing entry lines verbatim plus the new
+ * line — so the file is a git-SHA-stamped, append-only history of the
+ * simulator's throughput, and `tools/trajectory.py gate` can fail the
+ * build when the newest entry regresses against the best prior one.
+ * tools/trajectory.py is the same format's Python twin for shell
+ * scripts (tools/hotpath_perf.sh); keep the two in sync.
+ */
+
+#ifndef BIGTINY_BENCH_TRAJECTORY_HH
+#define BIGTINY_BENCH_TRAJECTORY_HH
+
+#include <string>
+#include <vector>
+
+namespace bigtiny::bench
+{
+
+/**
+ * HEAD's full git SHA with a "+dirty" suffix when the worktree has
+ * uncommitted changes; "unknown" when git (or the repo) is
+ * unavailable. Host-side only — never feed this into a simulation.
+ */
+std::string gitHeadSha();
+
+/**
+ * Load the entry lines of a trajectory file into @p entries (one
+ * single-line JSON object each, trailing commas stripped).
+ * A missing or empty file yields no entries; a legacy single-object
+ * file (the pre-trajectory format) yields that object, collapsed onto
+ * one line, as the sole entry. @return false only on a file that is
+ * neither an array, an object, nor empty.
+ */
+bool readTrajectory(const std::string &path,
+                    std::vector<std::string> &entries);
+
+/**
+ * Append @p entryLine (a complete single-line JSON object, no
+ * trailing comma) to the trajectory at @p path, preserving every
+ * existing entry line byte-for-byte. The rewrite is atomic
+ * (temp + rename). fatal() on an unparseable existing file.
+ */
+void appendTrajectoryEntry(const std::string &path,
+                           const std::string &entryLine);
+
+} // namespace bigtiny::bench
+
+#endif // BIGTINY_BENCH_TRAJECTORY_HH

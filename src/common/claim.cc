@@ -1,0 +1,201 @@
+#include "common/claim.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
+#include <fstream>
+#include <signal.h>
+#include <sstream>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace bigtiny::common
+{
+
+bool
+createExclusive(const std::string &path, const std::string &contents)
+{
+    int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        if (errno != EEXIST)
+            warn("createExclusive(%s): %s", path.c_str(),
+                 std::strerror(errno));
+        return false;
+    }
+    ssize_t n = ::write(fd, contents.data(), contents.size());
+    if (n < 0 || static_cast<size_t>(n) != contents.size())
+        warn("createExclusive(%s): short write", path.c_str());
+    ::close(fd);
+    return true;
+}
+
+bool
+touchFile(const std::string &path)
+{
+    // utimensat(NULL) sets atime+mtime to now without rewriting data,
+    // so a heartbeat can never tear the claim contents.
+    return ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) == 0;
+}
+
+int64_t
+fileAgeMs(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    int64_t mtime_ms = int64_t(st.st_mtim.tv_sec) * 1000 +
+                       st.st_mtim.tv_nsec / 1000000;
+    int64_t age = wallTimeMs() - mtime_ms;
+    return age < 0 ? 0 : age;
+}
+
+bool
+renameFile(const std::string &from, const std::string &to)
+{
+    return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool
+removeFile(const std::string &path)
+{
+    return ::unlink(path.c_str()) == 0;
+}
+
+bool
+makeDirs(const std::string &path)
+{
+    std::string partial;
+    std::istringstream is(path);
+    std::string comp;
+    if (!path.empty() && path[0] == '/')
+        partial = "/";
+    while (std::getline(is, comp, '/')) {
+        if (comp.empty())
+            continue;
+        if (!partial.empty() && partial.back() != '/')
+            partial += '/';
+        partial += comp;
+        if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST) {
+            warn("makeDirs(%s): %s", partial.c_str(),
+                 std::strerror(errno));
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    std::string tmp =
+        path + ".tmp-" + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("atomicWriteFile(%s): cannot open temp", tmp.c_str());
+            return false;
+        }
+        out << contents;
+        out.flush();
+        if (!out) {
+            warn("atomicWriteFile(%s): write failed", tmp.c_str());
+            return false;
+        }
+    }
+    if (!renameFile(tmp, path)) {
+        warn("atomicWriteFile(%s): rename failed: %s", path.c_str(),
+             std::strerror(errno));
+        removeFile(tmp);
+        return false;
+    }
+    return true;
+}
+
+bool
+appendLine(const std::string &path, const std::string &line)
+{
+    int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd < 0) {
+        warn("appendLine(%s): %s", path.c_str(), std::strerror(errno));
+        return false;
+    }
+    std::string rec = line;
+    rec += '\n';
+    ssize_t n = ::write(fd, rec.data(), rec.size());
+    ::close(fd);
+    if (n < 0 || static_cast<size_t>(n) != rec.size()) {
+        warn("appendLine(%s): short write", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+listDir(const std::string &path)
+{
+    std::vector<std::string> names;
+    DIR *d = ::opendir(path.c_str());
+    if (!d)
+        return names;
+    while (struct dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name == "." || name == "..")
+            continue;
+        names.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::string
+hostName()
+{
+    char buf[256] = {};
+    if (::gethostname(buf, sizeof(buf) - 1) != 0)
+        return "unknown-host";
+    return buf;
+}
+
+bool
+processAlive(int64_t pid)
+{
+    if (pid <= 0)
+        return false;
+    return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+int64_t
+wallTimeMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               system_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+sleepMs(int64_t ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace bigtiny::common

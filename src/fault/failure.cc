@@ -22,6 +22,7 @@ verdictName(Verdict v)
       case Verdict::TaskProtocol: return "task-protocol";
       case Verdict::UliProtocol: return "uli-protocol";
       case Verdict::GuestError: return "guest-error";
+      case Verdict::WorkerLost: return "worker-lost";
     }
     panic("verdictName: bad verdict %d", static_cast<int>(v));
 }

@@ -37,6 +37,10 @@ enum class Verdict : uint8_t
     TaskProtocol,       //!< task executed twice / conservation broken
     UliProtocol,        //!< ULI buffer overrun or message misuse
     GuestError,         //!< guest code threw a std::exception
+    WorkerLost,         //!< farm worker process died mid-job
+                        //!< (host-level; raised by bench/farm.cc when
+                        //!< a claim's heartbeat expires, never by the
+                        //!< simulator itself)
 };
 
 const char *verdictName(Verdict v);

@@ -26,6 +26,7 @@ constexpr const char *siteNames[numFaultSites] = {
     "rt-corrupt-steal",
     "rt-elide-steal-inv",
     "sim-stall-core",
+    "farm-kill-worker",
 };
 
 FaultSite

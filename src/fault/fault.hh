@@ -14,6 +14,8 @@
  *             task handoff, elide the HCC steal-path invalidates
  *             (core/worker.cc)
  *   sim     — stall a chosen core for N cycles (sim/system.cc)
+ *   farm    — SIGKILL a sweep-farm worker process before its Nth
+ *             claimed job (bench/farm.cc, --farm-faults)
  *
  * Spec grammar (directives separated by commas):
  *
@@ -74,6 +76,12 @@ enum class FaultSite : uint8_t
     RtElideStealInv,  //!< HCC steal-path cache_invalidate pair elided
     // sim layer (sim/system.cc)
     SimStallCore,    //!< args = core : at-cycle : stall-cycles
+    // host layer (bench/farm.cc) — the one site that fires OUTSIDE
+    // the simulator: a sweep-farm worker SIGKILLs itself before
+    // running its Nth claimed job (@N), when args[0] matches its
+    // worker id. Exercises the farm's crash-recovery path; a rule for
+    // this site inside a simulation's --faults plan is a no-op.
+    FarmKillWorker,  //!< args = worker-id
     NumSites,
 };
 

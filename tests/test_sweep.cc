@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -189,6 +190,60 @@ TEST(Sweep, CacheReportsAndPurgesBadLines)
     EXPECT_EQ(again.loadStats().loaded, 1u);
     EXPECT_EQ(again.loadStats().stale, 0u);
     EXPECT_EQ(again.loadStats().malformed, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, InflightEntryEvictedWhenRunnerThrows)
+{
+    // Regression: a run dying mid-flight (SimFailure escaping runOne,
+    // or a farm worker crash) used to leak the key in the shard's
+    // in-flight set, deadlocking every later requester of that spec
+    // behind a condition variable that never fires. The eviction
+    // guard must release the key and wake waiters on ANY unwind.
+    std::string path = tmpPath("bt_sweep_evict.cache");
+    ResultCache cache(path);
+    int calls = 0;
+    cache.setRunnerForTest([&calls](const RunSpec &spec) {
+        if (++calls == 1)
+            throw std::runtime_error("runner died mid-flight");
+        return runOne(spec);
+    });
+
+    EXPECT_THROW(cache.run(nqSpec(11)), std::runtime_error);
+    EXPECT_EQ(cache.size(), 0u);
+
+    // A concurrent waiter parked on the key must wake up and re-run
+    // rather than hang; so must this same-thread retry.
+    RunResult retry = cache.run(nqSpec(11));
+    EXPECT_TRUE(retry.valid);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.simulatedRuns(), 2u);
+
+    cache.setRunnerForTest(nullptr);
+    expectSameResult(cache.run(nqSpec(11)), retry); // cached now
+    EXPECT_EQ(cache.simulatedRuns(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, InsertAdoptsExternalResult)
+{
+    // The farm merge path: a result produced in another process is
+    // inserted by key and must then serve warm hits and persist like
+    // a locally simulated one.
+    std::string path = tmpPath("bt_sweep_insert.cache");
+    RunSpec spec = nqSpec(21);
+    RunResult external = runOne(spec);
+    {
+        ResultCache cache(path);
+        cache.insert(spec.key(), external);
+        EXPECT_TRUE(cache.contains(spec.key()));
+        expectSameResult(cache.run(spec), external);
+        EXPECT_EQ(cache.simulatedRuns(), 0u);
+    }
+    ResultCache reload(path);
+    EXPECT_TRUE(reload.contains(spec.key()));
+    expectSameResult(reload.run(spec), external);
     std::remove(path.c_str());
 }
 

@@ -16,6 +16,21 @@
  *   btsweep --apps=cilk5-nq --n=8         # override problem size
  *   btsweep --list
  *
+ * The sweep FARM (bench/farm.hh) shards a sweep across worker
+ * processes instead of threads:
+ *
+ *   btsweep --workers=4                   # spawn 3 workers + self
+ *   btsweep --join=<dir>                  # attach from another shell
+ *                                         # or host sharing <dir>
+ *   btsweep --workers=4 --resume          # continue an interrupted
+ *                                         # farm (skips cached rows,
+ *                                         # re-runs orphaned jobs)
+ *
+ * Workers coordinate only through --farm-dir (default <json>.farm):
+ * O_EXCL claim files with heartbeats, stale-claim stealing, per-worker
+ * append-only result logs. The merged JSON is byte-identical to a
+ * serial sweep's.
+ *
  * The "serial-io" config automatically runs as serial elision; every
  * other config runs under the work-stealing runtime. --check enables
  * the shadow-memory coherence checker on every run.
@@ -26,6 +41,9 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "bench/farm.hh"
 #include "bench/sweep.hh"
 #include "common/cli.hh"
 #include "common/log.hh"
@@ -39,6 +57,36 @@ namespace
 const char *paperConfigs =
     "serial-io,o3x1,o3x4,o3x8,bt-mesi,bt-hcc-dnv,bt-hcc-gwt,"
     "bt-hcc-gwb,bt-hcc-dnv-dts,bt-hcc-gwt-dts,bt-hcc-gwb-dts";
+
+/** This binary's path, for re-exec'ing farm workers. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+bench::FarmOptions
+farmOptionsFromFlags(cli::Flags &flags, const std::string &jsonPath)
+{
+    bench::FarmOptions opt;
+    opt.dir = flags.get("farm-dir",
+                        (jsonPath == "none" ? std::string("BENCH_sweep.json")
+                                            : jsonPath) +
+                            ".farm");
+    opt.workers = static_cast<int>(flags.getInt("workers", 1));
+    opt.resume = flags.has("resume");
+    opt.claimTtlMs = flags.getInt("claim-ttl-ms", 10000);
+    opt.heartbeatMs = flags.getInt("heartbeat-ms", 0);
+    opt.farmFaults = flags.get("farm-faults", "");
+    opt.workerId = static_cast<int>(flags.getInt("worker-id", 0));
+    return opt;
+}
 
 } // namespace
 
@@ -70,13 +118,40 @@ main(int argc, char **argv)
             "[--max-cycles=N] [--run-timeout-ms=MS]\n"
             "               [--cache-file=PATH] [--no-cache] "
             "[--json=PATH] [--list]\n"
+            "               [--workers=N] [--join=DIR] [--resume] "
+            "[--farm-dir=DIR]\n"
+            "               [--claim-ttl-ms=MS] [--heartbeat-ms=MS] "
+            "[--farm-faults=SPEC]\n"
             "defaults: all apps, the paper's 10-config sweep, scale "
             "1.0, all host\n"
             "threads, JSON to BENCH_sweep.json\n"
             "--faults applies the same fault plan to every run; "
             "failed runs are\n"
             "recorded in the JSON with their verdict and the sweep "
-            "completes.\n");
+            "completes.\n"
+            "--workers=N shards the sweep across N processes "
+            "coordinating through\n"
+            "--farm-dir (default <json>.farm); --join=DIR attaches "
+            "another worker to a\n"
+            "running farm; --resume continues an interrupted farm "
+            "(cached rows are\n"
+            "skipped, orphaned jobs re-run). The merged JSON is "
+            "byte-identical to a\n"
+            "serial sweep's.\n");
+        return 0;
+    }
+
+    if (flags.has("join")) {
+        // Pure worker: steal and run jobs until the farm drains.
+        bench::FarmOptions opt;
+        opt.dir = flags.get("join");
+        opt.claimTtlMs = flags.getInt("claim-ttl-ms", 10000);
+        opt.heartbeatMs = flags.getInt("heartbeat-ms", 0);
+        opt.farmFaults = flags.get("farm-faults", "");
+        opt.workerId = static_cast<int>(flags.getInt("worker-id", 1));
+        size_t ran = farmWorker(opt);
+        std::fprintf(stderr, "[btsweep] joined worker ran %zu jobs\n",
+                     ran);
         return 0;
     }
 
@@ -130,14 +205,27 @@ main(int argc, char **argv)
         }
     }
 
-    std::fprintf(stderr,
-                 "[btsweep] %zu runs (%zu apps x %zu configs x %zu "
-                 "scales) on %d host threads\n",
-                 sweep.specs().size(), flags.appList().size(),
-                 configs.size(), scales.size(), resolveJobs(jobs));
-    auto results = sweep.run();
-
     std::string json = flags.get("json", "BENCH_sweep.json");
+    std::vector<RunResult> results;
+    if (flags.has("workers") || flags.has("resume")) {
+        FarmOptions opt = farmOptionsFromFlags(flags, json);
+        opt.exePath = selfExePath(argv[0]);
+        std::fprintf(stderr,
+                     "[btsweep] farming %zu runs across %d worker "
+                     "process%s via %s\n",
+                     sweep.specs().size(), opt.workers,
+                     opt.workers == 1 ? "" : "es", opt.dir.c_str());
+        results = runFarm(cache, sweep.specs(), opt);
+    } else {
+        std::fprintf(stderr,
+                     "[btsweep] %zu runs (%zu apps x %zu configs x "
+                     "%zu scales) on %d host threads\n",
+                     sweep.specs().size(), flags.appList().size(),
+                     configs.size(), scales.size(),
+                     resolveJobs(jobs));
+        results = sweep.run();
+    }
+
     if (json != "none") {
         writeSweepJson(json, sweep.specs(), results,
                        cache.degraded());

@@ -52,6 +52,58 @@ cmp "$sweep_dir/par.sorted" "$sweep_dir/ser.sorted" || {
 # the JSON must at least be non-empty and brace-balanced
 test -s "$sweep_dir/par.json"
 
+# Sweep-farm smoke (DESIGN.md section 14): the same sweep sharded
+# across worker PROCESSES must be byte-identical to the serial run,
+# and a farm whose coordinator is SIGKILLed mid-sweep must be
+# resumable to the same bytes. This drives the whole claim protocol —
+# O_EXCL claims, heartbeats, stale-claim stealing, append-only result
+# logs, --resume — under the sanitizers.
+ASAN_OPTIONS=detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$build_dir/tools/btsweep" $sweep_args --workers=2 \
+        --cache-file="$sweep_dir/farm.cache" \
+        --json="$sweep_dir/farm.json" \
+        --farm-dir="$sweep_dir/farm.d" > /dev/null
+cmp "$sweep_dir/ser.json" "$sweep_dir/farm.json" || {
+    echo "farm smoke: 2-worker farm diverged from serial sweep" >&2
+    exit 1
+}
+# Kill the coordinator (worker 0) as soon as it wins its first claim:
+# the surviving worker must wait out the claim TTL, steal the orphaned
+# job, and drain the farm; the dead coordinator must not poison the
+# directory for --resume. Exit 137 (SIGKILL) is the expected
+# "failure". (Killing on the FIRST claim keeps the smoke
+# deterministic — the coordinator always wins a claim before the
+# exec'd worker finishes starting up.)
+set +e
+ASAN_OPTIONS=detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=halt_on_error=1 \
+    timeout 300 "$build_dir/tools/btsweep" $sweep_args --workers=2 \
+        --cache-file="$sweep_dir/kill.cache" \
+        --json="$sweep_dir/kill.json" \
+        --farm-dir="$sweep_dir/kill.d" --claim-ttl-ms=3000 \
+        --farm-faults=farm-kill-worker@1=0 > /dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 137 ]; then
+    echo "farm smoke: killed coordinator exited $rc, want 137" >&2
+    exit 1
+fi
+test ! -e "$sweep_dir/kill.json" || {
+    echo "farm smoke: killed farm still wrote its JSON" >&2
+    exit 1
+}
+ASAN_OPTIONS=detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$build_dir/tools/btsweep" $sweep_args --workers=2 --resume \
+        --cache-file="$sweep_dir/kill.cache" \
+        --json="$sweep_dir/kill.json" \
+        --farm-dir="$sweep_dir/kill.d" --claim-ttl-ms=3000 > /dev/null
+cmp "$sweep_dir/ser.json" "$sweep_dir/kill.json" || {
+    echo "farm smoke: resumed farm diverged from serial sweep" >&2
+    exit 1
+}
+
 # Fault-injection smoke under a UBSan-only build (faster than the
 # full ASan config; the fault paths unwind guest fibers and re-throw
 # across stacks, exactly where UB would hide). Each injected fault
@@ -156,16 +208,44 @@ hier_cyc=$(cyc "$spec512" hier)
 # here as a hash mismatch).
 "$src_dir/tools/hotpath_fidelity.sh" "$ubsan_dir/tools/btsim"
 
-# Perf smoke (DESIGN.md section 12): an optimized build must pass the
-# hot-path fidelity harness (24 artifacts byte-identical to the seed
-# goldens) and record its throughput on the reference workload in
-# BENCH_hotpath.json at the repo root. Throughput is informational
-# here (CI hosts vary); the fidelity verdict is the gate.
+# Perf trajectory (DESIGN.md sections 12/14): an optimized build must
+# pass the hot-path fidelity harness (24 artifacts byte-identical to
+# the seed goldens) and APPEND its throughput on the reference
+# workload to the BENCH_hotpath.json trajectory at the repo root.
 perf_dir="$src_dir/build-perf"
 cmake -B "$perf_dir" -S "$src_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$perf_dir" -j "$(nproc)" --target btsim
 ITERS=3 "$src_dir/tools/hotpath_perf.sh" "$perf_dir/tools/btsim" \
     "$src_dir/BENCH_hotpath.json"
 
+# Regression gate: the entry just appended must not fall more than
+# 30% below the best prior entry. BIGTINY_PERF_GATE=off skips it —
+# the intentional-rebaseline escape hatch for new/slower machines.
+python3 "$src_dir/tools/trajectory.py" gate \
+    "$src_dir/BENCH_hotpath.json"
+
+# Gate self-test on a scratch copy: an injected 50% regression must
+# fail the gate, and the opt-out must override it. This pins the gate
+# itself — a gate that silently stopped firing is worse than none.
+gate_tmp="$sweep_dir/gate_check.json"
+cp "$src_dir/BENCH_hotpath.json" "$gate_tmp"
+best=$(python3 "$src_dir/tools/trajectory.py" best "$gate_tmp")
+python3 "$src_dir/tools/trajectory.py" append "$gate_tmp" \
+    "{\"benchmark\":\"hotpath\",\"sha\":\"injected-regression\",\
+\"fidelity\":\"pass\",\"simCyclesPerSec\":$((best / 2))}" > /dev/null
+if BIGTINY_PERF_GATE= python3 "$src_dir/tools/trajectory.py" \
+    gate "$gate_tmp" > /dev/null; then
+    echo "perf gate self-test: injected 50% regression passed" \
+         "the gate" >&2
+    exit 1
+fi
+BIGTINY_PERF_GATE=off python3 "$src_dir/tools/trajectory.py" \
+    gate "$gate_tmp" > /dev/null || {
+    echo "perf gate self-test: BIGTINY_PERF_GATE=off did not" \
+         "override the gate" >&2
+    exit 1
+}
+
 echo "sanitizer build + tier-1 tests + parallel sweep smoke +" \
-     "fault smoke + trace smoke + perf smoke: OK"
+     "farm smoke + fault smoke + trace smoke + perf trajectory" \
+     "+ gate: OK"

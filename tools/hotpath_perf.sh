@@ -1,30 +1,50 @@
 #!/bin/sh
-# Perf smoke for the hot-path overhaul (DESIGN.md section 12).
+# Perf trajectory for the hot-path overhaul (DESIGN.md section 12/14).
 #
 # Verifies fidelity (tools/hotpath_fidelity.sh: 24 artifacts
 # byte-identical to the seed goldens), then times the reference
 # workload — cilk5-mm on the 64-core bt-mesi config, n=256 — and
-# writes a machine-readable summary:
+# APPENDS a git-SHA-stamped entry to the trajectory file:
 #
-#   tools/hotpath_perf.sh <btsim> [out.json] [seed-btsim]
+#   tools/hotpath_perf.sh [--baseline] <btsim> [out.json] [seed-btsim]
 #
-# out.json defaults to BENCH_hotpath.json at the repo root. When a
-# pristine seed-commit btsim is supplied, iterations run interleaved
-# (seed, new, seed, new, ...) and the summary gains baseline/speedup
-# fields; interleaving is the honest protocol on shared hosts, where
-# background load drifts single-sided timings by 30%+. Best-of-N is
-# reported (the minimum is the least noise-contaminated sample).
+# out.json defaults to BENCH_hotpath.json at the repo root. The file
+# is a JSON array, one entry per line (tools/trajectory.py); prior
+# entries are never rewritten, so it accumulates one entry per commit
+# and `trajectory.py gate` can fail the build on a throughput
+# regression. --baseline truncates the file first — the explicit
+# rebaseline switch for a new machine (per-host wall-clock numbers are
+# not comparable).
+#
+# When a pristine seed-commit btsim is supplied, iterations run
+# interleaved (seed, new, seed, new, ...) and the entry gains
+# baseline/speedup fields; interleaving is the honest protocol on
+# shared hosts, where background load drifts single-sided timings by
+# 30%+. Best-of-N is reported (the minimum is the least
+# noise-contaminated sample).
 #
 # ITERS overrides the iteration count (default 5).
 set -eu
 
-BTSIM=${1:?usage: hotpath_perf.sh <btsim> [out.json] [seed-btsim]}
+BASELINE=0
+if [ "${1:-}" = "--baseline" ]; then
+    BASELINE=1
+    shift
+fi
+
+BTSIM=${1:?usage: hotpath_perf.sh [--baseline] <btsim> [out.json] [seed-btsim]}
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 OUT=${2:-"$ROOT/BENCH_hotpath.json"}
 SEED=${3:-}
 ITERS=${ITERS:-5}
 
 WORKLOAD="--app=cilk5-mm --config=bt-mesi --n=256 --grain=16"
+
+SHA=$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)
+if [ "$SHA" != unknown ] &&
+   [ -n "$(git -C "$ROOT" status --porcelain 2>/dev/null)" ]; then
+    SHA="$SHA+dirty"
+fi
 
 fidelity=fail
 if "$ROOT/tools/hotpath_fidelity.sh" "$BTSIM" >/dev/null 2>&1; then
@@ -67,29 +87,32 @@ done
 cps=$(awk -v c="$cycles" -v ms="$best" \
       'BEGIN{printf "%d", c * 1000.0 / ms}')
 
-{
-    printf '{\n'
-    printf '"benchmark": "hotpath",\n'
-    printf '"workload": "btsim %s",\n' "$WORKLOAD"
-    printf '"iterations": %d,\n' "$ITERS"
-    printf '"fidelity": "%s",\n' "$fidelity"
-    printf '"simCycles": %s,\n' "$cycles"
-    printf '"wallMsBest": %s,\n' "$best"
-    printf '"simCyclesPerSec": %s' "$cps"
+entry=$(
+    printf '{"benchmark":"hotpath","sha":"%s",' "$SHA"
+    printf '"workload":"btsim %s",' "$WORKLOAD"
+    printf '"iterations":%d,"fidelity":"%s",' "$ITERS" "$fidelity"
+    printf '"simCycles":%s,"wallMsBest":%s,"simCyclesPerSec":%s' \
+        "$cycles" "$best" "$cps"
     if [ -n "$SEED" ]; then
         seed_cps=$(awk -v c="$cycles" -v ms="$seed_best" \
                    'BEGIN{printf "%d", c * 1000.0 / ms}')
         speedup=$(awk -v a="$seed_best" -v b="$best" \
                   'BEGIN{printf "%.2f", a / b}')
-        printf ',\n"seedWallMsBest": %s,\n' "$seed_best"
-        printf '"seedSimCyclesPerSec": %s,\n' "$seed_cps"
-        printf '"speedupVsSeed": %s' "$speedup"
+        printf ',"seedWallMsBest":%s' "$seed_best"
+        printf ',"seedSimCyclesPerSec":%s' "$seed_cps"
+        printf ',"speedupVsSeed":%s' "$speedup"
     fi
-    printf '\n}\n'
-} > "$OUT"
+    printf '}'
+)
+
+if [ "$BASELINE" = 1 ]; then
+    rm -f "$OUT"
+    echo "hotpath perf: --baseline, trajectory restarted"
+fi
+printf '%s' "$entry" | python3 "$ROOT/tools/trajectory.py" append "$OUT"
 
 echo "hotpath perf: fidelity=$fidelity ${best}ms" \
-     "(${cps} sim-cycles/sec) -> $OUT"
+     "(${cps} sim-cycles/sec) -> $OUT [sha ${SHA}]"
 if [ "$fidelity" != pass ]; then
     exit 1
 fi

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Perf-trajectory files: append entries, gate on regressions.
+
+The Python twin of bench/trajectory.{hh,cc} for shell scripts
+(tools/hotpath_perf.sh, tools/check_build.sh). A trajectory file
+(BENCH_hotpath.json, BENCH_scale.json) is a JSON array with one entry
+object per line; appending preserves existing entry lines verbatim, so
+the file is an append-only, git-SHA-stamped history of simulator
+throughput.
+
+  trajectory.py append FILE            # entry JSON object on stdin
+  trajectory.py append FILE '{...}'    # ... or as an argument
+  trajectory.py best FILE [FIELD]      # print max FIELD over entries
+  trajectory.py gate FILE [--tolerance=0.3] [--field=simCyclesPerSec]
+
+gate compares the NEWEST entry against the best prior entry: exit 1
+when newest < (1 - tolerance) * best-prior (or when the newest entry
+reports fidelity != "pass"). Fewer than two entries, or
+BIGTINY_PERF_GATE=off in the environment, always passes — the gate
+must never block the first run on a new machine or an intentional
+rebaseline (run with the opt-out, then the new entry becomes history).
+Stdlib only; no third-party imports.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    """Entry list from a trajectory file.
+
+    Tolerates the legacy pre-trajectory format (one bare JSON object)
+    by treating it as a single entry, and a missing/empty file as no
+    entries.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read().strip()
+    except FileNotFoundError:
+        return []
+    if not text:
+        return []
+    data = json.loads(text)
+    if isinstance(data, dict):
+        return [data]
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: not a trajectory (array) file")
+    return data
+
+
+def store(path, entries):
+    """Write one entry per line, atomically (temp + rename)."""
+    lines = [json.dumps(e, separators=(",", ":"), sort_keys=False)
+             for e in entries]
+    body = "[\n" + ",\n".join(lines) + "\n]\n" if lines else "[]\n"
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(body)
+    os.replace(tmp, path)
+
+
+def cmd_append(path, entry_arg):
+    text = entry_arg if entry_arg is not None else sys.stdin.read()
+    entry = json.loads(text)
+    if not isinstance(entry, dict):
+        raise SystemExit("append: entry must be a JSON object")
+    entries = load(path)
+    entries.append(entry)
+    store(path, entries)
+    print(f"[trajectory] {path}: {len(entries)} entries "
+          f"(appended sha={entry.get('sha', '?')})")
+
+
+def cmd_best(path, field):
+    vals = [e[field] for e in load(path) if field in e]
+    if not vals:
+        raise SystemExit(f"best: no entries with '{field}' in {path}")
+    print(max(vals))
+
+
+def cmd_gate(path, field, tolerance):
+    if os.environ.get("BIGTINY_PERF_GATE", "") == "off":
+        print("[trajectory] gate: BIGTINY_PERF_GATE=off, skipping")
+        return 0
+    entries = load(path)
+    newest = entries[-1] if entries else None
+    if newest and newest.get("fidelity", "pass") != "pass":
+        print(f"[trajectory] gate FAIL: newest entry in {path} has "
+              f"fidelity={newest['fidelity']!r}")
+        return 1
+    prior = [e[field] for e in entries[:-1] if field in e]
+    if not prior or newest is None or field not in newest:
+        print(f"[trajectory] gate: nothing to compare in {path} "
+              f"({len(entries)} entries), passing")
+        return 0
+    best = max(prior)
+    floor = (1.0 - tolerance) * best
+    cur = newest[field]
+    verdict = "FAIL" if cur < floor else "ok"
+    print(f"[trajectory] gate {verdict}: {field}={cur:.0f} vs best "
+          f"prior {best:.0f} (floor {floor:.0f}, "
+          f"tolerance {tolerance:.0%}) over {len(entries)} entries")
+    if cur < floor:
+        print("[trajectory] throughput regressed past tolerance; "
+              "investigate, or rebaseline intentionally with "
+              "BIGTINY_PERF_GATE=off")
+        return 1
+    return 0
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    cmd, path = argv[1], argv[2]
+    rest = argv[3:]
+    field = "simCyclesPerSec"
+    tolerance = 0.3
+    pos = []
+    for a in rest:
+        if a.startswith("--field="):
+            field = a.split("=", 1)[1]
+        elif a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+        else:
+            pos.append(a)
+    if cmd == "append":
+        cmd_append(path, pos[0] if pos else None)
+        return 0
+    if cmd == "best":
+        cmd_best(path, pos[0] if pos else field)
+        return 0
+    if cmd == "gate":
+        return cmd_gate(path, field, tolerance)
+    print(f"unknown command '{cmd}'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
