@@ -218,8 +218,21 @@ runOneInner(const RunSpec &spec)
             r.valid = false;
         }
     }
-    if (!r.valid)
+    if (!r.valid) {
         warn("run %s FAILED VALIDATION", spec.key().c_str());
+        // A wrong answer with no structured failure is exactly what
+        // the chaos oracle hunts for: the run "completed" but some
+        // detector (checker, watchdog, runtime invariant) missed the
+        // damage. failed stays false — nothing was *detected* — but
+        // the verdict and signature mark the detector gap.
+        const auto &flog = sys.injector().log();
+        r.verdict =
+            fault::verdictName(fault::Verdict::SilentCorruption);
+        r.signature = fault::failureSignature(
+            r.verdict,
+            flog.empty() ? "" : fault::faultSiteName(flog[0].site),
+            "validation failed");
+    }
     r.faultsInjected = sys.injector().log().size();
     return r;
 }
@@ -246,6 +259,12 @@ runOne(const RunSpec &spec)
         r.failCycle = rep.cycle;
         r.faultsInjected = rep.faultLog.size();
         r.failureReport = rep.render();
+        r.signature = fault::failureSignature(
+            r.verdict,
+            rep.faultLog.empty()
+                ? ""
+                : fault::faultSiteName(rep.faultLog[0].site),
+            rep.reason);
         warn("run %s FAILED: %s", spec.key().c_str(), f.what());
         return r;
     }
@@ -273,6 +292,9 @@ serializeResult(const RunResult &r)
     os << ' ' << r.failed << ' '
        << (r.verdict.empty() ? "-" : r.verdict) << ' ' << r.failCycle
        << ' ' << r.faultsInjected;
+    // Failure signature (v7). Single "verdict|site|hash" token, "-"
+    // when the run was clean.
+    os << ' ' << (r.signature.empty() ? "-" : r.signature);
     return os.str();
 }
 
@@ -291,10 +313,12 @@ deserializeResult(const std::string &line, RunResult &r)
         if (!(is >> b))
             return false;
     if (!(is >> r.failed >> r.verdict >> r.failCycle >>
-          r.faultsInjected))
+          r.faultsInjected >> r.signature))
         return false;
     if (r.verdict == "-")
         r.verdict.clear();
+    if (r.signature == "-")
+        r.signature.clear();
     return true;
 }
 

@@ -45,7 +45,7 @@ using cli::benchParams;
 using cli::geomean;
 
 /** Bump when the timing model changes to invalidate cached results. */
-constexpr int modelVersion = 6;
+constexpr int modelVersion = 7;
 
 /**
  * One experiment: an app, a machine configuration, and parameters.
@@ -119,6 +119,12 @@ struct RunResult
     std::string verdict;
     Cycle failCycle = 0;
     uint64_t faultsInjected = 0;
+    /** Deterministic failure signature (fault::failureSignature) for
+     *  any non-clean outcome: a detected SimFailure, or a completed
+     *  run that failed validation (verdict "silent-corruption",
+     *  failed stays false — the chaos oracle's detector-gap case).
+     *  Empty for clean validated runs. */
+    std::string signature;
     /** Full FailureReport::render() text. In-memory only — not
      *  serialized to the result cache. */
     std::string failureReport;

@@ -184,6 +184,9 @@ writeSweepJson(const std::string &path,
             << "\","
             << "\"failCycle\":" << r.failCycle << ","
             << "\"faultsInjected\":" << r.faultsInjected << ","
+            << "\"signature\":\""
+            << jsonEscape(r.signature.empty() ? "-" : r.signature)
+            << "\","
             << "\"cycles\":" << r.cycles << ","
             << "\"work\":" << r.work << ","
             << "\"span\":" << r.span << ","

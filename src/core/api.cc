@@ -16,11 +16,32 @@ namespace bigtiny::rt
 namespace
 {
 
+/**
+ * Keeps a host closure registered with the runtime for as long as
+ * tasks may read its address back out of a frame (see
+ * Worker::checkBody).
+ */
+class BodyScope
+{
+  public:
+    BodyScope(Worker &w, const void *p) : w(w), p(p)
+    {
+        w.registerBody(p);
+    }
+    ~BodyScope() { w.unregisterBody(p); }
+    BodyScope(const BodyScope &) = delete;
+    BodyScope &operator=(const BodyScope &) = delete;
+
+  private:
+    Worker &w;
+    const void *p;
+};
+
 void
 lambdaThunk(Worker &w, Addr self)
 {
-    auto *body =
-        reinterpret_cast<const Worker::Body *>(w.arg(self, 0));
+    auto *body = static_cast<const Worker::Body *>(
+        w.checkBody(self, w.arg(self, 0)));
     (*body)(w);
 }
 
@@ -33,8 +54,8 @@ rangeThunk(Worker &w, Addr self)
     auto lo = static_cast<int64_t>(w.arg(self, 0));
     auto hi = static_cast<int64_t>(w.arg(self, 1));
     auto grain = static_cast<int64_t>(w.arg(self, 2));
-    auto *body =
-        reinterpret_cast<const Worker::RangeBody *>(w.arg(self, 3));
+    auto *body = static_cast<const Worker::RangeBody *>(
+        w.checkBody(self, w.arg(self, 3)));
     parallelForImpl(w, lo, hi, grain, *body);
 }
 
@@ -72,6 +93,7 @@ Worker::parallelFor(int64_t lo, int64_t hi, int64_t grain,
     panic_if(!curTaskActive(), "parallelFor outside a task");
     if (grain < 1)
         grain = 1;
+    BodyScope scope(*this, &body);
     parallelForImpl(*this, lo, hi, grain, body);
 }
 
@@ -79,6 +101,8 @@ void
 Worker::parallelInvoke(const Body &a, const Body &b)
 {
     panic_if(!curTaskActive(), "parallelInvoke outside a task");
+    BodyScope sa(*this, &a);
+    BodyScope sb(*this, &b);
     Addr ta = newTask(lambdaThunk, {reinterpret_cast<uint64_t>(&a)});
     Addr tb = newTask(lambdaThunk, {reinterpret_cast<uint64_t>(&b)});
     setRefCount(2);

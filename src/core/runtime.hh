@@ -113,6 +113,20 @@ class Runtime
     /** Exactly-once execution check (host-side debug bookkeeping). */
     common::FlatSet<Addr> executedTasks;
 
+    /**
+     * Host-pointer integrity registries. Task frames architecturally
+     * hold two kinds of host pointers — the task function and the
+     * parallel-pattern closure address — and a faulty memory model
+     * (fault injection) can hand back stale or corrupted values.
+     * Calling through one is host UB (a wild jump or write), so
+     * newTask records every function pointer ever stored and the
+     * parallel patterns keep their closures registered while live;
+     * execTask and the pattern thunks refuse anything unregistered
+     * with a structured DequeCorruption failure instead.
+     */
+    common::FlatSet<uint64_t> taskFns;
+    std::vector<uint64_t> liveBodies;
+
     SchedVariant variant;
     sim::System &sys;
     const sim::SystemConfig &cfg;

@@ -1,7 +1,10 @@
 #include "core/worker.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "fault/failure.hh"
+#include "sim/fiber.hh"
 #include "sim/system.hh"
 
 namespace bigtiny::rt
@@ -16,6 +19,16 @@ namespace
 /** Instruction overhead charged for task dispatch bookkeeping. */
 constexpr uint64_t dispatchCycles = 4;
 constexpr uint64_t victimSelectCycles = 4;
+
+/**
+ * Minimum fiber-stack headroom required to start another task body.
+ * Guest tasks nest (execTask -> body -> wait -> execTask ...), so a
+ * corrupted task frame that re-spawns the same range forever would
+ * otherwise run the fiber stack off its 256 KiB allocation and kill
+ * the host with SIGSEGV. 64 KiB leaves room for one more nest plus
+ * the failure-unwind path even under sanitizer frame bloat.
+ */
+constexpr size_t minStackHeadroom = 64 * 1024;
 
 /**
  * Scoped coherence-checker site label: violations reported while the
@@ -157,6 +170,7 @@ Worker::newTask(TaskFn fn, std::initializer_list<uint64_t> args)
     // Architectural initialization: these stores flow through the
     // simulated caches like any user data (fresh frames are zero, so
     // rc/has_stolen_child need no explicit store).
+    rt.taskFns.insert(reinterpret_cast<uint64_t>(fn));
     core.st<uint64_t>(t + L::fnOff, reinterpret_cast<uint64_t>(fn));
     core.st<uint64_t>(t + L::parentOff, curTask);
     int i = 0;
@@ -167,6 +181,41 @@ Worker::newTask(TaskFn fn, std::initializer_list<uint64_t> args)
     rt.sys.mem().funcWrite<uint64_t>(t + L::profOff,
                                      static_cast<uint64_t>(prof + 1));
     return t;
+}
+
+void
+Worker::registerBody(const void *p)
+{
+    rt.liveBodies.push_back(reinterpret_cast<uint64_t>(p));
+}
+
+void
+Worker::unregisterBody(const void *p)
+{
+    auto bits = reinterpret_cast<uint64_t>(p);
+    // Registrations nest (recursive patterns across workers); remove
+    // the most recent matching entry. The list stays tiny — one entry
+    // per live parallel scope.
+    auto it = std::find(rt.liveBodies.rbegin(), rt.liveBodies.rend(),
+                        bits);
+    if (it != rt.liveBodies.rend())
+        rt.liveBodies.erase(std::next(it).base());
+}
+
+const void *
+Worker::checkBody(Addr task, uint64_t bits)
+{
+    if (std::find(rt.liveBodies.begin(), rt.liveBodies.end(), bits) ==
+        rt.liveBodies.end())
+        core.system().raiseFailure(
+            fault::Verdict::DequeCorruption,
+            fault::format("task %#llx closure pointer %#llx is not a "
+                          "live parallel body (worker %d at cycle "
+                          "%llu) — stale or corrupted frame read",
+                          (unsigned long long)task,
+                          (unsigned long long)bits, wid,
+                          (unsigned long long)core.now()));
+    return reinterpret_cast<const void *>(bits);
 }
 
 uint64_t
@@ -191,6 +240,17 @@ Worker::setRefCount(int64_t n)
 void
 Worker::execTask(Addr t)
 {
+    // Depth guard: unbounded guest recursion (typically a stale or
+    // corrupted task frame re-spawning its own range) must surface as
+    // a structured failure, not a host stack overflow.
+    if (sim::Fiber::current()->stackHeadroom() < minStackHeadroom)
+        core.system().raiseFailure(
+            fault::Verdict::GuestError,
+            fault::format("fiber stack nearly exhausted executing task "
+                          "%#llx (worker %d at cycle %llu) — runaway "
+                          "task recursion",
+                          (unsigned long long)t, wid,
+                          (unsigned long long)core.now()));
     accrue();
     Addr saved_task = curTask;
     DagProfiler::Idx saved_prof = curProf;
@@ -209,15 +269,29 @@ Worker::execTask(Addr t)
                           (unsigned long long)t, wid,
                           (unsigned long long)core.now()));
     TraceSpan span(core, trace::CatTask, "task", "frame", t);
-    auto fn = reinterpret_cast<TaskFn>(core.ld<uint64_t>(t + L::fnOff));
+    uint64_t fn_bits = core.ld<uint64_t>(t + L::fnOff);
     core.work(dispatchCycles);
-    if (!fn)
+    if (!fn_bits)
         core.system().raiseFailure(
             fault::Verdict::DequeCorruption,
             fault::format("task %#llx has no body (worker %d at cycle "
                           "%llu) — corrupted deque entry or mailbox",
                           (unsigned long long)t, wid,
                           (unsigned long long)core.now()));
+    // Stale or corrupted frame reads can return arbitrary bits here;
+    // jumping through them is host UB. Every legitimate value was
+    // recorded by newTask.
+    if (!rt.taskFns.contains(fn_bits))
+        core.system().raiseFailure(
+            fault::Verdict::DequeCorruption,
+            fault::format("task %#llx function pointer %#llx is not a "
+                          "registered task function (worker %d at "
+                          "cycle %llu) — stale or corrupted frame "
+                          "read",
+                          (unsigned long long)t,
+                          (unsigned long long)fn_bits, wid,
+                          (unsigned long long)core.now()));
+    auto fn = reinterpret_cast<TaskFn>(fn_bits);
     {
         SiteScope site(rt.sys.mem().checker(), wid, "task body");
         fn(*this, t);

@@ -85,6 +85,19 @@ class Worker
     /** parallel_invoke: run two callables as parallel tasks. */
     void parallelInvoke(const Body &a, const Body &b);
 
+    /**
+     * Host-closure integrity (see Runtime::liveBodies): the parallel
+     * patterns store host closure addresses in task frames, and a
+     * faulty memory model can hand a stale or corrupted value back.
+     * Patterns register their closures while tasks may reference
+     * them; thunks translate frame bits back to a pointer through
+     * checkBody, which raises a structured DequeCorruption failure —
+     * instead of host UB — when the bits name no live closure.
+     */
+    void registerBody(const void *p);
+    void unregisterBody(const void *p);
+    const void *checkBody(Addr task, uint64_t bits);
+
     // ------------------------------------------------------------------
     // Simulated-memory convenience pass-throughs
     // ------------------------------------------------------------------

@@ -1,0 +1,409 @@
+#include "fault/chaos.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace bigtiny::fault
+{
+
+namespace
+{
+
+/** Sites eligible for random generation: everything the simulator can
+ *  inject. farm-kill-worker is host-level (bench/farm.cc) and a no-op
+ *  inside a simulation, so chaos never draws it. */
+constexpr FaultSite chaosSites[] = {
+    FaultSite::UliDropReq,     FaultSite::UliDropResp,
+    FaultSite::UliDelayReq,    FaultSite::UliDelayResp,
+    FaultSite::UliDupReq,      FaultSite::UliDupResp,
+    FaultSite::MemElideFlush,  FaultSite::MemElideInv,
+    FaultSite::MemElideWb,     FaultSite::MemDelayDram,
+    FaultSite::RtSkipStolenMark, FaultSite::RtCorruptSteal,
+    FaultSite::RtElideStealInv, FaultSite::SimStallCore,
+};
+constexpr size_t numChaosSites =
+    sizeof(chaosSites) / sizeof(chaosSites[0]);
+static_assert(numChaosSites == numFaultSites - 1,
+              "every simulator site must be chaos-eligible");
+
+/** Probability grid: literals whose %g rendering parses back to the
+ *  identical double, so canonical() round-trips never perturb the
+ *  injector's Bernoulli draws. */
+constexpr double probGrid[] = {0.05, 0.1, 0.15, 0.2, 0.25,
+                               0.3,  0.35, 0.4, 0.45, 0.5};
+
+/** Per-site minimal legal arg values the shrinker may reduce to. A
+ *  zero delay/stall would be trimmed from the canonical spec and
+ *  change the rule's meaning, so delay args bottom out at 1. */
+std::array<uint64_t, 3>
+minArgsFor(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::UliDelayReq:
+      case FaultSite::UliDelayResp:
+      case FaultSite::MemDelayDram:
+        return {1, 0, 0};
+      case FaultSite::SimStallCore:
+        return {0, 0, 1}; // core : at-cycle : stall-cycles (>0)
+      default:
+        return {0, 0, 0};
+    }
+}
+
+} // namespace
+
+FaultPlan
+randomPlan(Rng &rng, const PlanShape &shape)
+{
+    FaultPlan plan;
+    plan.seed = rng.next();
+    size_t maxRules = std::max<size_t>(1, shape.maxRules);
+    size_t nRules = 1 + rng.nextBounded(maxRules);
+    Cycle budget = std::max<Cycle>(shape.cycleBudget, 40'000);
+    for (size_t i = 0; i < nRules; ++i) {
+        FaultRule r;
+        r.site = chaosSites[rng.nextBounded(numChaosSites)];
+        // Trigger: mostly @N (half the mass), then @all and @p.
+        switch (rng.nextBounded(4)) {
+          case 0:
+          case 1:
+            r.nth = static_cast<uint64_t>(rng.nextRange(1, 8));
+            break;
+          case 2:
+            r.all = true;
+            break;
+          case 3:
+            r.prob = probGrid[rng.nextBounded(
+                sizeof(probGrid) / sizeof(probGrid[0]))];
+            break;
+        }
+        switch (r.site) {
+          case FaultSite::UliDelayReq:
+          case FaultSite::UliDelayResp:
+            // Straddles deadlockCycles (2M default) and the campaign
+            // budget: short delays are benign reordering, long ones
+            // must be caught by the watchdog.
+            r.args[0] = static_cast<uint64_t>(rng.nextRange(
+                100, static_cast<int64_t>(
+                         std::min<Cycle>(5'000'000, budget / 4))));
+            break;
+          case FaultSite::MemDelayDram:
+            r.args[0] =
+                static_cast<uint64_t>(rng.nextRange(10, 200'000));
+            break;
+          case FaultSite::SimStallCore:
+            // core : at-cycle : stall-cycles, all inside the legal
+            // range SystemConfig::check() enforces.
+            r.args[0] = rng.nextBounded(
+                static_cast<uint64_t>(std::max(shape.numCores, 1)));
+            r.args[1] =
+                static_cast<uint64_t>(rng.nextRange(0, 2'000'000));
+            r.args[2] = static_cast<uint64_t>(rng.nextRange(
+                1'000, static_cast<int64_t>(
+                           std::min<Cycle>(5'000'000, budget / 4))));
+            break;
+          default:
+            break; // no args
+        }
+        plan.rules.push_back(r);
+    }
+    return plan;
+}
+
+namespace
+{
+
+/** Probe bookkeeping: counts probes, enforces the budget. */
+struct ProbeCtx
+{
+    const PlanProbe &probe;
+    size_t maxProbes;
+    ShrinkStats st;
+    bool exhausted = false;
+
+    bool
+    test(const FaultPlan &p)
+    {
+        if (st.probes >= maxProbes) {
+            exhausted = true;
+            return false;
+        }
+        ++st.probes;
+        if (!probe(p))
+            return false;
+        ++st.hits;
+        return true;
+    }
+};
+
+FaultPlan
+mkPlan(uint64_t seed, std::vector<FaultRule> rules)
+{
+    FaultPlan p;
+    p.seed = seed;
+    p.rules = std::move(rules);
+    return p;
+}
+
+} // namespace
+
+FaultPlan
+shrinkPlan(const FaultPlan &plan, const PlanProbe &probe,
+           size_t maxProbes, ShrinkStats *stats)
+{
+    ProbeCtx ctx{probe, maxProbes, {}};
+    uint64_t seed = plan.seed;
+    std::vector<FaultRule> rules = plan.rules;
+
+    // Phase 1: ddmin over the rule list — remove chunks, keeping the
+    // complement whenever it still reproduces; halve the chunk size
+    // when no removal sticks, down to single rules.
+    size_t granularity = 2;
+    while (rules.size() >= 2 && !ctx.exhausted) {
+        size_t chunk =
+            std::max<size_t>(1, rules.size() / granularity);
+        bool reduced = false;
+        for (size_t start = 0; start < rules.size() && !reduced;
+             start += chunk) {
+            size_t end = std::min(rules.size(), start + chunk);
+            if (end - start >= rules.size())
+                break; // never probe the empty plan
+            std::vector<FaultRule> cand(rules.begin(),
+                                        rules.begin() + start);
+            cand.insert(cand.end(), rules.begin() + end, rules.end());
+            if (ctx.test(mkPlan(seed, cand))) {
+                rules = std::move(cand);
+                granularity = 2;
+                reduced = true;
+            }
+        }
+        if (!reduced) {
+            if (chunk == 1)
+                break; // 1-minimal w.r.t. single-rule removal
+            granularity *= 2;
+        }
+    }
+
+    // Phase 2: per-rule trigger and arg reduction. Candidates only
+    // ever move a trigger/arg toward its minimal legal value, so
+    // every accepted plan stays legal.
+    auto tryRule = [&](size_t i, const FaultRule &cand) {
+        std::vector<FaultRule> rs = rules;
+        rs[i] = cand;
+        if (!ctx.test(mkPlan(seed, rs)))
+            return false;
+        rules = std::move(rs);
+        return true;
+    };
+    for (size_t i = 0; i < rules.size() && !ctx.exhausted; ++i) {
+        if (rules[i].all) {
+            FaultRule c = rules[i];
+            c.all = false;
+            c.nth = 1;
+            tryRule(i, c);
+        } else if (rules[i].prob > 0.0) {
+            FaultRule c = rules[i];
+            c.prob = 0.0;
+            c.nth = 1;
+            tryRule(i, c);
+        }
+        // Shrink @N toward 1: jump straight there, then halve.
+        if (!rules[i].all && rules[i].prob == 0.0 &&
+            rules[i].nth > 1) {
+            FaultRule c = rules[i];
+            c.nth = 1;
+            tryRule(i, c);
+        }
+        while (!rules[i].all && rules[i].prob == 0.0 &&
+               rules[i].nth > 1 && !ctx.exhausted) {
+            FaultRule c = rules[i];
+            c.nth = 1 + (c.nth - 1) / 2;
+            if (c.nth == rules[i].nth || !tryRule(i, c))
+                break;
+        }
+        // Shrink each arg toward its site's minimal legal value.
+        auto mins = minArgsFor(rules[i].site);
+        for (size_t a = 0; a < mins.size() && !ctx.exhausted; ++a) {
+            if (rules[i].args[a] > mins[a]) {
+                FaultRule c = rules[i];
+                c.args[a] = mins[a];
+                tryRule(i, c);
+            }
+            while (rules[i].args[a] > mins[a] && !ctx.exhausted) {
+                FaultRule c = rules[i];
+                c.args[a] = mins[a] + (c.args[a] - mins[a]) / 2;
+                if (c.args[a] == rules[i].args[a] || !tryRule(i, c))
+                    break;
+            }
+        }
+    }
+
+    // Phase 3: with no probabilistic rule left the plan seed is dead
+    // state — normalize it to the default for a canonical repro.
+    bool anyProb = std::any_of(
+        rules.begin(), rules.end(),
+        [](const FaultRule &r) { return r.prob > 0.0; });
+    uint64_t defSeed = FaultPlan{}.seed;
+    if (!anyProb && seed != defSeed && !ctx.exhausted &&
+        ctx.test(mkPlan(defSeed, rules)))
+        seed = defSeed;
+
+    if (stats)
+        *stats = ctx.st;
+    return mkPlan(seed, std::move(rules));
+}
+
+// ---------------------------------------------------------------------
+// Repro format
+// ---------------------------------------------------------------------
+
+std::string
+renderRepro(const Repro &r)
+{
+    char buf[96];
+    std::string out = "# bigtiny chaos repro v1\n";
+    auto kv = [&](const char *k, const std::string &v) {
+        out += k;
+        out += '=';
+        out += v;
+        out += '\n';
+    };
+    auto kvInt = [&](const char *k, long long v) {
+        std::snprintf(buf, sizeof(buf), "%lld", v);
+        kv(k, buf);
+    };
+    auto kvUint = [&](const char *k, unsigned long long v) {
+        std::snprintf(buf, sizeof(buf), "%llu", v);
+        kv(k, buf);
+    };
+    kv("app", r.app);
+    kv("config", r.config);
+    kvInt("n", r.n);
+    kvInt("grain", r.grain);
+    kvUint("seed", r.seed);
+    kvInt("check", r.check ? 1 : 0);
+    kvInt("serial", r.serial ? 1 : 0);
+    kv("steal", r.steal);
+    kvUint("max-cycles", r.maxCycles);
+    kv("faults", r.faults);
+    kv("verdict", r.verdict);
+    kv("signature", r.signature);
+    return out;
+}
+
+std::string
+parseRepro(const std::string &text, Repro &out)
+{
+    Repro r;
+    bool haveApp = false, haveConfig = false, haveFaults = false,
+         haveVerdict = false, haveSig = false;
+    size_t lineno = 0;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t nl = text.find('\n', pos);
+        std::string line = text.substr(
+            pos, nl == std::string::npos ? std::string::npos
+                                         : nl - pos);
+        pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return "repro line " + std::to_string(lineno) +
+                   ": expected key=value, got '" + line + "'";
+        std::string key = line.substr(0, eq);
+        std::string val = line.substr(eq + 1);
+        auto asInt = [&](int64_t &dst) -> std::string {
+            char *end = nullptr;
+            dst = std::strtoll(val.c_str(), &end, 0);
+            if (val.empty() || *end != '\0')
+                return "repro line " + std::to_string(lineno) +
+                       ": bad integer '" + val + "' for " + key;
+            return "";
+        };
+        auto asUint = [&](uint64_t &dst) -> std::string {
+            char *end = nullptr;
+            dst = std::strtoull(val.c_str(), &end, 0);
+            if (val.empty() || *end != '\0')
+                return "repro line " + std::to_string(lineno) +
+                       ": bad integer '" + val + "' for " + key;
+            return "";
+        };
+        std::string err;
+        int64_t b = 0;
+        if (key == "app") {
+            r.app = val;
+            haveApp = true;
+        } else if (key == "config") {
+            r.config = val;
+            haveConfig = true;
+        } else if (key == "n") {
+            err = asInt(r.n);
+        } else if (key == "grain") {
+            err = asInt(r.grain);
+        } else if (key == "seed") {
+            err = asUint(r.seed);
+        } else if (key == "check") {
+            err = asInt(b);
+            r.check = b != 0;
+        } else if (key == "serial") {
+            err = asInt(b);
+            r.serial = b != 0;
+        } else if (key == "steal") {
+            r.steal = val;
+        } else if (key == "max-cycles") {
+            err = asUint(r.maxCycles);
+        } else if (key == "faults") {
+            FaultPlan probe;
+            err = FaultPlan::tryParse(val, probe);
+            r.faults = val;
+            haveFaults = err.empty();
+        } else if (key == "verdict") {
+            r.verdict = val;
+            haveVerdict = true;
+        } else if (key == "signature") {
+            r.signature = val;
+            haveSig = true;
+        } else {
+            return "repro line " + std::to_string(lineno) +
+                   ": unknown key '" + key + "'";
+        }
+        if (!err.empty())
+            return err;
+    }
+    if (!haveApp)
+        return "repro: missing required key 'app'";
+    if (!haveConfig)
+        return "repro: missing required key 'config'";
+    if (!haveFaults)
+        return "repro: missing required key 'faults'";
+    if (!haveVerdict)
+        return "repro: missing required key 'verdict'";
+    if (!haveSig)
+        return "repro: missing required key 'signature'";
+    out = std::move(r);
+    return "";
+}
+
+std::string
+signatureFileStem(const std::string &signature)
+{
+    std::string out;
+    out.reserve(signature.size());
+    for (char ch : signature) {
+        unsigned char c = static_cast<unsigned char>(ch);
+        if (std::isalnum(c))
+            out += static_cast<char>(std::tolower(c));
+        else
+            out += '-';
+    }
+    return out;
+}
+
+} // namespace bigtiny::fault

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Chaos campaign engine: randomized fault plans, a ddmin-style plan
+ * shrinker, and the replayable repro format (DESIGN.md §15).
+ *
+ * This layer is deliberately bench-independent: it knows how to
+ * *generate* legal multi-rule FaultPlans from one campaign seed, how
+ * to *shrink* a failing plan against an abstract reproduces-the-bug
+ * probe, and how to round-trip a minimized repro (config spec + fault
+ * plan + expected verdict/signature) through the tests/corpus/ text
+ * format. Running plans and classifying outcomes against the chaos
+ * oracle lives in tools/btchaos.cc on top of bench/sweep + bench/farm.
+ */
+
+#ifndef BIGTINY_FAULT_CHAOS_HH
+#define BIGTINY_FAULT_CHAOS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "fault/fault.hh"
+
+namespace bigtiny::fault
+{
+
+/**
+ * Bounds for random plan generation. Every generated rule stays
+ * inside the per-site legal ranges (e.g. sim-stall-core core ids are
+ * drawn below numCores so SystemConfig::check() accepts the plan),
+ * and delay/stall magnitudes are drawn to straddle the interesting
+ * detector thresholds (deadlockCycles, the cycle budget) so a
+ * campaign exercises both the benign and the detected regime.
+ */
+struct PlanShape
+{
+    int numCores = 4;        //!< sim-stall-core core ids drawn < this
+    size_t maxRules = 3;     //!< rules per plan drawn in [1, maxRules]
+    Cycle cycleBudget = 50'000'000; //!< campaign per-run cycle budget
+};
+
+/**
+ * Generate one random, legal, multi-rule FaultPlan. Deterministic in
+ * @p rng: a campaign draws all of its plans serially from one seeded
+ * Rng, so the whole campaign replays from a single seed. The
+ * farm-kill-worker site is host-level and never generated.
+ */
+FaultPlan randomPlan(Rng &rng, const PlanShape &shape);
+
+/**
+ * Reproduction probe for the shrinker: run (or look up) the candidate
+ * plan and return true when it still produces the original failure
+ * signature. Candidates are always legal sub-plans of the input (rules
+ * only removed, triggers/args only reduced toward their minimal legal
+ * values), so a probe may hand the spec straight to runOne.
+ */
+using PlanProbe = std::function<bool(const FaultPlan &)>;
+
+struct ShrinkStats
+{
+    size_t probes = 0; //!< probe invocations issued
+    size_t hits = 0;   //!< probes that still reproduced
+};
+
+/**
+ * Minimize @p plan against @p probe, ddmin style:
+ *
+ *   1. delta-debug the rule list (complement/subset reduction) down
+ *      to a 1-minimal set of rules;
+ *   2. per rule, simplify the trigger (@all -> @1, @pX -> @N, then
+ *      shrink N toward 1) and halve each arg toward its per-site
+ *      minimal legal value;
+ *   3. drop the plan seed back to the default when no probabilistic
+ *      rule remains (the seed is then dead state).
+ *
+ * Every candidate accepted reproduced under @p probe, so the returned
+ * plan is guaranteed to still fail with the original signature. At
+ * most @p maxProbes probes are issued; on exhaustion the best plan so
+ * far is returned. @p plan itself is assumed to reproduce (probe it
+ * first if unsure).
+ */
+FaultPlan shrinkPlan(const FaultPlan &plan, const PlanProbe &probe,
+                     size_t maxProbes = 256,
+                     ShrinkStats *stats = nullptr);
+
+/**
+ * One minimized, replayable chaos finding: everything needed to rerun
+ * the failure and check it still fails the same way. Mirrors
+ * bench::RunSpec's determinism-relevant fields without depending on
+ * the bench layer.
+ */
+struct Repro
+{
+    std::string app;        //!< registered app name
+    std::string config;     //!< sim::configByName spec
+    int64_t n = 0;          //!< app size (0 = app default)
+    int64_t grain = 0;      //!< app grain (0 = app default)
+    uint64_t seed = 0;      //!< app seed
+    bool check = true;      //!< shadow coherence checker armed
+    bool serial = false;    //!< serial elision
+    std::string steal;      //!< steal policy ("" = runtime default)
+    uint64_t maxCycles = 0; //!< cycle budget (0 = watchdog default)
+    std::string faults;     //!< canonical fault spec
+    std::string verdict;    //!< expected fault::verdictName token
+    std::string signature;  //!< expected failureSignature
+};
+
+/** Render @p r as the tests/corpus/ *.repro text format. */
+std::string renderRepro(const Repro &r);
+
+/**
+ * Parse the *.repro format ('#' comments and blank lines ignored,
+ * one key=value per line). Returns "" and fills @p out on success,
+ * else an error message; app/config/faults/verdict/signature are
+ * required.
+ */
+std::string parseRepro(const std::string &text, Repro &out);
+
+/**
+ * Filesystem-safe corpus file stem for a failure signature:
+ * [a-z0-9-] with '|' becoming '-' ("deadlock|uli-drop-req|8c3a01f2"
+ * -> "deadlock-uli-drop-req-8c3a01f2").
+ */
+std::string signatureFileStem(const std::string &signature);
+
+} // namespace bigtiny::fault
+
+#endif // BIGTINY_FAULT_CHAOS_HH

@@ -23,8 +23,56 @@ verdictName(Verdict v)
       case Verdict::UliProtocol: return "uli-protocol";
       case Verdict::GuestError: return "guest-error";
       case Verdict::WorkerLost: return "worker-lost";
+      case Verdict::SilentCorruption: return "silent-corruption";
+      case Verdict::NumVerdicts: break;
     }
     panic("verdictName: bad verdict %d", static_cast<int>(v));
+}
+
+std::string
+reasonTemplate(const std::string &reason)
+{
+    auto isHex = [](char c) {
+        return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+               (c >= 'A' && c <= 'F');
+    };
+    std::string out;
+    out.reserve(reason.size());
+    for (size_t i = 0; i < reason.size();) {
+        if (reason[i] == '0' && i + 2 < reason.size() &&
+            reason[i + 1] == 'x' && isHex(reason[i + 2])) {
+            out += '#';
+            i += 2;
+            while (i < reason.size() && isHex(reason[i]))
+                ++i;
+        } else if (reason[i] >= '0' && reason[i] <= '9') {
+            out += '#';
+            while (i < reason.size() && reason[i] >= '0' &&
+                   reason[i] <= '9')
+                ++i;
+        } else {
+            out += reason[i++];
+        }
+    }
+    return out;
+}
+
+std::string
+failureSignature(const std::string &verdict,
+                 const std::string &firstSite,
+                 const std::string &reason)
+{
+    // FNV-1a 64 over the reason template; 8 hex chars is plenty for
+    // deduplication and keeps signatures grep-friendly.
+    std::string tmpl = reasonTemplate(reason);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : tmpl) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return format("%s|%s|%08llx", verdict.c_str(),
+                  firstSite.empty() ? "-" : firstSite.c_str(),
+                  static_cast<unsigned long long>(h & 0xffffffffull));
 }
 
 std::string

@@ -41,9 +41,37 @@ enum class Verdict : uint8_t
                         //!< (host-level; raised by bench/farm.cc when
                         //!< a claim's heartbeat expires, never by the
                         //!< simulator itself)
+    SilentCorruption,   //!< run "completed" but produced a wrong
+                        //!< answer with no structured failure — the
+                        //!< one outcome the chaos oracle (DESIGN.md
+                        //!< §15) treats as a detector gap, assigned
+                        //!< by the bench layer after validation,
+                        //!< never raised by the simulator itself
+    NumVerdicts,
 };
 
+constexpr size_t numVerdicts = static_cast<size_t>(Verdict::NumVerdicts);
+
 const char *verdictName(Verdict v);
+
+/**
+ * Collapse a failure reason to its template: every decimal run and
+ * every 0x-prefixed hex run becomes '#'. Two failures differing only
+ * in cycle counts, core ids, or addresses share a template, so a
+ * shrunk repro (different cycles, same cause) keeps its signature.
+ */
+std::string reasonTemplate(const std::string &reason);
+
+/**
+ * Deterministic failure signature used to deduplicate chaos findings
+ * and pin corpus repros: "<verdict>|<first-fault-site>|<hash8>" where
+ * hash8 is an FNV-1a hash of reasonTemplate(reason). @p firstSite is
+ * the faultSiteName of the first injected fault ("-" when the run
+ * injected none). Host-independent and stable across runs.
+ */
+std::string failureSignature(const std::string &verdict,
+                             const std::string &firstSite,
+                             const std::string &reason);
 
 /** printf-style formatting into a std::string (for reason texts). */
 std::string format(const char *fmt, ...)

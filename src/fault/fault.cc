@@ -1,5 +1,6 @@
 #include "fault/fault.hh"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -29,26 +30,48 @@ constexpr const char *siteNames[numFaultSites] = {
     "farm-kill-worker",
 };
 
-FaultSite
-siteByName(const std::string &name, const std::string &spec)
+std::string
+fmtErr(const char *fmt, ...)
 {
-    for (size_t i = 0; i < numFaultSites; ++i)
-        if (name == siteNames[i])
-            return static_cast<FaultSite>(i);
-    fatal("--faults: unknown fault site '%s' in '%s'", name.c_str(),
-          spec.c_str());
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
 }
 
-uint64_t
-parseInt(const std::string &s, const std::string &spec)
+/// "" on success, error text on failure (tryParse error style).
+std::string
+siteByName(const std::string &name, const std::string &spec,
+           FaultSite &out)
 {
-    fatal_if(s.empty(), "--faults: missing integer in '%s'",
-             spec.c_str());
+    for (size_t i = 0; i < numFaultSites; ++i) {
+        if (name == siteNames[i]) {
+            out = static_cast<FaultSite>(i);
+            return "";
+        }
+    }
+    return fmtErr("--faults: unknown fault site '%s' in '%s'",
+                  name.c_str(), spec.c_str());
+}
+
+std::string
+parseInt(const std::string &s, const std::string &spec, uint64_t &out)
+{
+    if (s.empty())
+        return fmtErr("--faults: missing integer in '%s'", spec.c_str());
     char *end = nullptr;
-    uint64_t v = std::strtoull(s.c_str(), &end, 0);
-    fatal_if(*end != '\0', "--faults: bad integer '%s' in '%s'",
-             s.c_str(), spec.c_str());
-    return v;
+    out = std::strtoull(s.c_str(), &end, 0);
+    if (*end != '\0')
+        return fmtErr("--faults: bad integer '%s' in '%s'", s.c_str(),
+                      spec.c_str());
+    return "";
 }
 
 std::vector<std::string>
@@ -76,17 +99,22 @@ faultSiteName(FaultSite s)
     return siteNames[i];
 }
 
-FaultPlan
-FaultPlan::parse(const std::string &spec)
+std::string
+FaultPlan::tryParse(const std::string &spec, FaultPlan &out)
 {
     FaultPlan plan;
-    if (spec.empty())
-        return plan;
+    if (spec.empty()) {
+        out = plan;
+        return "";
+    }
     for (const std::string &dir : split(spec, ',')) {
-        fatal_if(dir.empty(), "--faults: empty directive in '%s'",
-                 spec.c_str());
+        if (dir.empty())
+            return fmtErr("--faults: empty directive in '%s'",
+                          spec.c_str());
         if (dir.rfind("seed=", 0) == 0) {
-            plan.seed = parseInt(dir.substr(5), spec);
+            if (auto e = parseInt(dir.substr(5), spec, plan.seed);
+                !e.empty())
+                return e;
             continue;
         }
         FaultRule rule;
@@ -94,11 +122,13 @@ FaultPlan::parse(const std::string &spec)
         // Peel off '=arg:arg:...' first, then '@trigger'.
         if (size_t eq = head.find('='); eq != std::string::npos) {
             auto args = split(head.substr(eq + 1), ':');
-            fatal_if(args.size() > rule.args.size(),
-                     "--faults: too many args in '%s' (max %zu)",
-                     dir.c_str(), rule.args.size());
+            if (args.size() > rule.args.size())
+                return fmtErr("--faults: too many args in '%s' (max %zu)",
+                              dir.c_str(), rule.args.size());
             for (size_t i = 0; i < args.size(); ++i)
-                rule.args[i] = parseInt(args[i], spec);
+                if (auto e = parseInt(args[i], spec, rule.args[i]);
+                    !e.empty())
+                    return e;
             head = head.substr(0, eq);
         }
         if (size_t at = head.find('@'); at != std::string::npos) {
@@ -109,20 +139,32 @@ FaultPlan::parse(const std::string &spec)
             } else if (!trig.empty() && trig[0] == 'p') {
                 char *end = nullptr;
                 rule.prob = std::strtod(trig.c_str() + 1, &end);
-                fatal_if(*end != '\0' || rule.prob <= 0.0 ||
-                             rule.prob > 1.0,
-                         "--faults: bad probability '%s' in '%s'",
-                         trig.c_str(), spec.c_str());
+                if (*end != '\0' || rule.prob <= 0.0 || rule.prob > 1.0)
+                    return fmtErr("--faults: bad probability '%s' in '%s'",
+                                  trig.c_str(), spec.c_str());
             } else {
-                rule.nth = parseInt(trig, spec);
-                fatal_if(rule.nth == 0,
-                         "--faults: occurrence is 1-based in '%s'",
-                         dir.c_str());
+                if (auto e = parseInt(trig, spec, rule.nth); !e.empty())
+                    return e;
+                if (rule.nth == 0)
+                    return fmtErr("--faults: occurrence is 1-based in"
+                                  " '%s'",
+                                  dir.c_str());
             }
         }
-        rule.site = siteByName(head, spec);
+        if (auto e = siteByName(head, spec, rule.site); !e.empty())
+            return e;
         plan.rules.push_back(rule);
     }
+    out = std::move(plan);
+    return "";
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::string err = tryParse(spec, plan);
+    fatal_if(!err.empty(), "%s", err.c_str());
     return plan;
 }
 

@@ -108,6 +108,14 @@ struct FaultPlan
     /** Parse a spec (see the grammar above); fatal() on bad syntax. */
     static FaultPlan parse(const std::string &spec);
 
+    /**
+     * Non-fatal parse for probing candidate specs (shrinker, corpus
+     * loader): on success fills @p out and returns ""; on bad syntax
+     * leaves @p out untouched and returns the error message parse()
+     * would have died with.
+     */
+    static std::string tryParse(const std::string &spec, FaultPlan &out);
+
     /** Round-trippable canonical spec string. */
     std::string canonical() const;
 

@@ -63,6 +63,25 @@ class Fiber
     /** True once the entry function has returned. */
     bool finished() const { return _finished; }
 
+    /**
+     * Bytes of stack left below the caller's frame, when the caller is
+     * running on this fiber. The primary fiber (OS-managed stack) and
+     * calls from a different stack report SIZE_MAX. Guest runtimes use
+     * this to turn runaway recursion into a structured failure before
+     * the fiber stack overflows into a host SIGSEGV.
+     */
+    size_t stackHeadroom() const
+    {
+        if (!stack)
+            return SIZE_MAX; // primary fiber
+        uint8_t probe;
+        auto spNow = reinterpret_cast<uintptr_t>(&probe);
+        auto base = reinterpret_cast<uintptr_t>(stack.get());
+        if (spNow < base || spNow >= base + stackBytes)
+            return SIZE_MAX; // not currently running on this fiber
+        return spNow - base;
+    }
+
     /** The fiber currently executing. */
     static Fiber *current();
 

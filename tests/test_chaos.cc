@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Chaos-engine tests (DESIGN.md §15).
+ *
+ * Layers under test:
+ *  - FaultPlan::tryParse (non-fatal probe parsing) vs the fatal
+ *    parse() wrapper, and canonical() round-trips for every site and
+ *    trigger form;
+ *  - failure signatures: reasonTemplate normalization, FNV hashing,
+ *    determinism, and FailureReport::render() golden coverage for
+ *    every Verdict;
+ *  - the chaos generator (seed determinism, per-site legality) and
+ *    the ddmin shrinker (synthetic probe and a real simulated
+ *    failure);
+ *  - the *.repro corpus format round-trip and its error paths;
+ *  - the outcome oracle's silent-corruption arm: a completed run
+ *    with a wrong answer gets verdict silent-corruption and a
+ *    signature while failed stays false.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "bench/driver.hh"
+#include "fault/chaos.hh"
+#include "fault/failure.hh"
+#include "fault/fault.hh"
+#include "sim/system.hh"
+
+using namespace bigtiny;
+using fault::FaultPlan;
+using fault::FaultRule;
+using fault::FaultSite;
+using fault::Verdict;
+
+namespace
+{
+
+/** Small DTS run that exercises steals, ULI traffic, and joins. */
+bench::RunSpec
+dtsSpec(const std::string &faults)
+{
+    return bench::RunSpec::forApp("cilk5-nq")
+        .config("bt-hcc-gwb-dts").n(6).faults(faults);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// tryParse / parse
+// ---------------------------------------------------------------------
+
+TEST(ChaosTryParse, SuccessMatchesParse)
+{
+    FaultPlan p;
+    EXPECT_EQ(FaultPlan::tryParse(
+                  "seed=7,uli-drop-req@p0.25,sim-stall-core@2=0:50:10",
+                  p),
+              "");
+    EXPECT_EQ(p.canonical(),
+              FaultPlan::parse(
+                  "seed=7,uli-drop-req@p0.25,sim-stall-core@2=0:50:10")
+                  .canonical());
+    FaultPlan empty;
+    EXPECT_EQ(FaultPlan::tryParse("", empty), "");
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(ChaosTryParse, ErrorsAreReturnedNotFatal)
+{
+    FaultPlan p = FaultPlan::parse("uli-drop-req@2");
+    std::string before = p.canonical();
+    // Each bad spec returns a message and leaves the output untouched.
+    const char *bad[] = {
+        "no-such-site@1",     "uli-drop-req@p1.5",
+        "uli-drop-req@p",     "uli-drop-req@0",
+        "uli-drop-req@x",     "uli-drop-req=1:2:3:4",
+        "seed=zz",            ",uli-drop-req",
+        "uli-drop-req=",
+    };
+    for (const char *spec : bad) {
+        std::string err = FaultPlan::tryParse(spec, p);
+        EXPECT_FALSE(err.empty()) << spec;
+        EXPECT_NE(err.find("--faults:"), std::string::npos) << spec;
+        EXPECT_EQ(p.canonical(), before) << spec;
+    }
+}
+
+TEST(ChaosTryParse, ParseWrapperStaysFatal)
+{
+    EXPECT_EXIT(FaultPlan::parse("uli-drop-req=x"),
+                testing::ExitedWithCode(1), "bad integer");
+}
+
+// ---------------------------------------------------------------------
+// canonical() round-trips every site and trigger form
+// ---------------------------------------------------------------------
+
+TEST(ChaosCanonical, RoundTripsEverySiteAndTriggerForm)
+{
+    const char *triggers[] = {"", "@1", "@3", "@all", "@p0.25"};
+    for (size_t s = 0; s < fault::numFaultSites; ++s) {
+        std::string site =
+            fault::faultSiteName(static_cast<FaultSite>(s));
+        for (const char *trig : triggers) {
+            for (const char *args : {"", "=5", "=5:6", "=5:6:7"}) {
+                std::string spec = site + trig + args;
+                FaultPlan p;
+                ASSERT_EQ(FaultPlan::tryParse(spec, p), "") << spec;
+                ASSERT_EQ(p.rules.size(), 1u) << spec;
+                EXPECT_EQ(p.rules[0].site, static_cast<FaultSite>(s));
+                std::string c = p.canonical();
+                FaultPlan q;
+                ASSERT_EQ(FaultPlan::tryParse(c, q), "") << c;
+                EXPECT_EQ(q.canonical(), c) << spec;
+                EXPECT_EQ(q.rules[0].nth, p.rules[0].nth);
+                EXPECT_EQ(q.rules[0].all, p.rules[0].all);
+                EXPECT_EQ(q.rules[0].prob, p.rules[0].prob);
+                EXPECT_EQ(q.rules[0].args, p.rules[0].args);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Verdicts, reason templates, signatures
+// ---------------------------------------------------------------------
+
+TEST(ChaosSignature, VerdictNamesAreDistinctAndTotal)
+{
+    std::set<std::string> names;
+    for (size_t v = 0; v < fault::numVerdicts; ++v)
+        names.insert(
+            fault::verdictName(static_cast<Verdict>(v)));
+    EXPECT_EQ(names.size(), fault::numVerdicts);
+    EXPECT_EQ(std::string(fault::verdictName(
+                  Verdict::SilentCorruption)),
+              "silent-corruption");
+}
+
+TEST(ChaosSignature, RenderCoversEveryVerdict)
+{
+    // A fully populated report renders deterministically, names its
+    // verdict in the header, and never depends on host state — for
+    // every verdict in the taxonomy, including the previously
+    // untested WorkerLost and SilentCorruption.
+    fault::FailureReport rep;
+    rep.cycle = 123456;
+    rep.reason = "synthetic failure at 0xdeadbeef after 42 tries";
+    rep.cores.push_back({0, 'B', false, 100, 5000, true, false,
+                         true, false});
+    rep.cores.push_back({1, 'T', true, 90, 4000, false, true, false,
+                         true});
+    rep.pendingEvents = 3;
+    rep.hasNextEvent = true;
+    rep.nextEventTime = 200;
+    rep.faultLog.push_back(
+        {FaultSite::UliDropReq, 2, 1, 99, 0xbeef});
+    for (size_t v = 0; v < fault::numVerdicts; ++v) {
+        rep.verdict = static_cast<Verdict>(v);
+        std::string text = rep.render();
+        EXPECT_NE(
+            text.find(std::string("=== simulation failure: ") +
+                      fault::verdictName(rep.verdict) + " ==="),
+            std::string::npos);
+        EXPECT_NE(text.find("reason: synthetic failure"),
+                  std::string::npos);
+        EXPECT_NE(text.find("uli-drop-req"), std::string::npos);
+        EXPECT_EQ(text, rep.render()); // byte-deterministic
+    }
+}
+
+TEST(ChaosSignature, ReasonTemplateNormalizesNumbersAndHex)
+{
+    EXPECT_EQ(fault::reasonTemplate(
+                  "core 3 exceeded the 50000000-cycle budget"),
+              "core # exceeded the #-cycle budget");
+    EXPECT_EQ(fault::reasonTemplate(
+                  "addr 0xDEADbeef observed 0x12 expected 0x13"),
+              "addr # observed # expected #");
+    // Hex-looking letters survive outside a 0x run; '0x' with no
+    // digits is not a hex run.
+    EXPECT_EQ(fault::reasonTemplate("cache deadbeef 0xzz"),
+              "cache deadbeef #xzz");
+    EXPECT_EQ(fault::reasonTemplate("no digits here"),
+              "no digits here");
+}
+
+TEST(ChaosSignature, SignatureIsDeterministicAndTemplated)
+{
+    std::string a = fault::failureSignature(
+        "deadlock", "uli-drop-req",
+        "no instruction retired for 2000000 cycles (stuck since "
+        "cycle 81724)");
+    std::string b = fault::failureSignature(
+        "deadlock", "uli-drop-req",
+        "no instruction retired for 2000000 cycles (stuck since "
+        "cycle 99999)");
+    EXPECT_EQ(a, b); // differing numbers share a template
+    EXPECT_EQ(a.rfind("deadlock|uli-drop-req|", 0), 0u);
+    EXPECT_EQ(a.size(),
+              std::string("deadlock|uli-drop-req|").size() + 8);
+    EXPECT_NE(a, fault::failureSignature("deadlock", "uli-drop-req",
+                                         "another reason"));
+    EXPECT_NE(a, fault::failureSignature("deadlock", "uli-drop-resp",
+                                         a.substr(a.rfind('|'))));
+    // No first fault site renders as "-".
+    EXPECT_EQ(fault::failureSignature("quiescence", "", "x")
+                  .rfind("quiescence|-|", 0),
+              0u);
+}
+
+// ---------------------------------------------------------------------
+// Random plan generation
+// ---------------------------------------------------------------------
+
+TEST(ChaosGen, DeterministicFromSeed)
+{
+    fault::PlanShape shape;
+    shape.numCores = 5;
+    Rng a(42), b(42), c(43);
+    std::string seqA, seqB, seqC;
+    for (int i = 0; i < 20; ++i) {
+        seqA += fault::randomPlan(a, shape).canonical() + ";";
+        seqB += fault::randomPlan(b, shape).canonical() + ";";
+        seqC += fault::randomPlan(c, shape).canonical() + ";";
+    }
+    EXPECT_EQ(seqA, seqB);
+    EXPECT_NE(seqA, seqC);
+}
+
+TEST(ChaosGen, PlansAreLegalAndInRange)
+{
+    fault::PlanShape shape;
+    shape.numCores = 3;
+    shape.maxRules = 4;
+    Rng rng(7);
+    std::set<FaultSite> seen;
+    for (int i = 0; i < 300; ++i) {
+        FaultPlan p = fault::randomPlan(rng, shape);
+        ASSERT_GE(p.rules.size(), 1u);
+        ASSERT_LE(p.rules.size(), shape.maxRules);
+        for (const FaultRule &r : p.rules) {
+            seen.insert(r.site);
+            EXPECT_NE(r.site, FaultSite::FarmKillWorker);
+            EXPECT_GE(r.nth, 1u);
+            if (r.prob > 0.0) {
+                EXPECT_GE(r.prob, 0.05);
+                EXPECT_LE(r.prob, 0.5);
+            }
+            if (r.site == FaultSite::SimStallCore) {
+                EXPECT_LT(r.args[0],
+                          static_cast<uint64_t>(shape.numCores));
+                EXPECT_GE(r.args[2], 1u);
+            }
+            if (r.site == FaultSite::UliDelayReq ||
+                r.site == FaultSite::UliDelayResp ||
+                r.site == FaultSite::MemDelayDram) {
+                EXPECT_GE(r.args[0], 1u);
+            }
+        }
+        // Every generated plan must survive its own canonical form —
+        // that string is what the campaign, cache key, and corpus use.
+        FaultPlan rt;
+        ASSERT_EQ(FaultPlan::tryParse(p.canonical(), rt), "");
+        EXPECT_EQ(rt.canonical(), p.canonical());
+    }
+    // 300 plans must exercise every simulator site.
+    EXPECT_EQ(seen.size(), fault::numFaultSites - 1);
+}
+
+// ---------------------------------------------------------------------
+// Shrinker
+// ---------------------------------------------------------------------
+
+TEST(ChaosShrink, SyntheticDdminFindsTheOneRelevantRule)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "seed=9,uli-drop-req@4,mem-delay-dram@all=500,"
+        "sim-stall-core@2=1:100:1000,uli-dup-resp@3");
+    // The "bug" reproduces iff a mem-delay-dram rule with a delay of
+    // at least 100 is present; everything else is noise.
+    fault::ShrinkStats st;
+    FaultPlan min = fault::shrinkPlan(
+        plan,
+        [](const FaultPlan &p) {
+            for (const FaultRule &r : p.rules)
+                if (r.site == FaultSite::MemDelayDram &&
+                    r.args[0] >= 100)
+                    return true;
+            return false;
+        },
+        256, &st);
+    ASSERT_EQ(min.rules.size(), 1u);
+    EXPECT_EQ(min.rules[0].site, FaultSite::MemDelayDram);
+    EXPECT_FALSE(min.rules[0].all); // @all simplified to @1
+    EXPECT_EQ(min.rules[0].nth, 1u);
+    EXPECT_GE(min.rules[0].args[0], 100u); // still reproduces
+    EXPECT_LT(min.rules[0].args[0], 500u); // and genuinely shrank
+    // No probabilistic rule left, so the seed normalizes away.
+    EXPECT_EQ(min.seed, FaultPlan{}.seed);
+    EXPECT_GT(st.probes, 0u);
+    EXPECT_GT(st.hits, 0u);
+    EXPECT_LE(st.probes, 256u);
+}
+
+TEST(ChaosShrink, ProbeBudgetIsHonored)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "uli-drop-req@8,mem-delay-dram@7=100000,uli-dup-req@6");
+    fault::ShrinkStats st;
+    FaultPlan min = fault::shrinkPlan(
+        plan, [](const FaultPlan &) { return true; }, 3, &st);
+    EXPECT_LE(st.probes, 3u);
+    EXPECT_GE(min.rules.size(), 1u); // never shrinks to empty
+}
+
+TEST(ChaosShrink, RealFailureShrinksToSingleRuleSameSignature)
+{
+    // uli-drop-req@1 alone deadlocks the DTS machine; the
+    // mem-delay-dram rule is dead weight the shrinker must remove
+    // while preserving the failure signature end to end.
+    bench::RunSpec orig =
+        dtsSpec("uli-drop-req@1,mem-delay-dram@3=500");
+    bench::RunResult r0 = bench::runOne(orig);
+    ASSERT_TRUE(r0.failed);
+    ASSERT_EQ(r0.verdict, "deadlock");
+    ASSERT_FALSE(r0.signature.empty());
+
+    std::map<std::string, bool> memo; // canonical -> reproduced
+    fault::ShrinkStats st;
+    FaultPlan min = fault::shrinkPlan(
+        FaultPlan::parse(orig.faultSpec),
+        [&](const FaultPlan &cand) {
+            auto [it, fresh] = memo.emplace(cand.canonical(), false);
+            if (fresh) {
+                bench::RunSpec s = orig;
+                s.faults(cand.canonical());
+                it->second = bench::runOne(s).signature ==
+                             r0.signature;
+            }
+            return it->second;
+        },
+        24, &st);
+    ASSERT_EQ(min.rules.size(), 1u);
+    EXPECT_EQ(min.rules[0].site, FaultSite::UliDropReq);
+    EXPECT_EQ(min.rules[0].nth, 1u);
+
+    bench::RunResult rMin =
+        bench::runOne(dtsSpec(min.canonical()));
+    EXPECT_TRUE(rMin.failed);
+    EXPECT_EQ(rMin.signature, r0.signature);
+}
+
+// ---------------------------------------------------------------------
+// Oracle: silent corruption, and signatures through serialization
+// ---------------------------------------------------------------------
+
+TEST(ChaosOracle, UncheckedCorruptionGetsSilentCorruptionVerdict)
+{
+    // With the coherence checker off, eliding every dirty write-back
+    // completes "successfully" but computes garbage: the oracle's
+    // silent-corruption arm. failed stays false (nothing detected it)
+    // but the verdict and signature mark the gap.
+    bench::RunSpec spec = bench::RunSpec::forApp("cilk5-nq")
+                              .config("bt-hcc-gwb")
+                              .n(6)
+                              .faults("mem-elide-wb@all");
+    bench::RunResult r = bench::runOne(spec);
+    if (r.failed)
+        GTEST_SKIP() << "fault was detected structurally on this "
+                        "config; silent-corruption arm not reachable";
+    ASSERT_FALSE(r.valid);
+    EXPECT_EQ(r.verdict, "silent-corruption");
+    EXPECT_EQ(r.signature.rfind("silent-corruption|mem-elide-wb|", 0),
+              0u);
+
+    // The same run under --check must be *detected* instead — the
+    // checker is part of the oracle, and this pins why chaos
+    // campaigns default it on.
+    bench::RunResult rc = bench::runOne(
+        bench::RunSpec(spec).checked());
+    EXPECT_TRUE(rc.failed);
+    EXPECT_EQ(rc.verdict, "coherence");
+}
+
+TEST(ChaosOracle, StaleTaskFrameIsDetectedNotHostCrash)
+{
+    // Chaos-campaign find: task frames architecturally store host
+    // pointers (function + closure), and one elided write-back is
+    // enough for a thief to read back stale bits. Unguarded, the
+    // worker jumped through them — host SIGSEGV (or a fiber-stack
+    // overflow when a stale grain of 0 re-spawned the same range
+    // forever). The registries in Runtime::taskFns/liveBodies and
+    // the Fiber::stackHeadroom() guard must convert every such read
+    // into a structured verdict; the mere survival of this process
+    // is most of the assertion.
+    bench::RunSpec spec = bench::RunSpec::forApp("cilk5-nq")
+                              .config("bt-hcc-gwb")
+                              .n(6)
+                              .cycleBudget(50'000'000)
+                              .faults("mem-elide-wb@1");
+    bench::RunResult r = bench::runOne(spec);
+    EXPECT_TRUE(r.failed);
+    EXPECT_FALSE(r.verdict.empty());
+    EXPECT_FALSE(r.signature.empty());
+}
+
+TEST(ChaosOracle, SignatureSurvivesSerialization)
+{
+    bench::RunResult r = bench::runOne(dtsSpec("uli-drop-req@1"));
+    ASSERT_TRUE(r.failed);
+    ASSERT_FALSE(r.signature.empty());
+    bench::RunResult back;
+    ASSERT_TRUE(bench::deserializeResult(bench::serializeResult(r),
+                                         back));
+    EXPECT_EQ(back.signature, r.signature);
+    EXPECT_EQ(back.verdict, r.verdict);
+
+    bench::RunResult clean;
+    clean.valid = true;
+    bench::RunResult cleanBack;
+    ASSERT_TRUE(bench::deserializeResult(
+        bench::serializeResult(clean), cleanBack));
+    EXPECT_TRUE(cleanBack.signature.empty());
+}
+
+TEST(ChaosOracle, StallCoreRejectsOutOfRangeCore)
+{
+    // Satellite: sim-stall-core args are validated structurally at
+    // config check time — an out-of-range core id or a zero stall
+    // must die with a clean fatal, never index past the core array.
+    auto mkCfg = [](const char *faults) {
+        sim::SystemConfig cfg = sim::configByName("bt-hcc-gwb");
+        cfg.faults = FaultPlan::parse(faults);
+        return cfg;
+    };
+    EXPECT_EXIT({ sim::System sys(mkCfg("sim-stall-core=99:0:100")); },
+                testing::ExitedWithCode(1), "sim-stall-core");
+    EXPECT_EXIT({ sim::System sys(mkCfg("sim-stall-core=0:0:0")); },
+                testing::ExitedWithCode(1), "sim-stall-core");
+}
+
+// ---------------------------------------------------------------------
+// Repro format
+// ---------------------------------------------------------------------
+
+TEST(ChaosRepro, RoundTripsAllFields)
+{
+    fault::Repro r;
+    r.app = "cilk5-nq";
+    r.config = "bt-hcc-gwb-dts";
+    r.n = 6;
+    r.grain = 2;
+    r.seed = 12345;
+    r.check = true;
+    r.serial = false;
+    r.steal = "hier:2";
+    r.maxCycles = 50'000'000;
+    r.faults = "seed=1025,uli-drop-req@1";
+    r.verdict = "deadlock";
+    r.signature = "deadlock|uli-drop-req|0011aabb";
+
+    std::string text = fault::renderRepro(r);
+    EXPECT_EQ(text.rfind("# bigtiny chaos repro v1\n", 0), 0u);
+    fault::Repro back;
+    ASSERT_EQ(fault::parseRepro(text, back), "");
+    EXPECT_EQ(back.app, r.app);
+    EXPECT_EQ(back.config, r.config);
+    EXPECT_EQ(back.n, r.n);
+    EXPECT_EQ(back.grain, r.grain);
+    EXPECT_EQ(back.seed, r.seed);
+    EXPECT_EQ(back.check, r.check);
+    EXPECT_EQ(back.serial, r.serial);
+    EXPECT_EQ(back.steal, r.steal);
+    EXPECT_EQ(back.maxCycles, r.maxCycles);
+    EXPECT_EQ(back.faults, r.faults);
+    EXPECT_EQ(back.verdict, r.verdict);
+    EXPECT_EQ(back.signature, r.signature);
+    // Render of the parse is byte-identical: the format is canonical.
+    EXPECT_EQ(fault::renderRepro(back), text);
+}
+
+TEST(ChaosRepro, ParseErrors)
+{
+    fault::Repro out;
+    EXPECT_NE(fault::parseRepro("", out), "");
+    EXPECT_NE(fault::parseRepro("app=x\nconfig=y\n", out), "");
+    EXPECT_NE(fault::parseRepro("garbage line\n", out), "");
+    EXPECT_NE(fault::parseRepro("app=x\nn=notanumber\n", out), "");
+    EXPECT_NE(fault::parseRepro("unknown-key=1\n", out), "");
+    // A repro whose fault spec no longer parses is rejected, not
+    // silently replayed without faults.
+    EXPECT_NE(
+        fault::parseRepro("app=x\nconfig=y\nfaults=bogus-site@1\n"
+                          "verdict=v\nsignature=s\n",
+                          out),
+        "");
+}
+
+TEST(ChaosRepro, SignatureFileStem)
+{
+    EXPECT_EQ(fault::signatureFileStem(
+                  "deadlock|uli-drop-req|8c3A01f2"),
+              "deadlock-uli-drop-req-8c3a01f2");
+    EXPECT_EQ(fault::signatureFileStem("a b/c"), "a-b-c");
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Replays the chaos failure corpus (.repro files in tests/corpus).
+ *
+ * Every minimized repro a chaos campaign ever committed must keep
+ * reproducing: parse the repro, run it, and assert the verdict and
+ * failure signature match what was recorded (DESIGN.md §15). A
+ * mismatch means a detector regressed (the failure now goes
+ * undetected or reports differently) or the timing model shifted the
+ * failure mode — either way a deliberate decision, re-minimized via
+ * `btchaos`, not silent drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/driver.hh"
+#include "common/claim.hh"
+#include "fault/chaos.hh"
+
+using namespace bigtiny;
+
+namespace
+{
+
+std::string
+corpusDir()
+{
+    return std::string(BIGTINY_SOURCE_DIR) + "/tests/corpus";
+}
+
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> out;
+    for (const std::string &name : common::listDir(corpusDir()))
+        if (name.size() > 6 &&
+            name.compare(name.size() - 6, 6, ".repro") == 0)
+            out.push_back(name);
+    return out;
+}
+
+bench::RunSpec
+specFromRepro(const fault::Repro &rep)
+{
+    return bench::RunSpec::forApp(rep.app)
+        .config(rep.config)
+        .n(rep.n)
+        .grain(rep.grain)
+        .seed(rep.seed)
+        .serial(rep.serial)
+        .checked(rep.check)
+        .faults(rep.faults)
+        .steal(rep.steal)
+        .cycleBudget(rep.maxCycles);
+}
+
+} // namespace
+
+TEST(Corpus, HasAtLeastEightDistinctRepros)
+{
+    auto files = corpusFiles();
+    EXPECT_GE(files.size(), 8u)
+        << "the chaos corpus must hold at least 8 minimized repros";
+    // File stems are derived from signatures, and listDir sorts, so
+    // uniqueness of names == distinctness of signatures.
+    for (size_t i = 1; i < files.size(); ++i)
+        EXPECT_NE(files[i - 1], files[i]);
+}
+
+TEST(Corpus, EveryReproReplaysToItsRecordedOutcome)
+{
+    auto files = corpusFiles();
+    ASSERT_FALSE(files.empty());
+    for (const std::string &name : files) {
+        SCOPED_TRACE(name);
+        std::string text =
+            common::readFile(corpusDir() + "/" + name);
+        ASSERT_FALSE(text.empty());
+        fault::Repro rep;
+        ASSERT_EQ(fault::parseRepro(text, rep), "");
+        // The stem encodes the signature; a renamed file must not
+        // mask a stale signature inside.
+        EXPECT_EQ(fault::signatureFileStem(rep.signature) + ".repro",
+                  name);
+
+        bench::RunResult r = bench::runOne(specFromRepro(rep));
+        EXPECT_EQ(r.verdict.empty() ? "none" : r.verdict,
+                  rep.verdict);
+        EXPECT_EQ(r.signature, rep.signature);
+        // Corpus entries are the oracle's regression tests: each one
+        // must stay a *detected* failure or a pinned oracle gap,
+        // never quietly become a clean run.
+        EXPECT_FALSE(r.valid);
+    }
+}

@@ -95,6 +95,45 @@ TEST(Fiber, DeepStackUse)
     EXPECT_EQ(result, 300);
 }
 
+TEST(Fiber, StackHeadroomShrinksWithDepth)
+{
+    // The runtime's runaway-recursion guard (Worker::execTask) keys
+    // off this: headroom must be sane on a fiber, decrease as frames
+    // pile up, and be SIZE_MAX off-fiber (the primary stack is
+    // OS-managed and effectively unbounded).
+    size_t shallow = 0, deep = 0;
+    std::function<void(int)> rec = [&](int d) {
+        volatile char pad[512]; // volatile: keep the frame honest
+        pad[0] = static_cast<char>(d);
+        if (pad[0] == 0) {
+            deep = Fiber::current()->stackHeadroom();
+            return;
+        }
+        rec(d - 1);
+    };
+    Fiber f([&] {
+        shallow = Fiber::current()->stackHeadroom();
+        rec(100);
+    });
+    f.run();
+    EXPECT_EQ(Fiber::current()->stackHeadroom(), SIZE_MAX);
+    // Measuring another fiber's headroom from off-fiber is SIZE_MAX.
+    EXPECT_EQ(f.stackHeadroom(), SIZE_MAX);
+    if (shallow == SIZE_MAX) {
+        // ASan's detect_stack_use_after_return moves locals to fake
+        // heap frames, so the probe is off-fiber and headroom is
+        // deliberately unmeasurable (the guard reports SIZE_MAX
+        // rather than misfiring); nothing to assert about depth.
+        GTEST_SKIP() << "fiber frames not on the fiber stack "
+                        "(sanitizer fake stacks)";
+    }
+    EXPECT_LT(shallow, Fiber::defaultStackBytes);
+    EXPECT_GT(shallow, Fiber::defaultStackBytes / 2);
+    // 100 frames of >=512B pad each.
+    EXPECT_LT(deep + 100 * 512, shallow);
+    EXPECT_GT(deep, 0u);
+}
+
 TEST(Fiber, CurrentTracksRunningFiber)
 {
     Fiber *seen = nullptr;

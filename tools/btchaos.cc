@@ -1,0 +1,481 @@
+/**
+ * @file
+ * btchaos — seeded chaos campaigns over the fault space (DESIGN.md
+ * §15).
+ *
+ * A campaign draws --budget random multi-rule fault plans from one
+ * --seed (fault/chaos.hh), runs every plan across the --apps x
+ * --configs matrix through the sweep/farm machinery, and holds each
+ * run to the chaos oracle: it must end as a clean *validated*
+ * completion or a *detected* structured SimFailure. A wrong answer
+ * with no failure (verdict silent-corruption) or a hang the simulator
+ * did not catch itself (wall-clock-timeout) is an oracle violation —
+ * the campaign exits 4 so CI fails on detector gaps.
+ *
+ * Findings are deduplicated by deterministic failure signature
+ * (fault::failureSignature), then each distinct signature is handed
+ * to the ddmin shrinker, which probes candidate sub-plans through the
+ * result cache until the plan is minimal while still reproducing the
+ * signature. Minimized repros land in --corpus-dir as *.repro files
+ * (config spec + fault plan + expected verdict/signature) that
+ * `btchaos --replay=DIR` — and tests/test_corpus.cc — re-run and
+ * verify, so every bug chaos ever finds stays a regression test.
+ *
+ *   btchaos --seed=42 --budget=50 --corpus-dir=tests/corpus
+ *   btchaos --seed=42 --budget=50 --jobs=4        # same JSON, faster
+ *   btchaos --seed=42 --budget=50 --workers=2     # same JSON, farmed
+ *   btchaos --replay=tests/corpus                 # exit 5 on mismatch
+ *
+ * Campaign JSON (--json, default BENCH_chaos.json) is byte-identical
+ * across --jobs=1 / --jobs=N / --workers=N: plans are generated
+ * serially before any run, the simulator is deterministic, and the
+ * report is derived from results in spec order.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/farm.hh"
+#include "bench/sweep.hh"
+#include "common/claim.hh"
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "fault/chaos.hh"
+#include "fault/failure.hh"
+#include "sim/config.hh"
+#include "trace/exporter.hh"
+
+using namespace bigtiny;
+using namespace bigtiny::bench;
+
+namespace
+{
+
+const char *defaultConfigs =
+    "bt-hcc-gwb-dts,bt-hcc-gwb,bt-mesi,bt-hcc-dnv-dts";
+
+/** This binary's path, for re-exec'ing farm workers. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+/** RunSpec a repro replays — all determinism-relevant fields pinned. */
+RunSpec
+specFromRepro(const fault::Repro &rep)
+{
+    RunSpec s = RunSpec::forApp(rep.app)
+                    .config(rep.config)
+                    .n(rep.n)
+                    .grain(rep.grain)
+                    .seed(rep.seed)
+                    .serial(rep.serial)
+                    .checked(rep.check)
+                    .faults(rep.faults)
+                    .steal(rep.steal)
+                    .cycleBudget(rep.maxCycles);
+    return s;
+}
+
+/** Repro capturing @p spec with @p plan and the observed outcome. */
+fault::Repro
+reproFromSpec(const RunSpec &spec, const fault::FaultPlan &plan,
+              const std::string &verdict, const std::string &signature)
+{
+    fault::Repro rep;
+    rep.app = spec.app;
+    rep.config = spec.configName;
+    rep.n = spec.params.n;
+    rep.grain = spec.params.grain;
+    rep.seed = spec.params.seed;
+    rep.check = spec.checkCoherence;
+    rep.serial = spec.serialElision;
+    rep.steal = spec.stealPolicy;
+    rep.maxCycles = spec.maxCycles;
+    rep.faults = plan.canonical();
+    rep.verdict = verdict;
+    rep.signature = signature;
+    return rep;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** Replay every *.repro in @p dir; 0 all-match, 5 on any mismatch. */
+int
+replayCorpus(const std::string &dir)
+{
+    size_t replayed = 0;
+    int mismatches = 0;
+    for (const std::string &name : common::listDir(dir)) {
+        if (!endsWith(name, ".repro"))
+            continue;
+        std::string path = dir + "/" + name;
+        fault::Repro rep;
+        std::string err = fault::parseRepro(common::readFile(path),
+                                            rep);
+        if (!err.empty()) {
+            std::fprintf(stderr, "[btchaos] %s: %s\n", path.c_str(),
+                         err.c_str());
+            ++mismatches;
+            continue;
+        }
+        RunResult r = runOne(specFromRepro(rep));
+        std::string verdict = r.verdict.empty() ? "none" : r.verdict;
+        bool ok =
+            verdict == rep.verdict && r.signature == rep.signature;
+        ++replayed;
+        std::printf("%-60s %s\n", name.c_str(),
+                    ok ? "ok" : "MISMATCH");
+        if (!ok) {
+            std::fprintf(stderr,
+                         "[btchaos] %s: expected %s / %s, got %s / "
+                         "%s\n",
+                         name.c_str(), rep.verdict.c_str(),
+                         rep.signature.c_str(), verdict.c_str(),
+                         r.signature.empty() ? "-"
+                                             : r.signature.c_str());
+            ++mismatches;
+        }
+    }
+    std::fprintf(stderr,
+                 "[btchaos] replayed %zu repro%s, %d mismatch%s\n",
+                 replayed, replayed == 1 ? "" : "s", mismatches,
+                 mismatches == 1 ? "" : "es");
+    if (replayed == 0)
+        warn("--replay: no *.repro files under '%s'", dir.c_str());
+    return mismatches ? 5 : 0;
+}
+
+/** One deduplicated campaign finding, post-shrink. */
+struct Finding
+{
+    std::string signature;
+    size_t specIdx;          //!< first campaign run with this signature
+    std::string verdict;
+    bool oracleViolation = false;
+    fault::FaultPlan minimized;
+    fault::ShrinkStats shrink;
+};
+
+void
+writeChaosJson(const std::string &path, uint64_t seed, int64_t budget,
+               const std::vector<std::string> &apps,
+               const std::vector<std::string> &configs,
+               const std::vector<RunSpec> &specs,
+               const std::vector<RunResult> &results, size_t clean,
+               size_t detected, size_t violations,
+               const std::vector<Finding> &findings)
+{
+    using trace::jsonEscape;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot write chaos JSON to '%s'", path.c_str());
+        return;
+    }
+    out << "{\n\"schemaVersion\": " << trace::statsSchemaVersion
+        << ",\n\"modelVersion\": " << modelVersion
+        << ",\n\"campaignSeed\": " << seed
+        << ",\n\"budget\": " << budget << ",\n\"apps\": [";
+    for (size_t i = 0; i < apps.size(); ++i)
+        out << (i ? "," : "") << "\"" << jsonEscape(apps[i]) << "\"";
+    out << "],\n\"configs\": [";
+    for (size_t i = 0; i < configs.size(); ++i)
+        out << (i ? "," : "") << "\"" << jsonEscape(configs[i])
+            << "\"";
+    out << "],\n\"runs\": " << specs.size()
+        << ",\n\"clean\": " << clean
+        << ",\n\"detected\": " << detected
+        << ",\n\"oracleViolations\": " << violations
+        << ",\n\"findings\": [\n";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        const RunSpec &s = specs[f.specIdx];
+        const RunResult &r = results[f.specIdx];
+        out << "{\"signature\":\"" << jsonEscape(f.signature)
+            << "\",\"verdict\":\"" << jsonEscape(f.verdict)
+            << "\",\"oracleViolation\":"
+            << (f.oracleViolation ? "true" : "false")
+            << ",\"app\":\"" << jsonEscape(s.app)
+            << "\",\"config\":\"" << jsonEscape(s.configName)
+            << "\",\"faults\":\""
+            << jsonEscape(
+                   fault::FaultPlan::parse(s.faultSpec).canonical())
+            << "\",\"minimized\":\""
+            << jsonEscape(f.minimized.canonical())
+            << "\",\"minRules\":" << f.minimized.rules.size()
+            << ",\"failCycle\":" << r.failCycle
+            << ",\"shrinkProbes\":" << f.shrink.probes
+            << ",\"shrinkHits\":" << f.shrink.hits << "}"
+            << (i + 1 < findings.size() ? ",\n" : "\n");
+    }
+    out << "]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::Flags flags(argc, argv);
+
+    if (flags.has("help")) {
+        std::printf(
+            "usage: btchaos [--seed=S] [--budget=N] [--apps=A,B] "
+            "[--configs=C,D]\n"
+            "               [--n=N] [--grain=G] [--max-rules=K] "
+            "[--max-cycles=N] [--no-check]\n"
+            "               [--jobs=N | --workers=N [--resume] "
+            "[--farm-dir=DIR]]\n"
+            "               [--claim-ttl-ms=MS] [--heartbeat-ms=MS] "
+            "[--farm-faults=SPEC]\n"
+            "               [--json=PATH] [--corpus-dir=DIR] "
+            "[--no-shrink] [--shrink-probes=N]\n"
+            "               [--cache-file=PATH] [--no-cache]\n"
+            "       btchaos --replay=DIR     # re-run a repro corpus\n"
+            "       btchaos --join=DIR       # attach a farm worker\n"
+            "defaults: seed 1, budget 20, cilk5-nq n=6 across %s,\n"
+            "coherence checker ON (part of the oracle), 50M-cycle "
+            "budget, JSON to\n"
+            "BENCH_chaos.json.\n"
+            "exit codes: 0 oracle held, 4 oracle violated "
+            "(silent corruption or undetected\n"
+            "hang), 5 replay mismatch.\n",
+            defaultConfigs);
+        return 0;
+    }
+
+    if (flags.has("join")) {
+        bench::FarmOptions opt;
+        opt.dir = flags.get("join");
+        opt.claimTtlMs = flags.getInt("claim-ttl-ms", 10000);
+        opt.heartbeatMs = flags.getInt("heartbeat-ms", 0);
+        opt.farmFaults = flags.get("farm-faults", "");
+        opt.workerId = static_cast<int>(flags.getInt("worker-id", 1));
+        size_t ran = farmWorker(opt);
+        std::fprintf(stderr, "[btchaos] joined worker ran %zu jobs\n",
+                     ran);
+        return 0;
+    }
+
+    if (flags.has("replay"))
+        return replayCorpus(flags.get("replay"));
+
+    // -------------------------------------------------------------
+    // Campaign setup: one seed -> every plan, serially, up front.
+    // -------------------------------------------------------------
+    uint64_t seed =
+        static_cast<uint64_t>(flags.getInt("seed", 1));
+    int64_t budget = flags.getInt("budget", 20);
+    fatal_if(budget < 1, "--budget must be >= 1");
+    auto apps = flags.list("apps", "cilk5-nq");
+    auto configs = flags.list("configs", defaultConfigs);
+    int64_t n = flags.getInt("n", 6);
+    int64_t grain = flags.getInt("grain", 0);
+    bool check = !flags.has("no-check");
+    Cycle maxCycles =
+        static_cast<Cycle>(flags.getInt("max-cycles", 50'000'000));
+
+    fault::PlanShape shape;
+    shape.maxRules =
+        static_cast<size_t>(flags.getInt("max-rules", 3));
+    shape.cycleBudget = maxCycles;
+    // Generated sim-stall-core core ids must be legal on EVERY config
+    // in the matrix, so bound them by the smallest machine.
+    shape.numCores = 0;
+    for (const auto &cfg : configs) {
+        int cores = sim::configByName(cfg).numCores();
+        if (shape.numCores == 0 || cores < shape.numCores)
+            shape.numCores = cores;
+    }
+
+    Rng rng(seed);
+    std::vector<fault::FaultPlan> plans;
+    plans.reserve(static_cast<size_t>(budget));
+    for (int64_t b = 0; b < budget; ++b)
+        plans.push_back(fault::randomPlan(rng, shape));
+
+    std::vector<RunSpec> specs;
+    for (const auto &plan : plans) {
+        for (const auto &app : apps) {
+            for (const auto &cfg : configs) {
+                RunSpec spec = RunSpec::forApp(app)
+                                   .config(cfg)
+                                   .checked(check)
+                                   .faults(plan.canonical())
+                                   .cycleBudget(maxCycles);
+                if (n)
+                    spec.n(n);
+                if (grain)
+                    spec.grain(grain);
+                specs.push_back(spec);
+            }
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Run the matrix (threads or farm), then classify every outcome.
+    // -------------------------------------------------------------
+    ResultCache cache(flags.get("cache-file", "bench_results.cache"),
+                      !flags.has("no-cache"));
+    std::vector<RunResult> results;
+    if (flags.has("workers") || flags.has("resume")) {
+        std::string json = flags.get("json", "BENCH_chaos.json");
+        FarmOptions opt;
+        opt.dir = flags.get(
+            "farm-dir",
+            (json == "none" ? std::string("BENCH_chaos.json")
+                            : json) +
+                ".farm");
+        opt.workers =
+            static_cast<int>(flags.getInt("workers", 1));
+        opt.resume = flags.has("resume");
+        opt.claimTtlMs = flags.getInt("claim-ttl-ms", 10000);
+        opt.heartbeatMs = flags.getInt("heartbeat-ms", 0);
+        opt.farmFaults = flags.get("farm-faults", "");
+        opt.exePath = selfExePath(argv[0]);
+        std::fprintf(stderr,
+                     "[btchaos] campaign seed=%llu budget=%lld: "
+                     "farming %zu runs across %d workers via %s\n",
+                     (unsigned long long)seed, (long long)budget,
+                     specs.size(), opt.workers, opt.dir.c_str());
+        results = runFarm(cache, specs, opt);
+    } else {
+        int64_t jobs = flags.getInt("jobs", 1);
+        std::fprintf(stderr,
+                     "[btchaos] campaign seed=%llu budget=%lld: %zu "
+                     "runs (%zu plans x %zu apps x %zu configs) on "
+                     "%d threads\n",
+                     (unsigned long long)seed, (long long)budget,
+                     specs.size(), plans.size(), apps.size(),
+                     configs.size(), resolveJobs(jobs));
+        Sweep sweep(cache, jobs);
+        sweep.addAll(specs);
+        results = sweep.run();
+    }
+
+    size_t clean = 0, detected = 0;
+    std::map<std::string, size_t> bySig; // signature -> first run
+    std::vector<size_t> violations;
+    const std::string wallClock = fault::verdictName(
+        fault::Verdict::WallClockTimeout);
+    for (size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        if (r.valid && !r.failed) {
+            ++clean;
+            continue;
+        }
+        bySig.emplace(r.signature, i);
+        if (r.failed && r.verdict != wallClock) {
+            // A detected structured failure: the oracle held. Still a
+            // finding (worth a minimized regression repro), just not
+            // a violation.
+            ++detected;
+        } else {
+            // Silent corruption (completed, wrong answer, nothing
+            // fired) or a hang only the host wall clock caught.
+            violations.push_back(i);
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Shrink each distinct signature (serially, in signature order,
+    // so the report and corpus are deterministic).
+    // -------------------------------------------------------------
+    size_t shrinkProbes =
+        static_cast<size_t>(flags.getInt("shrink-probes", 64));
+    bool noShrink = flags.has("no-shrink");
+    std::vector<Finding> findings;
+    for (const auto &[sig, idx] : bySig) {
+        Finding f;
+        f.signature = sig;
+        f.specIdx = idx;
+        f.verdict = results[idx].verdict;
+        f.oracleViolation = !results[idx].failed ||
+                            results[idx].verdict == wallClock;
+        fault::FaultPlan plan =
+            fault::FaultPlan::parse(specs[idx].faultSpec);
+        if (noShrink) {
+            f.minimized = plan;
+        } else {
+            auto probe = [&](const fault::FaultPlan &cand) {
+                RunSpec s = specs[idx];
+                s.faults(cand.canonical());
+                return cache.run(s).signature == sig;
+            };
+            f.minimized =
+                fault::shrinkPlan(plan, probe, shrinkProbes,
+                                  &f.shrink);
+        }
+        findings.push_back(std::move(f));
+    }
+
+    // -------------------------------------------------------------
+    // Emit: corpus repros, JSON report, human summary.
+    // -------------------------------------------------------------
+    if (flags.has("corpus-dir")) {
+        std::string dir = flags.get("corpus-dir");
+        common::makeDirs(dir);
+        for (const Finding &f : findings) {
+            fault::Repro rep = reproFromSpec(
+                specs[f.specIdx], f.minimized, f.verdict,
+                f.signature);
+            std::string path = dir + "/" +
+                               fault::signatureFileStem(f.signature) +
+                               ".repro";
+            if (!common::atomicWriteFile(path,
+                                         fault::renderRepro(rep)))
+                warn("cannot write repro '%s'", path.c_str());
+            else
+                std::fprintf(stderr, "[btchaos] wrote %s\n",
+                             path.c_str());
+        }
+    }
+
+    std::string json = flags.get("json", "BENCH_chaos.json");
+    if (json != "none") {
+        writeChaosJson(json, seed, budget, apps, configs, specs,
+                       results, clean, detected, violations.size(),
+                       findings);
+        std::fprintf(stderr, "[btchaos] wrote %s\n", json.c_str());
+    }
+
+    std::printf("campaign seed=%llu budget=%lld: %zu runs, %zu "
+                "clean, %zu detected, %zu oracle violation%s, %zu "
+                "distinct signature%s\n",
+                (unsigned long long)seed, (long long)budget,
+                results.size(), clean, detected, violations.size(),
+                violations.size() == 1 ? "" : "s", findings.size(),
+                findings.size() == 1 ? "" : "s");
+    for (const Finding &f : findings)
+        std::printf("  %-44s %-18s %s%s\n", f.signature.c_str(),
+                    f.verdict.c_str(), f.minimized.canonical().c_str(),
+                    f.oracleViolation ? "   [ORACLE VIOLATION]" : "");
+    for (size_t i : violations)
+        std::fprintf(stderr,
+                     "[btchaos] ORACLE VIOLATION: %s -> %s (%s)\n",
+                     specs[i].key().c_str(),
+                     results[i].verdict.empty()
+                         ? "none"
+                         : results[i].verdict.c_str(),
+                     results[i].signature.c_str());
+    return violations.empty() ? 0 : 4;
+}

@@ -140,6 +140,45 @@ expect_verdict uli-drop-resp@1 deadlock \
 expect_verdict mem-elide-flush@all coherence \
     --app=cilk5-nq --config=bt-hcc-gwb --n=6 --check
 
+# Chaos-campaign smoke (DESIGN.md section 15): a tiny fixed-seed
+# campaign must (a) hold the outcome oracle — every random multi-fault
+# plan ends validated-clean or detected-with-a-verdict, exit 0 — and
+# (b) be byte-identical across --jobs=1, --jobs=4, and a 2-worker
+# farm, the same determinism bar the sweep engine meets. Then the
+# committed failure corpus must replay exactly (exit 5 on drift).
+cmake --build "$ubsan_dir" -j "$(nproc)" --target btchaos
+chaos_args="--seed=1 --budget=4 --apps=cilk5-nq \
+    --configs=bt-hcc-gwb-dts,bt-mesi --n=5"
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$ubsan_dir/tools/btchaos" $chaos_args --jobs=1 \
+        --cache-file="$sweep_dir/chaos.cache" \
+        --json="$sweep_dir/chaos_ser.json" > /dev/null || {
+    echo "chaos smoke: serial campaign violated the oracle" >&2
+    exit 1
+}
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$ubsan_dir/tools/btchaos" $chaos_args --jobs=4 --no-cache \
+        --json="$sweep_dir/chaos_par.json" > /dev/null
+cmp "$sweep_dir/chaos_ser.json" "$sweep_dir/chaos_par.json" || {
+    echo "chaos smoke: --jobs=4 campaign diverged from serial" >&2
+    exit 1
+}
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$ubsan_dir/tools/btchaos" $chaos_args --workers=2 --no-cache \
+        --json="$sweep_dir/chaos_farm.json" \
+        --farm-dir="$sweep_dir/chaos.d" > /dev/null
+cmp "$sweep_dir/chaos_ser.json" "$sweep_dir/chaos_farm.json" || {
+    echo "chaos smoke: 2-worker farm campaign diverged from serial" >&2
+    exit 1
+}
+python3 "$src_dir/tools/triage.py" "$sweep_dir/chaos_ser.json" \
+    > /dev/null
+UBSAN_OPTIONS=halt_on_error=1 \
+    "$ubsan_dir/tools/btchaos" --replay="$src_dir/tests/corpus" || {
+    echo "chaos smoke: corpus replay drifted" >&2
+    exit 1
+}
+
 # Trace smoke (DESIGN.md section 9): two identical traced runs must
 # produce byte-identical, parseable Chrome trace JSON, and a run
 # without --trace must not leave a trace file behind.

@@ -12,6 +12,11 @@ throughput.
   trajectory.py append FILE '{...}'    # ... or as an argument
   trajectory.py best FILE [FIELD]      # print max FIELD over entries
   trajectory.py gate FILE [--tolerance=0.3] [--field=simCyclesPerSec]
+  trajectory.py plot FILE [--field=F] [--svg=OUT.svg] [--width=60]
+
+plot renders the trajectory as a terminal bar chart (one row per
+entry, bar scaled to the best value, sha + value labels), or as a
+self-contained SVG line chart with --svg=OUT.svg.
 
 gate compares the NEWEST entry against the best prior entry: exit 1
 when newest < (1 - tolerance) * best-prior (or when the newest entry
@@ -109,6 +114,83 @@ def cmd_gate(path, field, tolerance):
     return 0
 
 
+def fmt_val(v):
+    """Compact human number: 1234567 -> 1.23M."""
+    for div, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(v) >= div:
+            return f"{v / div:.2f}{suffix}"
+    return f"{v:.0f}" if v == int(v) else f"{v:.2f}"
+
+
+def plot_text(entries, field, width):
+    rows = [(e.get("sha", "?")[:10], e[field],
+             e.get("fidelity", "pass")) for e in entries if field in e]
+    if not rows:
+        raise SystemExit(f"plot: no entries with '{field}'")
+    best = max(v for _, v, _ in rows)
+    print(f"{field} over {len(rows)} entries (best {fmt_val(best)})")
+    for i, (sha, v, fid) in enumerate(rows):
+        bar = "#" * max(1, round(width * v / best)) if best > 0 else ""
+        mark = "" if fid == "pass" else f"  [fidelity={fid}]"
+        print(f"{i:3d} {sha:>10} |{bar:<{width}}| {fmt_val(v)}{mark}")
+
+
+def plot_svg(entries, field, out):
+    rows = [(e.get("sha", "?")[:10], e[field])
+            for e in entries if field in e]
+    if not rows:
+        raise SystemExit(f"plot: no entries with '{field}'")
+    w, h, pad = 720, 360, 48
+    best = max(v for _, v in rows)
+    lo = min(v for _, v in rows)
+    span = (best - lo) or 1.0
+    step = (w - 2 * pad) / max(1, len(rows) - 1)
+
+    def xy(i, v):
+        return (pad + i * step,
+                h - pad - (h - 2 * pad) * (v - lo) / span)
+
+    pts = " ".join(f"{x:.1f},{y:.1f}"
+                   for x, y in (xy(i, v)
+                                for i, (_, v) in enumerate(rows)))
+    dots = "".join(
+        f'<circle cx="{xy(i, v)[0]:.1f}" cy="{xy(i, v)[1]:.1f}" r="3" '
+        f'fill="#1f77b4"><title>{i}: {sha} {field}={v}</title></circle>'
+        for i, (sha, v) in enumerate(rows))
+    svg = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{w}" '
+        f'height="{h}" viewBox="0 0 {w} {h}">'
+        f'<rect width="{w}" height="{h}" fill="white"/>'
+        f'<text x="{w / 2}" y="20" text-anchor="middle" '
+        f'font-family="monospace" font-size="14">{field} '
+        f'({len(rows)} entries, best {fmt_val(best)})</text>'
+        f'<line x1="{pad}" y1="{h - pad}" x2="{w - pad}" '
+        f'y2="{h - pad}" stroke="#888"/>'
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{h - pad}" '
+        f'stroke="#888"/>'
+        f'<text x="{pad - 4}" y="{pad + 4}" text-anchor="end" '
+        f'font-family="monospace" font-size="11">{fmt_val(best)}</text>'
+        f'<text x="{pad - 4}" y="{h - pad + 4}" text-anchor="end" '
+        f'font-family="monospace" font-size="11">{fmt_val(lo)}</text>'
+        f'<polyline points="{pts}" fill="none" stroke="#1f77b4" '
+        f'stroke-width="2"/>{dots}</svg>\n')
+    tmp = out + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        f.write(svg)
+    os.replace(tmp, out)
+    print(f"[trajectory] wrote {out} ({len(rows)} points)")
+
+
+def cmd_plot(path, field, svg, width):
+    entries = load(path)
+    if not entries:
+        raise SystemExit(f"plot: no entries in {path}")
+    if svg:
+        plot_svg(entries, field, svg)
+    else:
+        plot_text(entries, field, width)
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -117,12 +199,18 @@ def main(argv):
     rest = argv[3:]
     field = "simCyclesPerSec"
     tolerance = 0.3
+    svg = None
+    width = 60
     pos = []
     for a in rest:
         if a.startswith("--field="):
             field = a.split("=", 1)[1]
         elif a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
+        elif a.startswith("--svg="):
+            svg = a.split("=", 1)[1]
+        elif a.startswith("--width="):
+            width = int(a.split("=", 1)[1])
         else:
             pos.append(a)
     if cmd == "append":
@@ -133,6 +221,9 @@ def main(argv):
         return 0
     if cmd == "gate":
         return cmd_gate(path, field, tolerance)
+    if cmd == "plot":
+        cmd_plot(path, field, svg, width)
+        return 0
     print(f"unknown command '{cmd}'", file=sys.stderr)
     return 2
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Triage chaos/sweep failure artifacts: group, count, summarize.
+
+Two input shapes, auto-detected per argument:
+
+  *.log   rendered FailureReport streams (farm failures.log, or any
+          concatenation of `=== simulation failure: ...` blocks).
+          Grouped by verdict + reason template (numbers and hex
+          runs collapsed to '#', mirroring fault::reasonTemplate).
+  *.json  sweep/chaos result JSON (BENCH_sweep.json,
+          BENCH_chaos.json). Runs grouped by failure signature;
+          chaos findings listed with their minimized plans.
+
+  triage.py FILE [FILE ...] [--max-groups=N]
+
+Output is one section per file: group counts sorted descending, an
+example member per group, and a one-line totals summary. Exit code is
+0 always — triage reports, gates live elsewhere (check_build.sh,
+btchaos's own oracle exit code). Stdlib only; no third-party imports.
+"""
+
+import json
+import re
+import sys
+
+
+def reason_template(reason):
+    """Python twin of fault::reasonTemplate (failure.cc): collapse
+    0x-prefixed hex runs and bare decimal runs each to '#'."""
+    out = []
+    i, n = 0, len(reason)
+    while i < n:
+        c = reason[i]
+        if (c == "0" and i + 2 < n and reason[i + 1] == "x"
+                and re.match(r"[0-9a-fA-F]", reason[i + 2])):
+            out.append("#")
+            i += 2
+            while i < n and re.match(r"[0-9a-fA-F]", reason[i]):
+                i += 1
+        elif c.isdigit():
+            out.append("#")
+            while i < n and reason[i].isdigit():
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def triage_log(path, text, max_groups):
+    """Group rendered FailureReport blocks by verdict + template."""
+    blocks = re.split(r"(?m)^(?==== simulation failure: )", text)
+    groups = {}
+    total = 0
+    for block in blocks:
+        m = re.match(r"=== simulation failure: (\S+) ===", block)
+        if not m:
+            continue
+        total += 1
+        verdict = m.group(1)
+        rm = re.search(r"(?m)^reason: (.*)$", block)
+        reason = rm.group(1) if rm else ""
+        cm = re.search(r"(?m)^cycle:\s+(\d+)$", block)
+        key = (verdict, reason_template(reason))
+        g = groups.setdefault(key, {"count": 0, "example": reason,
+                                    "cycles": []})
+        g["count"] += 1
+        if cm:
+            g["cycles"].append(int(cm.group(1)))
+    print(f"== {path}: {total} failure reports, "
+          f"{len(groups)} distinct (verdict, reason-template) groups")
+    ranked = sorted(groups.items(),
+                    key=lambda kv: (-kv[1]["count"], kv[0]))
+    for (verdict, tmpl), g in ranked[:max_groups]:
+        cyc = ""
+        if g["cycles"]:
+            cyc = (f"  cycles {min(g['cycles'])}"
+                   f"..{max(g['cycles'])}")
+        print(f"  {g['count']:5d}x  {verdict:<18} {tmpl}{cyc}")
+        print(f"          e.g. {g['example']}")
+    if len(ranked) > max_groups:
+        print(f"  ... {len(ranked) - max_groups} more groups "
+              f"(raise --max-groups)")
+
+
+def triage_json(path, data, max_groups):
+    """Group sweep/chaos run records by failure signature."""
+    runs = data.get("runs", [])
+    if not isinstance(runs, list):  # chaos JSON: runs is a count
+        runs = []
+    by_sig = {}
+    failed = 0
+    for r in runs:
+        sig = r.get("signature", "-")
+        if sig in ("-", "", None) and not r.get("failed"):
+            continue
+        failed += 1
+        key = sig if sig not in ("-", "", None) else "(no signature)"
+        g = by_sig.setdefault(key, {"count": 0, "example": r})
+        g["count"] += 1
+    findings = data.get("findings", [])
+    kind = "chaos campaign" if "campaignSeed" in data else "sweep"
+    print(f"== {path}: {kind}, {len(runs)} runs recorded, "
+          f"{failed} failed, {len(by_sig)} distinct signatures"
+          + (f", {len(findings)} findings" if findings else ""))
+    ranked = sorted(by_sig.items(),
+                    key=lambda kv: (-kv[1]["count"], kv[0]))
+    for sig, g in ranked[:max_groups]:
+        ex = g["example"]
+        where = (f"{ex.get('app', '?')}/{ex.get('config', '?')}"
+                 f" faults={ex.get('faults', '-')}")
+        print(f"  {g['count']:5d}x  {sig}")
+        print(f"          e.g. {where}")
+    if len(ranked) > max_groups:
+        print(f"  ... {len(ranked) - max_groups} more signatures")
+    for f in findings[:max_groups]:
+        viol = "  ORACLE-VIOLATION" if f.get("oracleViolation") else ""
+        print(f"  finding {f.get('signature', '?')}{viol}")
+        print(f"          {f.get('app', '?')}/{f.get('config', '?')}"
+              f" minimized={f.get('minimized', '?')}")
+
+
+def main(argv):
+    max_groups = 20
+    paths = []
+    for a in argv[1:]:
+        if a.startswith("--max-groups="):
+            max_groups = int(a.split("=", 1)[1])
+        elif a in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        else:
+            paths.append(a)
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"== {path}: unreadable ({e})")
+            continue
+        stripped = text.lstrip()
+        if stripped.startswith("{") or stripped.startswith("["):
+            try:
+                triage_json(path, json.loads(text), max_groups)
+            except json.JSONDecodeError as e:
+                print(f"== {path}: bad JSON ({e})")
+        else:
+            triage_log(path, text, max_groups)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
