@@ -164,6 +164,10 @@ runOneInner(const RunSpec &spec)
 {
     sim::SystemConfig cfg = sim::configByName(spec.configName);
     cfg.checkCoherence = spec.checkCoherence;
+    // Lifecycle tracking is host-side only (simulated cycles are
+    // unaffected), so bench rows always carry the tail-latency and
+    // steal-locality summary.
+    cfg.trackLifecycle = true;
     if (!spec.faultSpec.empty())
         cfg.faults = fault::FaultPlan::parse(spec.faultSpec);
     if (spec.maxCycles)
@@ -189,6 +193,19 @@ runOneInner(const RunSpec &spec)
         auto rs = runtime.totalStats();
         r.steals = rs.tasksStolen;
         r.stealAttempts = rs.stealAttempts;
+        if (auto *lt = runtime.lifecycle()) {
+            r.lifeTasks = lt->numTasks();
+            r.sojournP50 = lt->sojourn().percentile(50, 100);
+            r.sojournP99 = lt->sojourn().percentile(99, 100);
+            r.sojournP999 = lt->sojourn().percentile(999, 1000);
+            r.execP50 = lt->exec().percentile(50, 100);
+            r.execP99 = lt->exec().percentile(99, 100);
+            r.execP999 = lt->exec().percentile(999, 1000);
+            r.stealsLocal = lt->stealsLocal();
+            r.stealsRemote = lt->stealsRemote();
+            r.stealClusters = static_cast<uint32_t>(lt->clusters());
+            r.stealMatrix = lt->matrix();
+        }
     }
     r.cycles = sys.elapsed();
 
@@ -295,6 +312,15 @@ serializeResult(const RunResult &r)
     // Failure signature (v7). Single "verdict|site|hash" token, "-"
     // when the run was clean.
     os << ' ' << (r.signature.empty() ? "-" : r.signature);
+    // Task-lifecycle summary (v8): fixed fields, then the cluster
+    // count and the stealClusters^2 steal-matrix entries.
+    os << ' ' << r.lifeTasks << ' ' << r.sojournP50 << ' '
+       << r.sojournP99 << ' ' << r.sojournP999 << ' ' << r.execP50
+       << ' ' << r.execP99 << ' ' << r.execP999 << ' '
+       << r.stealsLocal << ' ' << r.stealsRemote << ' '
+       << r.stealClusters;
+    for (auto v : r.stealMatrix)
+        os << ' ' << v;
     return os.str();
 }
 
@@ -319,6 +345,19 @@ deserializeResult(const std::string &line, RunResult &r)
         r.verdict.clear();
     if (r.signature == "-")
         r.signature.clear();
+    if (!(is >> r.lifeTasks >> r.sojournP50 >> r.sojournP99 >>
+          r.sojournP999 >> r.execP50 >> r.execP99 >> r.execP999 >>
+          r.stealsLocal >> r.stealsRemote >> r.stealClusters))
+        return false;
+    // A garbled cluster count on a torn line must not turn into a
+    // giant allocation; no topology exceeds maxCores clusters.
+    if (r.stealClusters > 1024)
+        return false;
+    r.stealMatrix.assign(
+        static_cast<size_t>(r.stealClusters) * r.stealClusters, 0);
+    for (auto &v : r.stealMatrix)
+        if (!(is >> v))
+            return false;
     return true;
 }
 

@@ -44,8 +44,10 @@ using cli::Flags;
 using cli::benchParams;
 using cli::geomean;
 
-/** Bump when the timing model changes to invalidate cached results. */
-constexpr int modelVersion = 7;
+/** Bump when the timing model changes to invalidate cached results.
+ *  v8: task-lifecycle summary fields (sojourn/exec percentiles,
+ *  steal-locality matrix) joined the RunResult serialization. */
+constexpr int modelVersion = 8;
 
 /**
  * One experiment: an app, a machine configuration, and parameters.
@@ -153,6 +155,24 @@ struct RunResult
     // ULI (DTS only)
     uint64_t uliReqs = 0;
     uint64_t uliNacks = 0;
+
+    // Task-lifecycle summary (v8; DESIGN.md §16). Bench runs always
+    // track lifecycle (host-side only, cycles are unaffected), so
+    // every parallel row carries tail-latency percentiles and the
+    // steal-locality split. All zero for serial/failed runs.
+    uint64_t lifeTasks = 0;
+    uint64_t sojournP50 = 0;
+    uint64_t sojournP99 = 0;
+    uint64_t sojournP999 = 0;
+    uint64_t execP50 = 0;
+    uint64_t execP99 = 0;
+    uint64_t execP999 = 0;
+    uint64_t stealsLocal = 0;
+    uint64_t stealsRemote = 0;
+    /** Cluster count of the steal matrix (0 = no lifecycle data). */
+    uint32_t stealClusters = 0;
+    /** Row-major (src x dst) steal counts, stealClusters^2 values. */
+    std::vector<uint64_t> stealMatrix;
 
     bool hasAccesses() const { return l1Accesses != 0; }
 

@@ -205,7 +205,28 @@ writeSweepJson(const std::string &path,
         jsonArray(out, "tinyTime", r.tinyTime);
         out << ",";
         jsonArray(out, "nocBytes", r.nocBytes);
-        out << ",\"nocTotalBytes\":" << r.nocTotalBytes() << "}";
+        out << ",\"nocTotalBytes\":" << r.nocTotalBytes() << ","
+            << "\"lifeTasks\":" << r.lifeTasks << ","
+            << "\"sojournP50\":" << r.sojournP50 << ","
+            << "\"sojournP99\":" << r.sojournP99 << ","
+            << "\"sojournP999\":" << r.sojournP999 << ","
+            << "\"execP50\":" << r.execP50 << ","
+            << "\"execP99\":" << r.execP99 << ","
+            << "\"execP999\":" << r.execP999 << ","
+            << "\"stealsLocal\":" << r.stealsLocal << ","
+            << "\"stealsRemote\":" << r.stealsRemote << ","
+            << "\"stealClusters\":" << r.stealClusters << ","
+            << "\"stealMatrix\":[";
+        for (uint32_t s = 0; s < r.stealClusters; ++s) {
+            out << (s ? "," : "") << "[";
+            for (uint32_t d = 0; d < r.stealClusters; ++d)
+                out << (d ? "," : "")
+                    << r.stealMatrix[static_cast<size_t>(s) *
+                                         r.stealClusters +
+                                     d];
+            out << "]";
+        }
+        out << "]}";
         out << (i + 1 < specs.size() ? ",\n" : "\n");
     }
     out << "]\n}\n";

@@ -1,0 +1,321 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace bigtiny::common
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Obj)
+        return nullptr;
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw std::runtime_error("json: missing key '" + key + "'");
+    return *v;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Num || !intExact)
+        throw std::runtime_error("json: not an exact integer");
+    return intVal;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind == Kind::Null)
+        return std::numeric_limits<double>::quiet_NaN();
+    if (kind != Kind::Num)
+        throw std::runtime_error("json: not a number");
+    return num;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        throw std::runtime_error("json: " + std::string(what) +
+                                 " at byte " + std::to_string(pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos >= s.size() || s[pos] != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    void
+    literal(const char *word, size_t len)
+    {
+        if (s.compare(pos, len, word) != 0)
+            fail("bad literal");
+        pos += len;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Str;
+            v.str = string();
+            return v;
+          }
+          case 't': {
+            literal("true", 4);
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+          }
+          case 'f': {
+            literal("false", 5);
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            return v;
+          }
+          case 'n':
+            literal("null", 4);
+            return JsonValue{};
+          default:
+            return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Obj;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            v.obj.emplace_back(std::move(key), value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Arr;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.arr.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                fail("unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs unsupported; the
+                // simulator only escapes control characters).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        bool digits = false;
+        bool integral = true;
+        while (pos < s.size()) {
+            char c = s[pos];
+            if (c >= '0' && c <= '9') {
+                digits = true;
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (!digits)
+            fail("bad number");
+        std::string tok = s.substr(start, pos - start);
+        JsonValue v;
+        v.kind = JsonValue::Kind::Num;
+        v.num = std::strtod(tok.c_str(), nullptr);
+        if (integral && tok[0] != '-') {
+            errno = 0;
+            char *end = nullptr;
+            unsigned long long u = std::strtoull(tok.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                v.intVal = u;
+                v.intExact = true;
+            }
+        }
+        return v;
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace bigtiny::common

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal dependency-free JSON document parser.
+ *
+ * Offline analyzers (tools/btprof.cc) need to read the simulator's
+ * own --stats-json output back in; this is the smallest DOM that
+ * serves them. It parses the full JSON grammar (RFC 8259) into a
+ * tree of JsonValue nodes and deliberately nothing more: no writer
+ * (the exporters hand-emit their documents so byte layout stays
+ * golden-pinned), no streaming, no comments or trailing commas.
+ *
+ * Numbers keep both views: every number is stored as a double, and
+ * when the token is a non-negative integer that fits uint64_t the
+ * exact value is kept alongside (intExact). Cycle counts exceed
+ * 2^53 in long runs, so analyzers must read counters through
+ * asU64(), never through the double.
+ *
+ * Errors (syntax, truncation, trailing garbage) throw
+ * std::runtime_error with a byte offset; callers present that to the
+ * user.
+ */
+
+#ifndef BIGTINY_COMMON_JSON_HH
+#define BIGTINY_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bigtiny::common
+{
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double num = 0.0;
+    uint64_t intVal = 0;  //!< exact value when intExact
+    bool intExact = false;
+    std::string str;
+    std::vector<JsonValue> arr;
+    /** Members in document order (duplicate keys kept as-is). */
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObj() const { return kind == Kind::Obj; }
+    bool isArr() const { return kind == Kind::Arr; }
+
+    /** First member named @p key, or nullptr (nullptr for non-Obj). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** find() that throws std::runtime_error when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Exact integer value; throws unless the node is a number that
+     *  was written as a non-negative integer. */
+    uint64_t asU64() const;
+
+    /** Numeric value (null reads as NaN, matching jsonNumber()'s
+     *  emission of null for non-finite values); throws otherwise. */
+    double asDouble() const;
+};
+
+/** Parse one JSON document; trailing non-whitespace is an error. */
+JsonValue parseJson(const std::string &text);
+
+} // namespace bigtiny::common
+
+#endif // BIGTINY_COMMON_JSON_HH

@@ -71,8 +71,11 @@ class DagProfiler
         Entry &e = entries[idx];
         if (e.parent != none) {
             Entry &p = entries[e.parent];
-            p.maxChildPath =
-                std::max(p.maxChildPath, e.spawnPos + e.ownPos);
+            uint64_t path = e.spawnPos + e.ownPos;
+            if (path > p.maxChildPath) {
+                p.maxChildPath = path;
+                p.pendingCrit = idx;
+            }
         }
         ++tasksDone;
     }
@@ -84,8 +87,12 @@ class DagProfiler
         if (idx == none || !enabled)
             return;
         Entry &e = entries[idx];
-        e.ownPos = std::max(e.ownPos, e.maxChildPath);
+        if (e.maxChildPath > e.ownPos) {
+            e.ownPos = e.maxChildPath;
+            e.critChild = e.pendingCrit;
+        }
         e.maxChildPath = 0;
+        e.pendingCrit = none;
     }
 
     /** Total instructions over all tasks. */
@@ -107,6 +114,43 @@ class DagProfiler
 
     uint64_t numTasks() const { return tasksDone; }
 
+    /**
+     * One link of the critical-path task chain: the task (by spawn
+     * order index), the position it was spawned at on its parent's
+     * serial timeline, and its completion path spawnPos + ownPos —
+     * the longest instruction path from the root's start to this
+     * task's last joined instruction.
+     */
+    struct ChainNode
+    {
+        Idx idx;
+        uint64_t spawnPos;
+        uint64_t pathInsts;
+    };
+
+    /**
+     * The critical-path task chain from the root downward: each link
+     * is the child whose joined completion path set its parent's span
+     * contribution. Valid after the root finished; deterministic
+     * (task indices are spawn order, ties resolve to the first
+     * maximal child). A task executing strictly serial code yields a
+     * one-link chain (the root itself).
+     */
+    std::vector<ChainNode>
+    criticalChain() const
+    {
+        std::vector<ChainNode> chain;
+        if (entries.empty())
+            return chain;
+        Idx at = 0;
+        while (at != none) {
+            const Entry &e = entries[at];
+            chain.push_back({at, e.spawnPos, e.spawnPos + e.ownPos});
+            at = e.critChild;
+        }
+        return chain;
+    }
+
     /** Average instructions per task (Table III's IPT). */
     double
     instsPerTask() const
@@ -124,6 +168,8 @@ class DagProfiler
         uint64_t spawnPos = 0;     //!< parent position at spawn
         uint64_t ownPos = 0;       //!< serial position within the task
         uint64_t maxChildPath = 0; //!< longest joined child path
+        Idx critChild = none;      //!< child whose join set ownPos
+        Idx pendingCrit = none;    //!< argmax child of maxChildPath
     };
 
     std::vector<Entry> entries;

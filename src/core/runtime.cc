@@ -54,9 +54,35 @@ Runtime::Runtime(sim::System &sys, SchedVariant variant)
         workers.push_back(
             std::make_unique<Worker>(*this, sys.core(w), w));
     policy = std::make_unique<RandomSteal>();
+    if (cfg.trackLifecycle) {
+        std::vector<int> cl(static_cast<size_t>(n));
+        for (int w = 0; w < n; ++w)
+            cl[static_cast<size_t>(w)] = cfg.clusterOf(w);
+        lifeTracker = std::make_unique<trace::LifecycleTracker>(
+            cfg.numClusters(), std::move(cl));
+    }
+    // Per-cluster steal columns for the interval sampler: attempts
+    // and successes attributed to the thief's cluster. Reading worker
+    // stats is host-side, so sampling cannot perturb the model.
+    sys.stealSampleHook = [this](std::vector<uint64_t> &att,
+                                 std::vector<uint64_t> &ok) {
+        size_t ncl = static_cast<size_t>(cfg.numClusters());
+        att.assign(ncl, 0);
+        ok.assign(ncl, 0);
+        for (int w = 0; w < numWorkers(); ++w) {
+            const auto &ws = workers[static_cast<size_t>(w)]->stats;
+            auto cl = static_cast<size_t>(cfg.clusterOf(w));
+            att[cl] += ws.stealAttempts;
+            ok[cl] += ws.stealAttempts - ws.failedSteals;
+        }
+    };
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime()
+{
+    // The hook captures this; the System usually outlives us.
+    sys.stealSampleHook = nullptr;
+}
 
 void
 Runtime::setStealPolicy(std::unique_ptr<StealPolicy> p)

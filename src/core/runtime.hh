@@ -30,6 +30,7 @@
 #include "core/task.hh"
 #include "sim/stats.hh"
 #include "sim/system.hh"
+#include "trace/lifecycle.hh"
 
 namespace bigtiny::rt
 {
@@ -110,6 +111,14 @@ class Runtime
 
     DagProfiler profiler;
 
+    /**
+     * Task-lifecycle tracker (DESIGN.md §16); non-null only when
+     * SystemConfig::trackLifecycle is set. Call sites guard with
+     * BT_LIFE_ON — a null check, same zero-cost discipline as
+     * BT_TRACE_ON.
+     */
+    trace::LifecycleTracker *lifecycle() { return lifeTracker.get(); }
+
     /** Exactly-once execution check (host-side debug bookkeeping). */
     common::FlatSet<Addr> executedTasks;
 
@@ -140,6 +149,7 @@ class Runtime
     std::vector<Rng> rngs;
     std::vector<std::unique_ptr<Worker>> workers;
     std::unique_ptr<StealPolicy> policy;
+    std::unique_ptr<trace::LifecycleTracker> lifeTracker;
     bool ran = false;
 };
 

@@ -180,6 +180,8 @@ Worker::newTask(TaskFn fn, std::initializer_list<uint64_t> args)
     // Profiler index is metadata, not architectural state.
     rt.sys.mem().funcWrite<uint64_t>(t + L::profOff,
                                      static_cast<uint64_t>(prof + 1));
+    if (auto *lt = rt.lifecycle(); BT_LIFE_ON(lt))
+        lt->onCreate(t, wid, core.now());
     return t;
 }
 
@@ -269,6 +271,11 @@ Worker::execTask(Addr t)
                           (unsigned long long)t, wid,
                           (unsigned long long)core.now()));
     TraceSpan span(core, trace::CatTask, "task", "frame", t);
+    if (BT_TRACE_ON(rt.sys.tracer(), trace::CatFlow))
+        rt.sys.tracer()->flow(trace::CatFlow, core.id(), core.now(),
+                              'f', "task-flow", t);
+    if (auto *lt = rt.lifecycle(); BT_LIFE_ON(lt))
+        lt->onStart(t, wid, core.now());
     uint64_t fn_bits = core.ld<uint64_t>(t + L::fnOff);
     core.work(dispatchCycles);
     if (!fn_bits)
@@ -299,6 +306,8 @@ Worker::execTask(Addr t)
 
     accrue();
     rt.profiler.onTaskDone(curProf);
+    if (auto *lt = rt.lifecycle(); BT_LIFE_ON(lt))
+        lt->onFinish(t, wid, core.now());
     ++stats.tasksExecuted;
     curTask = saved_task;
     curProf = saved_prof;
@@ -390,6 +399,11 @@ Worker::spawn(Addr t)
     if (BT_TRACE_ON(rt.sys.tracer(), trace::CatTask))
         rt.sys.tracer()->instant(trace::CatTask, core.id(), core.now(),
                                  "spawn", "frame", t);
+    if (BT_TRACE_ON(rt.sys.tracer(), trace::CatFlow))
+        rt.sys.tracer()->flow(trace::CatFlow, core.id(), core.now(),
+                              's', "task-flow", t);
+    if (auto *lt = rt.lifecycle(); BT_LIFE_ON(lt))
+        lt->onEnqueue(t, wid, core.now());
     traceDequeDepth(rt, wid, core.now());
 }
 
@@ -564,6 +578,7 @@ Worker::stealOnce()
         failStreak = 0;
         span.setArg1(1);
         rt.stealPolicy().onStealOutcome(rt, wid, vid, true);
+        noteStolen(t, extras, vid);
         if (!extras.empty())
             transferStolen(extras);
         execTask(t);
@@ -604,6 +619,7 @@ Worker::stealOnce()
         failStreak = 0;
         span.setArg1(1);
         rt.stealPolicy().onStealOutcome(rt, wid, vid, true);
+        noteStolen(t, extras, vid);
         if (!extras.empty())
             transferStolen(extras);
         if (!elide)
@@ -625,6 +641,7 @@ Worker::stealOnce()
         failStreak = 0;
         span.setArg1(1);
         rt.stealPolicy().onStealOutcome(rt, wid, vid, true);
+        noteStolen(t, {}, vid);
         core.cacheInvalidate();
         execTask(t);
         core.cacheFlush();
@@ -688,6 +705,24 @@ Worker::transferStolen(const std::vector<Addr> &tasks)
         remoteTasks.insert(t);
     stats.tasksStolen += tasks.size();
     traceDequeDepth(rt, wid, core.now());
+}
+
+void
+Worker::noteStolen(Addr t, const std::vector<Addr> &extras, int vid)
+{
+    if (auto *lt = rt.lifecycle(); BT_LIFE_ON(lt)) {
+        lt->onSteal(t, vid, wid, core.now());
+        for (Addr e : extras)
+            lt->onSteal(e, vid, wid, core.now());
+    }
+    trace::Tracer *tr = rt.sys.tracer();
+    if (BT_TRACE_ON(tr, trace::CatFlow)) {
+        tr->flow(trace::CatFlow, core.id(), core.now(), 't',
+                 "task-flow", t);
+        for (Addr e : extras)
+            tr->flow(trace::CatFlow, core.id(), core.now(), 't',
+                     "task-flow", e);
+    }
 }
 
 bool
@@ -773,9 +808,13 @@ Worker::guestMain(const std::function<void(Worker &)> *root)
         panic_if(!rt.executedTasks.insert(t),
                  "root task %#llx executed twice (worker %d)",
                  (unsigned long long)t, wid);
+        if (auto *lt = rt.lifecycle(); BT_LIFE_ON(lt))
+            lt->onStart(t, wid, core.now());
         (*root)(*this);
         accrue();
         rt.profiler.onTaskDone(curProf);
+        if (auto *lt = rt.lifecycle(); BT_LIFE_ON(lt))
+            lt->onFinish(t, wid, core.now());
         curTask = 0;
         curProf = DagProfiler::none;
         // Publish any remaining results, then signal completion.

@@ -167,6 +167,17 @@ struct SystemConfig
      */
     Cycle progressCycles = 0;
 
+    /**
+     * Record per-task lifecycle timestamps (trace::LifecycleTracker,
+     * DESIGN.md §16): sojourn/execution latency histograms, the
+     * critical-path task chain, and the steal-locality heatmap.
+     * Host-side only — never charges simulated cycles. When enabled,
+     * --stats-json emits the schemaVersion 2 "lifecycle" section;
+     * when off the stats document stays byte-identical to
+     * schemaVersion 1 (golden-pinned).
+     */
+    bool trackLifecycle = false;
+
     // --- Debug / validation ----------------------------------------------
     /**
      * Enable the shadow-memory coherence checker (src/check/): golden

@@ -1,11 +1,13 @@
 #include "trace/exporter.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "core/runtime.hh"
 #include "fault/failure.hh"
 #include "sim/system.hh"
+#include "trace/lifecycle.hh"
 
 namespace bigtiny::trace
 {
@@ -89,6 +91,74 @@ writeTimeByCat(std::ostream &os,
     os << "}";
 }
 
+void
+writeLatencyHist(std::ostream &os, const LatencyHist &h)
+{
+    os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << (h.count ? h.minV : 0)
+       << ",\"max\":" << h.maxV
+       << ",\"p50\":" << h.percentile(50, 100)
+       << ",\"p99\":" << h.percentile(99, 100)
+       << ",\"p999\":" << h.percentile(999, 1000) << ",\"buckets\":[";
+    bool first = true;
+    for (int b = 0; b < LatencyHist::numBuckets; ++b) {
+        if (!h.buckets[b])
+            continue;
+        os << (first ? "" : ",") << "[" << LatencyHist::bucketLo(b)
+           << "," << LatencyHist::bucketHi(b) << ","
+           << h.buckets[b] << "]";
+        first = false;
+    }
+    os << "]}";
+}
+
+/** Longest critical-path chain serialized in full; DESIGN.md §16. */
+constexpr size_t maxChainExport = 256;
+
+void
+writeLifecycle(std::ostream &os, sim::System &sys, rt::Runtime &rt,
+               const LifecycleTracker &lt)
+{
+    os << "\"lifecycle\": {\"tasks\":" << lt.numTasks()
+       << ",\"sojourn\":";
+    writeLatencyHist(os, lt.sojourn());
+    os << ",\"exec\":";
+    writeLatencyHist(os, lt.exec());
+
+    int ncl = lt.clusters();
+    os << ",\"steals\":{\"local\":" << lt.stealsLocal()
+       << ",\"remote\":" << lt.stealsRemote()
+       << ",\"clusters\":" << ncl << ",\"matrix\":[";
+    for (int s = 0; s < ncl; ++s) {
+        os << (s ? "," : "") << "[";
+        for (int d = 0; d < ncl; ++d)
+            os << (d ? "," : "") << lt.heat(s, d);
+        os << "]";
+    }
+    os << "]}";
+
+    auto &prof = rt.profiler;
+    auto chain = prof.criticalChain();
+    os << ",\"critical\":{\"work\":" << prof.work()
+       << ",\"span\":" << prof.span()
+       << ",\"availableParallelism\":";
+    jsonNumber(os, prof.parallelism());
+    os << ",\"observedParallelism\":";
+    jsonNumber(os, sys.elapsed()
+                   ? static_cast<double>(prof.work()) / sys.elapsed()
+                   : 0.0);
+    os << ",\"length\":" << chain.size() << ",\"truncated\":"
+       << (chain.size() > maxChainExport ? "true" : "false")
+       << ",\"chain\":[";
+    size_t n = std::min(chain.size(), maxChainExport);
+    for (size_t i = 0; i < n; ++i) {
+        os << (i ? "," : "") << "{\"task\":" << chain[i].idx
+           << ",\"spawnPos\":" << chain[i].spawnPos
+           << ",\"path\":" << chain[i].pathInsts << "}";
+    }
+    os << "]}},\n";
+}
+
 } // namespace
 
 void
@@ -101,7 +171,12 @@ writeRunStatsJson(std::ostream &os, sim::System &sys, rt::Runtime *rt,
         big += k == sim::CoreKind::Big;
     bool tiny_only = big < cfg.numCores();
 
-    os << "{\n\"schemaVersion\": " << statsSchemaVersion << ",\n";
+    // A run without lifecycle tracking emits the version-1 document
+    // byte-for-byte (golden-pinned); the "lifecycle" section is the
+    // only version-2 addition.
+    LifecycleTracker *lt = rt ? rt->lifecycle() : nullptr;
+    os << "{\n\"schemaVersion\": " << (lt ? statsSchemaVersion : 1)
+       << ",\n";
 
     // Topology fields are emitted only for explicitly clustered /
     // banked configs so stats of the classic presets stay
@@ -141,6 +216,8 @@ writeRunStatsJson(std::ostream &os, sim::System &sys, rt::Runtime *rt,
            << ",\"tasksStolen\":" << rs.tasksStolen
            << ",\"stealAttempts\":" << rs.stealAttempts
            << ",\"failedSteals\":" << rs.failedSteals << "},\n";
+        if (lt)
+            writeLifecycle(os, sys, *rt, *lt);
     } else {
         os << "\"dag\": null,\n\"runtime\": null,\n";
     }

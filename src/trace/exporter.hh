@@ -41,8 +41,15 @@ struct FailureReport;
 namespace bigtiny::trace
 {
 
-/** Bump when the JSON layout changes incompatibly. */
-constexpr int statsSchemaVersion = 1;
+/**
+ * Bump when the JSON layout changes incompatibly. Version 2 adds the
+ * "lifecycle" section (sojourn/exec latency histograms, critical-path
+ * chain, steal-locality heatmap; DESIGN.md §16). Runs without
+ * lifecycle tracking still emit the version-1 document byte-for-byte
+ * — the golden-pinned artifacts predate the section and must not
+ * change.
+ */
+constexpr int statsSchemaVersion = 2;
 
 /** Escape a string for embedding in a JSON document (no quotes). */
 std::string jsonEscape(const std::string &s);

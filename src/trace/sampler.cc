@@ -37,6 +37,8 @@ snapshot(sim::System &sys, Cycle at)
     s.uliReqs = uli.reqs;
     s.uliNacks = uli.nacks;
     s.uliHandlerCycles = uli.handlerCycles;
+    if (sys.stealSampleHook)
+        sys.stealSampleHook(s.clStealAtt, s.clStealOk);
     return s;
 }
 
@@ -56,6 +58,12 @@ delta(const Sample &cum, const Sample &prev)
     d.uliReqs -= prev.uliReqs;
     d.uliNacks -= prev.uliNacks;
     d.uliHandlerCycles -= prev.uliHandlerCycles;
+    // The first interval's prev is the default Sample (empty vectors
+    // = all-zero cumulative counts).
+    for (size_t i = 0; i < prev.clStealAtt.size(); ++i)
+        d.clStealAtt[i] -= prev.clStealAtt[i];
+    for (size_t i = 0; i < prev.clStealOk.size(); ++i)
+        d.clStealOk[i] -= prev.clStealOk[i];
     return d;
 }
 
@@ -104,7 +112,11 @@ IntervalSampler::writeCsv(std::ostream &os) const
     for (size_t i = 0; i < sim::numMsgClasses; ++i)
         os << ",noc_"
            << sim::msgClassName(static_cast<sim::MsgClass>(i));
-    os << ",noc_msgs,uli_reqs,uli_nacks,uli_handler_cycles\n";
+    os << ",noc_msgs,uli_reqs,uli_nacks,uli_handler_cycles";
+    size_t ncl = rows.empty() ? 0 : rows.front().clStealAtt.size();
+    for (size_t i = 0; i < ncl; ++i)
+        os << ",c" << i << "_steal_att,c" << i << "_steal_ok";
+    os << '\n';
     for (const Sample &s : rows) {
         os << s.cycle << ',' << s.l1Accesses << ',' << s.l1Misses
            << ',' << s.invLines << ',' << s.flushLines;
@@ -113,7 +125,10 @@ IntervalSampler::writeCsv(std::ostream &os) const
         for (auto b : s.nocBytes)
             os << ',' << b;
         os << ',' << s.nocMsgs << ',' << s.uliReqs << ','
-           << s.uliNacks << ',' << s.uliHandlerCycles << '\n';
+           << s.uliNacks << ',' << s.uliHandlerCycles;
+        for (size_t i = 0; i < s.clStealAtt.size(); ++i)
+            os << ',' << s.clStealAtt[i] << ',' << s.clStealOk[i];
+        os << '\n';
     }
 }
 
@@ -142,8 +157,17 @@ IntervalSampler::writeJson(std::ostream &os) const
         os << "},\"nocMsgs\":" << s.nocMsgs
            << ",\"uliReqs\":" << s.uliReqs
            << ",\"uliNacks\":" << s.uliNacks
-           << ",\"uliHandlerCycles\":" << s.uliHandlerCycles << "}"
-           << (r + 1 < rows.size() ? ",\n" : "\n");
+           << ",\"uliHandlerCycles\":" << s.uliHandlerCycles;
+        if (!s.clStealAtt.empty()) {
+            os << ",\"clusterStealAttempts\":[";
+            for (size_t i = 0; i < s.clStealAtt.size(); ++i)
+                os << (i ? "," : "") << s.clStealAtt[i];
+            os << "],\"clusterStealSuccesses\":[";
+            for (size_t i = 0; i < s.clStealOk.size(); ++i)
+                os << (i ? "," : "") << s.clStealOk[i];
+            os << "]";
+        }
+        os << "}" << (r + 1 < rows.size() ? ",\n" : "\n");
     }
     os << "]\n}\n";
 }

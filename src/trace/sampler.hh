@@ -52,6 +52,12 @@ struct Sample
     uint64_t uliReqs = 0;
     uint64_t uliNacks = 0;
     Cycle uliHandlerCycles = 0;
+
+    // Per-cluster steal attempts/successes (thief's cluster), via
+    // System::stealSampleHook. Empty for serial runs (no runtime
+    // installed a hook) — the CSV/JSON columns are then omitted.
+    std::vector<uint64_t> clStealAtt;
+    std::vector<uint64_t> clStealOk;
 };
 
 class IntervalSampler

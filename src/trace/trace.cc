@@ -23,6 +23,8 @@ catName(uint32_t bit)
         return "coh";
       case CatFault:
         return "fault";
+      case CatFlow:
+        return "flow";
       default:
         return "?";
     }
@@ -48,7 +50,7 @@ parseCategories(const std::string &csv)
         }
         fatal_if(bit == 0,
                  "unknown trace category '%s' (valid: task, steal, "
-                 "uli, mem, coh, fault, all)",
+                 "uli, mem, coh, fault, flow, all)",
                  tok.c_str());
         mask |= bit;
     }
@@ -60,7 +62,7 @@ std::string
 categoriesToString(uint32_t mask)
 {
     std::string out;
-    for (uint32_t b = 1; b <= CatFault; b <<= 1) {
+    for (uint32_t b = 1; b <= CatFlow; b <<= 1) {
         if (!(mask & b))
             continue;
         if (!out.empty())
@@ -116,6 +118,15 @@ Tracer::counter(uint32_t cat, int track, Cycle ts, const char *name,
          {name, "value", nullptr, value, 0, ts, 0, cat, 'C'});
 }
 
+void
+Tracer::flow(uint32_t cat, int track, Cycle ts, char ph,
+             const char *name, uint64_t id)
+{
+    panic_if(ph != 's' && ph != 't' && ph != 'f',
+             "flow phase '%c' is not s/t/f", ph);
+    push(cat, track, {name, nullptr, nullptr, id, 0, ts, 0, cat, ph});
+}
+
 size_t
 Tracer::eventCount() const
 {
@@ -157,6 +168,11 @@ Tracer::writeJson(std::ostream &os) const
                 os << ",\"dur\":" << e.dur;
             if (e.ph == 'i')
                 os << ",\"s\":\"t\"";
+            if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+                os << ",\"id\":" << e.v0;
+                if (e.ph == 'f')
+                    os << ",\"bp\":\"e\"";
+            }
             os << ",\"cat\":\"" << catName(e.cat) << "\",\"name\":\""
                << e.name << "\"";
             if (e.k0) {

@@ -48,7 +48,8 @@ enum : uint32_t
     CatMem = 1u << 3,   //!< L1 misses, flush/invalidate spans
     CatCoh = 1u << 4,   //!< MESI invalidations and owner recalls
     CatFault = 1u << 5, //!< fault-injector firings
-    CatAll = (1u << 6) - 1,
+    CatFlow = 1u << 6,  //!< spawn->steal->exec flow arrows
+    CatAll = (1u << 7) - 1,
 };
 
 /** Viewer-facing name of a single category bit. */
@@ -101,6 +102,16 @@ class Tracer
     void counter(uint32_t cat, int track, Cycle ts, const char *name,
                  uint64_t value);
 
+    /**
+     * A flow-event arrow point: @p ph is 's' (start), 't' (step) or
+     * 'f' (end, serialized with binding point "e" so the arrow lands
+     * on the enclosing span). Points sharing @p name and @p id are
+     * connected by the viewer; the lifecycle flows use the task frame
+     * address as the id, which is unique within a run.
+     */
+    void flow(uint32_t cat, int track, Cycle ts, char ph,
+              const char *name, uint64_t id);
+
     /** Total events recorded so far (all tracks). */
     size_t eventCount() const;
 
@@ -121,7 +132,8 @@ class Tracer
         Cycle ts;
         Cycle dur;
         uint32_t cat;
-        char ph; //!< 'X' span, 'i' instant, 'C' counter
+        char ph; //!< 'X' span, 'i' instant, 'C' counter,
+                 //!< 's'/'t'/'f' flow points (v0 is the flow id)
     };
 
     void push(uint32_t cat, int track, Event e);

@@ -96,13 +96,14 @@ TEST(TraceCategories, ParseAndRoundTrip)
                       trace::categoriesToString(mask)),
                   mask);
     }
+    EXPECT_EQ(trace::parseCategories("flow"), trace::CatFlow);
     EXPECT_EQ(trace::categoriesToString(trace::CatAll),
-              "task,steal,uli,mem,coh,fault");
+              "task,steal,uli,mem,coh,fault,flow");
 }
 
 TEST(TraceCategories, EveryBitIsNamed)
 {
-    for (uint32_t b = 1; b <= trace::CatFault; b <<= 1)
+    for (uint32_t b = 1; b <= trace::CatFlow; b <<= 1)
         EXPECT_STRNE(trace::catName(b), "?");
 }
 

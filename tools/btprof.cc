@@ -1,0 +1,305 @@
+/**
+ * @file
+ * btprof -- offline analyzer for task-lifecycle stats (DESIGN.md §16).
+ *
+ *   btprof STATS.json [--svg=OUT.svg] [--max-chain=N] [--width=N]
+ *
+ * Reads a --stats-json document produced by a run with --lifecycle
+ * (schemaVersion 2) and renders the "where does the time go" report:
+ * sojourn / execution latency tables with log2-bucket bars, the
+ * critical-path task chain, and the per-cluster steal-distance
+ * heatmap. With --svg the heatmap is also written as a self-contained
+ * SVG (same visual conventions as tools/trajectory.py plot).
+ *
+ * Output is a pure function of the input document, so reports from
+ * repeated deterministic runs byte-compare equal (pinned by
+ * tools/check_build.sh).
+ *
+ * Exit codes: 0 ok; 1 usage / IO / parse error; 2 the document has no
+ * "lifecycle" section (run btsim with --lifecycle).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+using bigtiny::common::JsonValue;
+using bigtiny::common::parseJson;
+
+namespace
+{
+
+int barWidth = 40;
+size_t maxChain = 32;
+
+void
+printHist(const JsonValue &h, const char *title, const char *legend)
+{
+    uint64_t count = h.at("count").asU64();
+    std::printf("\n-- latency: %s (%s, cycles)\n", title, legend);
+    if (!count) {
+        std::printf("no samples\n");
+        return;
+    }
+    uint64_t sum = h.at("sum").asU64();
+    std::printf("count %llu  sum %llu  min %llu  max %llu  "
+                "mean %.1f\n",
+                (unsigned long long)count, (unsigned long long)sum,
+                (unsigned long long)h.at("min").asU64(),
+                (unsigned long long)h.at("max").asU64(),
+                static_cast<double>(sum) / count);
+    std::printf("p50 %llu  p99 %llu  p999 %llu\n",
+                (unsigned long long)h.at("p50").asU64(),
+                (unsigned long long)h.at("p99").asU64(),
+                (unsigned long long)h.at("p999").asU64());
+    const auto &buckets = h.at("buckets").arr;
+    uint64_t peak = 0;
+    for (const auto &b : buckets)
+        peak = std::max(peak, b.arr.at(2).asU64());
+    for (const auto &b : buckets) {
+        uint64_t lo = b.arr.at(0).asU64();
+        uint64_t hi = b.arr.at(1).asU64();
+        uint64_t n = b.arr.at(2).asU64();
+        int w = peak ? std::max<int>(
+                           1, static_cast<int>((n * barWidth + peak - 1) /
+                                               peak))
+                     : 0;
+        std::string bar(static_cast<size_t>(w), '#');
+        std::printf("[%12llu, %12llu] %10llu |%-*s|\n",
+                    (unsigned long long)lo, (unsigned long long)hi,
+                    (unsigned long long)n, barWidth, bar.c_str());
+    }
+}
+
+void
+printCritical(const JsonValue &crit)
+{
+    std::printf("\n-- critical path\n");
+    std::printf("work %llu  span %llu\n",
+                (unsigned long long)crit.at("work").asU64(),
+                (unsigned long long)crit.at("span").asU64());
+    std::printf("parallelism  available %.2f  observed %.2f\n",
+                crit.at("availableParallelism").asDouble(),
+                crit.at("observedParallelism").asDouble());
+    const auto &chain = crit.at("chain").arr;
+    uint64_t length = crit.at("length").asU64();
+    std::printf("chain length %llu%s\n", (unsigned long long)length,
+                crit.at("truncated").boolean
+                    ? " (chain truncated in stats export)"
+                    : "");
+    size_t n = std::min(chain.size(), maxChain);
+    if (n)
+        std::printf("%4s %10s %14s %14s\n", "#", "task", "spawnPos",
+                    "path");
+    for (size_t i = 0; i < n; ++i) {
+        const JsonValue &c = chain[i];
+        std::printf("%4zu %10llu %14llu %14llu\n", i,
+                    (unsigned long long)c.at("task").asU64(),
+                    (unsigned long long)c.at("spawnPos").asU64(),
+                    (unsigned long long)c.at("path").asU64());
+    }
+    if (n < chain.size())
+        std::printf("... %zu more (raise --max-chain)\n",
+                    chain.size() - n);
+}
+
+/** Shade ramp for the terminal heatmap, blank = zero. */
+const char shades[] = " .:-=+*#%@";
+
+void
+printHeatmap(const JsonValue &steals)
+{
+    uint64_t local = steals.at("local").asU64();
+    uint64_t remote = steals.at("remote").asU64();
+    uint64_t ncl = steals.at("clusters").asU64();
+    std::printf("\n-- steal locality\n");
+    std::printf("local %llu  remote %llu  (%llu clusters)\n",
+                (unsigned long long)local, (unsigned long long)remote,
+                (unsigned long long)ncl);
+    if (!ncl || (!local && !remote))
+        return;
+    const auto &matrix = steals.at("matrix").arr;
+    uint64_t peak = 0;
+    for (const auto &row : matrix)
+        for (const auto &cell : row.arr)
+            peak = std::max(peak, cell.asU64());
+    std::printf("heatmap (rows = thief cluster, cols = victim "
+                "cluster, peak %llu)\n",
+                (unsigned long long)peak);
+    std::printf("%6s", "");
+    for (uint64_t d = 0; d < ncl; ++d)
+        std::printf(" d%-9llu", (unsigned long long)d);
+    std::printf("\n");
+    for (uint64_t s = 0; s < ncl; ++s) {
+        std::printf("s%-5llu", (unsigned long long)s);
+        const auto &row = matrix.at(s).arr;
+        for (uint64_t d = 0; d < ncl; ++d) {
+            uint64_t v = row.at(d).asU64();
+            char shade =
+                v ? shades[1 + v * (sizeof(shades) - 3) / peak] : ' ';
+            std::printf(" %c%9llu", shade, (unsigned long long)v);
+        }
+        std::printf("\n");
+    }
+}
+
+/** Heatmap SVG, echoing tools/trajectory.py plot_svg conventions
+ *  (white canvas, #1f77b4 ink, monospace labels, <title> tooltips). */
+int
+writeHeatmapSvg(const std::string &out, const JsonValue &steals,
+                const std::string &configName)
+{
+    uint64_t ncl = steals.at("clusters").asU64();
+    const auto &matrix = steals.at("matrix").arr;
+    uint64_t peak = 0;
+    for (const auto &row : matrix)
+        for (const auto &cell : row.arr)
+            peak = std::max(peak, cell.asU64());
+
+    const int w = 720, h = 360, pad = 48;
+    double cell =
+        ncl ? std::min(static_cast<double>(w - 2 * pad) / ncl,
+                       static_cast<double>(h - 2 * pad) / ncl)
+            : 0.0;
+    std::ostringstream svg;
+    svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+        << "\" height=\"" << h << "\" viewBox=\"0 0 " << w << " " << h
+        << "\">";
+    svg << "<rect width=\"" << w << "\" height=\"" << h
+        << "\" fill=\"white\"/>";
+    svg << "<text x=\"" << w / 2
+        << "\" y=\"20\" text-anchor=\"middle\" "
+           "font-family=\"monospace\" font-size=\"14\">steal heatmap "
+        << configName << " (" << ncl << " clusters, peak " << peak
+        << ")</text>";
+    for (uint64_t s = 0; s < ncl; ++s) {
+        const auto &row = matrix.at(s).arr;
+        for (uint64_t d = 0; d < ncl; ++d) {
+            uint64_t v = row.at(d).asU64();
+            double x = pad + d * cell, y = pad + s * cell;
+            char op[16];
+            std::snprintf(op, sizeof(op), "%.3f",
+                          peak ? 0.08 + 0.92 * v / peak : 0.0);
+            svg << "<rect x=\"" << x << "\" y=\"" << y
+                << "\" width=\"" << cell << "\" height=\"" << cell
+                << "\" fill=\"#1f77b4\" fill-opacity=\""
+                << (v ? op : "0.02")
+                << "\" stroke=\"#888\" stroke-width=\"0.5\">"
+                << "<title>s" << s << "-&gt;d" << d << ": " << v
+                << "</title></rect>";
+        }
+    }
+    svg << "</svg>\n";
+
+    std::ofstream f(out, std::ios::trunc);
+    if (!f) {
+        std::fprintf(stderr, "btprof: cannot write '%s'\n",
+                     out.c_str());
+        return 1;
+    }
+    f << svg.str();
+    std::printf("\nwrote %s (%llux%llu cells)\n", out.c_str(),
+                (unsigned long long)ncl, (unsigned long long)ncl);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path, svgPath;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--svg=", 6) == 0) {
+            svgPath = a + 6;
+        } else if (std::strncmp(a, "--max-chain=", 12) == 0) {
+            maxChain = static_cast<size_t>(std::atoll(a + 12));
+        } else if (std::strncmp(a, "--width=", 8) == 0) {
+            barWidth = std::max(1, std::atoi(a + 8));
+        } else if (std::strncmp(a, "--", 2) == 0) {
+            std::fprintf(stderr,
+                         "usage: btprof STATS.json [--svg=OUT.svg] "
+                         "[--max-chain=N] [--width=N]\n");
+            return 1;
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            std::fprintf(stderr, "btprof: extra argument '%s'\n", a);
+            return 1;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: btprof STATS.json [--svg=OUT.svg] "
+                     "[--max-chain=N] [--width=N]\n");
+        return 1;
+    }
+
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "btprof: cannot read '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+
+    JsonValue doc;
+    try {
+        doc = parseJson(buf.str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "btprof: %s: %s\n", path.c_str(),
+                     e.what());
+        return 1;
+    }
+
+    try {
+        uint64_t schema = doc.at("schemaVersion").asU64();
+        const JsonValue *life = doc.find("lifecycle");
+        if (!life) {
+            std::fprintf(stderr,
+                         "btprof: %s has no \"lifecycle\" section "
+                         "(schemaVersion %llu) -- rerun btsim with "
+                         "--lifecycle\n",
+                         path.c_str(), (unsigned long long)schema);
+            return 2;
+        }
+
+        const JsonValue &cfg = doc.at("config");
+        const JsonValue &run = doc.at("run");
+        std::printf("btprof %s (schemaVersion %llu)\n", path.c_str(),
+                    (unsigned long long)schema);
+        std::printf("config %s  cores %llu  cycles %llu  "
+                    "validated=%s failed=%s\n",
+                    cfg.at("name").str.c_str(),
+                    (unsigned long long)cfg.at("cores").asU64(),
+                    (unsigned long long)run.at("cycles").asU64(),
+                    run.at("validated").boolean ? "yes" : "no",
+                    run.at("failed").boolean ? "yes" : "no");
+        std::printf("tasks tracked %llu\n",
+                    (unsigned long long)life->at("tasks").asU64());
+
+        printHist(life->at("sojourn"), "sojourn",
+                  "enqueue -> finish");
+        printHist(life->at("exec"), "execution", "start -> finish");
+        printCritical(life->at("critical"));
+        printHeatmap(life->at("steals"));
+
+        if (!svgPath.empty())
+            return writeHeatmapSvg(svgPath, life->at("steals"),
+                                   cfg.at("name").str);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "btprof: %s: %s\n", path.c_str(),
+                     e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -77,6 +77,33 @@ printReport(sim::System &sys, rt::Runtime *rt, bool valid)
                     (unsigned long long)rs.tasksStolen,
                     (unsigned long long)rs.stealAttempts,
                     (unsigned long long)rs.failedSteals);
+        if (auto *lt = rt->lifecycle()) {
+            std::printf("\n-- task lifecycle (p50/p99/p999 cycles; "
+                        "full data in --stats-json, see btprof)\n");
+            std::printf("sojourn           %llu / %llu / %llu\n",
+                        (unsigned long long)
+                            lt->sojourn().percentile(50, 100),
+                        (unsigned long long)
+                            lt->sojourn().percentile(99, 100),
+                        (unsigned long long)
+                            lt->sojourn().percentile(999, 1000));
+            std::printf("execution         %llu / %llu / %llu\n",
+                        (unsigned long long)
+                            lt->exec().percentile(50, 100),
+                        (unsigned long long)
+                            lt->exec().percentile(99, 100),
+                        (unsigned long long)
+                            lt->exec().percentile(999, 1000));
+            std::printf("steal locality    %llu local, %llu remote "
+                        "(%d clusters)\n",
+                        (unsigned long long)lt->stealsLocal(),
+                        (unsigned long long)lt->stealsRemote(),
+                        lt->clusters());
+            auto chain = prof.criticalChain();
+            std::printf("critical path     %zu tasks, %llu insts\n",
+                        chain.size(),
+                        (unsigned long long)prof.span());
+        }
     }
 
     auto cache = sys.aggregateCacheStats(true);
@@ -187,9 +214,12 @@ main(int argc, char **argv)
                     "[--run-timeout-ms=MS] [--trace=FILE "
                     "[--trace-categories=CSV]] [--timeseries=FILE "
                     "[--sample-cycles=N]] [--stats-json=FILE] "
-                    "[--progress[=N]] [--list]\n"
-                    "trace categories: task,steal,uli,mem,coh,fault "
-                    "(default all)\n"
+                    "[--lifecycle] [--progress[=N]] [--list]\n"
+                    "trace categories: task,steal,uli,mem,coh,fault,"
+                    "flow (default all)\n"
+                    "--lifecycle: per-task latency/critical-path/"
+                    "steal-locality stats (schemaVersion 2 "
+                    "--stats-json; analyze with btprof)\n"
                     "exit codes: 0 ok, 1 validation failed, 2 "
                     "coherence violations, 3 simulation failure "
                     "(watchdog / fault verdict)\n");
@@ -214,6 +244,8 @@ main(int argc, char **argv)
     if (!timeseriesPath.empty())
         cfg.sampleCycles =
             static_cast<Cycle>(flags.getInt("sample-cycles", 10000));
+    if (flags.has("lifecycle"))
+        cfg.trackLifecycle = true;
     if (flags.has("progress")) {
         auto n = flags.getInt("progress", 1);
         // A bare --progress parses as 1; use the default cadence.

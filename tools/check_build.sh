@@ -214,6 +214,56 @@ test -s "$trace_dir/a.csv"
     exit 1
 }
 
+# Lifecycle/btprof smoke (DESIGN.md section 16): tracking is
+# host-side only, so --lifecycle must not move a single simulated
+# cycle; the schemaVersion-2 stats document must be valid JSON; and
+# btprof reports from two identical runs must byte-compare equal
+# (the report is a pure function of a deterministic document). The
+# schemaVersion-1 byte-identity of runs WITHOUT --lifecycle is
+# asserted by the golden manifest below.
+cmake --build "$ubsan_dir" -j "$(nproc)" --target btprof
+life_dir=$(mktemp -d)
+trap 'rm -rf "$sweep_dir" "$trace_dir" "$life_dir"' EXIT
+life_args="--app=cilk5-nq --config=bt-hcc-gwb-dts --n=6"
+"$ubsan_dir/tools/btsim" $life_args > "$life_dir/plain.txt"
+"$ubsan_dir/tools/btsim" $life_args --lifecycle \
+    --stats-json="$life_dir/a.stats.json" > "$life_dir/life.txt"
+plain_cyc=$(awk '/^cycles/ { print $2; exit }' "$life_dir/plain.txt")
+life_cyc=$(awk '/^cycles/ { print $2; exit }' "$life_dir/life.txt")
+[ -n "$plain_cyc" ] && [ "$plain_cyc" = "$life_cyc" ] || {
+    echo "lifecycle smoke: --lifecycle changed cycles" \
+         "($plain_cyc -> $life_cyc)" >&2
+    exit 1
+}
+python3 -m json.tool "$life_dir/a.stats.json" > /dev/null || {
+    echo "lifecycle smoke: stats output is not valid JSON" >&2
+    exit 1
+}
+grep -q '"schemaVersion": 2' "$life_dir/a.stats.json" || {
+    echo "lifecycle smoke: --lifecycle stats not schemaVersion 2" >&2
+    exit 1
+}
+"$ubsan_dir/tools/btsim" $life_args --lifecycle \
+    --stats-json="$life_dir/b.stats.json" > /dev/null
+"$ubsan_dir/tools/btprof" "$life_dir/a.stats.json" \
+    --svg="$life_dir/a.svg" > "$life_dir/a.report"
+"$ubsan_dir/tools/btprof" "$life_dir/b.stats.json" \
+    --svg="$life_dir/b.svg" > "$life_dir/b.report"
+cmp "$life_dir/a.stats.json" "$life_dir/b.stats.json" || {
+    echo "lifecycle smoke: stats documents not byte-identical" >&2
+    exit 1
+}
+sed "s|$life_dir/a|F|" "$life_dir/a.report" > "$life_dir/a.norm"
+sed "s|$life_dir/b|F|" "$life_dir/b.report" > "$life_dir/b.norm"
+cmp "$life_dir/a.norm" "$life_dir/b.norm" || {
+    echo "lifecycle smoke: btprof reports not byte-identical" >&2
+    exit 1
+}
+test -s "$life_dir/a.svg" || {
+    echo "lifecycle smoke: heatmap SVG is empty" >&2
+    exit 1
+}
+
 # Topology smoke (DESIGN.md section 13): the spec grammar must drive
 # machines the preset zoo never had. A non-square mesh exercises the
 # generalized hop tables / bank placement end to end, and a 512-core
@@ -286,5 +336,5 @@ BIGTINY_PERF_GATE=off python3 "$src_dir/tools/trajectory.py" \
 }
 
 echo "sanitizer build + tier-1 tests + parallel sweep smoke +" \
-     "farm smoke + fault smoke + trace smoke + perf trajectory" \
-     "+ gate: OK"
+     "farm smoke + fault smoke + trace smoke + lifecycle smoke +" \
+     "perf trajectory + gate: OK"

@@ -90,7 +90,23 @@ def triage_json(path, data, max_groups):
         runs = []
     by_sig = {}
     failed = 0
+    legacy = 0
     for r in runs:
+        # Pre-modelVersion-7 sweep rows predate failure signatures;
+        # fall back to the log-file grouping key (verdict + reason
+        # template) so old artifacts still triage instead of lumping
+        # into one "(no signature)" bucket.
+        if "signature" not in r:
+            if not r.get("failed"):
+                continue
+            failed += 1
+            legacy += 1
+            verdict = r.get("verdict", "?")
+            tmpl = reason_template(str(r.get("reason", "")))
+            key = f"(pre-v7) {verdict} {tmpl}".rstrip()
+            g = by_sig.setdefault(key, {"count": 0, "example": r})
+            g["count"] += 1
+            continue
         sig = r.get("signature", "-")
         if sig in ("-", "", None) and not r.get("failed"):
             continue
@@ -100,9 +116,12 @@ def triage_json(path, data, max_groups):
         g["count"] += 1
     findings = data.get("findings", [])
     kind = "chaos campaign" if "campaignSeed" in data else "sweep"
+    note = (f", {legacy} pre-v7 rows grouped by verdict+reason"
+            if legacy else "")
     print(f"== {path}: {kind}, {len(runs)} runs recorded, "
           f"{failed} failed, {len(by_sig)} distinct signatures"
-          + (f", {len(findings)} findings" if findings else ""))
+          + (f", {len(findings)} findings" if findings else "")
+          + note)
     ranked = sorted(by_sig.items(),
                     key=lambda kv: (-kv[1]["count"], kv[0]))
     for sig, g in ranked[:max_groups]:
